@@ -1,0 +1,220 @@
+/**
+ * @file
+ * `eco_chip` command-line tool -- the C++ equivalent of the
+ * reference artifact's `python3 src/ECO_chip.py --design_dir ...`
+ * workflow.
+ *
+ * Usage:
+ *   eco_chip --design_dir data/testcases/GA102 [options]
+ *
+ * Options:
+ *   --design_dir DIR   design directory with architecture.json
+ *                      (+ optional packageC/designC/operationalC)
+ *   --node_list LIST   comma-separated nodes (e.g. "7,10,14") to
+ *                      explore across all chiplets; prints the
+ *                      CFP of every combination
+ *   --cost             also print the dollar-cost breakdown
+ *   --json FILE        write the full carbon report as JSON
+ *   --markdown FILE    write a human-readable markdown report
+ *   --help             this text
+ */
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "io/config_loader.h"
+#include "io/report_writer.h"
+#include "support/error.h"
+#include "support/table_printer.h"
+
+namespace {
+
+using namespace ecochip;
+
+struct CliOptions
+{
+    std::string designDir;
+    std::vector<double> nodeList;
+    bool showCost = false;
+    std::optional<std::string> jsonPath;
+    std::optional<std::string> markdownPath;
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: eco_chip --design_dir DIR [--node_list 7,10,14]"
+          " [--cost] [--json FILE]\n";
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> std::string {
+            requireConfig(i + 1 < argc,
+                          arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--design_dir") {
+            opts.designDir = next_value();
+        } else if (arg == "--node_list") {
+            std::stringstream ss(next_value());
+            std::string token;
+            while (std::getline(ss, token, ',')) {
+                const double node = std::stod(token);
+                requireConfig(node > 0.0,
+                              "node must be positive");
+                opts.nodeList.push_back(node);
+            }
+            requireConfig(!opts.nodeList.empty(),
+                          "--node_list is empty");
+        } else if (arg == "--cost") {
+            opts.showCost = true;
+        } else if (arg == "--json") {
+            opts.jsonPath = next_value();
+        } else if (arg == "--markdown") {
+            opts.markdownPath = next_value();
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            std::exit(0);
+        } else {
+            throw ConfigError("unknown option: " + arg);
+        }
+    }
+    requireConfig(!opts.designDir.empty(),
+                  "--design_dir is required");
+    return opts;
+}
+
+void
+printReport(const SystemSpec &system, const CarbonReport &report)
+{
+    std::cout << "System: " << system.name << " ("
+              << system.chiplets.size()
+              << (system.isMonolithic() ? " blocks, monolithic"
+                                        : " chiplets")
+              << ")\n\n";
+
+    TablePrinter per_chiplet(
+        {"chiplet", "node_nm", "area_mm2", "yield", "mfg_kgCO2",
+         "design_kgCO2"});
+    for (const auto &c : report.chiplets) {
+        per_chiplet.addRow(c.name,
+                           {c.nodeNm, c.areaMm2, c.yield,
+                            c.mfgCo2Kg, c.designCo2Kg});
+    }
+    per_chiplet.print(std::cout);
+
+    TablePrinter summary({"component", "kgCO2"});
+    summary.addRow("manufacturing (Cmfg)", {report.mfgCo2Kg});
+    summary.addRow("package (Cpackage)",
+                   {report.hi.packageCo2Kg});
+    summary.addRow("inter-die comm (Cmfg,comm)",
+                   {report.hi.routingCo2Kg});
+    summary.addRow("design, amortized (Cdes)",
+                   {report.designCo2Kg});
+    summary.addRow("embodied (Cemb)", {report.embodiedCo2Kg()});
+    summary.addRow("operational (Cop x lifetime)",
+                   {report.operation.co2Kg});
+    summary.addRow("total (Ctot)", {report.totalCo2Kg()});
+    std::cout << '\n';
+    summary.print(std::cout);
+}
+
+int
+run(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+
+    TechDb tech;
+    const DesignBundle bundle =
+        loadDesignDirectory(opts.designDir, tech);
+    EcoChip estimator(bundle.config, tech);
+
+    const CarbonReport report =
+        estimator.estimate(bundle.system);
+    printReport(bundle.system, report);
+
+    if (!opts.nodeList.empty()) {
+        std::cout << "\nTechnology-space exploration over {";
+        for (std::size_t i = 0; i < opts.nodeList.size(); ++i)
+            std::cout << (i ? "," : "") << opts.nodeList[i];
+        std::cout << "} nm:\n";
+
+        TechSpaceExplorer explorer(estimator);
+        const auto points =
+            explorer.sweep(bundle.system, opts.nodeList);
+        TablePrinter table(
+            {"nodes", "Cmfg_kg", "CHI_kg", "Cdes_kg", "Cemb_kg",
+             "Cop_kg", "Ctot_kg"});
+        for (const auto &p : points) {
+            table.addRow(p.label(),
+                         {p.report.mfgCo2Kg,
+                          p.report.hi.totalCo2Kg(),
+                          p.report.designCo2Kg,
+                          p.report.embodiedCo2Kg(),
+                          p.report.operation.co2Kg,
+                          p.report.totalCo2Kg()});
+        }
+        table.print(std::cout);
+        const auto &best =
+            TechSpaceExplorer::bestByEmbodied(points);
+        std::cout << "lowest embodied CFP: " << best.label()
+                  << " at " << best.report.embodiedCo2Kg()
+                  << " kg CO2\n";
+    }
+
+    if (opts.showCost) {
+        const CostBreakdown cost = estimator.cost(bundle.system);
+        std::cout << "\nDollar cost per part:\n";
+        TablePrinter table({"component", "usd"});
+        table.addRow("silicon dies", {cost.dieUsd});
+        table.addRow("package", {cost.packageUsd});
+        table.addRow("assembly+test", {cost.assemblyUsd});
+        table.addRow("NRE, amortized", {cost.nreUsd});
+        table.addRow("total", {cost.totalUsd()});
+        table.print(std::cout);
+    }
+
+    if (opts.jsonPath) {
+        json::writeFile(reportToJson(report), *opts.jsonPath);
+        std::cout << "\nreport written to " << *opts.jsonPath
+                  << "\n";
+    }
+
+    if (opts.markdownPath) {
+        std::ofstream out(*opts.markdownPath);
+        requireConfig(static_cast<bool>(out),
+                      "cannot write markdown report: " +
+                          *opts.markdownPath);
+        writeMarkdownReport(out, bundle.system, report,
+                            estimator.config());
+        std::cout << "markdown report written to "
+                  << *opts.markdownPath << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const ecochip::Error &e) {
+        std::cerr << "eco_chip: " << e.what() << "\n";
+        printUsage(std::cerr);
+        return 1;
+    }
+}

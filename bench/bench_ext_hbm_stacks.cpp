@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension — mixed 2.5D/3D integration: HBM-style memory towers
+ * on a passive interposer for the GA102-class GPU. Composes the
+ * paper's interposer (Eq. 9-style BEOL) and 3D (Eq. 11 bonds)
+ * models into the architecture real HBM GPUs ship with, and sweeps
+ * stack height.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::PassiveInterposer;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    bench::banner("Extension",
+                  "HBM-style GA102: memory towers on a passive "
+                  "interposer vs. the planar 3-chiplet split");
+
+    std::vector<std::vector<std::string>> rows;
+    auto add = [&](const std::string &label,
+                   const SystemSpec &system) {
+        const CarbonReport r = estimator.estimate(system);
+        rows.push_back({label,
+                        std::to_string(system.chiplets.size()),
+                        bench::num(r.hi.packageAreaMm2),
+                        bench::num(r.mfgCo2Kg),
+                        bench::num(r.hi.packageCo2Kg),
+                        bench::num(r.hi.stackBondCo2Kg),
+                        bench::num(r.hi.packageYield),
+                        bench::num(r.embodiedCo2Kg()),
+                        bench::num(r.totalCo2Kg())});
+    };
+
+    add("planar-3c(7,10,14)",
+        testcases::ga102ThreeChiplet(tech, 7.0, 10.0, 14.0));
+    for (int tiers : {2, 4, 8}) {
+        add("hbm-2x" + std::to_string(tiers),
+            testcases::ga102Hbm(tech, 2, tiers));
+    }
+    add("hbm-4x4", testcases::ga102Hbm(tech, 4, 4));
+
+    bench::emit({"config", "chiplets", "pkg_mm2", "Cmfg_kg",
+                 "Cpkg_kg", "bond_kg", "pkg_yield", "Cemb_kg",
+                 "Ctot_kg"},
+                rows);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension — carbon-delay analysis for GPU disaggregation.
+ *
+ * The paper restricts carbon-delay products to the AR/VR testcase
+ * because it lacks a performance model for chiplet GA102 systems
+ * (Sec. VI(1)). With the mesh network estimator this bench closes
+ * that gap at first order: as Nc grows, embodied carbon falls but
+ * average inter-die latency and NoC power rise; the carbon-latency
+ * product exposes the sweet spot.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+#include "noc/network_model.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::PassiveInterposer;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    NetworkModel network(estimator.tech(), config.package.router);
+
+    bench::banner("Extension",
+                  "GA102 disaggregation: embodied carbon vs. "
+                  "mesh network latency (passive interposer)");
+
+    std::vector<std::vector<std::string>> rows;
+    for (int nc = 3; nc <= 12; ++nc) {
+        const SystemSpec system =
+            testcases::ga102Split(estimator.tech(), nc);
+        const CarbonReport report = estimator.estimate(system);
+        // Chiplet routers run at the digital chiplets' node.
+        const NetworkEstimate net =
+            network.meshEstimate(nc, 7.0, 2.0e9);
+
+        rows.push_back(
+            {std::to_string(nc),
+             bench::num(report.embodiedCo2Kg()),
+             bench::num(net.avgHops),
+             bench::num(net.avgLatencyNs),
+             bench::num(net.bisectionBandwidthGbps),
+             bench::num(net.networkPowerW),
+             bench::num(report.embodiedCo2Kg() *
+                        net.avgLatencyNs)});
+    }
+    bench::emit({"Nc", "Cemb_kg", "avg_hops", "latency_ns",
+                 "bisection_Gbps", "noc_power_W",
+                 "carbon_latency"},
+                rows);
+    return 0;
+}

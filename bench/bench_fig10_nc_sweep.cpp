@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 10 — manufacturing CFP (Cmfg) and HI overheads (CHI) as the
+ * GA102 is disaggregated into Nc chiplets: digital slices in 7 nm,
+ * memory in 10 nm, analog in 14 nm, RDL fanout packaging.
+ *
+ * Shape target: Cmfg falls with Nc (smaller dies, better yield)
+ * while CHI rises; beyond some Nc the savings flatten as CHI
+ * dominates the delta.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+
+    bench::banner("Fig. 10",
+                  "Cmfg and CHI vs. chiplet count Nc (GA102, "
+                  "digital split at 7 nm)");
+
+    std::vector<std::vector<std::string>> rows;
+    const CarbonReport mono = estimator.estimate(
+        testcases::ga102Monolithic(estimator.tech()));
+    rows.push_back({"mono", bench::num(mono.mfgCo2Kg),
+                    bench::num(0.0), bench::num(mono.mfgCo2Kg)});
+
+    for (int nc = 3; nc <= 10; ++nc) {
+        const CarbonReport r = estimator.estimate(
+            testcases::ga102Split(estimator.tech(), nc));
+        rows.push_back({std::to_string(nc),
+                        bench::num(r.mfgCo2Kg),
+                        bench::num(r.hi.totalCo2Kg()),
+                        bench::num(r.mfgCo2Kg +
+                                   r.hi.totalCo2Kg())});
+    }
+    bench::emit({"Nc", "Cmfg_kg", "CHI_kg", "Cmfg+CHI_kg"}, rows);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fig. 11 — CHI sensitivity to packaging parameters, on the A15
+ * 3-chiplet testcase:
+ *
+ * (a) RDL layer count L_RDL (4 - 9): linear increase;
+ * (b) EMIB bridge range (1 - 4 mm): fewer bridges, lower CHI;
+ * (c) active-interposer node (22 - 65 nm): older nodes have lower
+ *     EPA, lower CHI;
+ * (d) TSV pitch (10 - 45 um): larger pitch, fewer TSVs, better
+ *     yield, lower CHI.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+namespace {
+
+HiResult
+evaluate(const PackageParams &pkg)
+{
+    EcoChipConfig config;
+    config.package = pkg;
+    EcoChip estimator(config);
+    const SystemSpec a15 = testcases::a15ThreeChiplet(
+        estimator.tech(), 5.0, 7.0, 10.0);
+    ManufacturingModel mfg(estimator.tech(), config.wafer,
+                           config.fabIntensityGPerKwh);
+    return PackageModel(estimator.tech(), mfg, pkg).evaluate(a15);
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a) L_RDL sweep.
+    bench::banner("Fig. 11(a)",
+                  "CHI vs. RDL layer count (A15, RDL fanout)");
+    std::vector<std::vector<std::string>> rows;
+    for (int layers = 4; layers <= 9; ++layers) {
+        PackageParams pkg;
+        pkg.arch = PackagingArch::RdlFanout;
+        pkg.rdlLayers = layers;
+        const HiResult hi = evaluate(pkg);
+        rows.push_back({std::to_string(layers),
+                        bench::num(hi.totalCo2Kg() * 1e3)});
+    }
+    bench::emit({"L_RDL", "CHI_gCO2"}, rows);
+
+    // (b) Bridge range sweep.
+    bench::banner("Fig. 11(b)",
+                  "CHI vs. EMIB bridge range (A15, silicon "
+                  "bridge)");
+    rows.clear();
+    for (double range_mm : {1.0, 2.0, 3.0, 4.0}) {
+        PackageParams pkg;
+        pkg.arch = PackagingArch::SiliconBridge;
+        pkg.bridgeRangeMm = range_mm;
+        const HiResult hi = evaluate(pkg);
+        rows.push_back({bench::num(range_mm),
+                        std::to_string(hi.bridgeCount),
+                        bench::num(hi.totalCo2Kg() * 1e3)});
+    }
+    bench::emit({"range_mm", "bridges", "CHI_gCO2"}, rows);
+
+    // (c) Active-interposer node sweep.
+    bench::banner("Fig. 11(c)",
+                  "CHI vs. interposer node (A15, active "
+                  "interposer)");
+    rows.clear();
+    for (double node : {22.0, 28.0, 40.0, 65.0}) {
+        PackageParams pkg;
+        pkg.arch = PackagingArch::ActiveInterposer;
+        pkg.interposerNodeNm = node;
+        const HiResult hi = evaluate(pkg);
+        rows.push_back({bench::num(node),
+                        bench::num(hi.totalCo2Kg() * 1e3)});
+    }
+    bench::emit({"interposer_nm", "CHI_gCO2"}, rows);
+
+    // (d) TSV pitch sweep.
+    bench::banner("Fig. 11(d)",
+                  "CHI vs. TSV pitch (A15, 3D stacking)");
+    rows.clear();
+    for (double pitch_um : {10.0, 20.0, 30.0, 45.0}) {
+        PackageParams pkg;
+        pkg.arch = PackagingArch::Stack3d;
+        pkg.bondType = BondType::Tsv;
+        pkg.tsvPitchUm = pitch_um;
+        const HiResult hi = evaluate(pkg);
+        rows.push_back({bench::num(pitch_um),
+                        bench::num(hi.bondCount),
+                        bench::num(hi.packageYield),
+                        bench::num(hi.totalCo2Kg() * 1e3)});
+    }
+    bench::emit({"pitch_um", "bonds", "pkg_yield", "CHI_gCO2"},
+                rows);
+    return 0;
+}

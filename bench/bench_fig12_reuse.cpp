@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fig. 12 — chiplet reusability: design-carbon amortization over
+ * manufacturing volume.
+ *
+ * (a) Cdes vs. the NMi/NS ratio for the EMR 2-chiplet testcase in
+ *     7 nm (Ndes=100): larger ratios amortize design over more
+ *     systems;
+ * (b-d) Ctot vs. NMi/NS ratio and lifetime for GA102 (RDL), A15
+ *     (RDL), and EMR (EMIB): operation-dominated systems barely
+ *     move with the ratio, embodied-dominated ones (A15) benefit.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+namespace {
+
+const std::vector<double> kRatios = {0.5, 1.0, 2.0, 5.0, 10.0};
+
+/** EMR 2-chiplet with both dies designed fresh (reuse disabled) so
+ *  the amortization sweep has design carbon to amortize. */
+SystemSpec
+emrFreshDesign(const TechDb &tech, double node_nm)
+{
+    SystemSpec emr = testcases::emrTwoChiplet(tech, node_nm);
+    for (auto &chiplet : emr.chiplets)
+        chiplet.reused = false;
+    return emr;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double ns = 100000.0;
+
+    // (a) Cdes vs. NMi/NS for EMR 2-chiplet at 7 nm.
+    bench::banner("Fig. 12(a)",
+                  "Cdes vs. NMi/NS (EMR 2-chiplet, 7 nm, "
+                  "Ndes=100)");
+    std::vector<std::vector<std::string>> rows;
+    for (double ratio : kRatios) {
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::SiliconBridge;
+        config.design.systemVolume = ns;
+        config.design.chipletVolume = ratio * ns;
+        config.operating = testcases::emrOperating();
+        EcoChip estimator(config);
+        const CarbonReport r = estimator.estimate(
+            emrFreshDesign(estimator.tech(), 7.0));
+        rows.push_back(
+            {bench::num(ratio), bench::num(r.designCo2Kg)});
+    }
+    bench::emit({"NMi/NS", "Cdes_kg_per_part"}, rows);
+
+    // (b-d) Ctot vs. ratio and lifetime.
+    struct Study
+    {
+        const char *figure;
+        const char *name;
+        PackagingArch arch;
+    };
+    const Study studies[] = {
+        {"Fig. 12(b)", "GA102", PackagingArch::RdlFanout},
+        {"Fig. 12(c)", "A15", PackagingArch::RdlFanout},
+        {"Fig. 12(d)", "EMR", PackagingArch::SiliconBridge},
+    };
+
+    for (const Study &study : studies) {
+        bench::banner(study.figure,
+                      std::string(study.name) +
+                          ": Ctot vs. NMi/NS and lifetime");
+        rows.clear();
+        for (double lifetime : {2.0, 3.0, 4.0, 5.0}) {
+            for (double ratio : kRatios) {
+                EcoChipConfig config;
+                config.package.arch = study.arch;
+                config.design.systemVolume = ns;
+                config.design.chipletVolume = ratio * ns;
+
+                SystemSpec system;
+                if (std::string(study.name) == "GA102") {
+                    config.operating = testcases::ga102Operating();
+                    system = testcases::ga102ThreeChiplet(
+                        TechDb(), 7.0, 10.0, 14.0);
+                } else if (std::string(study.name) == "A15") {
+                    config.operating = testcases::a15Operating();
+                    system = testcases::a15ThreeChiplet(
+                        TechDb(), 5.0, 7.0, 10.0);
+                } else {
+                    config.operating = testcases::emrOperating();
+                    system = emrFreshDesign(TechDb(), 7.0);
+                }
+                config.operating.lifetimeYears = lifetime;
+                EcoChip estimator(config);
+                const CarbonReport r = estimator.estimate(system);
+                rows.push_back({bench::num(lifetime),
+                                bench::num(ratio),
+                                bench::num(r.embodiedCo2Kg()),
+                                bench::num(r.operation.co2Kg),
+                                bench::num(r.totalCo2Kg())});
+            }
+        }
+        bench::emit({"lifetime_y", "NMi/NS", "Cemb_kg", "Cop_kg",
+                     "Ctot_kg"},
+                    rows);
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 13 — carbon-delay, carbon-power, and carbon-area product
+ * curves for the 3D-stacked AR/VR neural accelerator (1K and 2K
+ * series, 1 - 4 stacked SRAM tiers, 7 nm, microbump 3D).
+ *
+ * Shape targets: more SRAM tiers reduce latency and operating
+ * power, but embodied carbon grows with the extra silicon, so Ctot
+ * (2-year lifetime) rises left-to-right within each series.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    bench::banner("Fig. 13",
+                  "AR/VR accelerator: carbon-delay/power/area "
+                  "products (3D microbump, 2-year life)");
+
+    std::vector<std::vector<std::string>> rows;
+    TechDb tech;
+    for (const auto &point : testcases::arvrSweep(tech)) {
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::Stack3d;
+        config.package.bondType = BondType::Microbump;
+        config.operating = testcases::arvrOperating(point);
+        EcoChip estimator(config);
+
+        const CarbonReport r = estimator.estimate(point.system);
+        const double ctot = r.totalCo2Kg();
+        rows.push_back({point.label,
+                        std::to_string(point.sramTiers),
+                        bench::num(point.latencyMs),
+                        bench::num(point.avgPowerW),
+                        bench::num(point.footprintMm2),
+                        bench::num(r.embodiedCo2Kg()),
+                        bench::num(r.operation.co2Kg),
+                        bench::num(ctot),
+                        bench::num(ctot * point.latencyMs),
+                        bench::num(ctot * point.avgPowerW),
+                        bench::num(ctot * point.footprintMm2)});
+    }
+    bench::emit({"config", "tiers", "latency_ms", "power_W",
+                 "area_mm2", "Cemb_kg", "Cop_kg", "Ctot_kg",
+                 "carbon_delay", "carbon_power", "carbon_area"},
+                rows);
+    return 0;
+}

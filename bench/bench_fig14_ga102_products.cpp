@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 14 — carbon-power and carbon-area products for the GA102
+ * 3-chiplet RDL-fanout testcase across node tuples, normalized to
+ * the monolithic counterpart.
+ *
+ * Shape target: older-node chiplets have larger area and power
+ * (HI overheads, higher Vdd) but lower CFP per area; the products
+ * expose the trade-off.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    bench::banner("Fig. 14",
+                  "GA102 3-chiplet: carbon-power and carbon-area "
+                  "products, normalized to monolith");
+
+    const SystemSpec mono = testcases::ga102Monolithic(tech, 7.0);
+    const CarbonReport mono_r = estimator.estimate(mono);
+    const double mono_area = mono.totalSiliconAreaMm2(tech);
+    const double mono_cp =
+        mono_r.totalCo2Kg() * mono_r.operation.avgPowerW;
+    const double mono_ca = mono_r.totalCo2Kg() * mono_area;
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"mono(7,7,7)", bench::num(mono_area),
+                    bench::num(mono_r.operation.avgPowerW),
+                    bench::num(mono_r.totalCo2Kg()),
+                    bench::num(1.0), bench::num(1.0)});
+
+    const std::vector<double> nodes = {7.0, 10.0, 14.0};
+    for (double d : nodes) {
+        for (double m : nodes) {
+            for (double a : nodes) {
+                const SystemSpec system =
+                    testcases::ga102ThreeChiplet(tech, d, m, a);
+                const CarbonReport r = estimator.estimate(system);
+                const double area =
+                    system.totalSiliconAreaMm2(tech) +
+                    r.hi.commAreaMm2 + r.hi.whitespaceAreaMm2;
+                const std::string label =
+                    "(" + std::to_string(int(d)) + "," +
+                    std::to_string(int(m)) + "," +
+                    std::to_string(int(a)) + ")";
+                rows.push_back(
+                    {label, bench::num(area),
+                     bench::num(r.operation.avgPowerW),
+                     bench::num(r.totalCo2Kg()),
+                     bench::num(r.totalCo2Kg() *
+                                r.operation.avgPowerW / mono_cp),
+                     bench::num(r.totalCo2Kg() * area / mono_ca)});
+            }
+        }
+    }
+    bench::emit({"config", "area_mm2", "power_W", "Ctot_kg",
+                 "carbon_power_norm", "carbon_area_norm"},
+                rows);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 15 — dollar-cost analysis with the integrated cost model,
+ * using the same yields as the CFP estimation.
+ *
+ * (a) Cost of the GA102 3-chiplet testcase across node tuples:
+ *     older-node chiplets are cheaper (better yields, cheaper
+ *     wafers), echoing the Ctot trend of Fig. 7(d);
+ * (b) Cost vs. Nc for the GA102 digital-logic split: assembly cost
+ *     rises with Nc while die cost falls, a shallower trade-off
+ *     than the CFP one in Fig. 10.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    bench::banner("Fig. 15(a)",
+                  "GA102 3-chiplet unit cost per node tuple (USD)");
+    std::vector<std::vector<std::string>> rows;
+    {
+        const CostBreakdown mono =
+            estimator.cost(testcases::ga102Monolithic(tech, 7.0));
+        rows.push_back({"mono(7,7,7)", bench::num(mono.dieUsd),
+                        bench::num(mono.packageUsd),
+                        bench::num(mono.assemblyUsd),
+                        bench::num(mono.nreUsd),
+                        bench::num(mono.totalUsd())});
+    }
+    const std::vector<double> nodes = {7.0, 10.0, 14.0};
+    for (double d : nodes) {
+        for (double m : nodes) {
+            for (double a : nodes) {
+                const CostBreakdown c = estimator.cost(
+                    testcases::ga102ThreeChiplet(tech, d, m, a));
+                const std::string label =
+                    "(" + std::to_string(int(d)) + "," +
+                    std::to_string(int(m)) + "," +
+                    std::to_string(int(a)) + ")";
+                rows.push_back({label, bench::num(c.dieUsd),
+                                bench::num(c.packageUsd),
+                                bench::num(c.assemblyUsd),
+                                bench::num(c.nreUsd),
+                                bench::num(c.totalUsd())});
+            }
+        }
+    }
+    bench::emit({"config", "die_usd", "package_usd",
+                 "assembly_usd", "nre_usd", "total_usd"},
+                rows);
+
+    bench::banner("Fig. 15(b)",
+                  "GA102 unit cost vs. chiplet count Nc (USD)");
+    rows.clear();
+    for (int nc = 3; nc <= 10; ++nc) {
+        const CostBreakdown c = estimator.cost(
+            testcases::ga102Split(tech, nc));
+        rows.push_back({std::to_string(nc), bench::num(c.dieUsd),
+                        bench::num(c.packageUsd),
+                        bench::num(c.assemblyUsd),
+                        bench::num(c.nreUsd),
+                        bench::num(c.totalUsd())});
+    }
+    bench::emit({"Nc", "die_usd", "package_usd", "assembly_usd",
+                 "nre_usd", "total_usd"},
+                rows);
+    return 0;
+}

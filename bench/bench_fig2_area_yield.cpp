@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 2 — motivation results.
+ *
+ * (a) Manufacturing CFP versus monolithic die area at 10 nm: the
+ *     exponential growth caused by falling yield.
+ * (b) Manufacturing CFP of a 4-chiplet GA102 (memory and analog
+ *     chiplets, digital split in two) normalized to the monolithic
+ *     GA102, across technology nodes, including packaging
+ *     overheads.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+namespace {
+
+void
+fig2a(const EcoChip &estimator)
+{
+    bench::banner("Fig. 2(a)",
+                  "manufacturing CFP vs. monolithic die area "
+                  "(10 nm)");
+
+    ManufacturingModel mfg(estimator.tech(),
+                           estimator.config().wafer,
+                           estimator.config().fabIntensityGPerKwh);
+
+    std::vector<std::vector<std::string>> rows;
+    for (double area = 25.0; area <= 200.0 + 1e-9; area += 25.0) {
+        const MfgBreakdown b = mfg.dieMfg(area, 10.0);
+        rows.push_back({bench::num(area), bench::num(b.yield),
+                        bench::num(b.totalCo2Kg() * 1e3),
+                        bench::num(b.totalCo2Kg() * 1e3 / area)});
+    }
+    bench::emit(
+        {"area_mm2", "yield", "mfg_gCO2", "gCO2_per_mm2"}, rows);
+}
+
+void
+fig2b(const EcoChip &estimator)
+{
+    bench::banner("Fig. 2(b)",
+                  "4-chiplet GA102 vs. monolith, normalized "
+                  "manufacturing+HI CFP per node");
+
+    std::vector<std::vector<std::string>> rows;
+    for (double node : {14.0, 10.0, 7.0}) {
+        const SystemSpec mono =
+            testcases::ga102Monolithic(estimator.tech(), node);
+        const SystemSpec four =
+            testcases::ga102FourChiplet(estimator.tech(), node);
+
+        const CarbonReport mono_r = estimator.estimate(mono);
+        const CarbonReport four_r = estimator.estimate(four);
+
+        const double mono_mfg = mono_r.mfgCo2Kg;
+        const double four_mfg =
+            four_r.mfgCo2Kg + four_r.hi.totalCo2Kg();
+        rows.push_back({bench::num(node), bench::num(mono_mfg),
+                        bench::num(four_mfg),
+                        bench::num(four_mfg / mono_mfg)});
+    }
+    bench::emit({"node_nm", "mono_kgCO2", "4chiplet_kgCO2",
+                 "normalized"},
+                rows);
+}
+
+} // namespace
+
+int
+main()
+{
+    EcoChip estimator;
+    fig2a(estimator);
+    fig2b(estimator);
+    return 0;
+}

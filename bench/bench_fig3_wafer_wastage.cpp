@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 3(b) — manufacturing CFP of the monolithic and 4-chiplet
+ * GA102 with and without wafer-periphery wastage accounting, on a
+ * 450 mm wafer. Smaller dies waste less periphery silicon per die,
+ * widening the chiplet advantage when wastage is charged.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    bench::banner("Fig. 3(b)",
+                  "wastage-aware manufacturing CFP, GA102 "
+                  "monolith vs. 4-chiplet (450 mm wafer)");
+
+    std::vector<std::vector<std::string>> rows;
+    double baseline = 0.0;
+    for (bool wastage : {false, true}) {
+        EcoChipConfig config;
+        config.includeWastage = wastage;
+        EcoChip estimator(config);
+
+        const CarbonReport mono = estimator.estimate(
+            testcases::ga102Monolithic(estimator.tech()));
+        const CarbonReport four = estimator.estimate(
+            testcases::ga102FourChiplet(estimator.tech(), 7.0));
+
+        const double mono_mfg = mono.mfgCo2Kg;
+        const double four_mfg =
+            four.mfgCo2Kg + four.hi.totalCo2Kg();
+        if (!wastage)
+            baseline = mono_mfg;
+
+        rows.push_back({wastage ? "with_wastage" : "no_wastage",
+                        "monolith", bench::num(mono_mfg),
+                        bench::num(mono_mfg / baseline)});
+        rows.push_back({wastage ? "with_wastage" : "no_wastage",
+                        "4-chiplet", bench::num(four_mfg),
+                        bench::num(four_mfg / baseline)});
+    }
+    bench::emit({"mode", "system", "mfg_kgCO2", "normalized"},
+                rows);
+
+    // Supporting data: DPW and amortized wastage per die size.
+    bench::banner("Fig. 3(a)",
+                  "dies per wafer and amortized wastage vs. die "
+                  "size");
+    WaferModel wafer;
+    std::vector<std::vector<std::string>> dpw_rows;
+    for (double area : {25.0, 50.0, 100.0, 200.0, 400.0, 628.0}) {
+        dpw_rows.push_back(
+            {bench::num(area),
+             std::to_string(wafer.diesPerWafer(area)),
+             bench::num(wafer.wastedAreaPerDieMm2(area)),
+             bench::num(wafer.utilization(area))});
+    }
+    bench::emit({"die_mm2", "DPW", "wasted_mm2_per_die",
+                 "utilization"},
+                dpw_rows);
+    return 0;
+}

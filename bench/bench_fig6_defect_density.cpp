@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 6 — defect-density behaviour.
+ *
+ * (a) Normalized defect density across technology nodes: legacy
+ *     nodes have matured to lower defectivity.
+ * (b) Total CFP of the GA102 monolith as a function of defect
+ *     density (D0 swept over the Table I range at a fixed node).
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    bench::banner("Fig. 6(a)",
+                  "normalized defect density vs. technology node");
+    TechDb tech;
+    const double d0_3nm = tech.defectDensityPerCm2(3.0);
+    std::vector<std::vector<std::string>> node_rows;
+    for (double node : TechDb::standardNodesNm()) {
+        const double d0 = tech.defectDensityPerCm2(node);
+        node_rows.push_back({bench::num(node), bench::num(d0),
+                             bench::num(d0 / d0_3nm)});
+    }
+    bench::emit({"node_nm", "D0_per_cm2", "normalized"}, node_rows);
+
+    bench::banner("Fig. 6(b)",
+                  "total CFP vs. defect density (GA102 monolith, "
+                  "7 nm, D0 swept over the Table I range)");
+    std::vector<std::vector<std::string>> d0_rows;
+    for (double d0 = 0.07; d0 <= 0.30 + 1e-9; d0 += 0.0575) {
+        TechDb custom;
+        // Constant-D0 override isolates the yield effect.
+        PiecewiseLinear flat({{3.0, d0}, {65.0, d0}});
+        custom.setDefectDensityTable(flat);
+
+        EcoChipConfig config;
+        config.operating = testcases::ga102Operating();
+        EcoChip estimator(config, custom);
+        const CarbonReport report = estimator.estimate(
+            testcases::ga102Monolithic(estimator.tech()));
+        d0_rows.push_back({bench::num(d0),
+                           bench::num(report.mfgCo2Kg),
+                           bench::num(report.embodiedCo2Kg()),
+                           bench::num(report.totalCo2Kg())});
+    }
+    bench::emit(
+        {"D0_per_cm2", "mfg_kgCO2", "embodied_kgCO2",
+         "total_kgCO2"},
+        d0_rows);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 7 — GA102 3-chiplet technology-space exploration with RDL
+ * fanout packaging, tuples over {7, 10, 14} nm for the
+ * (digital, memory, analog) chiplets.
+ *
+ * (a) Cmfg and CHI per tuple;
+ * (b) design carbon for a single SP&R iteration per tuple;
+ * (c) embodied carbon (Ndes=100, NS=100k) vs. the ACT baseline;
+ * (d) total carbon split into embodied and operational over a
+ *     2-year lifetime.
+ *
+ * Shape targets: the (7,14,10)-class tuples minimize Cemb; the
+ * (10,10,10) tuple exceeds even the monolith; ACT under-reports
+ * Cemb because it has no design CFP and a fixed package constant.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    DesignModel design(tech, config.design);
+
+    bench::banner("Fig. 7",
+                  "GA102 3-chiplet (digital,memory,analog) node "
+                  "tuples, RDL fanout");
+
+    std::vector<std::vector<std::string>> rows;
+
+    auto add_row = [&](const std::string &label,
+                       const SystemSpec &system) {
+        const CarbonReport r = estimator.estimate(system);
+        // Fig. 7(b): single SP&R iteration across the system's
+        // non-reused chiplets.
+        double single_iter = 0.0;
+        for (const auto &chiplet : system.chiplets)
+            if (!chiplet.reused)
+                single_iter +=
+                    design.singleIterationCo2Kg(chiplet);
+        const double act = estimator.actEmbodiedCo2Kg(system);
+        rows.push_back(
+            {label, bench::num(r.mfgCo2Kg),
+             bench::num(r.hi.totalCo2Kg()),
+             bench::num(single_iter), bench::num(r.designCo2Kg),
+             bench::num(r.embodiedCo2Kg()), bench::num(act),
+             bench::num(r.operation.co2Kg),
+             bench::num(r.totalCo2Kg())});
+    };
+
+    add_row("mono(7,7,7)", testcases::ga102Monolithic(tech, 7.0));
+
+    const std::vector<double> nodes = {7.0, 10.0, 14.0};
+    for (double d : nodes) {
+        for (double m : nodes) {
+            for (double a : nodes) {
+                ExplorationPoint point;
+                point.nodesNm = {d, m, a};
+                add_row(point.label(),
+                        testcases::ga102ThreeChiplet(tech, d, m,
+                                                     a));
+            }
+        }
+    }
+
+    bench::emit({"config", "Cmfg_kg", "CHI_kg", "Cdes_1iter_kg",
+                 "Cdes_amort_kg", "Cemb_kg", "ACT_Cemb_kg",
+                 "Cop_kg", "Ctot_kg"},
+                rows);
+
+    // Identify the best tuple, as the paper calls out (7,14,10).
+    TechSpaceExplorer explorer(estimator);
+    const auto points = explorer.sweep(
+        testcases::ga102ThreeChiplet(tech, 7.0, 10.0, 14.0),
+        nodes);
+    const auto &best = TechSpaceExplorer::bestByEmbodied(points);
+    bench::banner("Fig. 7 summary",
+                  "lowest-Cemb tuple (digital,memory,analog) = " +
+                      best.label());
+    return 0;
+}

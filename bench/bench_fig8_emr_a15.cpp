@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 8 — total CFP split into embodied and operational, chiplet
+ * systems vs. their monolithic counterparts:
+ *
+ * (a) Intel Emerald Rapids 2-chiplet with EMIB packaging (server
+ *     CPU: operation-dominated);
+ * (b) Apple A15 3-chiplet with RDL fanout (battery device:
+ *     embodied-dominated, ~80/20 split as validated against
+ *     Apple's product report).
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+using namespace ecochip;
+
+namespace {
+
+std::vector<std::string>
+row(const std::string &label, const CarbonReport &r)
+{
+    const double total = r.totalCo2Kg();
+    return {label,
+            bench::num(r.mfgCo2Kg),
+            bench::num(r.hi.totalCo2Kg()),
+            bench::num(r.designCo2Kg),
+            bench::num(r.embodiedCo2Kg()),
+            bench::num(r.operation.co2Kg),
+            bench::num(total),
+            bench::num(r.embodiedCo2Kg() / total),
+            bench::num(r.operation.co2Kg / total)};
+}
+
+const std::vector<std::string> kHeaders = {
+    "system",  "Cmfg_kg", "CHI_kg",  "Cdes_kg", "Cemb_kg",
+    "Cop_kg",  "Ctot_kg", "emb_frac", "op_frac"};
+
+} // namespace
+
+int
+main()
+{
+    // (a) EMR 2-chiplet, EMIB.
+    {
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::SiliconBridge;
+        config.operating = testcases::emrOperating();
+        EcoChip estimator(config);
+
+        bench::banner("Fig. 8(a)",
+                      "EMR 2-chiplet (EMIB) vs. monolith, total "
+                      "CFP split");
+        std::vector<std::vector<std::string>> rows;
+        rows.push_back(
+            row("EMR-mono",
+                estimator.estimate(
+                    testcases::emrMonolithic(estimator.tech()))));
+        rows.push_back(
+            row("EMR-2c(EMIB)",
+                estimator.estimate(
+                    testcases::emrTwoChiplet(estimator.tech()))));
+        bench::emit(kHeaders, rows);
+    }
+
+    // (b) A15 3-chiplet, RDL fanout.
+    {
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::RdlFanout;
+        config.operating = testcases::a15Operating();
+        EcoChip estimator(config);
+
+        bench::banner("Fig. 8(b)",
+                      "A15 3-chiplet (RDL fanout) vs. monolith, "
+                      "total CFP split");
+        std::vector<std::vector<std::string>> rows;
+        rows.push_back(
+            row("A15-mono",
+                estimator.estimate(
+                    testcases::a15Monolithic(estimator.tech()))));
+        rows.push_back(row(
+            "A15-3c(5,7,10)",
+            estimator.estimate(testcases::a15ThreeChiplet(
+                estimator.tech(), 5.0, 7.0, 10.0))));
+        bench::emit(kHeaders, rows);
+    }
+    return 0;
+}

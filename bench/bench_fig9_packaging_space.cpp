@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 9 — HI-related CFP overheads (CHI) of the five packaging
+ * architectures as the GA102's 500 mm^2 digital logic block is
+ * split into Nc chiplets. Package interconnect in 65 nm.
+ *
+ * Paper shape targets:
+ *  - EMIB cheapest at Nc=2, rising with Nc (more bridges);
+ *  - RDL cheapest for Nc >= 6;
+ *  - interposers costliest (extra large silicon die), active above
+ *    passive;
+ *  - active-interposer routing overhead visible (65 nm routers),
+ *    passive-interposer routing near-negligible (7 nm routers);
+ *  - 3D overhead decreasing with tier count.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+
+using namespace ecochip;
+
+namespace {
+
+HiResult
+overheads(const EcoChip &estimator, PackagingArch arch, int nc)
+{
+    EcoChipConfig config = estimator.config();
+    config.package.arch = arch;
+    EcoChip local(config);
+    const SystemSpec split = makeUniformSplit(
+        "ga102-digital", 500.0, 7.0, nc, local.tech());
+
+    ManufacturingModel mfg(local.tech(), config.wafer,
+                           config.fabIntensityGPerKwh);
+    return PackageModel(local.tech(), mfg, config.package)
+        .evaluate(split);
+}
+
+} // namespace
+
+int
+main()
+{
+    EcoChip estimator;
+
+    bench::banner("Fig. 9",
+                  "CHI per packaging architecture vs. Nc "
+                  "(GA102 500 mm^2 digital block, g CO2)");
+
+    const std::vector<PackagingArch> planar_archs = {
+        PackagingArch::RdlFanout, PackagingArch::SiliconBridge,
+        PackagingArch::PassiveInterposer,
+        PackagingArch::ActiveInterposer};
+
+    std::vector<std::vector<std::string>> rows;
+    for (int nc : {2, 4, 6, 8}) {
+        for (PackagingArch arch : planar_archs) {
+            const HiResult hi = overheads(estimator, arch, nc);
+            rows.push_back(
+                {std::to_string(nc), toString(arch),
+                 bench::num(hi.packageCo2Kg * 1e3),
+                 bench::num(hi.routingCo2Kg * 1e3),
+                 bench::num(hi.totalCo2Kg() * 1e3),
+                 bench::num(hi.packageYield)});
+        }
+    }
+    // 3D: tiers swept 2 - 4 (Sec. V-B(1)).
+    for (int tiers : {2, 3, 4}) {
+        const HiResult hi =
+            overheads(estimator, PackagingArch::Stack3d, tiers);
+        rows.push_back({std::to_string(tiers), "3d",
+                        bench::num(hi.packageCo2Kg * 1e3),
+                        bench::num(hi.routingCo2Kg * 1e3),
+                        bench::num(hi.totalCo2Kg() * 1e3),
+                        bench::num(hi.packageYield)});
+    }
+
+    bench::emit({"Nc", "arch", "package_gCO2", "routing_gCO2",
+                 "CHI_gCO2", "pkg_yield"},
+                rows);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table I — the realized input-parameter database: every Table I
+ * parameter as instantiated by the default TechDb calibration,
+ * per technology node, so the calibration is auditable against the
+ * published ranges.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "tech/carbon_intensity.h"
+#include "tech/tech_db.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    TechDb tech;
+
+    bench::banner("Table I (1/3)",
+                  "silicon manufacturing parameters per node");
+    std::vector<std::vector<std::string>> rows;
+    for (double node : TechDb::standardNodesNm()) {
+        rows.push_back(
+            {bench::num(node),
+             bench::num(tech.defectDensityPerCm2(node)),
+             bench::num(tech.transistorDensityMtrPerMm2(
+                 DesignType::Logic, node)),
+             bench::num(tech.transistorDensityMtrPerMm2(
+                 DesignType::Memory, node)),
+             bench::num(tech.transistorDensityMtrPerMm2(
+                 DesignType::Analog, node)),
+             bench::num(tech.epaKwhPerCm2(node)),
+             bench::num(tech.cgasKgPerCm2(node)),
+             bench::num(tech.cmaterialKgPerCm2(node)),
+             bench::num(tech.equipmentDerate(node)),
+             bench::num(tech.edaProductivity(node))});
+    }
+    bench::emit({"node_nm", "D0_cm2", "DT_logic", "DT_mem",
+                 "DT_analog", "EPA_kWh_cm2", "Cgas_kg_cm2",
+                 "Cmat_kg_cm2", "eta_eq", "eta_EDA"},
+                rows);
+
+    bench::banner("Table I (2/3)",
+                  "packaging parameters per node");
+    rows.clear();
+    for (double node : {22.0, 28.0, 40.0, 65.0}) {
+        rows.push_back(
+            {bench::num(node),
+             bench::num(tech.eplaRdlKwhPerCm2(node)),
+             bench::num(tech.eplaBridgeKwhPerCm2(node)),
+             bench::num(tech.eplaInterposerKwhPerCm2(node)),
+             bench::num(tech.energyPerTsvKwh(node), 6),
+             bench::num(tech.rdlDefectDensityPerCm2(node)),
+             bench::num(tech.interposerDefectDensityPerCm2(node))});
+    }
+    bench::emit({"node_nm", "EPLA_rdl", "EPLA_bridge",
+                 "EPLA_interposer", "E_per_tsv_kWh", "D0_rdl",
+                 "D0_interposer"},
+                rows);
+
+    bench::banner("Table I (3/3)",
+                  "operating point and cost tables per node; "
+                  "energy-source carbon intensities");
+    rows.clear();
+    for (double node : TechDb::standardNodesNm()) {
+        rows.push_back(
+            {bench::num(node),
+             bench::num(tech.supplyVoltageV(node)),
+             bench::num(tech.effCapFfPerTransistor(node)),
+             bench::num(tech.leakageMaPerMtr(node)),
+             bench::num(tech.waferCostUsd(node)),
+             bench::num(tech.maskSetCostUsd(node))});
+    }
+    bench::emit({"node_nm", "Vdd_V", "Ceff_fF_per_tr",
+                 "Ileak_mA_per_MTr", "wafer_usd", "mask_set_usd"},
+                rows);
+
+    rows.clear();
+    for (EnergySource source :
+         {EnergySource::Coal, EnergySource::Gas,
+          EnergySource::Biomass, EnergySource::Solar,
+          EnergySource::Geothermal, EnergySource::Hydro,
+          EnergySource::Nuclear, EnergySource::Wind}) {
+        rows.push_back(
+            {toString(source),
+             bench::num(carbonIntensityGPerKwh(source))});
+    }
+    bench::emit({"source", "gCO2_per_kWh"}, rows);
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "bench_util.h"
+
+#include <iostream>
+
+namespace ecochip::bench {
+
+void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::cout << "\n=== " << figure << " — " << caption
+              << " ===\n";
+}
+
+void
+emit(const std::vector<std::string> &headers,
+     const std::vector<std::vector<std::string>> &rows)
+{
+    TablePrinter table(headers);
+    for (const auto &row : rows)
+        table.addRow(row);
+    table.print(std::cout);
+
+    std::cout << "-- csv --\n";
+    CsvWriter csv(std::cout);
+    csv.writeRow(headers);
+    for (const auto &row : rows)
+        csv.writeRow(row);
+    std::cout << "-- end csv --\n";
+}
+
+std::string
+num(double value, int precision)
+{
+    return TablePrinter::formatNumber(value, precision);
+}
+
+} // namespace ecochip::bench

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef ECOCHIP_BENCH_BENCH_UTIL_H
+#define ECOCHIP_BENCH_BENCH_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "support/csv.h"
+#include "support/table_printer.h"
+
+namespace ecochip::bench {
+
+/** Print a figure banner. */
+void banner(const std::string &figure, const std::string &caption);
+
+/**
+ * Emit one data series both as an aligned table and as a CSV block
+ * (the artifact "prints the underlying raw data").
+ *
+ * @param headers Column names.
+ * @param rows One vector of cells per row.
+ */
+void emit(const std::vector<std::string> &headers,
+          const std::vector<std::vector<std::string>> &rows);
+
+/** Format a double for series output. */
+std::string num(double value, int precision = 4);
+
+} // namespace ecochip::bench
+
+#endif // ECOCHIP_BENCH_BENCH_UTIL_H

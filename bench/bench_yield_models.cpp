@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Yield-model comparison — the paper's Eq. 4 uses the negative
+ * binomial; its yield reference (Cunningham) surveys Poisson,
+ * Murphy, and Seeds statistics. This bench shows how the model
+ * choice moves die yield and the resulting manufacturing carbon
+ * for GA102-class die sizes, bounding the modeling uncertainty.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "manufacture/mfg_model.h"
+#include "support/units.h"
+#include "yield/yield_model.h"
+
+using namespace ecochip;
+
+int
+main()
+{
+    TechDb tech;
+
+    bench::banner("Yield models",
+                  "die yield vs. area at 7 nm (D0 = 0.2/cm^2, "
+                  "alpha = 3)");
+    std::vector<std::vector<std::string>> rows;
+    for (double area_mm2 :
+         {50.0, 100.0, 200.0, 400.0, 628.0, 800.0}) {
+        const double a_cm2 = area_mm2 * units::kCm2PerMm2;
+        const double d0 = tech.defectDensityPerCm2(7.0);
+        rows.push_back(
+            {bench::num(area_mm2),
+             bench::num(poissonYield(a_cm2, d0)),
+             bench::num(murphyYield(a_cm2, d0)),
+             bench::num(negativeBinomialYield(a_cm2, d0, 3.0)),
+             bench::num(seedsYield(a_cm2, d0))});
+    }
+    bench::emit({"area_mm2", "poisson", "murphy",
+                 "negative_binomial", "seeds"},
+                rows);
+
+    bench::banner("Yield models",
+                  "implied manufacturing carbon of a 628 mm^2 "
+                  "monolith at 7 nm (kg CO2)");
+    rows.clear();
+    ManufacturingModel mfg(tech);
+    const double gross = mfg.grossCfpaKgPerCm2(7.0);
+    const double area_cm2 = 6.28;
+    const double d0 = tech.defectDensityPerCm2(7.0);
+    for (YieldModelKind kind :
+         {YieldModelKind::Poisson, YieldModelKind::Murphy,
+          YieldModelKind::NegativeBinomial,
+          YieldModelKind::Seeds}) {
+        const double yield = dieYield(kind, area_cm2, d0, 3.0);
+        rows.push_back({toString(kind), bench::num(yield),
+                        bench::num(gross * area_cm2 / yield)});
+    }
+    bench::emit({"model", "yield", "die_mfg_kgCO2"}, rows);
+    return 0;
+}

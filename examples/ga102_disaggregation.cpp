@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GPU disaggregation study: take the monolithic GA102-class GPU,
+ * explore (digital, memory, analog) technology-node tuples with
+ * the TechSpaceExplorer, and report the carbon-optimal
+ * configuration against the monolith and the ACT baseline --
+ * the workflow behind the paper's Sec. V-A.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "core/testcases.h"
+
+int
+main()
+{
+    using namespace ecochip;
+
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    std::cout << std::fixed << std::setprecision(2);
+
+    // Monolithic baseline at the native 7 nm node.
+    const SystemSpec mono = testcases::ga102Monolithic(tech);
+    const CarbonReport mono_r = estimator.estimate(mono);
+    std::cout << "Monolithic GA102 (7 nm): Cemb = "
+              << mono_r.embodiedCo2Kg() << " kg, Ctot = "
+              << mono_r.totalCo2Kg() << " kg CO2\n";
+
+    // Explore every (digital, memory, analog) node tuple.
+    const SystemSpec base =
+        testcases::ga102ThreeChiplet(tech, 7.0, 10.0, 14.0);
+    TechSpaceExplorer explorer(estimator);
+    const auto points = explorer.sweep(base, {7.0, 10.0, 14.0});
+
+    std::cout << "\nExplored " << points.size()
+              << " node assignments:\n";
+    for (const auto &point : points) {
+        std::cout << "  " << std::setw(10) << point.label()
+                  << "  Cemb " << std::setw(7)
+                  << point.report.embodiedCo2Kg() << " kg, Ctot "
+                  << std::setw(7) << point.report.totalCo2Kg()
+                  << " kg\n";
+    }
+
+    const auto &best = TechSpaceExplorer::bestByEmbodied(points);
+    const double saving = 1.0 - best.report.embodiedCo2Kg() /
+                                    mono_r.embodiedCo2Kg();
+    std::cout << "\nCarbon-optimal tuple: " << best.label()
+              << "  (embodied saving vs. monolith: "
+              << 100.0 * saving << "%)\n";
+
+    // The per-chiplet view of the winner.
+    std::cout << "\nWinning configuration breakdown:\n";
+    for (const auto &c : best.report.chiplets) {
+        std::cout << "  " << std::setw(8) << c.name << " @ "
+                  << std::setw(2) << c.nodeNm << " nm: "
+                  << std::setw(7) << c.areaMm2 << " mm^2, yield "
+                  << std::setprecision(3) << c.yield
+                  << std::setprecision(2) << ", mfg "
+                  << c.mfgCo2Kg << " kg CO2\n";
+    }
+    std::cout << "  package: "
+              << best.report.hi.packageAreaMm2 << " mm^2 ("
+              << best.report.hi.whitespaceAreaMm2
+              << " mm^2 whitespace), CHI "
+              << best.report.hi.totalCo2Kg() << " kg CO2\n";
+
+    // ACT would miss the design and packaging carbon entirely.
+    std::cout << "\nACT baseline for the winner: "
+              << estimator.actEmbodiedCo2Kg(best.system)
+              << " kg CO2 vs. ECO-CHIP "
+              << best.report.embodiedCo2Kg() << " kg CO2\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Mobile-SoC lifecycle study (A15-class): embodied-dominated
+ * devices, the battery-rating operational path, chiplet reuse, and
+ * the effect of cleaner energy sources -- the paper's Sec. V-A(4)
+ * and V-C territory.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/ecochip.h"
+#include "core/testcases.h"
+#include "tech/carbon_intensity.h"
+
+int
+main()
+{
+    using namespace ecochip;
+
+    std::cout << std::fixed << std::setprecision(2);
+
+    // Baseline: monolithic A15 on coal-powered manufacturing.
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::a15Operating();
+    EcoChip estimator(config);
+    const TechDb &tech = estimator.tech();
+
+    const SystemSpec mono = testcases::a15Monolithic(tech);
+    const CarbonReport mono_r = estimator.estimate(mono);
+    std::cout << "A15 monolith (5 nm, coal-powered fab):\n"
+              << "  embodied " << mono_r.embodiedCo2Kg()
+              << " kg (" << std::setprecision(0)
+              << 100.0 * mono_r.embodiedCo2Kg() /
+                     mono_r.totalCo2Kg()
+              << std::setprecision(2)
+              << "% of total), operational "
+              << mono_r.operation.co2Kg << " kg\n";
+
+    // Disaggregate with the memory and IO as *reused* chiplets:
+    // pre-designed IP shared across products amortizes its design
+    // carbon elsewhere.
+    SystemSpec reuse =
+        testcases::a15ThreeChiplet(tech, 5.0, 7.0, 10.0);
+    for (auto &chiplet : reuse.chiplets)
+        if (chiplet.type != DesignType::Logic)
+            chiplet.reused = true;
+    reuse.name = "A15-3c-reuse";
+
+    const CarbonReport reuse_r = estimator.estimate(reuse);
+    std::cout << "\nA15 3-chiplet (5,7,10) with reused "
+                 "memory/IO chiplets:\n"
+              << "  manufacturing " << reuse_r.mfgCo2Kg
+              << " kg, HI " << reuse_r.hi.totalCo2Kg()
+              << " kg, design " << reuse_r.designCo2Kg
+              << " kg\n  embodied " << reuse_r.embodiedCo2Kg()
+              << " kg vs. monolith " << mono_r.embodiedCo2Kg()
+              << " kg\n";
+
+    // What does switching the fab to renewables buy?
+    std::cout << "\nEmbodied carbon vs. fab energy source "
+                 "(3-chiplet with reuse):\n";
+    for (EnergySource source :
+         {EnergySource::Coal, EnergySource::Gas,
+          EnergySource::Solar, EnergySource::Wind}) {
+        EcoChipConfig clean = config;
+        clean.fabIntensityGPerKwh =
+            carbonIntensityGPerKwh(source);
+        clean.package.intensityGPerKwh =
+            clean.fabIntensityGPerKwh;
+        clean.design.intensityGPerKwh =
+            clean.fabIntensityGPerKwh;
+        EcoChip clean_estimator(clean);
+        const CarbonReport r = clean_estimator.estimate(reuse);
+        std::cout << "  " << std::setw(6) << toString(source)
+                  << " (" << std::setw(3)
+                  << carbonIntensityGPerKwh(source)
+                  << " g/kWh): " << r.embodiedCo2Kg()
+                  << " kg CO2\n";
+    }
+
+    // Lifetime sensitivity: extending device life amortizes the
+    // embodied carbon over more use.
+    std::cout << "\nTotal carbon vs. lifetime (per year of "
+                 "service):\n";
+    for (double years : {2.0, 3.0, 4.0, 5.0}) {
+        EcoChipConfig longer = config;
+        longer.operating.lifetimeYears = years;
+        EcoChip longer_estimator(longer);
+        const CarbonReport r = longer_estimator.estimate(reuse);
+        std::cout << "  " << years << " years: Ctot "
+                  << r.totalCo2Kg() << " kg, per-year "
+                  << r.totalCo2Kg() / years << " kg\n";
+    }
+    return 0;
+}

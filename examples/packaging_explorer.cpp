@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Packaging-architecture explorer: compare all five advanced
+ * packaging families on one system and sweep their key knobs --
+ * the early-architecture decision support of the paper's Sec. V-B.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+#include "floorplan/floorplan.h"
+
+int
+main()
+{
+    using namespace ecochip;
+
+    std::cout << std::fixed << std::setprecision(3);
+
+    // A 6-chiplet compute system: four 7 nm compute slices, a
+    // 10 nm cache, a 14 nm IO chiplet.
+    TechDb tech;
+    SocBlocks blocks;
+    blocks.logicAreaMm2 = 320.0;
+    blocks.memoryAreaMm2 = 90.0;
+    blocks.analogAreaMm2 = 40.0;
+    blocks.refNodeNm = 7.0;
+    const SystemSpec system = makeDigitalSplit(
+        "hpc-6c", blocks, tech, 4, 7.0, 10.0, 14.0);
+
+    // Show the floorplan driving the package-area estimates.
+    const FloorplanResult fp = Floorplanner().plan(system, tech);
+    std::cout << "Floorplan: " << fp.widthMm << " x "
+              << fp.heightMm << " mm, whitespace "
+              << 100.0 * fp.whitespaceFraction() << "%\n";
+    for (const auto &p : fp.placements) {
+        std::cout << "  " << std::setw(9) << p.name << " @ ("
+                  << std::setw(7) << p.xMm << ", " << std::setw(7)
+                  << p.yMm << ")  " << p.widthMm << " x "
+                  << p.heightMm << " mm\n";
+    }
+    std::cout << "Adjacent pairs (bridge/router sites):\n";
+    for (const auto &adj : fp.adjacencies) {
+        std::cout << "  " << adj.first << " <-> " << adj.second
+                  << " (" << adj.overlapMm << " mm shared edge)\n";
+    }
+
+    // Compare the five packaging architectures.
+    std::cout << "\nPackaging architecture comparison:\n";
+    std::cout << "  arch                 CHI_kg  pkg_kg  comm_kg"
+                 "  noc_W   pkg_yield\n";
+    for (PackagingArch arch :
+         {PackagingArch::RdlFanout, PackagingArch::SiliconBridge,
+          PackagingArch::PassiveInterposer,
+          PackagingArch::ActiveInterposer,
+          PackagingArch::Stack3d}) {
+        EcoChipConfig config;
+        config.package.arch = arch;
+        EcoChip estimator(config);
+        const CarbonReport r = estimator.estimate(system);
+        std::cout << "  " << std::setw(19) << std::left
+                  << toString(arch) << std::right << "  "
+                  << std::setw(6) << r.hi.totalCo2Kg() << "  "
+                  << std::setw(6) << r.hi.packageCo2Kg << "  "
+                  << std::setw(7) << r.hi.routingCo2Kg << "  "
+                  << std::setw(5) << r.hi.nocPowerW << "  "
+                  << std::setw(9) << r.hi.packageYield << "\n";
+    }
+
+    // Knob sweep: hybrid bonding pitch for a 3D flavor of the
+    // same system (finer pitch = more bandwidth, more carbon).
+    std::cout << "\n3D hybrid-bond pitch sweep:\n";
+    for (double pitch : {1.0, 2.0, 5.0, 10.0}) {
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::Stack3d;
+        config.package.bondType = BondType::HybridBond;
+        config.package.hybridBondPitchUm = pitch;
+        EcoChip estimator(config);
+        const CarbonReport r = estimator.estimate(system);
+        std::cout << "  pitch " << std::setw(4) << pitch
+                  << " um: " << std::setw(9) << std::setprecision(0)
+                  << r.hi.bondCount << std::setprecision(3)
+                  << " bonds, CHI " << r.hi.totalCo2Kg()
+                  << " kg, yield " << r.hi.packageYield << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: estimate the carbon footprint of a small custom
+ * chiplet system with ECO-CHIP's default calibration.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/ecochip.h"
+
+int
+main()
+{
+    using namespace ecochip;
+
+    // 1. An estimator with the paper's defaults: 450 mm wafers,
+    //    coal-powered fab (700 g CO2/kWh), RDL-fanout packaging.
+    EcoChip estimator;
+    const TechDb &tech = estimator.tech();
+
+    // 2. Describe a heterogeneous system: a 7 nm compute chiplet,
+    //    a 10 nm SRAM cache chiplet, and a reused 14 nm IO chiplet.
+    SystemSpec system;
+    system.name = "quickstart-soc";
+    system.chiplets.push_back(Chiplet::fromArea(
+        "compute", DesignType::Logic, 7.0, 120.0, tech));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "cache", DesignType::Memory, 10.0, 60.0, tech));
+    Chiplet io = Chiplet::fromArea("io", DesignType::Analog, 14.0,
+                                   25.0, tech);
+    io.reused = true; // pre-designed IP: no new design carbon
+    system.chiplets.push_back(io);
+
+    // 3. Estimate.
+    const CarbonReport report = estimator.estimate(system);
+
+    std::cout << "System: " << system.name << "\n\n";
+    std::cout << "Per-chiplet manufacturing:\n";
+    for (const auto &c : report.chiplets) {
+        std::cout << "  " << c.name << ": " << c.areaMm2
+                  << " mm^2 @ " << c.nodeNm << " nm, yield "
+                  << c.yield << ", " << c.mfgCo2Kg << " kg CO2\n";
+    }
+    std::cout << "\nManufacturing (Cmfg):   " << report.mfgCo2Kg
+              << " kg CO2\n";
+    std::cout << "Packaging+comm (CHI):   "
+              << report.hi.totalCo2Kg() << " kg CO2\n";
+    std::cout << "Design, amortized:      " << report.designCo2Kg
+              << " kg CO2\n";
+    std::cout << "Embodied (Cemb):        "
+              << report.embodiedCo2Kg() << " kg CO2\n";
+    std::cout << "Operational (lifetime): "
+              << report.operation.co2Kg << " kg CO2\n";
+    std::cout << "Total (Ctot):           " << report.totalCo2Kg()
+              << " kg CO2\n";
+
+    // 4. Compare against the ACT baseline model.
+    std::cout << "\nACT baseline embodied:  "
+              << estimator.actEmbodiedCo2Kg(system)
+              << " kg CO2 (no design CFP, fixed 150 g package)\n";
+
+    // 5. Dollar cost under the same yields.
+    const CostBreakdown cost = estimator.cost(system);
+    std::cout << "Unit cost:              $" << cost.totalUsd()
+              << " (die $" << cost.dieUsd << ", package $"
+              << cost.packageUsd << ", assembly $"
+              << cost.assemblyUsd << ", NRE $" << cost.nreUsd
+              << ")\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "act/act_model.h"
+
+#include "support/error.h"
+#include "support/units.h"
+
+namespace ecochip {
+
+ActModel::ActModel(const TechDb &tech,
+                   double fab_intensity_g_per_kwh)
+    : tech_(&tech), yieldModel_(tech),
+      fabIntensityGPerKwh_(fab_intensity_g_per_kwh)
+{
+    requireConfig(fab_intensity_g_per_kwh > 0.0,
+                  "fab carbon intensity must be positive");
+}
+
+double
+ActModel::dieCo2Kg(const Chiplet &chiplet) const
+{
+    const double area_mm2 = chiplet.areaMm2(*tech_);
+    const double node = chiplet.nodeNm;
+    const double yield = yieldModel_.dieYield(area_mm2, node);
+
+    // ACT's CFPA: fab energy + gas + materials per area, without
+    // the equipment derate ECO-CHIP applies.
+    const double cfpa_kg_per_cm2 =
+        (fabIntensityGPerKwh_ * units::kKgPerG *
+             tech_->epaKwhPerCm2(node) +
+         tech_->cgasKgPerCm2(node) +
+         tech_->cmaterialKgPerCm2(node)) /
+        yield;
+    return cfpa_kg_per_cm2 * area_mm2 * units::kCm2PerMm2;
+}
+
+double
+ActModel::embodiedCo2Kg(const SystemSpec &system) const
+{
+    requireConfig(!system.chiplets.empty(),
+                  "system has no chiplets");
+    double total = kPackageCo2Kg;
+    if (system.singleDie) {
+        double area_mm2 = 0.0;
+        for (const auto &block : system.chiplets)
+            area_mm2 += block.areaMm2(*tech_);
+        const double node = system.monolithicNodeNm();
+        const double yield = yieldModel_.dieYield(area_mm2, node);
+        const double cfpa_kg_per_cm2 =
+            (fabIntensityGPerKwh_ * units::kKgPerG *
+                 tech_->epaKwhPerCm2(node) +
+             tech_->cgasKgPerCm2(node) +
+             tech_->cmaterialKgPerCm2(node)) /
+            yield;
+        return total +
+               cfpa_kg_per_cm2 * area_mm2 * units::kCm2PerMm2;
+    }
+    for (const auto &chiplet : system.chiplets)
+        total += dieCo2Kg(chiplet);
+    return total;
+}
+
+} // namespace ecochip

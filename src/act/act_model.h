@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Re-implementation of the ACT architectural carbon model (Gupta et
+ * al., ISCA 2022) as the comparison baseline of Fig. 7(c).
+ *
+ * ACT's embodied model, per the paper's critique (Sec. VIII):
+ *  - per-die carbon = (CI_fab * EPA + GPA + MPA) / Y * area,
+ *  - a *fixed* packaging carbon (150 g CO2) regardless of package
+ *    area, architecture, or assembly yield,
+ *  - no design CFP,
+ *  - no wafer-periphery silicon wastage,
+ *  - no equipment-efficiency derate.
+ */
+
+#ifndef ECOCHIP_ACT_ACT_MODEL_H
+#define ECOCHIP_ACT_ACT_MODEL_H
+
+#include "chiplet/chiplet.h"
+#include "tech/tech_db.h"
+#include "yield/yield_model.h"
+
+namespace ecochip {
+
+/** ACT baseline estimator. */
+class ActModel
+{
+  public:
+    /** ACT's fixed package-assembly carbon (kg CO2). */
+    static constexpr double kPackageCo2Kg = 0.150;
+
+    /**
+     * @param tech Technology database shared with ECO-CHIP so the
+     *        comparison isolates *model* differences, not
+     *        calibration differences.
+     * @param fab_intensity_g_per_kwh Fab energy carbon intensity.
+     */
+    explicit ActModel(const TechDb &tech,
+                      double fab_intensity_g_per_kwh = 700.0);
+
+    /** ACT per-die manufacturing carbon (kg CO2). */
+    double dieCo2Kg(const Chiplet &chiplet) const;
+
+    /**
+     * ACT embodied carbon of a system: sum of per-die carbon plus
+     * the fixed packaging constant (kg CO2).
+     */
+    double embodiedCo2Kg(const SystemSpec &system) const;
+
+  private:
+    const TechDb *tech_;
+    YieldModel yieldModel_;
+    double fabIntensityGPerKwh_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ACT_ACT_MODEL_H

@@ -1,0 +1,82 @@
+#include "analysis/montecarlo.h"
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ecochip {
+
+MonteCarloAnalyzer::MonteCarloAnalyzer(EcoChipConfig config,
+                                       TechDb tech,
+                                       UncertaintyBands bands)
+    : config_(std::move(config)), tech_(std::move(tech)),
+      bands_(bands)
+{
+    requireConfig(
+        bands.defectDensity >= 0.0 && bands.defectDensity < 1.0 &&
+            bands.epa >= 0.0 && bands.epa < 1.0 &&
+            bands.intensity >= 0.0 && bands.intensity < 1.0 &&
+            bands.designTime >= 0.0 && bands.designTime < 1.0 &&
+            bands.dutyCycle >= 0.0 && bands.dutyCycle < 1.0,
+        "uncertainty bands must be in [0, 1)");
+}
+
+UncertaintyReport
+MonteCarloAnalyzer::run(const SystemSpec &system, int trials,
+                        std::uint64_t seed) const
+{
+    requireConfig(trials >= 2, "need at least two trials");
+
+    Rng rng(seed);
+    std::vector<double> embodied, operational, total;
+    embodied.reserve(trials);
+    operational.reserve(trials);
+    total.reserve(trials);
+
+    auto scale_band = [&rng](double half_width) {
+        return rng.uniform(1.0 - half_width, 1.0 + half_width);
+    };
+
+    for (int trial = 0; trial < trials; ++trial) {
+        EcoChipConfig config = config_;
+        TechDb tech = tech_;
+
+        const double d0_scale = scale_band(bands_.defectDensity);
+        const double epa_scale = scale_band(bands_.epa);
+        std::vector<std::pair<double, double>> d0_points;
+        std::vector<std::pair<double, double>> epa_points;
+        for (double node : TechDb::standardNodesNm()) {
+            d0_points.emplace_back(
+                node, d0_scale * tech_.defectDensityPerCm2(node));
+            epa_points.emplace_back(
+                node, epa_scale * tech_.epaKwhPerCm2(node));
+        }
+        tech.setDefectDensityTable(PiecewiseLinear(d0_points));
+        tech.setEpaTable(PiecewiseLinear(epa_points));
+
+        const double intensity_scale =
+            scale_band(bands_.intensity);
+        config.fabIntensityGPerKwh *= intensity_scale;
+        config.package.intensityGPerKwh *= intensity_scale;
+        config.design.intensityGPerKwh *= intensity_scale;
+
+        config.design.sprHoursPerMgate *=
+            scale_band(bands_.designTime);
+        config.operating.dutyCycle = std::min(
+            1.0, config.operating.dutyCycle *
+                     scale_band(bands_.dutyCycle));
+
+        EcoChip estimator(std::move(config), std::move(tech));
+        const CarbonReport report = estimator.estimate(system);
+        embodied.push_back(report.embodiedCo2Kg());
+        operational.push_back(report.operation.co2Kg);
+        total.push_back(report.totalCo2Kg());
+    }
+
+    return UncertaintyReport{SampleStats(std::move(embodied)),
+                             SampleStats(std::move(operational)),
+                             SampleStats(std::move(total))};
+}
+
+} // namespace ecochip

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Monte-Carlo uncertainty quantification of carbon estimates.
+ *
+ * Table I publishes *ranges*, not point values; industry actors
+ * hold the accurate numbers (paper Sec. VII). This module samples
+ * the uncertain inputs uniformly within configurable relative
+ * bands around the default calibration and reports the resulting
+ * carbon distribution -- so a claimed "30% embodied saving" can be
+ * stated with confidence bounds.
+ */
+
+#ifndef ECOCHIP_ANALYSIS_MONTECARLO_H
+#define ECOCHIP_ANALYSIS_MONTECARLO_H
+
+#include <cstdint>
+
+#include "core/ecochip.h"
+#include "support/stats.h"
+
+namespace ecochip {
+
+/** Relative half-widths of the sampled input bands. */
+struct UncertaintyBands
+{
+    /** Defect density D0(p): +/- 30%. */
+    double defectDensity = 0.30;
+
+    /** Fab energy per area EPA(p): +/- 20%. */
+    double epa = 0.20;
+
+    /** Fab / packaging carbon intensity: +/- 15%. */
+    double intensity = 0.15;
+
+    /** Design-compute anchor (SP&R hours): +/- 30%. */
+    double designTime = 0.30;
+
+    /** Use-phase duty cycle: +/- 25%. */
+    double dutyCycle = 0.25;
+};
+
+/** Distribution summary of one carbon metric. */
+struct UncertaintyReport
+{
+    SampleStats embodied;
+    SampleStats operational;
+    SampleStats total;
+};
+
+/** Monte-Carlo driver. */
+class MonteCarloAnalyzer
+{
+  public:
+    /**
+     * @param config Baseline configuration.
+     * @param tech Baseline technology calibration.
+     * @param bands Sampling half-widths.
+     */
+    explicit MonteCarloAnalyzer(
+        EcoChipConfig config, TechDb tech = TechDb(),
+        UncertaintyBands bands = UncertaintyBands());
+
+    /**
+     * Run @p trials independent samples.
+     *
+     * @param system System under study.
+     * @param trials Sample count (>= 2).
+     * @param seed PRNG seed; equal seeds give equal reports.
+     */
+    UncertaintyReport run(const SystemSpec &system, int trials,
+                          std::uint64_t seed = 42) const;
+
+  private:
+    EcoChipConfig config_;
+    TechDb tech_;
+    UncertaintyBands bands_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ANALYSIS_MONTECARLO_H

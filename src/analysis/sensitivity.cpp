@@ -1,0 +1,144 @@
+#include "analysis/sensitivity.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Rebuild a node-keyed table with every ordinate scaled. */
+PiecewiseLinear
+scaledNodeTable(const std::function<double(double)> &eval,
+                double scale)
+{
+    std::vector<std::pair<double, double>> points;
+    for (double node : TechDb::standardNodesNm())
+        points.emplace_back(node, scale * eval(node));
+    return PiecewiseLinear(points);
+}
+
+} // namespace
+
+SensitivityAnalyzer::SensitivityAnalyzer(EcoChipConfig config,
+                                         TechDb tech)
+    : config_(std::move(config)), tech_(std::move(tech))
+{
+}
+
+std::vector<SensitivityParameter>
+SensitivityAnalyzer::standardParameters()
+{
+    std::vector<SensitivityParameter> params;
+    params.push_back(
+        {"defect density D0",
+         [](EcoChipConfig &, TechDb &tech, double scale) {
+             tech.setDefectDensityTable(scaledNodeTable(
+                 [&tech](double n) {
+                     return tech.defectDensityPerCm2(n);
+                 },
+                 scale));
+         }});
+    params.push_back(
+        {"fab energy per area EPA",
+         [](EcoChipConfig &, TechDb &tech, double scale) {
+             tech.setEpaTable(scaledNodeTable(
+                 [&tech](double n) {
+                     return tech.epaKwhPerCm2(n);
+                 },
+                 scale));
+         }});
+    params.push_back(
+        {"fab carbon intensity",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.fabIntensityGPerKwh *= scale;
+         }});
+    params.push_back(
+        {"packaging carbon intensity",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.package.intensityGPerKwh *= scale;
+         }});
+    params.push_back(
+        {"design iterations Ndes",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.design.designIterations = std::max(
+                 1, static_cast<int>(std::lround(
+                        config.design.designIterations * scale)));
+         }});
+    params.push_back(
+        {"chiplet volume NMi",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.design.chipletVolume *= scale;
+         }});
+    params.push_back(
+        {"lifetime",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.operating.lifetimeYears *= scale;
+         }});
+    params.push_back(
+        {"duty cycle TON",
+         [](EcoChipConfig &config, TechDb &, double scale) {
+             config.operating.dutyCycle =
+                 std::min(1.0, config.operating.dutyCycle * scale);
+         }});
+    return params;
+}
+
+double
+SensitivityAnalyzer::evaluate(const SystemSpec &system,
+                              const EcoChipConfig &config,
+                              const TechDb &tech,
+                              CarbonMetric metric) const
+{
+    EcoChip estimator(config, tech);
+    const CarbonReport report = estimator.estimate(system);
+    switch (metric) {
+      case CarbonMetric::Embodied:
+        return report.embodiedCo2Kg();
+      case CarbonMetric::Operational:
+        return report.operation.co2Kg;
+      case CarbonMetric::Total:
+        return report.totalCo2Kg();
+    }
+    throw ModelError("unhandled carbon metric");
+}
+
+std::vector<SensitivityResult>
+SensitivityAnalyzer::analyze(
+    const SystemSpec &system,
+    const std::vector<SensitivityParameter> &parameters,
+    CarbonMetric metric, double delta) const
+{
+    requireConfig(delta > 0.0 && delta < 1.0,
+                  "perturbation delta must be in (0, 1)");
+
+    const double base =
+        evaluate(system, config_, tech_, metric);
+    requireModel(base > 0.0, "baseline metric must be positive");
+
+    std::vector<SensitivityResult> results;
+    for (const auto &param : parameters) {
+        SensitivityResult row;
+        row.name = param.name;
+        row.baseValue = base;
+
+        for (double sign : {-1.0, +1.0}) {
+            EcoChipConfig config = config_;
+            TechDb tech = tech_;
+            param.apply(config, tech, 1.0 + sign * delta);
+            const double value =
+                evaluate(system, config, tech, metric);
+            (sign < 0 ? row.lowValue : row.highValue) = value;
+        }
+
+        // Central-difference log-log slope.
+        row.elasticity =
+            (std::log(row.highValue) - std::log(row.lowValue)) /
+            (std::log(1.0 + delta) - std::log(1.0 - delta));
+        results.push_back(std::move(row));
+    }
+    return results;
+}
+
+} // namespace ecochip

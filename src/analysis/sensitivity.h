@@ -1,0 +1,114 @@
+/**
+ * @file
+ * One-at-a-time sensitivity analysis over ECO-CHIP's input
+ * parameters.
+ *
+ * The paper's validation discussion (Sec. VII) emphasizes that
+ * ECO-CHIP "can generate numbers as accurate as the accuracy of
+ * the input parameters, e.g., design time, yields, and defect
+ * densities". This module quantifies that statement: it perturbs
+ * each input by a relative amount and reports the elasticity of
+ * the chosen carbon metric -- which inputs industry users must
+ * pin down first.
+ */
+
+#ifndef ECOCHIP_ANALYSIS_SENSITIVITY_H
+#define ECOCHIP_ANALYSIS_SENSITIVITY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ecochip.h"
+
+namespace ecochip {
+
+/** A perturbable input parameter. */
+struct SensitivityParameter
+{
+    /** Display name ("defect density", "EPA", ...). */
+    std::string name;
+
+    /**
+     * Applies a multiplicative scale to the parameter inside the
+     * configuration/technology pair.
+     */
+    std::function<void(EcoChipConfig &, TechDb &, double scale)>
+        apply;
+};
+
+/** Result row of a sensitivity sweep. */
+struct SensitivityResult
+{
+    std::string name;
+
+    /** Metric at scale (1 - delta). */
+    double lowValue = 0.0;
+
+    /** Metric at the unperturbed baseline. */
+    double baseValue = 0.0;
+
+    /** Metric at scale (1 + delta). */
+    double highValue = 0.0;
+
+    /**
+     * Central-difference elasticity
+     * d(ln metric) / d(ln parameter).
+     */
+    double elasticity = 0.0;
+};
+
+/** Carbon metric to differentiate. */
+enum class CarbonMetric
+{
+    Embodied,
+    Operational,
+    Total,
+};
+
+/** One-at-a-time sensitivity analyzer. */
+class SensitivityAnalyzer
+{
+  public:
+    /**
+     * @param config Baseline configuration.
+     * @param tech Baseline technology calibration.
+     */
+    explicit SensitivityAnalyzer(EcoChipConfig config,
+                                 TechDb tech = TechDb());
+
+    /**
+     * The standard parameter set: defect density, fab EPA, fab
+     * carbon intensity, design iterations, chiplet volume,
+     * lifetime, duty cycle, packaging carbon intensity.
+     */
+    static std::vector<SensitivityParameter>
+    standardParameters();
+
+    /**
+     * Run the sweep.
+     *
+     * @param system System under study.
+     * @param parameters Parameters to perturb.
+     * @param metric Carbon metric to differentiate.
+     * @param delta Relative perturbation (default 10%).
+     */
+    std::vector<SensitivityResult>
+    analyze(const SystemSpec &system,
+            const std::vector<SensitivityParameter> &parameters,
+            CarbonMetric metric = CarbonMetric::Embodied,
+            double delta = 0.10) const;
+
+  private:
+    double evaluate(const SystemSpec &system,
+                    const EcoChipConfig &config,
+                    const TechDb &tech,
+                    CarbonMetric metric) const;
+
+    EcoChipConfig config_;
+    TechDb tech_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ANALYSIS_SENSITIVITY_H

@@ -1,0 +1,89 @@
+#include "chiplet/chiplet.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+double
+Chiplet::areaMm2(const TechDb &tech) const
+{
+    return tech.dieAreaMm2(type, nodeNm, transistorsMtr);
+}
+
+double
+Chiplet::areaAtNodeMm2(const TechDb &tech, double node_nm) const
+{
+    return tech.dieAreaMm2(type, node_nm, transistorsMtr);
+}
+
+Chiplet
+Chiplet::fromArea(const std::string &name, DesignType type,
+                  double node_nm, double area_mm2,
+                  const TechDb &tech)
+{
+    requireConfig(area_mm2 > 0.0, "block area must be positive");
+    Chiplet chiplet;
+    chiplet.name = name;
+    chiplet.type = type;
+    chiplet.nodeNm = node_nm;
+    chiplet.transistorsMtr =
+        tech.transistorsMtr(type, node_nm, area_mm2);
+    return chiplet;
+}
+
+double
+SystemSpec::totalTransistorsMtr() const
+{
+    double total = 0.0;
+    for (const auto &c : chiplets)
+        total += c.transistorsMtr;
+    return total;
+}
+
+double
+SystemSpec::totalSiliconAreaMm2(const TechDb &tech) const
+{
+    double total = 0.0;
+    for (const auto &c : chiplets)
+        total += c.areaMm2(tech);
+    return total;
+}
+
+double
+SystemSpec::monolithicNodeNm() const
+{
+    requireConfig(isMonolithic(),
+                  "monolithicNodeNm() on a chiplet-based system");
+    requireConfig(!chiplets.empty(), "system has no chiplets");
+    const double node = chiplets.front().nodeNm;
+    for (const auto &c : chiplets) {
+        requireConfig(c.nodeNm == node,
+                      "monolithic die blocks must share one node");
+    }
+    return node;
+}
+
+const Chiplet &
+SystemSpec::chiplet(const std::string &name) const
+{
+    for (const auto &c : chiplets)
+        if (c.name == name)
+            return c;
+    throw ConfigError("no chiplet named \"" + name + "\" in system " +
+                      this->name);
+}
+
+SystemSpec
+SystemSpec::withNodes(const std::vector<double> &nodes_nm) const
+{
+    requireConfig(nodes_nm.size() == chiplets.size(),
+                  "node list length must match chiplet count");
+    SystemSpec retargeted = *this;
+    for (std::size_t i = 0; i < chiplets.size(); ++i) {
+        requireConfig(nodes_nm[i] > 0.0, "node must be positive");
+        retargeted.chiplets[i].nodeNm = nodes_nm[i];
+    }
+    return retargeted;
+}
+
+} // namespace ecochip

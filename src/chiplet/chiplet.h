@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Architectural description of chiplets and systems -- the primary
+ * input to ECO-CHIP (paper Sec. III-A(1)).
+ */
+
+#ifndef ECOCHIP_CHIPLET_CHIPLET_H
+#define ECOCHIP_CHIPLET_CHIPLET_H
+
+#include <string>
+#include <vector>
+
+#include "tech/design_type.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/**
+ * One die in a heterogeneous system.
+ *
+ * The functional content is captured as a transistor count; the
+ * physical area at any candidate node follows from the area-scaling
+ * model (Adie = NT / DT(d, p)), which is what lets the explorer
+ * re-target a chiplet to a different node.
+ */
+struct Chiplet
+{
+    /** Human-readable block name ("digital", "memory", ...). */
+    std::string name;
+
+    /** Functional class selecting the density scaling curve. */
+    DesignType type = DesignType::Logic;
+
+    /** Process node this chiplet is implemented in (nm). */
+    double nodeNm = 7.0;
+
+    /** Functional content in millions of transistors. */
+    double transistorsMtr = 0.0;
+
+    /**
+     * True when the chiplet is a pre-designed, silicon-proven IP
+     * block whose design CFP is already amortized elsewhere
+     * ("reuse"; its Cdes,i is excluded from this system's Cdes).
+     */
+    bool reused = false;
+
+    /**
+     * Vertical stack membership for mixed 2.5D/3D integration
+     * (HBM-style): chiplets sharing a non-empty group name are
+     * stacked into one tower that occupies a single footprint on
+     * the package substrate/interposer and pays TSV/bond carbon
+     * between its tiers. Empty = planar placement.
+     */
+    std::string stackGroup;
+
+    /**
+     * Die area at the chiplet's own node.
+     *
+     * @param tech Technology database with the density curves.
+     * @return Area in mm^2.
+     */
+    double areaMm2(const TechDb &tech) const;
+
+    /** Die area if re-targeted to @p node_nm (mm^2). */
+    double areaAtNodeMm2(const TechDb &tech, double node_nm) const;
+
+    /**
+     * Build a chiplet from a block's known area at a known node by
+     * inverting the area model.
+     *
+     * @param name Block name.
+     * @param type Design type.
+     * @param node_nm Node the area was measured at.
+     * @param area_mm2 Measured block area.
+     * @param tech Technology database.
+     */
+    static Chiplet fromArea(const std::string &name, DesignType type,
+                            double node_nm, double area_mm2,
+                            const TechDb &tech);
+};
+
+/**
+ * A complete system: a set of chiplets (possibly just one, for a
+ * monolithic SoC).
+ */
+struct SystemSpec
+{
+    /** System name ("GA102", "A15", ...). */
+    std::string name;
+
+    /** Constituent dies. A single entry models a monolithic SoC. */
+    std::vector<Chiplet> chiplets;
+
+    /**
+     * True when all entries in `chiplets` are functional *blocks*
+     * of one monolithic die rather than separate dies: they share
+     * one process node, are manufactured as one die (yield over
+     * the combined area), and carry no HI packaging overhead. This
+     * is how the paper's monolithic baselines keep their
+     * logic/memory/analog content while living on a single die.
+     */
+    bool singleDie = false;
+
+    /** True when the system is a single monolithic die. */
+    bool
+    isMonolithic() const
+    {
+        return singleDie || chiplets.size() == 1;
+    }
+
+    /**
+     * Process node of a monolithic die.
+     *
+     * @throws ConfigError when the system is not monolithic or its
+     *         blocks disagree on the node.
+     */
+    double monolithicNodeNm() const;
+
+    /** Total transistor count across all chiplets (MTr). */
+    double totalTransistorsMtr() const;
+
+    /** Sum of die areas at each chiplet's own node (mm^2). */
+    double totalSiliconAreaMm2(const TechDb &tech) const;
+
+    /**
+     * Lookup a chiplet by name.
+     *
+     * @throws ConfigError when no chiplet has that name.
+     */
+    const Chiplet &chiplet(const std::string &name) const;
+
+    /**
+     * Return a copy with every chiplet re-targeted to the node in
+     * @p nodes_nm (one entry per chiplet, same order). Used by the
+     * technology-space explorer.
+     */
+    SystemSpec withNodes(const std::vector<double> &nodes_nm) const;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CHIPLET_CHIPLET_H

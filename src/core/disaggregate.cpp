@@ -1,0 +1,123 @@
+#include "core/disaggregate.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Derive the three block chiplets at the reference node. */
+std::vector<Chiplet>
+blockChiplets(const SocBlocks &blocks, const TechDb &tech)
+{
+    requireConfig(blocks.logicAreaMm2 > 0.0,
+                  "logic block area must be positive");
+    requireConfig(blocks.memoryAreaMm2 >= 0.0,
+                  "memory block area must be non-negative");
+    requireConfig(blocks.analogAreaMm2 >= 0.0,
+                  "analog block area must be non-negative");
+
+    std::vector<Chiplet> chiplets;
+    chiplets.push_back(Chiplet::fromArea(
+        "digital", DesignType::Logic, blocks.refNodeNm,
+        blocks.logicAreaMm2, tech));
+    if (blocks.memoryAreaMm2 > 0.0) {
+        chiplets.push_back(Chiplet::fromArea(
+            "memory", DesignType::Memory, blocks.refNodeNm,
+            blocks.memoryAreaMm2, tech));
+    }
+    if (blocks.analogAreaMm2 > 0.0) {
+        chiplets.push_back(Chiplet::fromArea(
+            "analog", DesignType::Analog, blocks.refNodeNm,
+            blocks.analogAreaMm2, tech));
+    }
+    return chiplets;
+}
+
+} // namespace
+
+SystemSpec
+makeMonolithic(const std::string &name, const SocBlocks &blocks,
+               const TechDb &tech, double node_nm)
+{
+    SystemSpec system;
+    system.name = name;
+    system.chiplets = blockChiplets(blocks, tech);
+    for (auto &block : system.chiplets)
+        block.nodeNm = node_nm;
+    system.singleDie = true;
+    return system;
+}
+
+SystemSpec
+makeThreeChiplet(const std::string &name, const SocBlocks &blocks,
+                 const TechDb &tech, double digital_nm,
+                 double memory_nm, double analog_nm)
+{
+    SystemSpec system;
+    system.name = name;
+    system.chiplets = blockChiplets(blocks, tech);
+    for (auto &chiplet : system.chiplets) {
+        if (chiplet.type == DesignType::Logic)
+            chiplet.nodeNm = digital_nm;
+        else if (chiplet.type == DesignType::Memory)
+            chiplet.nodeNm = memory_nm;
+        else
+            chiplet.nodeNm = analog_nm;
+    }
+    return system;
+}
+
+SystemSpec
+makeDigitalSplit(const std::string &name, const SocBlocks &blocks,
+                 const TechDb &tech, int digital_count,
+                 double digital_nm, double memory_nm,
+                 double analog_nm)
+{
+    requireConfig(digital_count >= 1,
+                  "digital split count must be at least 1");
+    SystemSpec three = makeThreeChiplet(
+        name, blocks, tech, digital_nm, memory_nm, analog_nm);
+
+    SystemSpec system;
+    system.name = name;
+    const Chiplet &digital = three.chiplet("digital");
+    for (int i = 0; i < digital_count; ++i) {
+        Chiplet slice = digital;
+        slice.name = "digital" + std::to_string(i);
+        slice.transistorsMtr =
+            digital.transistorsMtr / digital_count;
+        // Identical slices share one design and one mask set:
+        // only the first instance carries NRE/design carbon.
+        slice.reused = i > 0;
+        system.chiplets.push_back(slice);
+    }
+    for (const auto &chiplet : three.chiplets)
+        if (chiplet.type != DesignType::Logic)
+            system.chiplets.push_back(chiplet);
+    return system;
+}
+
+SystemSpec
+makeUniformSplit(const std::string &name, double area_mm2,
+                 double node_nm, int count, const TechDb &tech)
+{
+    requireConfig(area_mm2 > 0.0, "block area must be positive");
+    requireConfig(count >= 1, "split count must be at least 1");
+
+    SystemSpec system;
+    system.name = name;
+    for (int i = 0; i < count; ++i) {
+        Chiplet slice = Chiplet::fromArea(
+            "slice" + std::to_string(i), DesignType::Logic, node_nm,
+            area_mm2 / count, tech);
+        // Equal slices are one design instantiated `count` times.
+        slice.reused = i > 0;
+        system.chiplets.push_back(slice);
+    }
+    if (count == 1)
+        system.singleDie = true;
+    return system;
+}
+
+} // namespace ecochip

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SoC-to-chiplet disaggregation (paper Sec. IV(2), Sec. VI).
+ *
+ * A monolithic SoC is described by its logic/memory/analog block
+ * areas at a reference node (obtained from die shots in the paper).
+ * These helpers build the disaggregated variants the evaluation
+ * uses: the 3-chiplet (digital, memory, analog) split "inspired by
+ * [10]", the 4-chiplet split of Fig. 2(b) (digital halved), and
+ * N-way splits of the digital block (Figs. 9-10, 15(b)).
+ */
+
+#ifndef ECOCHIP_CORE_DISAGGREGATE_H
+#define ECOCHIP_CORE_DISAGGREGATE_H
+
+#include <string>
+#include <vector>
+
+#include "chiplet/chiplet.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** Block-area breakdown of a monolithic SoC at a reference node. */
+struct SocBlocks
+{
+    /** Digital logic block area (mm^2). */
+    double logicAreaMm2 = 0.0;
+
+    /** SRAM / memory-controller block area (mm^2). */
+    double memoryAreaMm2 = 0.0;
+
+    /** Analog / IO block area (mm^2). */
+    double analogAreaMm2 = 0.0;
+
+    /** Node the areas were measured at (nm). */
+    double refNodeNm = 7.0;
+
+    /** Total die area (mm^2). */
+    double
+    totalAreaMm2() const
+    {
+        return logicAreaMm2 + memoryAreaMm2 + analogAreaMm2;
+    }
+};
+
+/**
+ * Build the monolithic system: all three blocks on one die at
+ * @p node_nm (the blocks' transistor content is derived at the
+ * reference node and re-targeted).
+ */
+SystemSpec makeMonolithic(const std::string &name,
+                          const SocBlocks &blocks,
+                          const TechDb &tech, double node_nm);
+
+/**
+ * Build the paper's canonical 3-chiplet split, with the
+ * (digital, memory, analog) chiplets in the given nodes -- the
+ * three-tuple convention of Sec. IV(2).
+ */
+SystemSpec makeThreeChiplet(const std::string &name,
+                            const SocBlocks &blocks,
+                            const TechDb &tech, double digital_nm,
+                            double memory_nm, double analog_nm);
+
+/**
+ * Split the digital block into @p digital_count equal chiplets,
+ * with memory and analog on their own chiplets (Fig. 10's Nc
+ * sweep: total chiplet count = digital_count + 2).
+ */
+SystemSpec makeDigitalSplit(const std::string &name,
+                            const SocBlocks &blocks,
+                            const TechDb &tech, int digital_count,
+                            double digital_nm, double memory_nm,
+                            double analog_nm);
+
+/**
+ * Split a pure digital block of @p area_mm2 at @p node_nm into
+ * @p count equal chiplets (Fig. 9's packaging-space testcase: the
+ * GA102's 500 mm^2 digital logic).
+ */
+SystemSpec makeUniformSplit(const std::string &name,
+                            double area_mm2, double node_nm,
+                            int count, const TechDb &tech);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_DISAGGREGATE_H

@@ -1,0 +1,149 @@
+#include "core/ecochip.h"
+
+#include "manufacture/nre_model.h"
+#include "noc/router_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+
+EcoChip::EcoChip(EcoChipConfig config, TechDb tech)
+    : tech_(std::move(tech)), config_(std::move(config))
+{
+}
+
+void
+EcoChip::setConfig(EcoChipConfig config)
+{
+    config_ = std::move(config);
+}
+
+CarbonReport
+EcoChip::estimate(const SystemSpec &system) const
+{
+    requireConfig(!system.chiplets.empty(),
+                  "system has no chiplets");
+
+    ManufacturingModel mfg(tech_, config_.wafer,
+                           config_.fabIntensityGPerKwh,
+                           config_.yieldModel);
+    mfg.setIncludeWastage(config_.includeWastage);
+
+    CarbonReport report;
+    report.mfgCo2Kg = mfg.systemMfgCo2Kg(system);
+
+    PackageModel pkg(tech_, mfg, config_.package);
+    report.hi = pkg.evaluate(system);
+
+    // Design carbon: the communication IP (routers or PHYs, one
+    // per chiplet) is designed once per system and amortized over
+    // NS (Eq. 12's Cdes,comm term).
+    DesignModel design(tech_, config_.design);
+    double comm_mtr = 0.0;
+    double comm_node_nm = config_.package.interposerNodeNm;
+    if (!system.isMonolithic()) {
+        const double nc =
+            static_cast<double>(system.chiplets.size());
+        switch (config_.package.arch) {
+          case PackagingArch::RdlFanout:
+          case PackagingArch::SiliconBridge:
+            comm_mtr =
+                PhyModel(tech_,
+                         config_.package.router.flitWidthBits)
+                    .transistorsMtr() *
+                nc;
+            comm_node_nm = system.chiplets.front().nodeNm;
+            break;
+          case PackagingArch::PassiveInterposer:
+          case PackagingArch::Stack3d:
+            comm_mtr = RouterModel(tech_, config_.package.router)
+                           .transistorsMtr() *
+                       nc;
+            comm_node_nm = system.chiplets.front().nodeNm;
+            break;
+          case PackagingArch::ActiveInterposer:
+            comm_mtr = RouterModel(tech_, config_.package.router)
+                           .transistorsMtr() *
+                       nc;
+            comm_node_nm = config_.package.interposerNodeNm;
+            break;
+        }
+    }
+    report.designCo2Kg =
+        design.systemDesignCo2Kg(system, comm_mtr, comm_node_nm);
+
+    if (config_.includeMaskNre) {
+        report.nreCo2Kg =
+            NreCarbonModel(tech_, config_.fabIntensityGPerKwh,
+                           config_.design.chipletVolume)
+                .systemNreCo2Kg(system);
+    }
+
+    OperationalModel operation(tech_, config_.operating);
+    report.operation =
+        operation.evaluate(system, report.hi.nocPowerW);
+
+    // Per-chiplet detail. For a monolithic die the blocks are
+    // reported individually but manufactured as one die, so the
+    // block-level mfg numbers are proportional area shares.
+    if (system.singleDie) {
+        const double node = system.monolithicNodeNm();
+        double total_area = 0.0;
+        for (const auto &block : system.chiplets)
+            total_area += block.areaMm2(tech_);
+        const MfgBreakdown die = mfg.dieMfg(total_area, node);
+        for (const auto &block : system.chiplets) {
+            const double share =
+                block.areaMm2(tech_) / total_area;
+            ChipletReport cr;
+            cr.name = block.name;
+            cr.nodeNm = node;
+            cr.areaMm2 = block.areaMm2(tech_);
+            cr.yield = die.yield;
+            cr.mfgCo2Kg = share * die.totalCo2Kg();
+            cr.designCo2Kg =
+                block.reused
+                    ? 0.0
+                    : design.chipletDesign(block).amortizedCo2Kg;
+            report.chiplets.push_back(cr);
+        }
+    } else {
+        for (const auto &chiplet : system.chiplets) {
+            const MfgBreakdown breakdown = mfg.chipletMfg(chiplet);
+            ChipletReport cr;
+            cr.name = chiplet.name;
+            cr.nodeNm = chiplet.nodeNm;
+            cr.areaMm2 = breakdown.areaMm2;
+            cr.yield = breakdown.yield;
+            cr.mfgCo2Kg = breakdown.totalCo2Kg();
+            cr.designCo2Kg =
+                chiplet.reused
+                    ? 0.0
+                    : design.chipletDesign(chiplet).amortizedCo2Kg;
+            report.chiplets.push_back(cr);
+        }
+    }
+    return report;
+}
+
+double
+EcoChip::actEmbodiedCo2Kg(const SystemSpec &system) const
+{
+    return ActModel(tech_, config_.fabIntensityGPerKwh)
+        .embodiedCo2Kg(system);
+}
+
+CostBreakdown
+EcoChip::cost(const SystemSpec &system) const
+{
+    return cost(system, CostParams());
+}
+
+CostBreakdown
+EcoChip::cost(const SystemSpec &system,
+              const CostParams &cost_params) const
+{
+    return CostModel(tech_, config_.wafer, cost_params)
+        .systemCost(system, config_.package);
+}
+
+} // namespace ecochip

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Top-level ECO-CHIP estimator (paper Sec. III, Eqs. 1-3):
+ *
+ *   Ctot = Cemb + lifetime * Cop
+ *   Cemb = Cmfg + Cdes + CHI
+ *   Cop  = Csrc,use * Euse
+ *
+ * Binds the manufacturing, packaging, design, operational, ACT, and
+ * cost models to one technology database and one configuration.
+ */
+
+#ifndef ECOCHIP_CORE_ECOCHIP_H
+#define ECOCHIP_CORE_ECOCHIP_H
+
+#include <string>
+#include <vector>
+
+#include "act/act_model.h"
+#include "chiplet/chiplet.h"
+#include "cost/cost_model.h"
+#include "design/design_model.h"
+#include "manufacture/mfg_model.h"
+#include "operation/operational_model.h"
+#include "package/package_model.h"
+#include "tech/tech_db.h"
+#include "wafer/wafer_model.h"
+
+namespace ecochip {
+
+/** Complete estimator configuration (paper Sec. IV defaults). */
+struct EcoChipConfig
+{
+    /** Wafer geometry (450 mm in the paper's results). */
+    WaferModel wafer = WaferModel();
+
+    /** Fab energy carbon intensity Cmfg,src (coal: 700 g/kWh). */
+    double fabIntensityGPerKwh = 700.0;
+
+    /** Die-yield statistics (paper default: Eq. 4's NB model). */
+    YieldModelKind yieldModel = YieldModelKind::NegativeBinomial;
+
+    /** Charge wafer-periphery wastage to each die (Fig. 3). */
+    bool includeWastage = true;
+
+    /**
+     * Charge amortized photomask-set manufacturing carbon (the
+     * Sec. V-C NRE extension; off by default to match the paper's
+     * base model).
+     */
+    bool includeMaskNre = false;
+
+    /** Packaging architecture and knobs. */
+    PackageParams package;
+
+    /** Design-CFP knobs (Ndes, Pdes, volumes). */
+    DesignParams design;
+
+    /** Operating specification (lifetime, duty cycle, source). */
+    OperatingSpec operating;
+};
+
+/** Per-chiplet slice of a carbon report. */
+struct ChipletReport
+{
+    std::string name;
+    double nodeNm = 0.0;
+    double areaMm2 = 0.0;
+    double yield = 1.0;
+    double mfgCo2Kg = 0.0;
+    double designCo2Kg = 0.0; ///< amortized per part
+};
+
+/** Full carbon report for one system evaluation. */
+struct CarbonReport
+{
+    /** Manufacturing carbon Cmfg (kg CO2). */
+    double mfgCo2Kg = 0.0;
+
+    /** HI packaging + communication overheads CHI. */
+    HiResult hi;
+
+    /** Amortized design carbon Cdes per part (kg CO2). */
+    double designCo2Kg = 0.0;
+
+    /**
+     * Amortized mask-set NRE carbon per part (kg CO2); zero
+     * unless EcoChipConfig::includeMaskNre is set.
+     */
+    double nreCo2Kg = 0.0;
+
+    /** Operational energy/carbon over the lifetime. */
+    OperationalBreakdown operation;
+
+    /** Per-chiplet detail (per-block for monolithic dies). */
+    std::vector<ChipletReport> chiplets;
+
+    /** Embodied carbon Cemb = Cmfg + Cdes + CHI (+NRE), kg CO2. */
+    double
+    embodiedCo2Kg() const
+    {
+        return mfgCo2Kg + hi.totalCo2Kg() + designCo2Kg +
+               nreCo2Kg;
+    }
+
+    /** Total carbon Ctot = Cemb + lifetime Cop (kg CO2). */
+    double
+    totalCo2Kg() const
+    {
+        return embodiedCo2Kg() + operation.co2Kg;
+    }
+};
+
+/**
+ * The ECO-CHIP estimator.
+ *
+ * Owns its technology database and configuration; `estimate()` is
+ * const and thread-compatible, so sweeps can share one instance.
+ */
+class EcoChip
+{
+  public:
+    /**
+     * @param config Estimator configuration.
+     * @param tech Technology calibration (defaults to the paper's).
+     */
+    explicit EcoChip(EcoChipConfig config = EcoChipConfig(),
+                     TechDb tech = TechDb());
+
+    /** Technology database in use. */
+    const TechDb &tech() const { return tech_; }
+
+    /** Configuration in use. */
+    const EcoChipConfig &config() const { return config_; }
+
+    /** Replace the configuration (for parameter sweeps). */
+    void setConfig(EcoChipConfig config);
+
+    /**
+     * Estimate the full carbon report of a system (Eqs. 1-3).
+     *
+     * @param system Monolithic or chiplet-based system.
+     */
+    CarbonReport estimate(const SystemSpec &system) const;
+
+    /** ACT-baseline embodied carbon of the same system (kg CO2). */
+    double actEmbodiedCo2Kg(const SystemSpec &system) const;
+
+    /** Dollar cost of the system under the configured package. */
+    CostBreakdown cost(const SystemSpec &system) const;
+
+    /** Cost with explicit cost knobs. */
+    CostBreakdown cost(const SystemSpec &system,
+                       const CostParams &cost_params) const;
+
+  private:
+    TechDb tech_;
+    EcoChipConfig config_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_ECOCHIP_H

@@ -1,0 +1,101 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+std::string
+ExplorationPoint::label() const
+{
+    std::string out = "(";
+    for (std::size_t i = 0; i < nodesNm.size(); ++i) {
+        if (i)
+            out += ",";
+        const double node = nodesNm[i];
+        if (node == std::floor(node))
+            out += std::to_string(static_cast<long>(node));
+        else
+            out += std::to_string(node);
+    }
+    out += ")";
+    return out;
+}
+
+std::vector<ExplorationPoint>
+TechSpaceExplorer::sweep(
+    const SystemSpec &system,
+    const std::vector<double> &candidate_nodes_nm) const
+{
+    std::vector<std::vector<double>> per_chiplet(
+        system.chiplets.size(), candidate_nodes_nm);
+    return sweep(system, per_chiplet);
+}
+
+std::vector<ExplorationPoint>
+TechSpaceExplorer::sweep(
+    const SystemSpec &system,
+    const std::vector<std::vector<double>> &candidates_per_chiplet)
+    const
+{
+    requireConfig(candidates_per_chiplet.size() ==
+                      system.chiplets.size(),
+                  "candidate list count must match chiplet count");
+    for (const auto &candidates : candidates_per_chiplet)
+        requireConfig(!candidates.empty(),
+                      "empty candidate node list");
+
+    std::vector<ExplorationPoint> points;
+    std::vector<double> assignment(system.chiplets.size());
+
+    // Odometer-style enumeration in lexicographic order.
+    std::vector<std::size_t> idx(system.chiplets.size(), 0);
+    while (true) {
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            assignment[i] = candidates_per_chiplet[i][idx[i]];
+
+        ExplorationPoint point;
+        point.nodesNm = assignment;
+        point.system = system.withNodes(assignment);
+        point.report = estimator_->estimate(point.system);
+        points.push_back(std::move(point));
+
+        // Advance the odometer from the last digit.
+        std::size_t digit = idx.size();
+        while (digit > 0) {
+            --digit;
+            if (++idx[digit] <
+                candidates_per_chiplet[digit].size())
+                break;
+            idx[digit] = 0;
+            if (digit == 0)
+                return points;
+        }
+    }
+}
+
+const ExplorationPoint &
+TechSpaceExplorer::bestByEmbodied(
+    const std::vector<ExplorationPoint> &points)
+{
+    requireConfig(!points.empty(), "no exploration points");
+    return *std::min_element(
+        points.begin(), points.end(), [](const auto &a, const auto &b) {
+            return a.report.embodiedCo2Kg() < b.report.embodiedCo2Kg();
+        });
+}
+
+const ExplorationPoint &
+TechSpaceExplorer::bestByTotal(
+    const std::vector<ExplorationPoint> &points)
+{
+    requireConfig(!points.empty(), "no exploration points");
+    return *std::min_element(
+        points.begin(), points.end(), [](const auto &a, const auto &b) {
+            return a.report.totalCo2Kg() < b.report.totalCo2Kg();
+        });
+}
+
+} // namespace ecochip

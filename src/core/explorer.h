@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Technology-space exploration (paper Sec. V-A): sweep every
+ * combination of candidate nodes across a system's chiplets and
+ * rank configurations by carbon.
+ */
+
+#ifndef ECOCHIP_CORE_EXPLORER_H
+#define ECOCHIP_CORE_EXPLORER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ecochip.h"
+
+namespace ecochip {
+
+/** One evaluated node assignment. */
+struct ExplorationPoint
+{
+    /** Node per chiplet, in chiplet order (the "three-tuple"). */
+    std::vector<double> nodesNm;
+
+    /** The retargeted system. */
+    SystemSpec system;
+
+    /** Full carbon report of the configuration. */
+    CarbonReport report;
+
+    /** "(7,10,14)"-style label. */
+    std::string label() const;
+};
+
+/**
+ * Exhaustive cartesian sweep of candidate nodes over chiplets.
+ *
+ * The sweep size is |candidates|^|chiplets|; the paper's studies
+ * use 3 candidate nodes over 3 chiplets (27 points).
+ */
+class TechSpaceExplorer
+{
+  public:
+    /**
+     * @param estimator Configured estimator (must outlive the
+     *        explorer).
+     */
+    explicit TechSpaceExplorer(const EcoChip &estimator)
+        : estimator_(&estimator)
+    {}
+
+    /**
+     * Evaluate every node assignment.
+     *
+     * @param system Base system (chiplet content fixed).
+     * @param candidate_nodes_nm Candidate nodes for every chiplet.
+     * @return One point per assignment, in lexicographic order.
+     */
+    std::vector<ExplorationPoint>
+    sweep(const SystemSpec &system,
+          const std::vector<double> &candidate_nodes_nm) const;
+
+    /**
+     * Evaluate with per-chiplet candidate lists (e.g. pinning the
+     * digital chiplet to advanced nodes only).
+     */
+    std::vector<ExplorationPoint>
+    sweep(const SystemSpec &system,
+          const std::vector<std::vector<double>>
+              &candidates_per_chiplet) const;
+
+    /** The point minimizing embodied carbon. */
+    static const ExplorationPoint &
+    bestByEmbodied(const std::vector<ExplorationPoint> &points);
+
+    /** The point minimizing total carbon. */
+    static const ExplorationPoint &
+    bestByTotal(const std::vector<ExplorationPoint> &points);
+
+  private:
+    const EcoChip *estimator_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_EXPLORER_H

@@ -1,0 +1,117 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+std::string
+DisaggregationPoint::label() const
+{
+    if (digitalSplit == 0)
+        return "monolith@" +
+               std::to_string(
+                   static_cast<long>(digitalNodeNm)) +
+               "nm";
+    return std::to_string(digitalSplit) + "xD@" +
+           std::to_string(static_cast<long>(digitalNodeNm)) +
+           "/M@" +
+           std::to_string(static_cast<long>(memoryNodeNm)) +
+           "/A@" +
+           std::to_string(static_cast<long>(analogNodeNm)) + " " +
+           toString(arch);
+}
+
+DisaggregationOptimizer::DisaggregationOptimizer(
+    EcoChipConfig config, TechDb tech)
+    : config_(std::move(config)), tech_(std::move(tech))
+{
+}
+
+std::vector<DisaggregationPoint>
+DisaggregationOptimizer::enumerate(
+    const SocBlocks &blocks,
+    const DisaggregationSpace &space) const
+{
+    requireConfig(!space.digitalNodesNm.empty() &&
+                      !space.memoryNodesNm.empty() &&
+                      !space.analogNodesNm.empty(),
+                  "optimizer node lists must be non-empty");
+    requireConfig(!space.digitalSplits.empty(),
+                  "optimizer split list must be non-empty");
+    requireConfig(!space.architectures.empty(),
+                  "optimizer architecture list must be non-empty");
+
+    std::vector<DisaggregationPoint> points;
+
+    if (space.includeMonolith) {
+        DisaggregationPoint mono;
+        mono.system = makeMonolithic("monolith", blocks, tech_,
+                                     space.monolithNodeNm);
+        mono.digitalSplit = 0;
+        mono.digitalNodeNm = space.monolithNodeNm;
+        mono.memoryNodeNm = space.monolithNodeNm;
+        mono.analogNodeNm = space.monolithNodeNm;
+        EcoChip estimator(config_, tech_);
+        mono.report = estimator.estimate(mono.system);
+        points.push_back(std::move(mono));
+    }
+
+    for (PackagingArch arch : space.architectures) {
+        EcoChipConfig config = config_;
+        config.package.arch = arch;
+        EcoChip estimator(config, tech_);
+
+        for (int split : space.digitalSplits) {
+            requireConfig(split >= 1,
+                          "digital split must be at least 1");
+            for (double d : space.digitalNodesNm) {
+                for (double m : space.memoryNodesNm) {
+                    for (double a : space.analogNodesNm) {
+                        DisaggregationPoint point;
+                        point.system = makeDigitalSplit(
+                            "cand", blocks, tech_, split, d, m,
+                            a);
+                        point.arch = arch;
+                        point.digitalSplit = split;
+                        point.digitalNodeNm = d;
+                        point.memoryNodeNm = m;
+                        point.analogNodeNm = a;
+                        point.report =
+                            estimator.estimate(point.system);
+                        points.push_back(std::move(point));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+const DisaggregationPoint &
+DisaggregationOptimizer::bestByEmbodied(
+    const std::vector<DisaggregationPoint> &points)
+{
+    requireConfig(!points.empty(), "no optimizer points");
+    return *std::min_element(
+        points.begin(), points.end(),
+        [](const auto &a, const auto &b) {
+            return a.report.embodiedCo2Kg() <
+                   b.report.embodiedCo2Kg();
+        });
+}
+
+const DisaggregationPoint &
+DisaggregationOptimizer::bestByTotal(
+    const std::vector<DisaggregationPoint> &points)
+{
+    requireConfig(!points.empty(), "no optimizer points");
+    return *std::min_element(
+        points.begin(), points.end(),
+        [](const auto &a, const auto &b) {
+            return a.report.totalCo2Kg() < b.report.totalCo2Kg();
+        });
+}
+
+} // namespace ecochip

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Carbon-aware disaggregation optimizer -- automates the design
+ * and architecture space exploration of the paper's Sec. VI: for a
+ * monolithic SoC described by its block areas, enumerate chiplet
+ * counts, node assignments, and packaging architectures, and rank
+ * the configurations by carbon.
+ */
+
+#ifndef ECOCHIP_CORE_OPTIMIZER_H
+#define ECOCHIP_CORE_OPTIMIZER_H
+
+#include <string>
+#include <vector>
+
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+
+namespace ecochip {
+
+/** Search-space definition for the optimizer. */
+struct DisaggregationSpace
+{
+    /** Candidate nodes for the digital chiplets (nm). */
+    std::vector<double> digitalNodesNm = {7.0};
+
+    /** Candidate nodes for the memory chiplet (nm). */
+    std::vector<double> memoryNodesNm = {7.0, 10.0, 14.0};
+
+    /** Candidate nodes for the analog chiplet (nm). */
+    std::vector<double> analogNodesNm = {7.0, 10.0, 14.0};
+
+    /** Candidate digital-split counts (1 = no split). */
+    std::vector<int> digitalSplits = {1, 2, 3, 4};
+
+    /** Candidate packaging architectures. */
+    std::vector<PackagingArch> architectures = {
+        PackagingArch::RdlFanout, PackagingArch::SiliconBridge};
+
+    /** Include the monolithic baseline in the ranking. */
+    bool includeMonolith = true;
+
+    /** Monolith node (nm) when included. */
+    double monolithNodeNm = 7.0;
+};
+
+/** One evaluated disaggregation configuration. */
+struct DisaggregationPoint
+{
+    /** The evaluated system. */
+    SystemSpec system;
+
+    /** Packaging architecture used. */
+    PackagingArch arch = PackagingArch::RdlFanout;
+
+    /** Digital split count (0 for the monolith row). */
+    int digitalSplit = 0;
+
+    /** (digital, memory, analog) nodes. */
+    double digitalNodeNm = 0.0;
+    double memoryNodeNm = 0.0;
+    double analogNodeNm = 0.0;
+
+    /** Full carbon report. */
+    CarbonReport report;
+
+    /** Human-readable configuration label. */
+    std::string label() const;
+};
+
+/**
+ * Exhaustive disaggregation optimizer.
+ *
+ * The search space for realistic sweeps is small (a few hundred
+ * points at microseconds each), so exhaustive enumeration is both
+ * exact and fast -- no heuristic needed.
+ */
+class DisaggregationOptimizer
+{
+  public:
+    /**
+     * @param config Base estimator configuration; the packaging
+     *        architecture field is overridden per point.
+     * @param tech Technology calibration.
+     */
+    explicit DisaggregationOptimizer(
+        EcoChipConfig config = EcoChipConfig(),
+        TechDb tech = TechDb());
+
+    /**
+     * Evaluate every configuration in the space.
+     *
+     * @param blocks Monolithic SoC block breakdown.
+     * @param space Search-space definition.
+     * @return All evaluated points, in enumeration order.
+     */
+    std::vector<DisaggregationPoint>
+    enumerate(const SocBlocks &blocks,
+              const DisaggregationSpace &space) const;
+
+    /** Point with the lowest embodied carbon. */
+    static const DisaggregationPoint &
+    bestByEmbodied(const std::vector<DisaggregationPoint> &points);
+
+    /** Point with the lowest total carbon. */
+    static const DisaggregationPoint &
+    bestByTotal(const std::vector<DisaggregationPoint> &points);
+
+  private:
+    EcoChipConfig config_;
+    TechDb tech_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_OPTIMIZER_H

@@ -1,0 +1,132 @@
+#include "core/portfolio.h"
+
+#include <map>
+#include <tuple>
+
+#include "design/design_model.h"
+#include "manufacture/nre_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Identity key of a chiplet design. */
+using DesignKey = std::tuple<std::string, DesignType, double,
+                             double>;
+
+DesignKey
+keyOf(const Chiplet &chiplet)
+{
+    return {chiplet.name, chiplet.type, chiplet.nodeNm,
+            chiplet.transistorsMtr};
+}
+
+} // namespace
+
+PortfolioAnalyzer::PortfolioAnalyzer(EcoChipConfig config,
+                                     TechDb tech)
+    : config_(std::move(config)), tech_(std::move(tech))
+{
+}
+
+PortfolioResult
+PortfolioAnalyzer::analyze(
+    const std::vector<Product> &products) const
+{
+    requireConfig(!products.empty(), "portfolio has no products");
+    for (const auto &product : products) {
+        requireConfig(!product.system.chiplets.empty(),
+                      "product \"" + product.system.name +
+                          "\" has no chiplets");
+        requireConfig(product.volume >= 1.0,
+                      "product volume must be at least 1");
+    }
+
+    // Pass 1: combined *die* manufacturing volume of every
+    // distinct design across the portfolio (Eq. 12's NMi).
+    // Multiple instances inside one product (e.g. twin compute
+    // dies) each add a manufactured die per product unit.
+    std::map<DesignKey, double> design_volume;
+    for (const auto &product : products)
+        for (const auto &chiplet : product.system.chiplets)
+            design_volume[keyOf(chiplet)] += product.volume;
+
+    DesignModel design(tech_, config_.design);
+    NreCarbonModel nre(tech_, config_.fabIntensityGPerKwh, 1.0);
+
+    // One-time (unamortized) carbon of each design.
+    std::map<DesignKey, double> design_once_co2;
+    for (const auto &product : products) {
+        for (const auto &chiplet : product.system.chiplets) {
+            const DesignKey key = keyOf(chiplet);
+            if (design_once_co2.count(key))
+                continue;
+            Chiplet fresh = chiplet;
+            fresh.reused = false;
+            double once = design.chipletDesign(fresh).co2Kg;
+            if (config_.includeMaskNre)
+                once += nre.maskSetCo2Kg(fresh.nodeNm);
+            design_once_co2[key] = once;
+        }
+    }
+
+    // Pass 2: per-product reports with the shared amortization
+    // substituted for the estimator's per-product one.
+    PortfolioResult result;
+    result.distinctDesigns =
+        static_cast<int>(design_volume.size());
+
+    double savings = 0.0;
+    for (const auto &product : products) {
+        EcoChipConfig config = config_;
+        config.operating = product.operating;
+        // Design carbon is replaced below; disable the built-in
+        // mask-NRE path so it is not double counted (the shared
+        // one-time carbon already folds masks in when enabled).
+        config.includeMaskNre = false;
+        EcoChip estimator(config, tech_);
+
+        // `reused` flags are portfolio-derived here: strip them so
+        // the estimator's own design term can be discarded
+        // cleanly.
+        SystemSpec system = product.system;
+
+        CarbonReport report = estimator.estimate(system);
+
+        // Shared vs. isolated per-part design carbon, following
+        // Eq. 12: every die instance contributes Cdes,i / NMi,
+        // with NMi the design's die volume. Under isolation the
+        // design's dies come from this product alone.
+        std::map<DesignKey, int> instances_here;
+        for (const auto &chiplet : system.chiplets) {
+            result.totalInstances += 1;
+            instances_here[keyOf(chiplet)] += 1;
+        }
+        double shared = 0.0, isolated = 0.0;
+        for (const auto &[key, count] : instances_here) {
+            shared += count * design_once_co2[key] /
+                      design_volume[key];
+            isolated += count * design_once_co2[key] /
+                        (count * product.volume);
+        }
+
+        report.designCo2Kg = shared;
+        report.nreCo2Kg = 0.0;
+
+        ProductResult pr;
+        pr.name = product.system.name;
+        pr.sharedDesignCo2Kg = shared;
+        pr.isolatedDesignCo2Kg = isolated;
+        pr.report = report;
+        result.products.push_back(std::move(pr));
+
+        result.fleetCo2Kg +=
+            product.volume * report.totalCo2Kg();
+        savings += product.volume * (isolated - shared);
+    }
+    result.designSharingSavingsCo2Kg = savings;
+    return result;
+}
+
+} // namespace ecochip

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cross-product chiplet-reuse portfolio analysis.
+ *
+ * The paper's Sec. V-C argues that reusing a chiplet "across
+ * several designs, not only in the current generation of ICs but
+ * even in the next generation, can massively amortize the embodied
+ * CFP just as it amortizes the dollar cost". This module makes
+ * that argument computable: given a *portfolio* of products that
+ * share chiplet designs, it allocates each design's one-time
+ * carbon (EDA compute, and mask sets when enabled) across the
+ * combined volume of every product using it, and reports the
+ * fleet-level savings versus designing each product's chiplets
+ * from scratch.
+ *
+ * Two chiplets are the same *design* when they agree on name,
+ * design type, node, and transistor count.
+ */
+
+#ifndef ECOCHIP_CORE_PORTFOLIO_H
+#define ECOCHIP_CORE_PORTFOLIO_H
+
+#include <string>
+#include <vector>
+
+#include "core/ecochip.h"
+
+namespace ecochip {
+
+/** One product in the portfolio. */
+struct Product
+{
+    /** The product's system description. */
+    SystemSpec system;
+
+    /** Units of this product manufactured (its NS). */
+    double volume = 100000.0;
+
+    /** Product-specific operating profile. */
+    OperatingSpec operating;
+};
+
+/** Per-product slice of a portfolio analysis. */
+struct ProductResult
+{
+    /** Product (system) name. */
+    std::string name;
+
+    /** Carbon report with the *shared* design amortization. */
+    CarbonReport report;
+
+    /**
+     * Per-part design carbon under isolated (per-product)
+     * amortization, for comparison.
+     */
+    double isolatedDesignCo2Kg = 0.0;
+
+    /** Per-part design carbon under portfolio sharing. */
+    double sharedDesignCo2Kg = 0.0;
+};
+
+/** Whole-portfolio result. */
+struct PortfolioResult
+{
+    /** Per-product results, in input order. */
+    std::vector<ProductResult> products;
+
+    /** Number of distinct chiplet designs in the portfolio. */
+    int distinctDesigns = 0;
+
+    /** Total chiplet instances across all products. */
+    int totalInstances = 0;
+
+    /** Fleet carbon with shared design amortization (kg CO2). */
+    double fleetCo2Kg = 0.0;
+
+    /**
+     * Fleet design carbon saved by sharing versus designing each
+     * product in isolation (kg CO2).
+     */
+    double designSharingSavingsCo2Kg = 0.0;
+};
+
+/** Portfolio analyzer. */
+class PortfolioAnalyzer
+{
+  public:
+    /**
+     * @param config Base configuration (packaging, design knobs,
+     *        wafer); per-product operating specs override the
+     *        config's.
+     * @param tech Technology calibration.
+     */
+    explicit PortfolioAnalyzer(EcoChipConfig config,
+                               TechDb tech = TechDb());
+
+    /**
+     * Analyze a portfolio.
+     *
+     * @param products At least one product; `reused` flags on the
+     *        chiplets are ignored -- sharing is derived from
+     *        design identity across the portfolio instead.
+     */
+    PortfolioResult
+    analyze(const std::vector<Product> &products) const;
+
+  private:
+    EcoChipConfig config_;
+    TechDb tech_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_PORTFOLIO_H

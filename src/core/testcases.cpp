@@ -1,0 +1,307 @@
+#include "core/testcases.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ecochip::testcases {
+
+SocBlocks
+ga102Blocks()
+{
+    // Die-shot breakdown of the 628 mm^2-class GA102: ~500 mm^2 of
+    // digital logic (the block Figs. 9-10 split), with L2/memory
+    // controllers and the analog/IO ring on the remainder.
+    SocBlocks blocks;
+    blocks.logicAreaMm2 = 500.0;
+    blocks.memoryAreaMm2 = 80.0;
+    blocks.analogAreaMm2 = 48.0;
+    blocks.refNodeNm = 7.0;
+    return blocks;
+}
+
+SocBlocks
+a15Blocks()
+{
+    // ~108 mm^2 A15 die: CPU/GPU/NPU logic, SLC SRAM, and IO.
+    SocBlocks blocks;
+    blocks.logicAreaMm2 = 60.0;
+    blocks.memoryAreaMm2 = 32.0;
+    blocks.analogAreaMm2 = 16.0;
+    blocks.refNodeNm = 5.0;
+    return blocks;
+}
+
+SocBlocks
+emrDieBlocks()
+{
+    // One Emerald Rapids compute die (~763 mm^2, Intel 7 ~ 10 nm):
+    // cores + mesh, LLC SRAM, DDR/PCIe/UPI PHY ring.
+    SocBlocks blocks;
+    blocks.logicAreaMm2 = 458.0;
+    blocks.memoryAreaMm2 = 191.0;
+    blocks.analogAreaMm2 = 114.0;
+    blocks.refNodeNm = 10.0;
+    return blocks;
+}
+
+SystemSpec
+ga102Monolithic(const TechDb &tech, double node_nm)
+{
+    return makeMonolithic("GA102-mono", ga102Blocks(), tech,
+                          node_nm);
+}
+
+SystemSpec
+ga102ThreeChiplet(const TechDb &tech, double digital_nm,
+                  double memory_nm, double analog_nm)
+{
+    return makeThreeChiplet("GA102-3c", ga102Blocks(), tech,
+                            digital_nm, memory_nm, analog_nm);
+}
+
+SystemSpec
+ga102FourChiplet(const TechDb &tech, double node_nm)
+{
+    // Fig. 2(b): memory and analog on independent chiplets, the
+    // large digital block split into two smaller chiplets.
+    return makeDigitalSplit("GA102-4c", ga102Blocks(), tech, 2,
+                            node_nm, node_nm, node_nm);
+}
+
+SystemSpec
+ga102Split(const TechDb &tech, int nc)
+{
+    requireConfig(nc >= 3, "GA102 split needs at least 3 chiplets");
+    // Digital slices in 7 nm; memory in 10 nm; analog in 14 nm
+    // (Sec. V-B(2)).
+    return makeDigitalSplit("GA102-" + std::to_string(nc) + "c",
+                            ga102Blocks(), tech, nc - 2, 7.0, 10.0,
+                            14.0);
+}
+
+SystemSpec
+ga102Hbm(const TechDb &tech, int stacks, int tiers_per_stack)
+{
+    requireConfig(stacks >= 1, "need at least one memory stack");
+    requireConfig(tiers_per_stack >= 2,
+                  "stacks need at least two tiers");
+
+    const SystemSpec three =
+        makeThreeChiplet("GA102-hbm", ga102Blocks(), tech, 7.0,
+                         10.0, 14.0);
+
+    SystemSpec system;
+    system.name = "GA102-hbm";
+    system.chiplets.push_back(three.chiplet("digital"));
+    system.chiplets.push_back(three.chiplet("analog"));
+
+    const Chiplet &memory = three.chiplet("memory");
+    const int dies = stacks * tiers_per_stack;
+    for (int s = 0; s < stacks; ++s) {
+        for (int t = 0; t < tiers_per_stack; ++t) {
+            Chiplet die = memory;
+            die.name = "hbm" + std::to_string(s) + "-t" +
+                       std::to_string(t);
+            die.transistorsMtr = memory.transistorsMtr / dies;
+            die.stackGroup = "hbm" + std::to_string(s);
+            // Commodity DRAM/SRAM stack dies: one design, volume
+            // manufactured.
+            die.reused = s > 0 || t > 0;
+            system.chiplets.push_back(die);
+        }
+    }
+    return system;
+}
+
+OperatingSpec
+ga102Operating()
+{
+    // Calibrated to the paper's anchor: Euse ~ 228 kWh over a
+    // 2-year lifetime (~130 W average at a 10% duty cycle), with
+    // the analytical Eq. 14 model active so node mixes shift Cop.
+    OperatingSpec spec;
+    spec.lifetimeYears = 2.0;
+    spec.dutyCycle = 0.10;
+    spec.avgFrequencyHz = 0.6e9;
+    spec.switchingActivity = 0.10;
+    spec.useIntensityGPerKwh = 700.0;
+    return spec;
+}
+
+SystemSpec
+a15Monolithic(const TechDb &tech, double node_nm)
+{
+    return makeMonolithic("A15-mono", a15Blocks(), tech, node_nm);
+}
+
+SystemSpec
+a15ThreeChiplet(const TechDb &tech, double digital_nm,
+                double memory_nm, double analog_nm)
+{
+    return makeThreeChiplet("A15-3c", a15Blocks(), tech, digital_nm,
+                            memory_nm, analog_nm);
+}
+
+OperatingSpec
+a15Operating()
+{
+    // Battery-rating path (Sec. III-F): use energy follows from
+    // battery capacity and recharge frequency; the SoC's share
+    // lands the embodied/operational split near the 80/20 the
+    // paper validates against Apple's product report.
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.dutyCycle = 0.15;
+    spec.useIntensityGPerKwh = 700.0;
+    spec.annualEnergyKwh = 0.8;
+    return spec;
+}
+
+SystemSpec
+emrTwoChiplet(const TechDb &tech, double node_nm)
+{
+    SocBlocks die = emrDieBlocks();
+
+    SystemSpec system;
+    system.name = "EMR-2c";
+    // Each EMR compute die is one chiplet; its mixed content is
+    // folded into a single chiplet whose area at the native node
+    // matches the die.
+    Chiplet die_chiplet = Chiplet::fromArea(
+        "compute0", DesignType::Logic, node_nm,
+        die.totalAreaMm2(), tech);
+    system.chiplets.push_back(die_chiplet);
+    die_chiplet.name = "compute1";
+    die_chiplet.reused = true; // identical twin: one design effort
+    system.chiplets.push_back(die_chiplet);
+    return system;
+}
+
+SystemSpec
+emrMonolithic(const TechDb &tech, double node_nm)
+{
+    SocBlocks die = emrDieBlocks();
+    SocBlocks both = die;
+    both.logicAreaMm2 *= 2.0;
+    both.memoryAreaMm2 *= 2.0;
+    both.analogAreaMm2 *= 2.0;
+    return makeMonolithic("EMR-mono", both, tech, node_nm);
+}
+
+OperatingSpec
+emrOperating()
+{
+    // Server-class profile: high duty cycle, multi-year life;
+    // operation dominates embodied (Sec. V-A(4)).
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.dutyCycle = 0.30;
+    spec.avgFrequencyHz = 0.6e9;
+    spec.switchingActivity = 0.10;
+    spec.useIntensityGPerKwh = 700.0;
+    return spec;
+}
+
+namespace {
+
+/** Latency/power tables for the accelerator study (Yang et al.). */
+struct ArvrStudyRow
+{
+    double latencyMs;
+    double avgPowerW;
+};
+
+ArvrStudyRow
+arvrStudyRow(const std::string &series, int tiers)
+{
+    // More stacked SRAM shortens inference latency and improves
+    // energy efficiency (operational power), Sec. VI(1).
+    static const ArvrStudyRow k1[] = {{1.60, 0.85},
+                                      {1.05, 0.70},
+                                      {0.80, 0.62},
+                                      {0.65, 0.58}};
+    static const ArvrStudyRow k2[] = {{0.90, 1.10},
+                                      {0.60, 0.92},
+                                      {0.47, 0.83},
+                                      {0.40, 0.78}};
+    requireConfig(tiers >= 1 && tiers <= 4,
+                  "accelerator supports 1 - 4 SRAM tiers");
+    if (series == "1K")
+        return k1[tiers - 1];
+    if (series == "2K")
+        return k2[tiers - 1];
+    throw ConfigError("unknown accelerator series: " + series);
+}
+
+} // namespace
+
+ArvrPoint
+arvrAccelerator(const TechDb &tech, const std::string &series,
+                int sram_tiers)
+{
+    requireConfig(sram_tiers >= 1 && sram_tiers <= 4,
+                  "accelerator supports 1 - 4 SRAM tiers");
+
+    ArvrPoint point;
+    point.series = series;
+    point.sramTiers = sram_tiers;
+    point.mbPerDie = series == "1K" ? 2.0 : 4.0;
+    point.totalMb = point.mbPerDie * sram_tiers;
+
+    const double compute_area = series == "1K" ? 5.0 : 9.0;
+    const double sram_area = series == "1K" ? 2.2 : 4.2;
+
+    SystemSpec system;
+    system.name = "ARVR-" + series + "-" +
+                  std::to_string(sram_tiers) + "t";
+    system.chiplets.push_back(Chiplet::fromArea(
+        "compute", DesignType::Logic, 7.0, compute_area, tech));
+    for (int i = 0; i < sram_tiers; ++i) {
+        Chiplet sram = Chiplet::fromArea(
+            "sram" + std::to_string(i), DesignType::Memory, 7.0,
+            sram_area, tech);
+        sram.reused = true; // commodity SRAM die, design amortized
+        system.chiplets.push_back(sram);
+    }
+    point.system = system;
+    point.footprintMm2 = std::max(compute_area, sram_area);
+
+    const int dimension = sram_tiers == 1 ? 2 : 3;
+    const int mb = static_cast<int>(point.totalMb);
+    point.label = (dimension == 2 ? "2D-" : "3D-") + series + "-" +
+                  std::to_string(mb) + "MB";
+
+    const ArvrStudyRow row = arvrStudyRow(series, sram_tiers);
+    point.latencyMs = row.latencyMs;
+    point.avgPowerW = row.avgPowerW;
+    return point;
+}
+
+std::vector<ArvrPoint>
+arvrSweep(const TechDb &tech)
+{
+    std::vector<ArvrPoint> points;
+    for (const char *series : {"1K", "2K"})
+        for (int tiers = 1; tiers <= 4; ++tiers)
+            points.push_back(
+                arvrAccelerator(tech, series, tiers));
+    return points;
+}
+
+OperatingSpec
+arvrOperating(const ArvrPoint &point)
+{
+    // Wearable profile: the study reports average power directly;
+    // Ctot is evaluated over a 2-year lifetime (Sec. VI(1)). The
+    // low duty cycle (~1 h/day of active use) makes the embodied
+    // carbon dominate, as in the paper's Fig. 13.
+    OperatingSpec spec;
+    spec.lifetimeYears = 2.0;
+    spec.dutyCycle = 0.03;
+    spec.useIntensityGPerKwh = 700.0;
+    spec.avgPowerW = point.avgPowerW;
+    return spec;
+}
+
+} // namespace ecochip::testcases

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Built-in industry testcases (paper Sec. IV(2)): NVIDIA GA102 GPU,
+ * Apple A15 mobile SoC, Intel Emerald Rapids (EMR) server CPU, and
+ * the 3D-stacked AR/VR neural accelerator of Yang et al.
+ *
+ * Block-area breakdowns follow the die-shot analyses the paper
+ * cites; operating specifications are calibrated so the headline
+ * anchors hold (GA102: Euse ~ 228 kWh over two years and embodied
+ * carbon ~ 20% of total; A15: embodied ~ 80% of total).
+ */
+
+#ifndef ECOCHIP_CORE_TESTCASES_H
+#define ECOCHIP_CORE_TESTCASES_H
+
+#include <string>
+#include <vector>
+
+#include "core/disaggregate.h"
+#include "operation/operational_model.h"
+#include "tech/tech_db.h"
+
+namespace ecochip::testcases {
+
+/** @{ @name Block breakdowns */
+
+/** NVIDIA GA102 (628 mm^2 class, modeled at 7 nm). */
+SocBlocks ga102Blocks();
+
+/** Apple A15 (108 mm^2 class, 5 nm). */
+SocBlocks a15Blocks();
+
+/** One Intel Emerald Rapids compute die (Intel 7 ~ 10 nm). */
+SocBlocks emrDieBlocks();
+
+/** @} */
+
+/** @{ @name GA102 */
+
+/** Monolithic GA102 at @p node_nm (default: native 7 nm). */
+SystemSpec ga102Monolithic(const TechDb &tech, double node_nm = 7.0);
+
+/**
+ * 3-chiplet GA102 with the (digital, memory, analog) three-tuple
+ * node convention of Sec. IV(2).
+ */
+SystemSpec ga102ThreeChiplet(const TechDb &tech, double digital_nm,
+                             double memory_nm, double analog_nm);
+
+/**
+ * 4-chiplet GA102 of Fig. 2(b): memory and analog chiplets plus
+ * the digital block split into two, all at @p node_nm.
+ */
+SystemSpec ga102FourChiplet(const TechDb &tech, double node_nm);
+
+/**
+ * GA102 with the digital block split into (nc - 2) chiplets at
+ * 7 nm, memory at 10 nm, analog at 14 nm (Fig. 10's Nc sweep).
+ */
+SystemSpec ga102Split(const TechDb &tech, int nc);
+
+/**
+ * HBM-style mixed 2.5D/3D GA102: the digital and analog chiplets
+ * planar on the interposer, the memory content folded into
+ * @p stacks vertical towers of @p tiers_per_stack dies each (10 nm
+ * memory dies, `stackGroup` "hbm<k>").
+ */
+SystemSpec ga102Hbm(const TechDb &tech, int stacks = 2,
+                    int tiers_per_stack = 4);
+
+/** GA102 operating spec (2-year life, ~130 W average draw). */
+OperatingSpec ga102Operating();
+
+/** @} */
+
+/** @{ @name Apple A15 */
+
+/** Monolithic A15 at @p node_nm (default: native 5 nm). */
+SystemSpec a15Monolithic(const TechDb &tech, double node_nm = 5.0);
+
+/** 3-chiplet A15 with the three-tuple node convention. */
+SystemSpec a15ThreeChiplet(const TechDb &tech, double digital_nm,
+                           double memory_nm, double analog_nm);
+
+/** A15 operating spec (battery path; embodied-dominated). */
+OperatingSpec a15Operating();
+
+/** @} */
+
+/** @{ @name Intel Emerald Rapids */
+
+/** Native 2-chiplet EMR (two identical compute dies, EMIB). */
+SystemSpec emrTwoChiplet(const TechDb &tech, double node_nm = 10.0);
+
+/** Hypothetical monolithic EMR (one double-size die). */
+SystemSpec emrMonolithic(const TechDb &tech, double node_nm = 10.0);
+
+/** EMR operating spec (server-class, operation-dominated). */
+OperatingSpec emrOperating();
+
+/** @} */
+
+/** @{ @name AR/VR 3D accelerator (Sec. VI, Fig. 13) */
+
+/** One sweep point of the accelerator study. */
+struct ArvrPoint
+{
+    /** Compute-array flavor: 1K or 2K MACs. */
+    std::string series;
+
+    /** Number of stacked SRAM dies (1 - 4). */
+    int sramTiers = 1;
+
+    /** SRAM capacity per die (MB): 2 for 1K, 4 for 2K. */
+    double mbPerDie = 2.0;
+
+    /** Total memory capacity (MB). */
+    double totalMb = 2.0;
+
+    /** Paper-style name, e.g. "3D-1K-4MB". */
+    std::string label;
+
+    /** The stacked system (compute tier + SRAM tiers, 7 nm). */
+    SystemSpec system;
+
+    /** Inference latency from the accelerator study (ms). */
+    double latencyMs = 0.0;
+
+    /** Average operating power from the study (W). */
+    double avgPowerW = 0.0;
+
+    /** 2D footprint of the stack (mm^2). */
+    double footprintMm2 = 0.0;
+};
+
+/**
+ * One accelerator configuration.
+ *
+ * @param series "1K" (2 MB SRAM dies) or "2K" (4 MB SRAM dies).
+ * @param sram_tiers Stacked SRAM die count, 1 - 4.
+ */
+ArvrPoint arvrAccelerator(const TechDb &tech,
+                          const std::string &series, int sram_tiers);
+
+/** All eight sweep points (1K and 2K x 1-4 tiers). */
+std::vector<ArvrPoint> arvrSweep(const TechDb &tech);
+
+/** AR/VR operating spec for a given study point (2-year life). */
+OperatingSpec arvrOperating(const ArvrPoint &point);
+
+/** @} */
+
+} // namespace ecochip::testcases
+
+#endif // ECOCHIP_CORE_TESTCASES_H

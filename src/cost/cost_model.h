@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Chiplet dollar-cost model (paper Sec. VI(2)).
+ *
+ * The paper integrates the third-party cost tool of Graening et al.
+ * ("Chiplets: How Small is too Small?", DAC 2023). That tool is not
+ * available here; this module substitutes a cost model with the
+ * same structure -- processed-wafer cost divided by dies-per-wafer
+ * and yield, per-architecture assembly costs, and NRE (mask-set)
+ * amortization -- using the identical yield numbers as the CFP
+ * estimation, as the paper does.
+ */
+
+#ifndef ECOCHIP_COST_COST_MODEL_H
+#define ECOCHIP_COST_COST_MODEL_H
+
+#include "chiplet/chiplet.h"
+#include "package/package_model.h"
+#include "tech/tech_db.h"
+#include "wafer/wafer_model.h"
+#include "yield/yield_model.h"
+
+namespace ecochip {
+
+/** Knobs of the dollar-cost model. */
+struct CostParams
+{
+    /** Organic substrate base cost per cm^2 (USD). */
+    double substrateCostPerCm2Usd = 1.0;
+
+    /** Incremental cost of one patterned RDL layer per cm^2. */
+    double rdlLayerCostPerCm2Usd = 0.30;
+
+    /** Cost of one silicon bridge, embedded (USD). */
+    double bridgeCostUsd = 2.0;
+
+    /** Interposer BEOL layer cost per cm^2 (USD). */
+    double interposerLayerCostPerCm2Usd = 0.50;
+
+    /** Die-attach / bonding cost per placed chiplet (USD). */
+    double attachCostPerChipletUsd = 1.0;
+
+    /** Per-connection cost of TSV/microbump/bond formation. */
+    double costPerBondUsd = 2.0e-6;
+
+    /** Known-good-die test cost per chiplet (USD). */
+    double testCostPerChipletUsd = 0.50;
+
+    /** Production volume for NRE amortization. */
+    double volume = 100000.0;
+
+    /** Include mask-set NRE in the per-part cost. */
+    bool includeNre = true;
+};
+
+/** Per-system cost breakdown (USD per part). */
+struct CostBreakdown
+{
+    /** Silicon die cost: sum of wafer/DPW/Y over chiplets. */
+    double dieUsd = 0.0;
+
+    /** Package substrate / interposer / bridge / bond cost. */
+    double packageUsd = 0.0;
+
+    /** Assembly: attach + test per chiplet, derated by yield. */
+    double assemblyUsd = 0.0;
+
+    /** Amortized mask-set NRE. */
+    double nreUsd = 0.0;
+
+    /** Total cost per part (USD). */
+    double totalUsd() const
+    {
+        return dieUsd + packageUsd + assemblyUsd + nreUsd;
+    }
+};
+
+/** Dollar-cost estimator for chiplet-based systems. */
+class CostModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param wafer Wafer geometry (dies per wafer).
+     * @param params Cost knobs.
+     */
+    explicit CostModel(const TechDb &tech,
+                       WaferModel wafer = WaferModel(),
+                       CostParams params = CostParams());
+
+    /** Parameters in use. */
+    const CostParams &params() const { return params_; }
+
+    /**
+     * Manufactured cost of one yielded die (USD):
+     * wafer cost / DPW / Y.
+     */
+    double dieCostUsd(const Chiplet &chiplet) const;
+
+    /** Amortized mask-set NRE of one chiplet (USD per part). */
+    double nreCostUsd(const Chiplet &chiplet) const;
+
+    /**
+     * Full system cost including packaging/assembly.
+     *
+     * @param system Chiplet set.
+     * @param pkg Packaging parameters (selects the assembly cost
+     *        structure). Monolithic systems are charged a standard
+     *        flip-chip substrate only.
+     */
+    CostBreakdown systemCost(const SystemSpec &system,
+                             const PackageParams &pkg) const;
+
+  private:
+    const TechDb *tech_;
+    WaferModel wafer_;
+    YieldModel yieldModel_;
+    CostParams params_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_COST_COST_MODEL_H

@@ -1,0 +1,109 @@
+#include "design/design_model.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/units.h"
+
+namespace ecochip {
+
+DesignModel::DesignModel(const TechDb &tech, DesignParams params)
+    : tech_(&tech), params_(params),
+      etaFit_(tech.edaProductivitySamples())
+{
+    requireConfig(params.pdesW > 0.0,
+                  "design compute power must be positive");
+    requireConfig(params.designIterations > 0,
+                  "design iteration count must be positive");
+    requireConfig(params.intensityGPerKwh > 0.0,
+                  "design carbon intensity must be positive");
+    requireConfig(params.sprHoursPerMgate > 0.0,
+                  "SP&R anchor must be positive");
+    requireConfig(params.gatesPerTransistor > 0.0,
+                  "gates per transistor must be positive");
+    requireConfig(params.chipletVolume >= 1.0,
+                  "chiplet volume must be at least 1");
+    requireConfig(params.systemVolume >= 1.0,
+                  "system volume must be at least 1");
+}
+
+double
+DesignModel::edaProductivityFit(double node_nm) const
+{
+    return std::clamp(etaFit_.eval(node_nm), 0.05, 1.0);
+}
+
+double
+DesignModel::gateCountMgates(const Chiplet &chiplet) const
+{
+    return chiplet.transistorsMtr * params_.gatesPerTransistor;
+}
+
+double
+DesignModel::hoursToCo2Kg(double hours) const
+{
+    const double energy_kwh =
+        hours * params_.pdesW * units::kKwhPerWh;
+    return units::carbonKg(params_.intensityGPerKwh, energy_kwh);
+}
+
+double
+DesignModel::singleIterationCo2Kg(const Chiplet &chiplet) const
+{
+    // One SP&R pass plus its analysis, scaled by EDA productivity
+    // at the target node.
+    const double spr =
+        params_.sprHoursPerMgate * gateCountMgates(chiplet);
+    const double hours = spr * (1.0 + params_.analyzeFraction) /
+                         edaProductivityFit(chiplet.nodeNm);
+    return hoursToCo2Kg(hours);
+}
+
+double
+DesignModel::designHours(double gates_mgates, double node_nm) const
+{
+    const double spr = params_.sprHoursPerMgate * gates_mgates;
+    const double analyze = params_.analyzeFraction * spr;
+    // Eq. 13: iterate SP&R + analysis, derated by eta_EDA, with
+    // verification as a multiple of the iterative effort.
+    const double iterative = (spr + analyze) *
+                             params_.designIterations /
+                             edaProductivityFit(node_nm);
+    const double verif = params_.verifMultiple * iterative;
+    return verif + iterative;
+}
+
+DesignBreakdown
+DesignModel::chipletDesign(const Chiplet &chiplet) const
+{
+    DesignBreakdown out;
+    const double gates = gateCountMgates(chiplet);
+    out.sprHours = params_.sprHoursPerMgate * gates;
+    out.totalHours = designHours(gates, chiplet.nodeNm);
+    out.co2Kg = hoursToCo2Kg(out.totalHours);
+    out.amortizedCo2Kg = out.co2Kg / params_.chipletVolume;
+    return out;
+}
+
+double
+DesignModel::systemDesignCo2Kg(const SystemSpec &system,
+                               double comm_transistors_mtr,
+                               double comm_node_nm) const
+{
+    double per_part = 0.0;
+    for (const auto &chiplet : system.chiplets) {
+        if (chiplet.reused)
+            continue; // pre-designed IP: Cdes already amortized
+        per_part += chipletDesign(chiplet).amortizedCo2Kg;
+    }
+    if (comm_transistors_mtr > 0.0) {
+        const double comm_gates =
+            comm_transistors_mtr * params_.gatesPerTransistor;
+        const double comm_co2 =
+            hoursToCo2Kg(designHours(comm_gates, comm_node_nm));
+        per_part += comm_co2 / params_.systemVolume;
+    }
+    return per_part;
+}
+
+} // namespace ecochip

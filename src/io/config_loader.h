@@ -1,0 +1,105 @@
+/**
+ * @file
+ * JSON configuration loading and report serialization.
+ *
+ * Mirrors the reference artifact's input layout: a design directory
+ * holds `architecture.json` (chiplets + packaging choice),
+ * `packageC.json` (packaging knobs), `designC.json` (design-CFP
+ * knobs), and `operationalC.json` (operating spec). Any file may be
+ * omitted, in which case the paper defaults apply.
+ */
+
+#ifndef ECOCHIP_IO_CONFIG_LOADER_H
+#define ECOCHIP_IO_CONFIG_LOADER_H
+
+#include <string>
+
+#include "core/ecochip.h"
+#include "json/json.h"
+
+namespace ecochip {
+
+/**
+ * Parse a SystemSpec from an `architecture.json` document.
+ *
+ * Schema:
+ * @code{.json}
+ * {
+ *   "name": "GA102-3c",
+ *   "monolithic": false,
+ *   "chiplets": [
+ *     {"name": "digital", "type": "logic", "node_nm": 7,
+ *      "area_mm2": 500.0},
+ *     {"name": "memory", "type": "memory", "node_nm": 10,
+ *      "transistors_mtr": 6800.0, "reused": true}
+ *   ]
+ * }
+ * @endcode
+ *
+ * Each chiplet provides either `area_mm2` (interpreted at its
+ * `node_nm` via the area model) or `transistors_mtr` directly.
+ *
+ * @param doc Parsed JSON document.
+ * @param tech Technology database for area inversion.
+ */
+SystemSpec systemFromJson(const json::Value &doc,
+                          const TechDb &tech);
+
+/** Serialize a SystemSpec back to the architecture schema. */
+json::Value systemToJson(const SystemSpec &system);
+
+/**
+ * Parse PackageParams from a `packageC.json` document; missing
+ * keys keep their defaults.
+ */
+PackageParams packageParamsFromJson(const json::Value &doc);
+
+/** Serialize PackageParams to the packageC schema. */
+json::Value packageParamsToJson(const PackageParams &params);
+
+/** Parse DesignParams from a `designC.json` document. */
+DesignParams designParamsFromJson(const json::Value &doc);
+
+/** Serialize DesignParams. */
+json::Value designParamsToJson(const DesignParams &params);
+
+/** Parse an OperatingSpec from an `operationalC.json` document. */
+OperatingSpec operatingSpecFromJson(const json::Value &doc);
+
+/** Serialize an OperatingSpec. */
+json::Value operatingSpecToJson(const OperatingSpec &spec);
+
+/** A fully loaded design directory. */
+struct DesignBundle
+{
+    SystemSpec system;
+    EcoChipConfig config;
+};
+
+/**
+ * Load a design directory (the `--design_dir` workflow of the
+ * reference tool): reads `architecture.json` (required) and the
+ * optional `packageC.json`, `designC.json`, `operationalC.json`.
+ *
+ * @param dir Directory path.
+ * @param tech Technology database.
+ */
+DesignBundle loadDesignDirectory(const std::string &dir,
+                                 const TechDb &tech);
+
+/** Serialize a CarbonReport (for tool output / regression files). */
+json::Value reportToJson(const CarbonReport &report);
+
+/**
+ * Load a node-list file (the artifact's `node_list.txt`): one node
+ * per line in nm, with optional "nm" suffix; blank lines and
+ * '#'-comments ignored.
+ *
+ * @param path Path to the node list.
+ * @return Nodes in file order.
+ */
+std::vector<double> loadNodeList(const std::string &path);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_CONFIG_LOADER_H

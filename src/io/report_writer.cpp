@@ -1,0 +1,115 @@
+#include "io/report_writer.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/table_printer.h"
+
+namespace ecochip {
+
+namespace {
+
+std::string
+num(double value, int precision = 3)
+{
+    return TablePrinter::formatNumber(value, precision);
+}
+
+std::string
+pct(double fraction)
+{
+    return TablePrinter::formatNumber(100.0 * fraction, 1) + " %";
+}
+
+} // namespace
+
+void
+writeMarkdownReport(std::ostream &os, const SystemSpec &system,
+                    const CarbonReport &report,
+                    const EcoChipConfig &config)
+{
+    os << "# ECO-CHIP carbon report: " << system.name << "\n\n";
+
+    os << "- Integration: "
+       << (system.isMonolithic()
+               ? std::string("monolithic die")
+               : std::string(toString(config.package.arch)) +
+                     " package")
+       << "\n";
+    os << "- Chiplets/blocks: " << system.chiplets.size() << "\n";
+    os << "- Wafer: " << config.wafer.diameterMm() << " mm, fab "
+       << "energy at " << config.fabIntensityGPerKwh
+       << " g CO2/kWh\n";
+    os << "- Lifetime: " << config.operating.lifetimeYears
+       << " years, duty cycle "
+       << pct(config.operating.dutyCycle) << "\n\n";
+
+    os << "## Per-chiplet manufacturing\n\n";
+    os << "| chiplet | node (nm) | area (mm^2) | yield | mfg (kg "
+          "CO2) | design (kg CO2) |\n";
+    os << "|---|---|---|---|---|---|\n";
+    for (const auto &c : report.chiplets) {
+        os << "| " << c.name << " | " << num(c.nodeNm, 0) << " | "
+           << num(c.areaMm2) << " | " << num(c.yield) << " | "
+           << num(c.mfgCo2Kg) << " | " << num(c.designCo2Kg)
+           << " |\n";
+    }
+
+    os << "\n## Carbon breakdown (kg CO2 per part)\n\n";
+    os << "| component | kg CO2 | share of total |\n";
+    os << "|---|---|---|\n";
+    const double total = report.totalCo2Kg();
+    auto row = [&](const char *name, double value) {
+        os << "| " << name << " | " << num(value) << " | "
+           << pct(total > 0.0 ? value / total : 0.0) << " |\n";
+    };
+    row("manufacturing (Cmfg)", report.mfgCo2Kg);
+    row("package (Cpackage)", report.hi.packageCo2Kg);
+    row("inter-die comm (Cmfg,comm)", report.hi.routingCo2Kg);
+    row("design, amortized (Cdes)", report.designCo2Kg);
+    if (report.nreCo2Kg > 0.0)
+        row("mask NRE, amortized", report.nreCo2Kg);
+    row("operational (lifetime Cop)", report.operation.co2Kg);
+    os << "| **embodied (Cemb)** | **"
+       << num(report.embodiedCo2Kg()) << "** | **"
+       << pct(report.embodiedCo2Kg() / total) << "** |\n";
+    os << "| **total (Ctot)** | **" << num(total)
+       << "** | 100.0 % |\n";
+
+    if (!system.isMonolithic()) {
+        os << "\n## Heterogeneous-integration detail\n\n";
+        os << "- Package outline: "
+           << num(report.hi.packageAreaMm2) << " mm^2 ("
+           << num(report.hi.whitespaceAreaMm2)
+           << " mm^2 whitespace)\n";
+        os << "- Package yield: " << num(report.hi.packageYield)
+           << "\n";
+        if (report.hi.bridgeCount > 0)
+            os << "- Silicon bridges: " << report.hi.bridgeCount
+               << "\n";
+        if (report.hi.bondCount > 0)
+            os << "- Vertical connections: "
+               << num(report.hi.bondCount, 0) << "\n";
+        os << "- Added communication silicon: "
+           << num(report.hi.commAreaMm2) << " mm^2\n";
+        os << "- NoC/PHY power overhead: "
+           << num(report.hi.nocPowerW) << " W\n";
+    }
+
+    os << "\n## Operation\n\n";
+    os << "- Average power while on: "
+       << num(report.operation.avgPowerW) << " W\n";
+    os << "- Lifetime use energy: "
+       << num(report.operation.lifetimeEnergyKwh) << " kWh\n";
+}
+
+std::string
+markdownReport(const SystemSpec &system, const CarbonReport &report,
+               const EcoChipConfig &config)
+{
+    std::ostringstream oss;
+    writeMarkdownReport(oss, system, report, config);
+    return oss.str();
+}
+
+} // namespace ecochip

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Human-readable (markdown) carbon report generation.
+ */
+
+#ifndef ECOCHIP_IO_REPORT_WRITER_H
+#define ECOCHIP_IO_REPORT_WRITER_H
+
+#include <ostream>
+#include <string>
+
+#include "core/ecochip.h"
+
+namespace ecochip {
+
+/**
+ * Render a full markdown report for one evaluation: the system
+ * description, per-chiplet manufacturing detail, the Cemb / Cop /
+ * Ctot breakdown, and HI packaging details.
+ *
+ * @param os Destination stream.
+ * @param system The evaluated system.
+ * @param report Its carbon report.
+ * @param config The configuration used (for context lines).
+ */
+void writeMarkdownReport(std::ostream &os,
+                         const SystemSpec &system,
+                         const CarbonReport &report,
+                         const EcoChipConfig &config);
+
+/** Convenience: the markdown report as a string. */
+std::string markdownReport(const SystemSpec &system,
+                           const CarbonReport &report,
+                           const EcoChipConfig &config);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_REPORT_WRITER_H

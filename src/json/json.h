@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Self-contained JSON value type, parser, and serializer.
+ *
+ * The reference ECO-CHIP artifact is driven by JSON configuration
+ * files (architecture.json, packageC.json, designC.json,
+ * operationalC.json). This module provides the equivalent substrate
+ * with no external dependencies: a recursive-descent parser with
+ * line/column error reporting and a pretty-printing serializer.
+ *
+ * Objects preserve insertion order so that serialized configs diff
+ * cleanly against their sources.
+ */
+
+#ifndef ECOCHIP_JSON_JSON_H
+#define ECOCHIP_JSON_JSON_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecochip::json {
+
+class Value;
+
+/** Ordered key/value storage backing JSON objects. */
+using Member = std::pair<std::string, Value>;
+
+/** JSON type tags. */
+enum class Type
+{
+    Null,
+    Boolean,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+/** Human-readable name of a JSON type tag. */
+const char *typeName(Type type);
+
+/**
+ * A dynamically typed JSON value.
+ *
+ * Accessors come in two flavors: checked (asNumber() etc., which
+ * throw ConfigError on type mismatch -- config files are user input)
+ * and interrogative (isNumber() etc.).
+ */
+class Value
+{
+  public:
+    /** Construct a null value. */
+    Value() : type_(Type::Null) {}
+
+    /** Construct a boolean value. */
+    Value(bool b) : type_(Type::Boolean), boolean_(b) {}
+
+    /** Construct a number value from a double. */
+    Value(double n) : type_(Type::Number), number_(n) {}
+
+    /** Construct a number value from an int. */
+    Value(int n) : type_(Type::Number), number_(n) {}
+
+    /** Construct a number value from a long. */
+    Value(long n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {}
+
+    /** Construct a string value. */
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    /** Construct a string value from a literal. */
+    Value(const char *s) : type_(Type::String), string_(s) {}
+
+    /** Build an empty array value. */
+    static Value makeArray();
+
+    /** Build an array from elements. */
+    static Value makeArray(std::vector<Value> elements);
+
+    /** Build an empty object value. */
+    static Value makeObject();
+
+    /** Type of this value. */
+    Type type() const { return type_; }
+
+    /** @{ @name Type predicates */
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBoolean() const { return type_ == Type::Boolean; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+    /** @} */
+
+    /** Checked boolean access; throws ConfigError on mismatch. */
+    bool asBoolean() const;
+
+    /** Checked numeric access; throws ConfigError on mismatch. */
+    double asNumber() const;
+
+    /**
+     * Checked integral access; throws ConfigError if the number is
+     * not integral within rounding tolerance.
+     */
+    std::int64_t asInteger() const;
+
+    /** Checked string access; throws ConfigError on mismatch. */
+    const std::string &asString() const;
+
+    /** Checked array access; throws ConfigError on mismatch. */
+    const std::vector<Value> &asArray() const;
+
+    /** Mutable checked array access. */
+    std::vector<Value> &asArray();
+
+    /** Checked object member list; throws ConfigError on mismatch. */
+    const std::vector<Member> &members() const;
+
+    /** True when the object has a member named @p key. */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Checked object member lookup.
+     *
+     * @param key Member name; missing keys throw ConfigError.
+     */
+    const Value &at(const std::string &key) const;
+
+    /**
+     * Optional lookup: returns @p fallback when the member is
+     * missing (but still type-checks when present).
+     */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** Optional string lookup with fallback. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /** Optional boolean lookup with fallback. */
+    bool booleanOr(const std::string &key, bool fallback) const;
+
+    /**
+     * Insert or overwrite an object member.
+     *
+     * @param key Member name.
+     * @param value Member value.
+     */
+    void set(const std::string &key, Value value);
+
+    /** Append an element to an array value. */
+    void append(Value element);
+
+    /** Element count of an array or member count of an object. */
+    std::size_t size() const;
+
+    /** Checked array indexing. */
+    const Value &operator[](std::size_t index) const;
+
+    /**
+     * Serialize to a JSON string.
+     *
+     * @param pretty When true, emit 4-space indented output.
+     */
+    std::string dump(bool pretty = false) const;
+
+    /** Structural equality. */
+    bool operator==(const Value &other) const;
+
+  private:
+    void dumpTo(std::string &out, bool pretty, int depth) const;
+
+    Type type_;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<Member> object_;
+};
+
+/**
+ * Parse a JSON document.
+ *
+ * @param text Complete JSON text.
+ * @return The parsed root value.
+ * @throws ConfigError with line/column context on malformed input.
+ */
+Value parse(const std::string &text);
+
+/**
+ * Parse the JSON document in a file.
+ *
+ * @param path Filesystem path to a JSON file.
+ */
+Value parseFile(const std::string &path);
+
+/**
+ * Write a value to a file as pretty-printed JSON.
+ *
+ * @param value Root value to serialize.
+ * @param path Destination path (overwritten).
+ */
+void writeFile(const Value &value, const std::string &path);
+
+} // namespace ecochip::json
+
+#endif // ECOCHIP_JSON_JSON_H

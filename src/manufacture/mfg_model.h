@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Manufacturing-CFP model (paper Sec. III-C, Eqs. 5-6).
+ */
+
+#ifndef ECOCHIP_MANUFACTURE_MFG_MODEL_H
+#define ECOCHIP_MANUFACTURE_MFG_MODEL_H
+
+#include "chiplet/chiplet.h"
+#include "tech/carbon_intensity.h"
+#include "tech/tech_db.h"
+#include "wafer/wafer_model.h"
+#include "yield/yield_model.h"
+
+namespace ecochip {
+
+/** Per-chiplet manufacturing result with its contributing terms. */
+struct MfgBreakdown
+{
+    /** Die area at the chiplet's node (mm^2). */
+    double areaMm2 = 0.0;
+
+    /** Die yield Y(d, p) from Eq. 4. */
+    double yield = 1.0;
+
+    /** Yielded carbon per area, kg CO2/cm^2 (Eq. 6). */
+    double cfpaKgPerCm2 = 0.0;
+
+    /** Dies per wafer at this die size (Eq. 7). */
+    long diesPerWafer = 0;
+
+    /** Amortized wasted silicon per die, mm^2 (Eq. 8). */
+    double wastedAreaMm2 = 0.0;
+
+    /** CFPA * Adie term of Eq. 5 (kg CO2). */
+    double dieCo2Kg = 0.0;
+
+    /** CFPA_Si * Awasted term of Eq. 5 (kg CO2). */
+    double wastedCo2Kg = 0.0;
+
+    /** Total manufacturing carbon for the chiplet (kg CO2). */
+    double totalCo2Kg() const { return dieCo2Kg + wastedCo2Kg; }
+};
+
+/**
+ * Manufacturing-CFP estimator.
+ *
+ * Computes, per chiplet,
+ *
+ *   CFPA   = (eta_eq * Cmfg,src * EPA(p) + Cgas + Cmat) / Y(d, p)
+ *   Cmfg,i = CFPA * Adie + CFPA_Si * Awasted
+ *
+ * and sums over chiplets for the system Cmfg. Wafer-periphery
+ * wastage accounting can be disabled to reproduce Fig. 3(b)'s
+ * "without wastage" series.
+ */
+class ManufacturingModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param wafer Wafer geometry; the paper's results use 450 mm.
+     * @param fab_intensity_g_per_kwh Carbon intensity of the fab's
+     *        energy source Cmfg,src (default: coal, 700 g/kWh).
+     * @param yield_kind Die-yield statistics (paper default:
+     *        negative binomial, Eq. 4).
+     */
+    explicit ManufacturingModel(
+        const TechDb &tech, WaferModel wafer = WaferModel(),
+        double fab_intensity_g_per_kwh =
+            carbonIntensityGPerKwh(EnergySource::Coal),
+        YieldModelKind yield_kind =
+            YieldModelKind::NegativeBinomial);
+
+    /** Die-yield statistics in use. */
+    YieldModelKind yieldKind() const { return yieldModel_.kind(); }
+
+    /** Enable/disable wafer-wastage accounting (Fig. 3(b)). */
+    void setIncludeWastage(bool include) { includeWastage_ = include; }
+
+    /** True when wafer-periphery wastage is charged to each die. */
+    bool includeWastage() const { return includeWastage_; }
+
+    /** Fab energy-source carbon intensity in g CO2/kWh. */
+    double fabIntensityGPerKwh() const { return fabIntensityGPerKwh_; }
+
+    /** Wafer geometry in use. */
+    const WaferModel &wafer() const { return wafer_; }
+
+    /**
+     * Pre-yield carbon per unit area of manufacturing at a node
+     * (the numerator of Eq. 6), kg CO2/cm^2.
+     */
+    double grossCfpaKgPerCm2(double node_nm) const;
+
+    /**
+     * Full manufacturing breakdown for one chiplet (Eqs. 4-8).
+     *
+     * @param chiplet Chiplet description.
+     */
+    MfgBreakdown chipletMfg(const Chiplet &chiplet) const;
+
+    /**
+     * Manufacturing breakdown for an arbitrary die described by
+     * (type, node, area) without a Chiplet object -- used by
+     * packaging models for interposers.
+     */
+    MfgBreakdown dieMfg(double area_mm2, double node_nm) const;
+
+    /** System manufacturing CFP: sum of Cmfg,i (kg CO2). */
+    double systemMfgCo2Kg(const SystemSpec &system) const;
+
+  private:
+    const TechDb *tech_;
+    WaferModel wafer_;
+    YieldModel yieldModel_;
+    double fabIntensityGPerKwh_;
+    bool includeWastage_ = true;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_MANUFACTURE_MFG_MODEL_H

@@ -1,0 +1,51 @@
+#include "manufacture/nre_model.h"
+
+#include "support/error.h"
+#include "support/units.h"
+
+namespace ecochip {
+
+NreCarbonModel::NreCarbonModel(const TechDb &tech,
+                               double fab_intensity_g_per_kwh,
+                               double chiplet_volume)
+    : tech_(&tech),
+      fabIntensityGPerKwh_(fab_intensity_g_per_kwh),
+      chipletVolume_(chiplet_volume)
+{
+    requireConfig(fab_intensity_g_per_kwh > 0.0,
+                  "mask-shop carbon intensity must be positive");
+    requireConfig(chiplet_volume >= 1.0,
+                  "chiplet volume must be at least 1");
+}
+
+double
+NreCarbonModel::maskSetCo2Kg(double node_nm) const
+{
+    return units::carbonKg(fabIntensityGPerKwh_,
+                           tech_->maskSetEnergyKwh(node_nm));
+}
+
+double
+NreCarbonModel::amortizedCo2Kg(const Chiplet &chiplet) const
+{
+    if (chiplet.reused)
+        return 0.0; // mask set paid for by previous products
+    return maskSetCo2Kg(chiplet.nodeNm) / chipletVolume_;
+}
+
+double
+NreCarbonModel::systemNreCo2Kg(const SystemSpec &system) const
+{
+    requireConfig(!system.chiplets.empty(),
+                  "system has no chiplets");
+    if (system.singleDie) {
+        return maskSetCo2Kg(system.monolithicNodeNm()) /
+               chipletVolume_;
+    }
+    double total = 0.0;
+    for (const auto &chiplet : system.chiplets)
+        total += amortizedCo2Kg(chiplet);
+    return total;
+}
+
+} // namespace ecochip

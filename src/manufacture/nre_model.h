@@ -1,0 +1,65 @@
+/**
+ * @file
+ * NRE (non-recurring engineering) manufacturing carbon -- the
+ * extension the paper identifies in Sec. V-C: "Although ECO-CHIP
+ * does not split the Cmfg into its NRE and non-NRE components,
+ * this will only improve CFP savings."
+ *
+ * The dominant manufacturing NRE is the photomask set: tens of
+ * masks per node, each consuming long e-beam write and inspection
+ * runs. Like its dollar cost, the mask set's carbon is paid once
+ * per chiplet design and amortized over the number of parts
+ * manufactured (NMi) -- so reused chiplets, exactly as with Cdes,
+ * contribute no mask carbon to a new system.
+ */
+
+#ifndef ECOCHIP_MANUFACTURE_NRE_MODEL_H
+#define ECOCHIP_MANUFACTURE_NRE_MODEL_H
+
+#include "chiplet/chiplet.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** Mask-set NRE carbon estimator. */
+class NreCarbonModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param fab_intensity_g_per_kwh Carbon intensity of the mask
+     *        shop's energy.
+     * @param chiplet_volume Parts manufactured per chiplet design
+     *        (NMi) for amortization.
+     */
+    explicit NreCarbonModel(const TechDb &tech,
+                            double fab_intensity_g_per_kwh = 700.0,
+                            double chiplet_volume = 100000.0);
+
+    /**
+     * Unamortized carbon of manufacturing one mask set at a node
+     * (kg CO2).
+     */
+    double maskSetCo2Kg(double node_nm) const;
+
+    /**
+     * Per-part amortized mask carbon of one chiplet; zero when
+     * the chiplet is a reused design.
+     */
+    double amortizedCo2Kg(const Chiplet &chiplet) const;
+
+    /**
+     * Per-part mask-NRE carbon of a system (kg CO2). Monolithic
+     * dies pay exactly one mask set at the die's node.
+     */
+    double systemNreCo2Kg(const SystemSpec &system) const;
+
+  private:
+    const TechDb *tech_;
+    double fabIntensityGPerKwh_;
+    double chipletVolume_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_MANUFACTURE_NRE_MODEL_H

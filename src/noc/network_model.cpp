@@ -1,0 +1,61 @@
+#include "noc/network_model.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+NetworkModel::NetworkModel(const TechDb &tech,
+                           RouterParams params)
+    : tech_(&tech), router_(tech, params), params_(params)
+{
+}
+
+NetworkEstimate
+NetworkModel::meshEstimate(int chiplet_count, double node_nm,
+                           double clock_hz,
+                           double injection_rate_flits_hz) const
+{
+    requireConfig(chiplet_count >= 1,
+                  "mesh needs at least one chiplet");
+    requireConfig(clock_hz > 0.0, "clock must be positive");
+    requireConfig(injection_rate_flits_hz >= 0.0,
+                  "injection rate must be non-negative");
+
+    NetworkEstimate out;
+
+    // Near-square factorization: columns = ceil(sqrt(n)).
+    out.columns = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(chiplet_count))));
+    out.rows = (chiplet_count + out.columns - 1) / out.columns;
+
+    // Average Manhattan distance on a k-node line is
+    // (k^2 - 1) / (3k); sum the two dimensions.
+    auto avg_line = [](int k) {
+        return k > 1 ? (static_cast<double>(k) * k - 1.0) /
+                           (3.0 * k)
+                     : 0.0;
+    };
+    out.avgHops = avg_line(out.columns) + avg_line(out.rows);
+
+    const double cycle_ns = 1e9 / clock_hz;
+    out.perHopLatencyNs =
+        (kRouterPipelineCycles + kLinkCycles) * cycle_ns;
+    // Zero-load latency: source router + avgHops hops.
+    out.avgLatencyNs =
+        (out.avgHops + 1.0) * out.perHopLatencyNs;
+
+    // Bisection: links crossing the narrower cut, one flit-width
+    // channel per link per direction.
+    const int cut_links = std::min(out.columns, out.rows);
+    out.bisectionBandwidthGbps =
+        2.0 * cut_links * params_.flitWidthBits * clock_hz / 1e9;
+
+    out.networkPowerW =
+        chiplet_count *
+        router_.powerW(node_nm, injection_rate_flits_hz);
+    return out;
+}
+
+} // namespace ecochip

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Inter-die network performance estimator.
+ *
+ * The paper stops at CFP: "estimating the performance overheads of
+ * the chiplet-based GA102 ... requires modeling the performance of
+ * inter-die communication and router overheads, which is beyond
+ * the scope of ECO-CHIP" (Sec. VI(1)). This module supplies the
+ * missing first-order model for a 2D-mesh network-on-interposer:
+ * average hop count, per-hop latency from the router pipeline, and
+ * bisection bandwidth -- enough to extend the carbon-delay product
+ * analysis of Fig. 13 to arbitrary disaggregations.
+ */
+
+#ifndef ECOCHIP_NOC_NETWORK_MODEL_H
+#define ECOCHIP_NOC_NETWORK_MODEL_H
+
+#include "noc/router_model.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** First-order performance estimate of a chiplet mesh. */
+struct NetworkEstimate
+{
+    /** Mesh dimensions (columns x rows). */
+    int columns = 1;
+    int rows = 1;
+
+    /** Average router-to-router Manhattan hop count. */
+    double avgHops = 0.0;
+
+    /** Latency of one hop (router pipeline + link), ns. */
+    double perHopLatencyNs = 0.0;
+
+    /** Average end-to-end zero-load packet latency, ns. */
+    double avgLatencyNs = 0.0;
+
+    /** Bisection bandwidth, Gbit/s. */
+    double bisectionBandwidthGbps = 0.0;
+
+    /** Total network power at the given injection rate, W. */
+    double networkPowerW = 0.0;
+};
+
+/** 2D-mesh network estimator. */
+class NetworkModel
+{
+  public:
+    /** Router pipeline depth in cycles (RC/VA/SA/ST). */
+    static constexpr int kRouterPipelineCycles = 3;
+
+    /** Link traversal cycles between adjacent chiplets. */
+    static constexpr int kLinkCycles = 1;
+
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param params Router microarchitecture.
+     */
+    explicit NetworkModel(const TechDb &tech,
+                          RouterParams params = RouterParams());
+
+    /**
+     * Estimate a near-square 2D mesh over @p chiplet_count nodes.
+     *
+     * @param chiplet_count Nodes in the mesh (>= 1).
+     * @param node_nm Node the routers are implemented in.
+     * @param clock_hz Network clock.
+     * @param injection_rate_flits_hz Average accepted flits per
+     *        router per second, for the power estimate.
+     */
+    NetworkEstimate
+    meshEstimate(int chiplet_count, double node_nm,
+                 double clock_hz,
+                 double injection_rate_flits_hz = 1.0e9) const;
+
+  private:
+    const TechDb *tech_;
+    RouterModel router_;
+    RouterParams params_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_NOC_NETWORK_MODEL_H

@@ -1,0 +1,136 @@
+#include "noc/router_model.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Transistors per buffered SRAM bit. */
+constexpr double kBufferBitTransistors = 6.0;
+
+/** Transistors per crossbar crosspoint bit (mux tree share). */
+constexpr double kCrossbarBitTransistors = 12.0;
+
+/** Transistors per allocator arbitration cell. */
+constexpr double kAllocatorCellTransistors = 10.0;
+
+/** Transistors per output driver bit. */
+constexpr double kOutputBitTransistors = 8.0;
+
+/** Fraction of router transistors toggling per flit traversal. */
+constexpr double kFlitActivity = 0.25;
+
+} // namespace
+
+RouterModel::RouterModel(const TechDb &tech, RouterParams params)
+    : tech_(&tech), params_(params)
+{
+    requireConfig(params.ports >= 2, "router needs >= 2 ports");
+    requireConfig(params.flitWidthBits > 0,
+                  "flit width must be positive");
+    requireConfig(params.buffersPerVc > 0,
+                  "buffer depth must be positive");
+    requireConfig(params.virtualChannels > 0,
+                  "virtual channel count must be positive");
+}
+
+double
+RouterModel::transistorsMtr() const
+{
+    const double p = params_.ports;
+    const double w = params_.flitWidthBits;
+    const double v = params_.virtualChannels;
+    const double b = params_.buffersPerVc;
+
+    const double buffers = p * v * b * w * kBufferBitTransistors;
+    const double crossbar = p * p * w * kCrossbarBitTransistors;
+    const double vc_alloc = p * p * v * v * kAllocatorCellTransistors;
+    const double sw_alloc = p * p * v * kAllocatorCellTransistors;
+    const double outputs = p * w * kOutputBitTransistors;
+
+    return (buffers + crossbar + vc_alloc + sw_alloc + outputs) /
+           1e6;
+}
+
+double
+RouterModel::areaMm2(double node_nm) const
+{
+    return tech_->dieAreaMm2(DesignType::Logic, node_nm,
+                             transistorsMtr());
+}
+
+double
+RouterModel::energyPerFlitNj(double node_nm) const
+{
+    // A flit traversal toggles the buffer bits it occupies (write +
+    // read), one crossbar column, and the arbitration logic --
+    // modeled as kFlitActivity of the router's switched
+    // capacitance.
+    const double vdd = tech_->supplyVoltageV(node_nm);
+    const double cap_f = transistorsMtr() * 1e6 *
+                         tech_->effCapFfPerTransistor(node_nm) *
+                         1e-15;
+    const double energy_j = kFlitActivity * cap_f * vdd * vdd;
+    return energy_j * 1e9;
+}
+
+double
+RouterModel::leakagePowerW(double node_nm) const
+{
+    const double vdd = tech_->supplyVoltageV(node_nm);
+    const double leak_a =
+        tech_->leakageMaPerMtr(node_nm) * 1e-3 * transistorsMtr();
+    return leak_a * vdd;
+}
+
+double
+RouterModel::powerW(double node_nm, double flit_rate_hz) const
+{
+    requireConfig(flit_rate_hz >= 0.0,
+                  "flit rate must be non-negative");
+    return flit_rate_hz * energyPerFlitNj(node_nm) * 1e-9 +
+           leakagePowerW(node_nm);
+}
+
+PhyModel::PhyModel(const TechDb &tech, int lane_bits)
+    : tech_(&tech), laneBits_(lane_bits)
+{
+    requireConfig(lane_bits > 0, "PHY width must be positive");
+}
+
+double
+PhyModel::transistorsMtr() const
+{
+    // Parallel die-to-die PHYs (UCIe/AIB class) spend a few
+    // hundred transistors per data bit on TX/RX lanes, clocking,
+    // and training logic -- a notch below a full NoC router.
+    constexpr double transistors_per_bit = 600.0;
+    return laneBits_ * transistors_per_bit / 1e6;
+}
+
+double
+PhyModel::areaMm2(double node_nm) const
+{
+    return tech_->dieAreaMm2(DesignType::Logic, node_nm,
+                             transistorsMtr());
+}
+
+double
+PhyModel::powerW(double node_nm, double bit_rate_hz) const
+{
+    requireConfig(bit_rate_hz >= 0.0,
+                  "bit rate must be non-negative");
+    // ~0.5 pJ/bit class short-reach links, scaled by the node's
+    // V^2 relative to the 7 nm operating point.
+    const double vdd = tech_->supplyVoltageV(node_nm);
+    const double vdd_ref = tech_->supplyVoltageV(7.0);
+    const double pj_per_bit =
+        0.5 * (vdd * vdd) / (vdd_ref * vdd_ref);
+    const double dynamic_w = bit_rate_hz * pj_per_bit * 1e-12;
+    const double leak_w = tech_->leakageMaPerMtr(node_nm) * 1e-3 *
+                          transistorsMtr() * vdd;
+    return dynamic_w + leak_w;
+}
+
+} // namespace ecochip

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Analytical NoC router area/power model (paper Sec. III-D(2)).
+ *
+ * The paper delegates router power to ORION 3.0 and router area to
+ * Stow et al.'s network-on-interposer tables, then linearly rescales
+ * across technology nodes. Neither third-party tool is available
+ * here, so this module substitutes an analytical model with the
+ * same microarchitectural knobs (port count, flit width, buffer
+ * depth, virtual channels): transistor counts for the buffer,
+ * crossbar, and allocator stages are converted to area via the
+ * logic density curve DT(logic, p) and to power via the technology
+ * operating-point tables. This preserves the behaviour the paper
+ * depends on: router overheads are small relative to chiplet areas,
+ * and a router in an advanced node is much smaller than the same
+ * router in the interposer's legacy node.
+ */
+
+#ifndef ECOCHIP_NOC_ROUTER_MODEL_H
+#define ECOCHIP_NOC_ROUTER_MODEL_H
+
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** Microarchitectural parameters of a NoC router. */
+struct RouterParams
+{
+    /** Bidirectional port count (Table I-era NoI: 4-6). */
+    int ports = 5;
+
+    /** Flit width in bits (Table I: 512). */
+    int flitWidthBits = 512;
+
+    /** Buffer depth per virtual channel, in flits. */
+    int buffersPerVc = 4;
+
+    /** Virtual channels per port. */
+    int virtualChannels = 4;
+};
+
+/**
+ * Analytical router estimator.
+ *
+ * Transistor budget:
+ *  - input buffers: P * V * B * W * 6T SRAM bits
+ *  - crossbar:      P^2 * W * 12T per crosspoint bit (mux tree)
+ *  - VC allocator:  P^2 * V^2 * 10T
+ *  - switch alloc:  P^2 * V * 10T
+ *  - output stage:  P * W * 8T drivers
+ */
+class RouterModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param params Router microarchitecture.
+     */
+    explicit RouterModel(const TechDb &tech,
+                         RouterParams params = RouterParams());
+
+    /** Router parameters in use. */
+    const RouterParams &params() const { return params_; }
+
+    /** Estimated router transistor count in millions. */
+    double transistorsMtr() const;
+
+    /**
+     * Router area when implemented at @p node_nm (mm^2), via the
+     * logic density curve.
+     */
+    double areaMm2(double node_nm) const;
+
+    /**
+     * Dynamic energy to move one flit through the router (nJ):
+     * buffer write + read, crossbar traversal, and arbitration.
+     */
+    double energyPerFlitNj(double node_nm) const;
+
+    /** Router leakage power at @p node_nm (W). */
+    double leakagePowerW(double node_nm) const;
+
+    /**
+     * Average router power (W), ORION-style:
+     *   P = flit_rate * E_flit + P_leak
+     *
+     * @param node_nm Implementation node.
+     * @param flit_rate_hz Average accepted flits per second.
+     */
+    double powerW(double node_nm, double flit_rate_hz) const;
+
+  private:
+    const TechDb *tech_;
+    RouterParams params_;
+};
+
+/**
+ * Die-to-die PHY interface model for RDL-fanout and bridge (EMIB)
+ * packages: "typically designed as IPs and have small additional
+ * areas when compared to the chiplets" (Sec. III-D(2)).
+ */
+class PhyModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param lane_bits Parallel interface width in bits.
+     */
+    explicit PhyModel(const TechDb &tech, int lane_bits = 512);
+
+    /** Interface width in bits. */
+    int laneBits() const { return laneBits_; }
+
+    /** PHY macro transistor count (MTr). */
+    double transistorsMtr() const;
+
+    /** PHY macro area at @p node_nm (mm^2). */
+    double areaMm2(double node_nm) const;
+
+    /** Average PHY power at @p node_nm and bit rate (W). */
+    double powerW(double node_nm, double bit_rate_hz) const;
+
+  private:
+    const TechDb *tech_;
+    int laneBits_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_NOC_ROUTER_MODEL_H

@@ -1,0 +1,101 @@
+#include "operation/operational_model.h"
+
+#include "support/error.h"
+#include "support/units.h"
+
+namespace ecochip {
+
+OperationalModel::OperationalModel(const TechDb &tech,
+                                   OperatingSpec spec)
+    : tech_(&tech), spec_(spec)
+{
+    requireConfig(spec.lifetimeYears > 0.0,
+                  "lifetime must be positive");
+    requireConfig(spec.dutyCycle > 0.0 && spec.dutyCycle <= 1.0,
+                  "duty cycle must be in (0, 1]");
+    requireConfig(spec.avgFrequencyHz > 0.0,
+                  "frequency must be positive");
+    requireConfig(spec.switchingActivity > 0.0 &&
+                      spec.switchingActivity <= 1.0,
+                  "switching activity must be in (0, 1]");
+    requireConfig(spec.useIntensityGPerKwh > 0.0,
+                  "use-phase carbon intensity must be positive");
+    if (spec.avgPowerW)
+        requireConfig(*spec.avgPowerW > 0.0,
+                      "average power override must be positive");
+    if (spec.annualEnergyKwh)
+        requireConfig(*spec.annualEnergyKwh > 0.0,
+                      "annual energy override must be positive");
+}
+
+double
+OperationalModel::chipletPowerW(const Chiplet &chiplet) const
+{
+    const double node = chiplet.nodeNm;
+    const double vdd = tech_->supplyVoltageV(node);
+
+    // Leakage: Vdd * Ileak with Ileak proportional to transistor
+    // count.
+    const double leak_a =
+        tech_->leakageMaPerMtr(node) * 1e-3 * chiplet.transistorsMtr;
+    const double leak_w = vdd * leak_a;
+
+    // Dynamic: alpha * C * Vdd^2 * f with C the total effective
+    // switched capacitance.
+    const double cap_f = chiplet.transistorsMtr * 1e6 *
+                         tech_->effCapFfPerTransistor(node) * 1e-15;
+    const double dyn_w = spec_.switchingActivity * cap_f * vdd *
+                         vdd * spec_.avgFrequencyHz;
+
+    return leak_w + dyn_w;
+}
+
+double
+OperationalModel::systemPowerW(const SystemSpec &system,
+                               double extra_power_w) const
+{
+    requireConfig(extra_power_w >= 0.0,
+                  "extra power must be non-negative");
+    if (spec_.avgPowerW)
+        return *spec_.avgPowerW + extra_power_w;
+
+    double total = 0.0;
+    for (const auto &chiplet : system.chiplets)
+        total += chipletPowerW(chiplet);
+    return total + extra_power_w;
+}
+
+OperationalBreakdown
+OperationalModel::evaluate(const SystemSpec &system,
+                           double extra_power_w) const
+{
+    OperationalBreakdown out;
+    if (spec_.annualEnergyKwh) {
+        // Battery-rating path: energy is known directly; HI power
+        // overheads still add on top of it.
+        const double on_hours_per_year =
+            spec_.dutyCycle * units::kHoursPerYear;
+        const double extra_kwh_per_year = extra_power_w *
+                                          on_hours_per_year *
+                                          units::kKwhPerWh;
+        out.lifetimeEnergyKwh =
+            (*spec_.annualEnergyKwh + extra_kwh_per_year) *
+            spec_.lifetimeYears;
+        out.avgPowerW =
+            *spec_.annualEnergyKwh / units::kKwhPerWh /
+                on_hours_per_year +
+            extra_power_w;
+    } else {
+        out.avgPowerW = systemPowerW(system, extra_power_w);
+        const double on_hours = spec_.lifetimeYears *
+                                units::kHoursPerYear *
+                                spec_.dutyCycle;
+        out.lifetimeEnergyKwh =
+            out.avgPowerW * on_hours * units::kKwhPerWh;
+    }
+    out.co2Kg = units::carbonKg(spec_.useIntensityGPerKwh,
+                                out.lifetimeEnergyKwh);
+    return out;
+}
+
+} // namespace ecochip

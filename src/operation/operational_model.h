@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Operational-CFP model (paper Sec. III-F, Eqs. 3 and 14).
+ */
+
+#ifndef ECOCHIP_OPERATION_OPERATIONAL_MODEL_H
+#define ECOCHIP_OPERATION_OPERATIONAL_MODEL_H
+
+#include <optional>
+
+#include "chiplet/chiplet.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** Operating specification (paper Sec. III-A(3), Table I). */
+struct OperatingSpec
+{
+    /** Product lifetime in years (Table I: 2 - 5). */
+    double lifetimeYears = 2.0;
+
+    /** ON-time fraction TON (Table I: 5% - 20%). */
+    double dutyCycle = 0.10;
+
+    /** Average use-case clock frequency (Hz), not max rating. */
+    double avgFrequencyHz = 1.0e9;
+
+    /** Average switching activity alpha. */
+    double switchingActivity = 0.10;
+
+    /** Carbon intensity of use-phase energy Csrc,use (g/kWh). */
+    double useIntensityGPerKwh = 700.0;
+
+    /**
+     * Direct average-power override (W). When set, the analytical
+     * Eq. 14 power model is bypassed -- used when a power rating
+     * or profiling measurement is available (e.g. the GA102's
+     * measured average draw).
+     */
+    std::optional<double> avgPowerW;
+
+    /**
+     * Direct annual use-energy override (kWh/year). When set, both
+     * the power model and duty cycle are bypassed -- the
+     * battery-rating path for mobile devices (Sec. III-F).
+     */
+    std::optional<double> annualEnergyKwh;
+};
+
+/** Operational-energy/carbon breakdown. */
+struct OperationalBreakdown
+{
+    /** Average system power while ON (W). */
+    double avgPowerW = 0.0;
+
+    /** Energy over the whole lifetime Euse (kWh). */
+    double lifetimeEnergyKwh = 0.0;
+
+    /** Operational carbon over the lifetime (kg CO2). */
+    double co2Kg = 0.0;
+};
+
+/**
+ * Operational-CFP estimator.
+ *
+ * Implements Eq. 14 per chiplet at its own node:
+ *
+ *   Euse = TON * (Vdd * Ileak + alpha * C * Vdd^2 * f)
+ *
+ * with Vdd, leakage, and effective switched capacitance taken from
+ * the technology operating-point tables -- chiplets in legacy
+ * nodes pay higher supply voltages, the effect that raises Cop for
+ * disaggregated systems (Sec. V-A(4)). HI power overheads (NoC,
+ * PHY) enter through @p extra_power_w.
+ */
+class OperationalModel
+{
+  public:
+    /**
+     * @param tech Technology database (must outlive the model).
+     * @param spec Operating specification.
+     */
+    explicit OperationalModel(const TechDb &tech,
+                              OperatingSpec spec = OperatingSpec());
+
+    /** Operating spec in use. */
+    const OperatingSpec &spec() const { return spec_; }
+
+    /** Analytical per-chiplet average power while ON (W). */
+    double chipletPowerW(const Chiplet &chiplet) const;
+
+    /**
+     * Average system power while ON (W): sum of chiplet powers (or
+     * the override) plus @p extra_power_w of HI circuitry.
+     */
+    double systemPowerW(const SystemSpec &system,
+                        double extra_power_w = 0.0) const;
+
+    /**
+     * Full breakdown over the configured lifetime.
+     *
+     * @param system System description.
+     * @param extra_power_w NoC/PHY power overhead from packaging.
+     */
+    OperationalBreakdown evaluate(const SystemSpec &system,
+                                  double extra_power_w = 0.0) const;
+
+  private:
+    const TechDb *tech_;
+    OperatingSpec spec_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_OPERATION_OPERATIONAL_MODEL_H

@@ -1,0 +1,95 @@
+#include "package/package_params.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+const char *
+toString(PackagingArch arch)
+{
+    switch (arch) {
+      case PackagingArch::RdlFanout: return "rdl_fanout";
+      case PackagingArch::SiliconBridge: return "silicon_bridge";
+      case PackagingArch::PassiveInterposer:
+        return "passive_interposer";
+      case PackagingArch::ActiveInterposer:
+        return "active_interposer";
+      case PackagingArch::Stack3d: return "3d";
+    }
+    return "unknown";
+}
+
+PackagingArch
+packagingArchFromString(const std::string &name)
+{
+    if (name == "rdl_fanout" || name == "rdl" || name == "fanout")
+        return PackagingArch::RdlFanout;
+    if (name == "silicon_bridge" || name == "emib" || name == "lsi")
+        return PackagingArch::SiliconBridge;
+    if (name == "passive_interposer" || name == "passive")
+        return PackagingArch::PassiveInterposer;
+    if (name == "active_interposer" || name == "active")
+        return PackagingArch::ActiveInterposer;
+    if (name == "3d" || name == "stack3d" || name == "3d_stack")
+        return PackagingArch::Stack3d;
+    throw ConfigError("unknown packaging architecture: \"" + name +
+                      "\"");
+}
+
+const char *
+toString(BondType type)
+{
+    switch (type) {
+      case BondType::Tsv: return "tsv";
+      case BondType::Microbump: return "microbump";
+      case BondType::HybridBond: return "hybrid";
+    }
+    return "unknown";
+}
+
+BondType
+bondTypeFromString(const std::string &name)
+{
+    if (name == "tsv")
+        return BondType::Tsv;
+    if (name == "microbump" || name == "ubump")
+        return BondType::Microbump;
+    if (name == "hybrid" || name == "hybrid_bond")
+        return BondType::HybridBond;
+    throw ConfigError("unknown bond type: \"" + name + "\"");
+}
+
+double
+PackageParams::bondPitchUm() const
+{
+    switch (bondType) {
+      case BondType::Tsv: return tsvPitchUm;
+      case BondType::Microbump: return microbumpPitchUm;
+      case BondType::HybridBond: return hybridBondPitchUm;
+    }
+    throw ModelError("unhandled bond type");
+}
+
+double
+PackageParams::bondEnergyFactor() const
+{
+    switch (bondType) {
+      case BondType::Tsv: return 1.0;
+      case BondType::Microbump: return 0.4;
+      case BondType::HybridBond: return 0.01;
+    }
+    throw ModelError("unhandled bond type");
+}
+
+double
+PackageParams::bondFailProbability() const
+{
+    switch (bondType) {
+      case BondType::Tsv: return tsvFailProbability;
+      case BondType::Microbump: return microbumpFailProbability;
+      case BondType::HybridBond: return hybridBondFailProbability;
+    }
+    throw ModelError("unhandled bond type");
+}
+
+} // namespace ecochip

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Packaging-architecture taxonomy and parameters (paper Sec. II-B,
+ * Sec. III-A(2), Table I).
+ */
+
+#ifndef ECOCHIP_PACKAGE_PACKAGE_PARAMS_H
+#define ECOCHIP_PACKAGE_PACKAGE_PARAMS_H
+
+#include <string>
+
+#include "noc/router_model.h"
+
+namespace ecochip {
+
+/** The four advanced packaging/integration families of Sec. II-B
+ *  (interposers split into passive and active). */
+enum class PackagingArch
+{
+    RdlFanout,         ///< RDL fanout on EMC substrate (Fig. 4(a))
+    SiliconBridge,     ///< EMIB / LSI bridges (Fig. 4(b))
+    PassiveInterposer, ///< 2.5D, BEOL-only interposer (Fig. 4(c))
+    ActiveInterposer,  ///< 2.5D, FEOL+BEOL interposer (Fig. 4(c))
+    Stack3d,           ///< 3D stacking, TSV/ubump/bond (Fig. 4(d))
+};
+
+/** Printable name of a packaging architecture. */
+const char *toString(PackagingArch arch);
+
+/**
+ * Parse a packaging architecture from its config spelling
+ * ("rdl_fanout", "silicon_bridge", "passive_interposer",
+ * "active_interposer", "3d").
+ */
+PackagingArch packagingArchFromString(const std::string &name);
+
+/** Vertical interconnect family for 3D integration. */
+enum class BondType
+{
+    Tsv,        ///< through-silicon vias (F2B stacking)
+    Microbump,  ///< microbumps (F2F stacking)
+    HybridBond, ///< direct bumpless Cu-Cu bonding
+};
+
+/** Printable name of a bond type. */
+const char *toString(BondType type);
+
+/** Parse a bond type ("tsv" | "microbump" | "hybrid"). */
+BondType bondTypeFromString(const std::string &name);
+
+/**
+ * All packaging knobs, defaulted to the paper's setup (Sec. IV:
+ * packaging interconnect in 65 nm, Table I ranges).
+ */
+struct PackageParams
+{
+    /** Selected architecture. */
+    PackagingArch arch = PackagingArch::RdlFanout;
+
+    /** Packaging-fab energy carbon intensity Cpkg,src (g/kWh). */
+    double intensityGPerKwh = 700.0;
+
+    /** Inter-chiplet spacing on the substrate (mm). */
+    double spacingMm = 0.5;
+
+    /** @{ @name RDL fanout (Eq. 9) */
+    /** RDL metal layer count L_RDL (Table I: 3 - 9). */
+    int rdlLayers = 6;
+    /** RDL patterning node (Table I: 22 - 65 nm). */
+    double rdlNodeNm = 65.0;
+    /** @} */
+
+    /**
+     * Build-up organic substrate layer count under bridge and
+     * interposer packages (modeled as coarse RDL layers).
+     */
+    int substrateBaseLayers = 3;
+
+    /** @{ @name Silicon bridge / EMIB (Eq. 10) */
+    /** Metal layers per bridge L_bridge (Table I: 3 - 4). */
+    int bridgeLayers = 4;
+    /** Bridge patterning node (Table I: 22 - 65 nm). */
+    double bridgeNodeNm = 65.0;
+    /** Reach of one bridge along a die edge (EMIB spec: 2 mm). */
+    double bridgeRangeMm = 2.0;
+    /** Silicon area of one bridge (EMIB spec: 2x2 mm^2). */
+    double bridgeAreaMm2 = 4.0;
+    /** Yield of embedding one bridge into the substrate cavity. */
+    double bridgeEmbedYield = 0.98;
+    /** @} */
+
+    /** @{ @name 2.5D interposers */
+    /** Interposer node (Table I: 22 - 65 nm). */
+    double interposerNodeNm = 65.0;
+    /** Interposer BEOL layer count. */
+    int interposerBeolLayers = 4;
+    /**
+     * Fraction of an active interposer's area occupied by repeater
+     * FEOL beyond the NoC routers.
+     */
+    double repeaterAreaFraction = 0.02;
+    /** @} */
+
+    /** @{ @name 3D stacking (Eq. 11) */
+    /** Vertical interconnect family. */
+    BondType bondType = BondType::Microbump;
+    /** TSV pitch (Table I: 10 - 45 um). */
+    double tsvPitchUm = 25.0;
+    /** Microbump pitch (Table I: 10 - 45 um). */
+    double microbumpPitchUm = 25.0;
+    /** Hybrid-bond pitch (Table I: 1 - 10 um). */
+    double hybridBondPitchUm = 5.0;
+    /** Per-TSV misalignment/void failure probability. */
+    double tsvFailProbability = 1.0e-7;
+    /** Per-microbump failure probability. */
+    double microbumpFailProbability = 1.0e-7;
+    /**
+     * Per-hybrid-bond failure probability. Wafer-level Cu-Cu
+     * bonding is orders of magnitude more reliable per connection
+     * than discrete bumps, which is what makes its 1 - 10 um
+     * pitches viable at all.
+     */
+    double hybridBondFailProbability = 1.0e-9;
+    /** Mechanical assembly yield per stacked tier. */
+    double tierAssemblyYield = 0.99;
+    /** Node whose via/bump process energy is charged (nm). */
+    double bondProcessNodeNm = 65.0;
+    /** @} */
+
+    /** @{ @name Inter-die communication (Sec. III-D(2)) */
+    /** NoC router microarchitecture (Table I: 512-bit flits). */
+    RouterParams router;
+    /** Average flit rate per router for NoC power (flits/s). */
+    double nocFlitRateHz = 1.0e9;
+    /** @} */
+
+    /** Pitch of the selected bond type (um). */
+    double bondPitchUm() const;
+
+    /** Per-connection failure probability of the selected type. */
+    double bondFailProbability() const;
+
+    /**
+     * Energy scale of the selected bond type relative to the
+     * TechDb per-TSV energy. TSVs pay full etch/fill/reveal cost
+     * per via; microbumps are cheaper; hybrid bonds are formed by
+     * blanket wafer bonding + CMP, so their per-connection energy
+     * is tiny even at 10^8 connections.
+     */
+    double bondEnergyFactor() const;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_PACKAGE_PACKAGE_PARAMS_H

@@ -1,0 +1,50 @@
+#include "support/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/table_printer.h"
+
+namespace ecochip {
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(TablePrinter::formatNumber(v, precision));
+    writeRow(cells);
+}
+
+} // namespace ecochip

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV emission for machine-readable bench output.
+ */
+
+#ifndef ECOCHIP_SUPPORT_CSV_H
+#define ECOCHIP_SUPPORT_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecochip {
+
+/**
+ * Streams rows of cells as RFC-4180-style CSV. Cells containing a
+ * comma, quote, or newline are quoted and inner quotes doubled.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Construct a writer bound to an output stream.
+     *
+     * @param os Stream that receives the CSV text.
+     */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /**
+     * Write one row of string cells.
+     *
+     * @param cells Cell values, already formatted.
+     */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /**
+     * Write a row whose first cell is a label and remaining cells
+     * are doubles.
+     */
+    void writeRow(const std::string &label,
+                  const std::vector<double> &values, int precision = 6);
+
+    /** Escape a single cell per CSV quoting rules. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SUPPORT_CSV_H

@@ -1,0 +1,19 @@
+#include "support/error.h"
+
+namespace ecochip {
+
+void
+requireConfig(bool condition, const std::string &message)
+{
+    if (!condition)
+        throw ConfigError(message);
+}
+
+void
+requireModel(bool condition, const std::string &message)
+{
+    if (!condition)
+        throw ModelError(message);
+}
+
+} // namespace ecochip

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error handling primitives for the ECO-CHIP library.
+ *
+ * Two categories of failure are distinguished, following simulator
+ * practice (cf. gem5's fatal/panic split):
+ *
+ *  - ConfigError: the *user's* fault -- an invalid configuration,
+ *    out-of-range parameter, or malformed input file. Callers are
+ *    expected to catch these at the tool boundary and report them.
+ *  - ModelError: the *library's* fault -- an internal invariant was
+ *    violated. These indicate a bug in ECO-CHIP itself.
+ */
+
+#ifndef ECOCHIP_SUPPORT_ERROR_H
+#define ECOCHIP_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ecochip {
+
+/** Base class for every exception thrown by the library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Invalid user-supplied configuration or parameter. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &message)
+        : Error("config error: " + message)
+    {}
+};
+
+/** Internal invariant violation: a bug in the library. */
+class ModelError : public Error
+{
+  public:
+    explicit ModelError(const std::string &message)
+        : Error("model error: " + message)
+    {}
+};
+
+/**
+ * Throw a ConfigError unless @p condition holds.
+ *
+ * @param condition Predicate that must be true for valid input.
+ * @param message Human-readable description of the violated rule.
+ */
+void requireConfig(bool condition, const std::string &message);
+
+/**
+ * Throw a ModelError unless @p condition holds.
+ *
+ * @param condition Predicate that must be true if the model is sound.
+ * @param message Human-readable description of the violated invariant.
+ */
+void requireModel(bool condition, const std::string &message);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SUPPORT_ERROR_H

@@ -1,0 +1,126 @@
+#include "support/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+PiecewiseLinear::PiecewiseLinear(
+    std::initializer_list<std::pair<double, double>> points)
+    : points_(points)
+{
+    sortAndValidate();
+}
+
+PiecewiseLinear::PiecewiseLinear(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points))
+{
+    sortAndValidate();
+}
+
+void
+PiecewiseLinear::sortAndValidate()
+{
+    std::sort(points_.begin(), points_.end());
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        requireConfig(points_[i].first != points_[i - 1].first,
+                      "duplicate abscissa in interpolation table");
+    }
+}
+
+void
+PiecewiseLinear::addPoint(double x, double y)
+{
+    points_.emplace_back(x, y);
+    sortAndValidate();
+}
+
+double
+PiecewiseLinear::eval(double x) const
+{
+    requireConfig(!points_.empty(),
+                  "evaluating an empty interpolation table");
+    if (x <= points_.front().first)
+        return points_.front().second;
+    if (x >= points_.back().first)
+        return points_.back().second;
+
+    // Find the first point with abscissa >= x; the preceding point
+    // starts the enclosing segment.
+    auto hi = std::lower_bound(
+        points_.begin(), points_.end(), x,
+        [](const auto &p, double v) { return p.first < v; });
+    auto lo = hi - 1;
+    const double t = (x - lo->first) / (hi->first - lo->first);
+    return lo->second + t * (hi->second - lo->second);
+}
+
+double
+PiecewiseLinear::minX() const
+{
+    requireConfig(!points_.empty(), "minX of empty table");
+    return points_.front().first;
+}
+
+double
+PiecewiseLinear::maxX() const
+{
+    requireConfig(!points_.empty(), "maxX of empty table");
+    return points_.back().first;
+}
+
+double
+PiecewiseLinear::minY() const
+{
+    requireConfig(!points_.empty(), "minY of empty table");
+    double best = points_.front().second;
+    for (const auto &p : points_)
+        best = std::min(best, p.second);
+    return best;
+}
+
+double
+PiecewiseLinear::maxY() const
+{
+    requireConfig(!points_.empty(), "maxY of empty table");
+    double best = points_.front().second;
+    for (const auto &p : points_)
+        best = std::max(best, p.second);
+    return best;
+}
+
+LinearRegression::LinearRegression(
+    const std::vector<std::pair<double, double>> &points)
+{
+    requireConfig(points.size() >= 2,
+                  "linear regression needs at least two samples");
+
+    const double n = static_cast<double>(points.size());
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    for (const auto &[x, y] : points) {
+        sum_x += x;
+        sum_y += y;
+        sum_xx += x * x;
+        sum_xy += x * y;
+    }
+    const double denom = n * sum_xx - sum_x * sum_x;
+    requireConfig(std::abs(denom) > 1e-30,
+                  "linear regression needs distinct x values");
+
+    slope_ = (n * sum_xy - sum_x * sum_y) / denom;
+    intercept_ = (sum_y - slope_ * sum_x) / n;
+
+    const double mean_y = sum_y / n;
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (const auto &[x, y] : points) {
+        const double fit = eval(x);
+        ss_res += (y - fit) * (y - fit);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    rSquared_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+} // namespace ecochip

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Piecewise-linear interpolation tables.
+ *
+ * Nearly every technology parameter in ECO-CHIP (defect density,
+ * transistor density, energy per area, EDA productivity, ...) is
+ * published for a handful of discrete process nodes. The paper
+ * interpolates between published points when a node falls between
+ * them; PiecewiseLinear is the single implementation of that idiom.
+ */
+
+#ifndef ECOCHIP_SUPPORT_INTERP_H
+#define ECOCHIP_SUPPORT_INTERP_H
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace ecochip {
+
+/**
+ * A monotone-x piecewise-linear function y = f(x).
+ *
+ * Points are sorted by x on construction. Evaluation clamps to the
+ * first/last segment value outside the covered range (technology
+ * tables saturate rather than extrapolate, matching how the paper
+ * treats parameter ranges in Table I).
+ */
+class PiecewiseLinear
+{
+  public:
+    /** Construct an empty table; points must be added before eval. */
+    PiecewiseLinear() = default;
+
+    /**
+     * Construct from a list of (x, y) pairs in any order.
+     *
+     * @param points Sample points; duplicate x values are rejected.
+     */
+    PiecewiseLinear(std::initializer_list<std::pair<double, double>> points);
+
+    /** Construct from a vector of (x, y) pairs in any order. */
+    explicit PiecewiseLinear(
+        std::vector<std::pair<double, double>> points);
+
+    /**
+     * Add one sample point. Re-sorts internally.
+     *
+     * @param x Abscissa; must not duplicate an existing point.
+     * @param y Ordinate.
+     */
+    void addPoint(double x, double y);
+
+    /**
+     * Evaluate the function at @p x with clamping outside the range.
+     *
+     * @param x Query abscissa.
+     * @return Interpolated (or clamped) ordinate.
+     */
+    double eval(double x) const;
+
+    /** Number of sample points. */
+    std::size_t size() const { return points_.size(); }
+
+    /** True when no points have been added. */
+    bool empty() const { return points_.empty(); }
+
+    /** Smallest covered abscissa. */
+    double minX() const;
+
+    /** Largest covered abscissa. */
+    double maxX() const;
+
+    /** Smallest sampled ordinate. */
+    double minY() const;
+
+    /** Largest sampled ordinate. */
+    double maxY() const;
+
+  private:
+    void sortAndValidate();
+
+    std::vector<std::pair<double, double>> points_;
+};
+
+/**
+ * Ordinary least-squares fit of y = slope * x + intercept.
+ *
+ * Used by the design-CFP model to build the "near-linear regression
+ * model based on productivity for different technology nodes"
+ * (paper Sec. III-E).
+ */
+class LinearRegression
+{
+  public:
+    /**
+     * Fit the regression to the given samples.
+     *
+     * @param points At least two samples with distinct x values.
+     */
+    explicit LinearRegression(
+        const std::vector<std::pair<double, double>> &points);
+
+    /** Fitted slope. */
+    double slope() const { return slope_; }
+
+    /** Fitted intercept. */
+    double intercept() const { return intercept_; }
+
+    /** Coefficient of determination of the fit. */
+    double rSquared() const { return rSquared_; }
+
+    /** Evaluate the fitted line at @p x. */
+    double eval(double x) const { return slope_ * x + intercept_; }
+
+  private:
+    double slope_ = 0.0;
+    double intercept_ = 0.0;
+    double rSquared_ = 0.0;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SUPPORT_INTERP_H

@@ -1,0 +1,47 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+SampleStats::SampleStats(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    requireConfig(!sorted_.empty(),
+                  "statistics need at least one sample");
+    std::sort(sorted_.begin(), sorted_.end());
+
+    double sum = 0.0;
+    for (double v : sorted_)
+        sum += v;
+    mean_ = sum / static_cast<double>(sorted_.size());
+
+    if (sorted_.size() > 1) {
+        double ss = 0.0;
+        for (double v : sorted_)
+            ss += (v - mean_) * (v - mean_);
+        stddev_ = std::sqrt(
+            ss / static_cast<double>(sorted_.size() - 1));
+    }
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    requireConfig(p >= 0.0 && p <= 100.0,
+                  "percentile must be in [0, 100]");
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+} // namespace ecochip

@@ -1,0 +1,120 @@
+#include "support/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Heuristic: does this cell look like a number (for alignment)? */
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = 0;
+    if (cell[0] == '-' || cell[0] == '+')
+        i = 1;
+    bool saw_digit = false;
+    for (; i < cell.size(); ++i) {
+        const char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            saw_digit = true;
+        else if (c != '.' && c != 'e' && c != 'E' && c != '-' &&
+                 c != '+')
+            return false;
+    }
+    return saw_digit;
+}
+
+} // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    requireConfig(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    requireConfig(cells.size() == headers_.size(),
+                  "table row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells)
+        formatted.push_back(formatNumber(v, precision));
+    addRow(std::move(formatted));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size() + 1);
+    formatted.push_back(label);
+    for (double v : cells)
+        formatted.push_back(formatNumber(v, precision));
+    addRow(std::move(formatted));
+}
+
+std::string
+TablePrinter::formatNumber(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(precision);
+    // Use fixed for mid-range magnitudes, scientific otherwise.
+    const double mag = value < 0 ? -value : value;
+    if (mag != 0.0 && (mag >= 1e7 || mag < 1e-3))
+        oss << std::scientific;
+    else
+        oss << std::fixed;
+    oss << value;
+    return oss.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            const int w = static_cast<int>(widths[c]);
+            if (looksNumeric(row[c]))
+                os << std::setw(w) << std::right << row[c];
+            else
+                os << std::setw(w) << std::left << row[c];
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace ecochip

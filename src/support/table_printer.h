@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Aligned ASCII table output for bench harnesses and examples.
+ *
+ * The paper's artifact prints "the underlying raw data within the
+ * plot"; TablePrinter is the library's equivalent, producing aligned
+ * columns that are easy to diff and eyeball.
+ */
+
+#ifndef ECOCHIP_SUPPORT_TABLE_PRINTER_H
+#define ECOCHIP_SUPPORT_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecochip {
+
+/**
+ * Collects rows of string cells and prints them with per-column
+ * alignment. Numeric cells are right-aligned, text left-aligned.
+ */
+class TablePrinter
+{
+  public:
+    /**
+     * Construct with column headers.
+     *
+     * @param headers One header string per column.
+     */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /**
+     * Append a data row.
+     *
+     * @param cells Must match the number of headers.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Convenience: append a row of doubles formatted to
+     * @p precision significant output digits after the point.
+     */
+    void addRow(const std::vector<double> &cells, int precision = 4);
+
+    /**
+     * Append a mixed row: first cell text, remainder doubles.
+     */
+    void addRow(const std::string &label,
+                const std::vector<double> &cells, int precision = 4);
+
+    /**
+     * Render the table.
+     *
+     * @param os Output stream.
+     */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /**
+     * Format a double with fixed precision (shared helper so CSV and
+     * table output agree).
+     */
+    static std::string formatNumber(double value, int precision = 4);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SUPPORT_TABLE_PRINTER_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit conventions and conversion constants.
+ *
+ * The library stores quantities in the following canonical units and
+ * suffixes every variable name with its unit:
+ *
+ *  - area            : mm^2   (`areaMm2`)        -- die-scale areas
+ *  - energy          : kWh    (`energyKwh`)
+ *  - carbon          : kg CO2 (`co2Kg`)
+ *  - carbon intensity: g CO2 / kWh (`gPerKwh`) as published
+ *  - power           : W      (`powerW`)
+ *  - time            : h      (`timeH`) unless noted
+ *  - length / pitch  : um     (`pitchUm`) for bumps, mm for dies
+ *
+ * Published per-area fab numbers (EPA, EPLA, Cgas, Cmaterial) are per
+ * cm^2; the constants below convert once, at the model boundary.
+ */
+
+#ifndef ECOCHIP_SUPPORT_UNITS_H
+#define ECOCHIP_SUPPORT_UNITS_H
+
+namespace ecochip::units {
+
+/** mm^2 in one cm^2. */
+inline constexpr double kMm2PerCm2 = 100.0;
+
+/** cm^2 in one mm^2. */
+inline constexpr double kCm2PerMm2 = 0.01;
+
+/** mm in one um. */
+inline constexpr double kMmPerUm = 1e-3;
+
+/** um^2 in one mm^2. */
+inline constexpr double kUm2PerMm2 = 1e6;
+
+/** kg in one g. */
+inline constexpr double kKgPerG = 1e-3;
+
+/** g in one kg. */
+inline constexpr double kGPerKg = 1e3;
+
+/** hours in one year (365 days). */
+inline constexpr double kHoursPerYear = 8760.0;
+
+/** kWh in one Wh. */
+inline constexpr double kKwhPerWh = 1e-3;
+
+/** kWh per joule. */
+inline constexpr double kKwhPerJoule = 1.0 / 3.6e6;
+
+/**
+ * Convert a carbon intensity in g CO2/kWh and an energy in kWh into
+ * kg CO2.
+ *
+ * @param intensity_g_per_kwh Carbon intensity of the energy source.
+ * @param energy_kwh Energy consumed.
+ * @return Emitted carbon in kg CO2-equivalent.
+ */
+inline constexpr double
+carbonKg(double intensity_g_per_kwh, double energy_kwh)
+{
+    return intensity_g_per_kwh * energy_kwh * kKgPerG;
+}
+
+} // namespace ecochip::units
+
+#endif // ECOCHIP_SUPPORT_UNITS_H

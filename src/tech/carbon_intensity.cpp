@@ -1,0 +1,73 @@
+#include "tech/carbon_intensity.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+double
+carbonIntensityGPerKwh(EnergySource source)
+{
+    // Values consistent with the ACT calibration the paper builds
+    // on; the Table I range is 30 - 700 g CO2/kWh.
+    switch (source) {
+      case EnergySource::Coal: return 700.0;
+      case EnergySource::Gas: return 450.0;
+      case EnergySource::Biomass: return 230.0;
+      case EnergySource::Solar: return 41.0;
+      case EnergySource::Geothermal: return 38.0;
+      case EnergySource::Hydro: return 24.0;
+      case EnergySource::Nuclear: return 12.0;
+      case EnergySource::Wind: return 11.0;
+    }
+    throw ModelError("unhandled energy source");
+}
+
+const char *
+toString(EnergySource source)
+{
+    switch (source) {
+      case EnergySource::Coal: return "coal";
+      case EnergySource::Gas: return "gas";
+      case EnergySource::Biomass: return "biomass";
+      case EnergySource::Solar: return "solar";
+      case EnergySource::Geothermal: return "geothermal";
+      case EnergySource::Hydro: return "hydro";
+      case EnergySource::Nuclear: return "nuclear";
+      case EnergySource::Wind: return "wind";
+    }
+    return "unknown";
+}
+
+double
+mixedIntensityGPerKwh(
+    const std::vector<std::pair<EnergySource, double>> &mix)
+{
+    requireConfig(!mix.empty(), "energy mix is empty");
+    double weighted = 0.0, weight_sum = 0.0;
+    for (const auto &[source, weight] : mix) {
+        requireConfig(weight >= 0.0,
+                      "energy mix weights must be non-negative");
+        weighted += weight * carbonIntensityGPerKwh(source);
+        weight_sum += weight;
+    }
+    requireConfig(weight_sum > 0.0,
+                  "energy mix weights must sum to a positive "
+                  "value");
+    return weighted / weight_sum;
+}
+
+EnergySource
+energySourceFromString(const std::string &name)
+{
+    if (name == "coal") return EnergySource::Coal;
+    if (name == "gas") return EnergySource::Gas;
+    if (name == "biomass") return EnergySource::Biomass;
+    if (name == "solar") return EnergySource::Solar;
+    if (name == "geothermal") return EnergySource::Geothermal;
+    if (name == "hydro") return EnergySource::Hydro;
+    if (name == "nuclear") return EnergySource::Nuclear;
+    if (name == "wind") return EnergySource::Wind;
+    throw ConfigError("unknown energy source: \"" + name + "\"");
+}
+
+} // namespace ecochip

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Carbon intensity of energy sources.
+ *
+ * Both embodied (fab energy) and operational (use-phase energy)
+ * carbon are obtained by multiplying an energy with the carbon
+ * intensity of the source powering it (paper Table I: 30 - 700 g
+ * CO2/kWh). This module provides the published per-source values.
+ */
+
+#ifndef ECOCHIP_TECH_CARBON_INTENSITY_H
+#define ECOCHIP_TECH_CARBON_INTENSITY_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecochip {
+
+/** Energy sources supported by the intensity database. */
+enum class EnergySource
+{
+    Coal,
+    Gas,
+    Biomass,
+    Solar,
+    Geothermal,
+    Hydro,
+    Nuclear,
+    Wind,
+};
+
+/**
+ * Published carbon intensity of an energy source.
+ *
+ * @param source Energy source.
+ * @return Intensity in g CO2 per kWh.
+ */
+double carbonIntensityGPerKwh(EnergySource source);
+
+/** Printable name of an energy source. */
+const char *toString(EnergySource source);
+
+/**
+ * Carbon intensity of a weighted mix of sources (a regional grid
+ * profile or a fab's PPA portfolio).
+ *
+ * @param mix (source, weight) pairs; weights need not sum to one
+ *        (they are normalized) but must be non-negative with a
+ *        positive sum.
+ * @return Weighted intensity in g CO2 per kWh.
+ */
+double mixedIntensityGPerKwh(
+    const std::vector<std::pair<EnergySource, double>> &mix);
+
+/**
+ * Parse an energy source from its config-file spelling.
+ *
+ * @param name Lowercase source name, e.g. "coal", "wind".
+ * @throws ConfigError on unknown spellings.
+ */
+EnergySource energySourceFromString(const std::string &name);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_TECH_CARBON_INTENSITY_H

@@ -1,0 +1,30 @@
+#include "tech/design_type.h"
+
+#include "support/error.h"
+
+namespace ecochip {
+
+const char *
+toString(DesignType type)
+{
+    switch (type) {
+      case DesignType::Logic: return "logic";
+      case DesignType::Memory: return "memory";
+      case DesignType::Analog: return "analog";
+    }
+    return "unknown";
+}
+
+DesignType
+designTypeFromString(const std::string &name)
+{
+    if (name == "logic" || name == "digital")
+        return DesignType::Logic;
+    if (name == "memory" || name == "sram")
+        return DesignType::Memory;
+    if (name == "analog" || name == "io")
+        return DesignType::Analog;
+    throw ConfigError("unknown design type: \"" + name + "\"");
+}
+
+} // namespace ecochip

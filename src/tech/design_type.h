@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Design-type taxonomy used by the area-scaling models.
+ *
+ * The paper (Sec. III-C(1)) uses three different transistor-density
+ * scaling curves because logic, memory (SRAM), and analog blocks
+ * scale at very different rates across technology nodes -- the core
+ * reason technology "mix and match" saves carbon.
+ */
+
+#ifndef ECOCHIP_TECH_DESIGN_TYPE_H
+#define ECOCHIP_TECH_DESIGN_TYPE_H
+
+#include <string>
+
+namespace ecochip {
+
+/** Functional class of a die or block, selecting its density curve. */
+enum class DesignType
+{
+    Logic,  ///< digital standard-cell logic; scales fastest
+    Memory, ///< SRAM arrays; scaling slows at advanced nodes
+    Analog, ///< analog / IO / PHY; barely scales
+};
+
+/** Printable name of a design type. */
+const char *toString(DesignType type);
+
+/**
+ * Parse a design type from its lowercase config-file spelling
+ * ("logic" | "memory" | "analog").
+ *
+ * @param name Spelling from a configuration file.
+ * @throws ConfigError on unknown spellings.
+ */
+DesignType designTypeFromString(const std::string &name);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_TECH_DESIGN_TYPE_H

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the ACT baseline and the dollar-cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "act/act_model.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+#include "cost/cost_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class ActTest : public ::testing::Test
+{
+  protected:
+    TechDb tech_;
+    ActModel act_{tech_};
+};
+
+TEST_F(ActTest, FixedPackageConstant)
+{
+    // An (unrealistically) tiny die leaves mostly the 150 g
+    // package constant.
+    SystemSpec tiny;
+    tiny.chiplets.push_back(Chiplet::fromArea(
+        "t", DesignType::Logic, 7.0, 0.01, tech_));
+    EXPECT_NEAR(act_.embodiedCo2Kg(tiny), ActModel::kPackageCo2Kg,
+                0.001);
+}
+
+TEST_F(ActTest, NoEquipmentDerateMakesActEnergyTermHigher)
+{
+    // Per unit area ACT's CFPA exceeds ECO-CHIP's because it
+    // skips eta_eq < 1 (everything else equal, no wastage).
+    ManufacturingModel mfg(tech_);
+    mfg.setIncludeWastage(false);
+    const Chiplet c = Chiplet::fromArea(
+        "c", DesignType::Logic, 65.0, 100.0, tech_);
+    EXPECT_GT(act_.dieCo2Kg(c), mfg.chipletMfg(c).totalCo2Kg());
+}
+
+TEST_F(ActTest, UnderestimatesEmbodiedForChipletSystems)
+{
+    // The Fig. 7(c) claim: ACT misses design CFP, wafer wastage,
+    // and area-dependent packaging.
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 14.0, 10.0);
+    EXPECT_LT(estimator.actEmbodiedCo2Kg(system),
+              estimator.estimate(system).embodiedCo2Kg());
+}
+
+TEST_F(ActTest, SingleDieCombinesBlocks)
+{
+    SystemSpec mono;
+    mono.singleDie = true;
+    mono.chiplets.push_back(Chiplet::fromArea(
+        "logic", DesignType::Logic, 7.0, 100.0, tech_));
+    mono.chiplets.push_back(Chiplet::fromArea(
+        "mem", DesignType::Memory, 7.0, 100.0, tech_));
+
+    SystemSpec split = mono;
+    split.singleDie = false;
+    // One 200 mm^2 die yields worse than two 100 mm^2 dies.
+    EXPECT_GT(act_.embodiedCo2Kg(mono),
+              act_.embodiedCo2Kg(split));
+}
+
+TEST_F(ActTest, Validation)
+{
+    EXPECT_THROW(ActModel(tech_, 0.0), ConfigError);
+    SystemSpec empty;
+    EXPECT_THROW(act_.embodiedCo2Kg(empty), ConfigError);
+}
+
+class CostTest : public ::testing::Test
+{
+  protected:
+    TechDb tech_;
+    CostModel cost_{tech_};
+};
+
+TEST_F(CostTest, DieCostIsWaferOverDpwAndYield)
+{
+    const Chiplet c = Chiplet::fromArea(
+        "c", DesignType::Logic, 7.0, 100.0, tech_);
+    WaferModel wafer;
+    YieldModel ym(tech_);
+    const double expected =
+        tech_.waferCostUsd(7.0) /
+        (wafer.diesPerWafer(100.0) * ym.dieYield(100.0, 7.0));
+    EXPECT_NEAR(cost_.dieCostUsd(c), expected, 1e-9);
+}
+
+TEST_F(CostTest, LegacyNodesAreCheaperPerDie)
+{
+    // Same content: cheaper wafers and better yield beat the
+    // larger legacy-node area for memory/analog-class blocks.
+    const Chiplet analog7 = Chiplet::fromArea(
+        "a", DesignType::Analog, 7.0, 50.0, tech_);
+    Chiplet analog28 = analog7;
+    analog28.nodeNm = 28.0;
+    EXPECT_GT(cost_.dieCostUsd(analog7),
+              cost_.dieCostUsd(analog28));
+}
+
+TEST_F(CostTest, NreAmortizesOverVolume)
+{
+    const Chiplet c = Chiplet::fromArea(
+        "c", DesignType::Logic, 7.0, 100.0, tech_);
+    EXPECT_NEAR(cost_.nreCostUsd(c),
+                tech_.maskSetCostUsd(7.0) / 100000.0, 1e-9);
+
+    Chiplet reused = c;
+    reused.reused = true;
+    EXPECT_DOUBLE_EQ(cost_.nreCostUsd(reused), 0.0);
+}
+
+TEST_F(CostTest, MonolithPaysOneMaskSet)
+{
+    SystemSpec mono;
+    mono.singleDie = true;
+    mono.chiplets.push_back(Chiplet::fromArea(
+        "logic", DesignType::Logic, 7.0, 300.0, tech_));
+    mono.chiplets.push_back(Chiplet::fromArea(
+        "mem", DesignType::Memory, 7.0, 100.0, tech_));
+
+    const CostBreakdown b =
+        cost_.systemCost(mono, PackageParams());
+    EXPECT_NEAR(b.nreUsd, tech_.maskSetCostUsd(7.0) / 100000.0,
+                1e-9);
+    EXPECT_GT(b.dieUsd, 0.0);
+    EXPECT_GT(b.packageUsd, 0.0);
+}
+
+TEST_F(CostTest, AssemblyGrowsWithChipletCount)
+{
+    PackageParams pkg;
+    pkg.arch = PackagingArch::RdlFanout;
+
+    auto assembly = [&](int nc) {
+        SystemSpec system;
+        for (int i = 0; i < nc; ++i)
+            system.chiplets.push_back(Chiplet::fromArea(
+                "c" + std::to_string(i), DesignType::Logic, 7.0,
+                50.0, tech_));
+        return cost_.systemCost(system, pkg).assemblyUsd;
+    };
+    EXPECT_GT(assembly(4), assembly(2));
+    EXPECT_NEAR(assembly(4) / assembly(2), 2.0, 1e-9);
+}
+
+TEST_F(CostTest, InterposerPackagesCostMoreThanRdl)
+{
+    SystemSpec system;
+    for (int i = 0; i < 4; ++i)
+        system.chiplets.push_back(Chiplet::fromArea(
+            "c" + std::to_string(i), DesignType::Logic, 7.0,
+            80.0, tech_));
+
+    PackageParams rdl;
+    rdl.arch = PackagingArch::RdlFanout;
+    PackageParams passive;
+    passive.arch = PackagingArch::PassiveInterposer;
+    PackageParams active;
+    active.arch = PackagingArch::ActiveInterposer;
+
+    const double c_rdl =
+        cost_.systemCost(system, rdl).packageUsd;
+    const double c_passive =
+        cost_.systemCost(system, passive).packageUsd;
+    const double c_active =
+        cost_.systemCost(system, active).packageUsd;
+    EXPECT_GT(c_passive, c_rdl);
+    EXPECT_GT(c_active, c_passive);
+}
+
+TEST_F(CostTest, Fig15bTrends)
+{
+    // Die cost falls and assembly cost rises with Nc.
+    EcoChip estimator;
+    const CostBreakdown c3 = estimator.cost(
+        testcases::ga102Split(estimator.tech(), 3));
+    const CostBreakdown c8 = estimator.cost(
+        testcases::ga102Split(estimator.tech(), 8));
+    EXPECT_GT(c3.dieUsd, c8.dieUsd);
+    EXPECT_LT(c3.assemblyUsd, c8.assemblyUsd);
+}
+
+TEST_F(CostTest, TotalsAddUp)
+{
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 10.0, 50.0, tech_));
+    const CostBreakdown b =
+        cost_.systemCost(system, PackageParams());
+    EXPECT_NEAR(b.totalUsd(),
+                b.dieUsd + b.packageUsd + b.assemblyUsd + b.nreUsd,
+                1e-12);
+}
+
+TEST_F(CostTest, NreCanBeExcluded)
+{
+    CostParams params;
+    params.includeNre = false;
+    CostModel no_nre(tech_, WaferModel(), params);
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    EXPECT_DOUBLE_EQ(
+        no_nre.systemCost(system, PackageParams()).nreUsd, 0.0);
+}
+
+TEST_F(CostTest, Validation)
+{
+    CostParams bad;
+    bad.volume = 0.0;
+    EXPECT_THROW(CostModel(tech_, WaferModel(), bad),
+                 ConfigError);
+    SystemSpec empty;
+    EXPECT_THROW(cost_.systemCost(empty, PackageParams()),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

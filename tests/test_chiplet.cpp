@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the chiplet/system descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chiplet/chiplet.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class ChipletTest : public ::testing::Test
+{
+  protected:
+    TechDb tech_;
+};
+
+TEST_F(ChipletTest, FromAreaInvertsAreaModel)
+{
+    const Chiplet c = Chiplet::fromArea(
+        "digital", DesignType::Logic, 7.0, 500.0, tech_);
+    EXPECT_NEAR(c.areaMm2(tech_), 500.0, 1e-9);
+    EXPECT_DOUBLE_EQ(c.nodeNm, 7.0);
+    EXPECT_FALSE(c.reused);
+}
+
+TEST_F(ChipletTest, FromAreaRejectsNonPositiveArea)
+{
+    EXPECT_THROW(Chiplet::fromArea("x", DesignType::Logic, 7.0,
+                                   0.0, tech_),
+                 ConfigError);
+}
+
+TEST_F(ChipletTest, RetargetingGrowsAreaOnLegacyNodes)
+{
+    const Chiplet c = Chiplet::fromArea(
+        "digital", DesignType::Logic, 7.0, 100.0, tech_);
+    EXPECT_GT(c.areaAtNodeMm2(tech_, 14.0), 100.0);
+    EXPECT_LT(c.areaAtNodeMm2(tech_, 5.0), 100.0);
+}
+
+TEST_F(ChipletTest, SystemTotals)
+{
+    SystemSpec system;
+    system.name = "s";
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 7.0, 50.0, tech_));
+
+    EXPECT_NEAR(system.totalSiliconAreaMm2(tech_), 150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(system.totalTransistorsMtr(),
+                     system.chiplets[0].transistorsMtr +
+                         system.chiplets[1].transistorsMtr);
+}
+
+TEST_F(ChipletTest, ChipletLookupByName)
+{
+    SystemSpec system;
+    system.name = "s";
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    EXPECT_EQ(system.chiplet("a").name, "a");
+    EXPECT_THROW(system.chiplet("zzz"), ConfigError);
+}
+
+TEST_F(ChipletTest, MonolithicPredicates)
+{
+    SystemSpec one;
+    one.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    EXPECT_TRUE(one.isMonolithic());
+
+    SystemSpec two = one;
+    two.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 7.0, 50.0, tech_));
+    EXPECT_FALSE(two.isMonolithic());
+
+    two.singleDie = true;
+    EXPECT_TRUE(two.isMonolithic());
+    EXPECT_DOUBLE_EQ(two.monolithicNodeNm(), 7.0);
+}
+
+TEST_F(ChipletTest, MonolithicNodeRequiresAgreement)
+{
+    SystemSpec system;
+    system.singleDie = true;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 10.0, 50.0, tech_));
+    EXPECT_THROW(system.monolithicNodeNm(), ConfigError);
+}
+
+TEST_F(ChipletTest, MonolithicNodeRejectsChipletSystems)
+{
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 7.0, 50.0, tech_));
+    EXPECT_THROW(system.monolithicNodeNm(), ConfigError);
+}
+
+TEST_F(ChipletTest, WithNodesRetargetsInOrder)
+{
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 7.0, 50.0, tech_));
+
+    const SystemSpec moved = system.withNodes({10.0, 14.0});
+    EXPECT_DOUBLE_EQ(moved.chiplets[0].nodeNm, 10.0);
+    EXPECT_DOUBLE_EQ(moved.chiplets[1].nodeNm, 14.0);
+    // Content is preserved; only the node moves.
+    EXPECT_DOUBLE_EQ(moved.chiplets[0].transistorsMtr,
+                     system.chiplets[0].transistorsMtr);
+    // Original untouched.
+    EXPECT_DOUBLE_EQ(system.chiplets[0].nodeNm, 7.0);
+}
+
+TEST_F(ChipletTest, WithNodesValidatesInput)
+{
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, tech_));
+    EXPECT_THROW(system.withNodes({7.0, 10.0}), ConfigError);
+    EXPECT_THROW(system.withNodes({-7.0}), ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

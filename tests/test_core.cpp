@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the top-level estimator, disaggregation helpers,
+ * explorer, and built-in testcases.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "core/testcases.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    EcoChipConfig
+    ga102Config() const
+    {
+        EcoChipConfig config;
+        config.operating = testcases::ga102Operating();
+        return config;
+    }
+};
+
+TEST_F(CoreTest, ReportIdentitiesHold)
+{
+    EcoChip estimator(ga102Config());
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 10.0,
+                                     14.0));
+    EXPECT_NEAR(r.embodiedCo2Kg(),
+                r.mfgCo2Kg + r.hi.totalCo2Kg() + r.designCo2Kg,
+                1e-12);
+    EXPECT_NEAR(r.totalCo2Kg(),
+                r.embodiedCo2Kg() + r.operation.co2Kg, 1e-12);
+}
+
+TEST_F(CoreTest, PerChipletMfgSumsToSystemMfg)
+{
+    EcoChip estimator(ga102Config());
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 10.0,
+                                     14.0));
+    double sum = 0.0;
+    for (const auto &c : r.chiplets)
+        sum += c.mfgCo2Kg;
+    EXPECT_NEAR(sum, r.mfgCo2Kg, 1e-9);
+    EXPECT_EQ(r.chiplets.size(), 3u);
+}
+
+TEST_F(CoreTest, MonolithBlockSharesSumToDie)
+{
+    EcoChip estimator(ga102Config());
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Monolithic(estimator.tech()));
+    double sum = 0.0;
+    for (const auto &c : r.chiplets) {
+        sum += c.mfgCo2Kg;
+        // All blocks of one die share the die's yield.
+        EXPECT_DOUBLE_EQ(c.yield, r.chiplets.front().yield);
+    }
+    EXPECT_NEAR(sum, r.mfgCo2Kg, 1e-9);
+}
+
+TEST_F(CoreTest, EstimateIsDeterministic)
+{
+    EcoChip estimator(ga102Config());
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 10.0, 14.0);
+    const CarbonReport a = estimator.estimate(system);
+    const CarbonReport b = estimator.estimate(system);
+    EXPECT_DOUBLE_EQ(a.totalCo2Kg(), b.totalCo2Kg());
+    EXPECT_DOUBLE_EQ(a.hi.packageAreaMm2, b.hi.packageAreaMm2);
+}
+
+TEST_F(CoreTest, SetConfigChangesResults)
+{
+    EcoChip estimator(ga102Config());
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 10.0, 14.0);
+    const double before =
+        estimator.estimate(system).hi.totalCo2Kg();
+
+    EcoChipConfig config = ga102Config();
+    config.package.arch = PackagingArch::ActiveInterposer;
+    estimator.setConfig(config);
+    const double after =
+        estimator.estimate(system).hi.totalCo2Kg();
+    EXPECT_GT(after, before);
+}
+
+TEST_F(CoreTest, EmptySystemRejected)
+{
+    EcoChip estimator;
+    SystemSpec empty;
+    EXPECT_THROW(estimator.estimate(empty), ConfigError);
+}
+
+TEST(Disaggregate, ThreeChipletPreservesContent)
+{
+    TechDb tech;
+    const SocBlocks blocks = testcases::ga102Blocks();
+    const SystemSpec mono =
+        makeMonolithic("m", blocks, tech, blocks.refNodeNm);
+    const SystemSpec three = makeThreeChiplet(
+        "t", blocks, tech, blocks.refNodeNm, blocks.refNodeNm,
+        blocks.refNodeNm);
+    EXPECT_NEAR(mono.totalTransistorsMtr(),
+                three.totalTransistorsMtr(), 1e-9);
+    EXPECT_TRUE(mono.singleDie);
+    EXPECT_FALSE(three.singleDie);
+    // At the reference node the areas match the die-shot inputs.
+    EXPECT_NEAR(three.chiplet("digital").areaMm2(tech),
+                blocks.logicAreaMm2, 1e-9);
+    EXPECT_NEAR(three.chiplet("memory").areaMm2(tech),
+                blocks.memoryAreaMm2, 1e-9);
+    EXPECT_NEAR(three.chiplet("analog").areaMm2(tech),
+                blocks.analogAreaMm2, 1e-9);
+}
+
+TEST(Disaggregate, DigitalSplitConservesTransistors)
+{
+    TechDb tech;
+    const SocBlocks blocks = testcases::ga102Blocks();
+    for (int n : {1, 2, 4, 7}) {
+        const SystemSpec split = makeDigitalSplit(
+            "s", blocks, tech, n, 7.0, 10.0, 14.0);
+        EXPECT_EQ(split.chiplets.size(),
+                  static_cast<std::size_t>(n + 2));
+        const SystemSpec three =
+            makeThreeChiplet("t", blocks, tech, 7.0, 10.0, 14.0);
+        EXPECT_NEAR(split.totalTransistorsMtr(),
+                    three.totalTransistorsMtr(), 1e-6);
+    }
+}
+
+TEST(Disaggregate, UniformSplitConservesArea)
+{
+    TechDb tech;
+    for (int n : {1, 2, 5, 8}) {
+        const SystemSpec split =
+            makeUniformSplit("u", 500.0, 7.0, n, tech);
+        EXPECT_NEAR(split.totalSiliconAreaMm2(tech), 500.0, 1e-9);
+        EXPECT_EQ(split.isMonolithic(), n == 1);
+    }
+}
+
+TEST(Disaggregate, Validation)
+{
+    TechDb tech;
+    SocBlocks bad;
+    bad.logicAreaMm2 = 0.0;
+    EXPECT_THROW(makeMonolithic("m", bad, tech, 7.0),
+                 ConfigError);
+    EXPECT_THROW(makeUniformSplit("u", 100.0, 7.0, 0, tech),
+                 ConfigError);
+    EXPECT_THROW(makeDigitalSplit("d", testcases::ga102Blocks(),
+                                  tech, 0, 7.0, 10.0, 14.0),
+                 ConfigError);
+}
+
+TEST(Explorer, SweepEnumeratesCartesianProduct)
+{
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    TechSpaceExplorer explorer(estimator);
+
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 10.0, 14.0);
+    const auto points =
+        explorer.sweep(system, {7.0, 10.0, 14.0});
+    EXPECT_EQ(points.size(), 27u);
+
+    // First point is the all-first-candidate assignment.
+    EXPECT_EQ(points.front().label(), "(7,7,7)");
+    EXPECT_EQ(points.back().label(), "(14,14,14)");
+}
+
+TEST(Explorer, PerChipletCandidateLists)
+{
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    TechSpaceExplorer explorer(estimator);
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 10.0, 14.0);
+
+    const auto points = explorer.sweep(
+        system, {{7.0}, {10.0, 14.0}, {10.0, 14.0, 22.0}});
+    EXPECT_EQ(points.size(), 6u);
+    for (const auto &p : points)
+        EXPECT_DOUBLE_EQ(p.nodesNm[0], 7.0);
+}
+
+TEST(Explorer, BestSelectorsAgreeWithManualScan)
+{
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    TechSpaceExplorer explorer(estimator);
+    const auto points = explorer.sweep(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 10.0,
+                                     14.0),
+        {7.0, 10.0, 14.0});
+
+    const auto &best = TechSpaceExplorer::bestByEmbodied(points);
+    for (const auto &p : points)
+        EXPECT_LE(best.report.embodiedCo2Kg(),
+                  p.report.embodiedCo2Kg());
+
+    const auto &best_total =
+        TechSpaceExplorer::bestByTotal(points);
+    for (const auto &p : points)
+        EXPECT_LE(best_total.report.totalCo2Kg(),
+                  p.report.totalCo2Kg());
+}
+
+TEST(Explorer, Validation)
+{
+    EcoChip estimator;
+    TechSpaceExplorer explorer(estimator);
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 10.0, estimator.tech()));
+    EXPECT_THROW(
+        explorer.sweep(system, std::vector<std::vector<double>>{
+                                   {7.0}, {10.0}}),
+        ConfigError);
+    EXPECT_THROW(
+        explorer.sweep(system,
+                       std::vector<std::vector<double>>{{}}),
+        ConfigError);
+    EXPECT_THROW(TechSpaceExplorer::bestByEmbodied({}),
+                 ConfigError);
+}
+
+TEST(Testcases, Ga102AreasMatchDieShot)
+{
+    TechDb tech;
+    const SystemSpec mono = testcases::ga102Monolithic(tech);
+    EXPECT_NEAR(mono.totalSiliconAreaMm2(tech), 628.0, 1e-6);
+    const SystemSpec four = testcases::ga102FourChiplet(tech, 7.0);
+    EXPECT_EQ(four.chiplets.size(), 4u);
+    EXPECT_NEAR(four.totalSiliconAreaMm2(tech), 628.0, 1e-6);
+}
+
+TEST(Testcases, A15AreasMatchDieShot)
+{
+    TechDb tech;
+    EXPECT_NEAR(testcases::a15Monolithic(tech)
+                    .totalSiliconAreaMm2(tech),
+                108.0, 1e-6);
+}
+
+TEST(Testcases, EmrTwinDiesShareOneDesign)
+{
+    TechDb tech;
+    const SystemSpec emr = testcases::emrTwoChiplet(tech);
+    ASSERT_EQ(emr.chiplets.size(), 2u);
+    EXPECT_FALSE(emr.chiplets[0].reused);
+    EXPECT_TRUE(emr.chiplets[1].reused);
+    EXPECT_DOUBLE_EQ(emr.chiplets[0].transistorsMtr,
+                     emr.chiplets[1].transistorsMtr);
+
+    const SystemSpec mono = testcases::emrMonolithic(tech);
+    EXPECT_TRUE(mono.singleDie);
+    EXPECT_NEAR(mono.totalSiliconAreaMm2(tech), 2.0 * 763.0,
+                1e-6);
+}
+
+TEST(Testcases, ArvrSweepShapesAndLabels)
+{
+    TechDb tech;
+    const auto points = testcases::arvrSweep(tech);
+    EXPECT_EQ(points.size(), 8u);
+    for (const auto &p : points) {
+        EXPECT_EQ(p.system.chiplets.size(),
+                  static_cast<std::size_t>(p.sramTiers + 1));
+        EXPECT_GT(p.latencyMs, 0.0);
+        EXPECT_GT(p.avgPowerW, 0.0);
+        // SRAM dies are commodity / reused.
+        for (std::size_t i = 1; i < p.system.chiplets.size(); ++i)
+            EXPECT_TRUE(p.system.chiplets[i].reused);
+    }
+    EXPECT_EQ(points[0].label, "2D-1K-2MB");
+    EXPECT_EQ(points[1].label, "3D-1K-4MB");
+    EXPECT_EQ(points[7].label, "3D-2K-16MB");
+
+    // More tiers always reduce latency and power within a series.
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_LT(points[i].latencyMs, points[i - 1].latencyMs);
+        EXPECT_LT(points[i].avgPowerW, points[i - 1].avgPowerW);
+    }
+    EXPECT_THROW(testcases::arvrAccelerator(tech, "4K", 1),
+                 ConfigError);
+    EXPECT_THROW(testcases::arvrAccelerator(tech, "1K", 5),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

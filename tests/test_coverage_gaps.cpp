@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Targeted tests for remaining coverage gaps: per-type operational
+ * power, cost with custom knobs, group-aware standalone floorplan,
+ * exploration of 4-chiplet systems, and CLI-adjacent helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "core/testcases.h"
+#include "floorplan/floorplan.h"
+#include "operation/operational_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+TEST(OperationalTypes, AllDesignTypesProducePower)
+{
+    TechDb tech;
+    OperationalModel model(tech, OperatingSpec{});
+    for (DesignType type : {DesignType::Logic, DesignType::Memory,
+                            DesignType::Analog}) {
+        Chiplet c = Chiplet::fromArea("c", type, 7.0, 50.0, tech);
+        EXPECT_GT(model.chipletPowerW(c), 0.0) << toString(type);
+    }
+}
+
+TEST(OperationalTypes, PowerScalesWithContentNotType)
+{
+    // Eq. 14 charges transistors; at equal area the denser block
+    // draws more.
+    TechDb tech;
+    OperationalModel model(tech, OperatingSpec{});
+    const Chiplet logic = Chiplet::fromArea(
+        "l", DesignType::Logic, 7.0, 50.0, tech);
+    const Chiplet analog = Chiplet::fromArea(
+        "a", DesignType::Analog, 7.0, 50.0, tech);
+    EXPECT_GT(model.chipletPowerW(logic),
+              model.chipletPowerW(analog));
+}
+
+TEST(CostKnobs, CustomParamsPropagate)
+{
+    EcoChip estimator;
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 10.0, 14.0);
+
+    CostParams pricey;
+    pricey.attachCostPerChipletUsd = 10.0;
+    pricey.testCostPerChipletUsd = 5.0;
+    const CostBreakdown base = estimator.cost(system);
+    const CostBreakdown expensive =
+        estimator.cost(system, pricey);
+    EXPECT_NEAR(expensive.assemblyUsd, 3.0 * 15.0, 1e-9);
+    EXPECT_GT(expensive.assemblyUsd, base.assemblyUsd);
+    EXPECT_DOUBLE_EQ(expensive.dieUsd, base.dieUsd);
+}
+
+TEST(CostKnobs, StackGroupsShrinkCostFloorplanToo)
+{
+    // The cost model's substrate area must honor stack groups the
+    // same way the carbon model does.
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    EcoChip estimator(config);
+
+    const SystemSpec hbm =
+        testcases::ga102Hbm(estimator.tech(), 2, 4);
+    SystemSpec planar = hbm;
+    for (auto &chiplet : planar.chiplets)
+        chiplet.stackGroup.clear();
+
+    const CostBreakdown stacked_cost = estimator.cost(hbm);
+    const CostBreakdown planar_cost = estimator.cost(planar);
+    EXPECT_LT(stacked_cost.packageUsd, planar_cost.packageUsd);
+}
+
+TEST(FloorplanGroups, StandalonePlannerIsGroupAware)
+{
+    TechDb tech;
+    const SystemSpec hbm = testcases::ga102Hbm(tech, 2, 4);
+    const FloorplanResult fp = Floorplanner().plan(hbm, tech);
+    // digital + analog + 2 towers.
+    EXPECT_EQ(fp.placements.size(), 4u);
+    EXPECT_NO_THROW(fp.placement("hbm0"));
+    EXPECT_NO_THROW(fp.placement("hbm1"));
+
+    const auto boxes = planarBoxes(hbm, tech);
+    EXPECT_EQ(boxes.size(), 4u);
+}
+
+TEST(ExplorerWide, FourChipletSweepIsConsistent)
+{
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    TechSpaceExplorer explorer(estimator);
+
+    const SystemSpec four =
+        testcases::ga102FourChiplet(estimator.tech(), 7.0);
+    const auto points = explorer.sweep(four, {7.0, 10.0});
+    EXPECT_EQ(points.size(), 16u); // 2^4
+    for (const auto &p : points) {
+        EXPECT_EQ(p.nodesNm.size(), 4u);
+        EXPECT_GT(p.report.embodiedCo2Kg(), 0.0);
+    }
+}
+
+TEST(ReportFields, NreAppearsInJsonReport)
+{
+    EcoChipConfig config;
+    config.includeMaskNre = true;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 14.0,
+                                     10.0));
+    EXPECT_GT(r.nreCo2Kg, 0.0);
+}
+
+TEST(MonolithNodes, MonolithRetargetsConsistently)
+{
+    // Re-deriving the monolith at each node keeps the block mix:
+    // total area grows monotonically toward legacy nodes.
+    TechDb tech;
+    double prev = 0.0;
+    for (double node : {7.0, 10.0, 14.0}) {
+        const SystemSpec mono =
+            testcases::ga102Monolithic(tech, node);
+        const double area = mono.totalSiliconAreaMm2(tech);
+        EXPECT_GT(area, prev);
+        prev = area;
+        EXPECT_DOUBLE_EQ(mono.monolithicNodeNm(), node);
+    }
+}
+
+TEST(EmrScale, MonolithEmrIsRericleScaleProblem)
+{
+    // The hypothetical EMR monolith is a 1526 mm^2 die: its yield
+    // collapses relative to the twin 763 mm^2 dies -- the whole
+    // reason the product is 2-chiplet.
+    TechDb tech;
+    ManufacturingModel mfg(tech);
+    YieldModel ym(tech);
+    EXPECT_LT(ym.dieYield(1526.0, 10.0), 0.25);
+    EXPECT_GT(ym.dieYield(763.0, 10.0), 0.35);
+    EXPECT_GT(mfg.systemMfgCo2Kg(testcases::emrMonolithic(tech)),
+              1.5 * mfg.systemMfgCo2Kg(
+                        testcases::emrTwoChiplet(tech)));
+}
+
+} // namespace
+} // namespace ecochip

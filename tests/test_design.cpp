@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the design-CFP model (Eqs. 12-13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "design/design_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class DesignTest : public ::testing::Test
+{
+  protected:
+    Chiplet
+    chipletWithGates(double mgates, double node_nm) const
+    {
+        Chiplet c;
+        c.name = "c";
+        c.type = DesignType::Logic;
+        c.nodeNm = node_nm;
+        c.transistorsMtr =
+            mgates / DesignParams().gatesPerTransistor;
+        return c;
+    }
+
+    TechDb tech_;
+    DesignModel model_{tech_};
+};
+
+TEST_F(DesignTest, SprAnchorMatchesPaperMeasurement)
+{
+    // 700k gates in 7 nm take 24 CPU-hours for one SP&R run.
+    const Chiplet c = chipletWithGates(0.7, 7.0);
+    const DesignBreakdown b = model_.chipletDesign(c);
+    EXPECT_NEAR(b.sprHours, 24.0, 1e-9);
+}
+
+TEST_F(DesignTest, Ga102ScaleSprHours)
+{
+    // The paper extrapolates ~1.5e5 CPU-hours of SP&R for the
+    // GA102's ~4.5B logic gates.
+    const Chiplet c = chipletWithGates(4500.0, 7.0);
+    const DesignBreakdown b = model_.chipletDesign(c);
+    EXPECT_NEAR(b.sprHours, 1.543e5, 2e3);
+}
+
+TEST_F(DesignTest, TotalHoursFollowEq13Structure)
+{
+    const Chiplet c = chipletWithGates(1.0, 7.0);
+    const DesignParams p;
+    const double spr = p.sprHoursPerMgate;
+    const double iterative = spr * (1.0 + p.analyzeFraction) *
+                             p.designIterations /
+                             model_.edaProductivityFit(7.0);
+    const double expected = (1.0 + p.verifMultiple) * iterative;
+    EXPECT_NEAR(model_.chipletDesign(c).totalHours, expected,
+                1e-6);
+}
+
+TEST_F(DesignTest, CarbonFollowsPdesAndIntensity)
+{
+    // Cdes,i = tdes * Pdes * Csrc: 10 W at 700 g/kWh.
+    const Chiplet c = chipletWithGates(10.0, 7.0);
+    const DesignBreakdown b = model_.chipletDesign(c);
+    EXPECT_NEAR(b.co2Kg,
+                b.totalHours * 10.0 * 1e-3 * 700.0 * 1e-3, 1e-9);
+}
+
+TEST_F(DesignTest, LegacyNodesDesignFaster)
+{
+    // EDA productivity improves on mature nodes (Fig. 7(b)).
+    const Chiplet at7 = chipletWithGates(100.0, 7.0);
+    const Chiplet at28 = chipletWithGates(100.0, 28.0);
+    EXPECT_GT(model_.chipletDesign(at7).co2Kg,
+              model_.chipletDesign(at28).co2Kg);
+    EXPECT_GT(model_.singleIterationCo2Kg(at7),
+              model_.singleIterationCo2Kg(at28));
+}
+
+TEST_F(DesignTest, EtaFitIsClampedUnitInterval)
+{
+    for (double node : {1.0, 3.0, 7.0, 28.0, 65.0, 90.0}) {
+        const double eta = model_.edaProductivityFit(node);
+        EXPECT_GT(eta, 0.0);
+        EXPECT_LE(eta, 1.0);
+    }
+    // Regression tracks the table's trend.
+    EXPECT_LT(model_.edaProductivityFit(5.0),
+              model_.edaProductivityFit(40.0));
+}
+
+TEST_F(DesignTest, AmortizationDividesByChipletVolume)
+{
+    DesignParams params;
+    params.chipletVolume = 1000.0;
+    DesignModel model(tech_, params);
+    const Chiplet c = chipletWithGates(10.0, 7.0);
+    const DesignBreakdown b = model.chipletDesign(c);
+    EXPECT_NEAR(b.amortizedCo2Kg, b.co2Kg / 1000.0, 1e-12);
+}
+
+TEST_F(DesignTest, ReusedChipletsAreFree)
+{
+    SystemSpec system;
+    Chiplet fresh = chipletWithGates(100.0, 7.0);
+    fresh.name = "fresh";
+    Chiplet reused = fresh;
+    reused.name = "reused";
+    reused.reused = true;
+
+    system.chiplets = {fresh};
+    const double fresh_only = model_.systemDesignCo2Kg(system);
+
+    system.chiplets = {fresh, reused};
+    EXPECT_NEAR(model_.systemDesignCo2Kg(system), fresh_only,
+                1e-12);
+
+    system.chiplets = {reused};
+    EXPECT_DOUBLE_EQ(model_.systemDesignCo2Kg(system), 0.0);
+}
+
+TEST_F(DesignTest, CommIpChargedPerSystem)
+{
+    SystemSpec system;
+    system.chiplets = {chipletWithGates(100.0, 7.0)};
+    const double without = model_.systemDesignCo2Kg(system);
+    const double with =
+        model_.systemDesignCo2Kg(system, 1.2, 65.0);
+    EXPECT_GT(with, without);
+    // Router IP is tiny: the comm term must be a small fraction.
+    EXPECT_LT(with - without, 0.05 * without);
+}
+
+TEST_F(DesignTest, MoreIterationsMoreCarbon)
+{
+    DesignParams few;
+    few.designIterations = 10;
+    DesignParams many;
+    many.designIterations = 100;
+    const Chiplet c = chipletWithGates(50.0, 7.0);
+    EXPECT_NEAR(DesignModel(tech_, many).chipletDesign(c).co2Kg,
+                10.0 *
+                    DesignModel(tech_, few).chipletDesign(c).co2Kg,
+                1e-6);
+}
+
+TEST_F(DesignTest, ParameterValidation)
+{
+    DesignParams bad;
+    bad.pdesW = 0.0;
+    EXPECT_THROW(DesignModel(tech_, bad), ConfigError);
+    bad = DesignParams();
+    bad.designIterations = 0;
+    EXPECT_THROW(DesignModel(tech_, bad), ConfigError);
+    bad = DesignParams();
+    bad.chipletVolume = 0.0;
+    EXPECT_THROW(DesignModel(tech_, bad), ConfigError);
+    bad = DesignParams();
+    bad.gatesPerTransistor = -0.1;
+    EXPECT_THROW(DesignModel(tech_, bad), ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

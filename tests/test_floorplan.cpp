@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit and property tests for the recursive-bipartition slicing
+ * floorplanner.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+bool
+rectanglesOverlap(const Placement &a, const Placement &b)
+{
+    const double eps = 1e-9;
+    return a.xMm + a.widthMm > b.xMm + eps &&
+           b.xMm + b.widthMm > a.xMm + eps &&
+           a.yMm + a.heightMm > b.yMm + eps &&
+           b.yMm + b.heightMm > a.yMm + eps;
+}
+
+TEST(Floorplan, SingleChipletIsItsOwnOutline)
+{
+    Floorplanner planner;
+    const FloorplanResult fp = planner.plan({{"a", 100.0, 1.0}});
+    EXPECT_NEAR(fp.areaMm2(), 100.0, 1e-9);
+    EXPECT_NEAR(fp.whitespaceAreaMm2, 0.0, 1e-9);
+    EXPECT_EQ(fp.placements.size(), 1u);
+    EXPECT_TRUE(fp.adjacencies.empty());
+}
+
+TEST(Floorplan, TwoEqualSquaresAbutAcrossSpacing)
+{
+    Floorplanner planner(0.5);
+    const FloorplanResult fp =
+        planner.plan({{"a", 100.0, 1.0}, {"b", 100.0, 1.0}});
+    // 10x10 dies side by side with 0.5 mm spacing.
+    const double long_side = std::max(fp.widthMm, fp.heightMm);
+    const double short_side = std::min(fp.widthMm, fp.heightMm);
+    EXPECT_NEAR(long_side, 20.5, 1e-9);
+    EXPECT_NEAR(short_side, 10.0, 1e-9);
+    EXPECT_NEAR(fp.whitespaceAreaMm2, 0.5 * 10.0, 1e-9);
+
+    ASSERT_EQ(fp.adjacencies.size(), 1u);
+    EXPECT_NEAR(fp.adjacencies[0].overlapMm, 10.0, 1e-9);
+}
+
+TEST(Floorplan, AspectRatioShapesLeaves)
+{
+    // A pinned 4:1 aspect may be realized in either orientation.
+    Floorplanner planner;
+    const FloorplanResult fp = planner.plan({{"a", 100.0, 4.0}});
+    const Placement &p = fp.placement("a");
+    const double long_side = std::max(p.widthMm, p.heightMm);
+    const double short_side = std::min(p.widthMm, p.heightMm);
+    EXPECT_NEAR(long_side, 20.0, 1e-9);
+    EXPECT_NEAR(short_side, 5.0, 1e-9);
+}
+
+TEST(Floorplan, AspectCandidatesReduceWhitespace)
+{
+    // Freeing the leaf aspect ratios lets the shape-curve search
+    // shave whitespace on mismatched partitions.
+    const std::vector<ChipletBox> boxes = {{"a", 200.0, 1.0},
+                                           {"b", 90.0, 1.0},
+                                           {"c", 40.0, 1.0},
+                                           {"d", 15.0, 1.0}};
+    Floorplanner square;
+    Floorplanner shaped;
+    shaped.setAspectCandidates({0.5, 0.75, 1.0, 1.5, 2.0});
+    EXPECT_LE(shaped.plan(boxes).whitespaceAreaMm2,
+              square.plan(boxes).whitespaceAreaMm2 + 1e-9);
+}
+
+TEST(Floorplan, AspectCandidateValidation)
+{
+    Floorplanner planner;
+    EXPECT_THROW(planner.setAspectCandidates({}), ConfigError);
+    EXPECT_THROW(planner.setAspectCandidates({1.0, -2.0}),
+                 ConfigError);
+    planner.setAspectCandidates({0.5, 2.0});
+    EXPECT_EQ(planner.aspectCandidates().size(), 2u);
+}
+
+TEST(Floorplan, PlacementLookupThrowsOnUnknownName)
+{
+    Floorplanner planner;
+    const FloorplanResult fp = planner.plan({{"a", 100.0, 1.0}});
+    EXPECT_THROW(fp.placement("nope"), ConfigError);
+}
+
+TEST(Floorplan, InputValidation)
+{
+    Floorplanner planner;
+    EXPECT_THROW(planner.plan(std::vector<ChipletBox>{}),
+                 ConfigError);
+    EXPECT_THROW(planner.plan({{"a", -5.0, 1.0}}), ConfigError);
+    EXPECT_THROW(planner.plan({{"a", 5.0, 0.0}}), ConfigError);
+    EXPECT_THROW(Floorplanner(-1.0), ConfigError);
+}
+
+TEST(Floorplan, DeterministicAcrossRuns)
+{
+    Floorplanner planner;
+    const std::vector<ChipletBox> boxes = {
+        {"a", 120.0, 1.0}, {"b", 35.0, 1.0}, {"c", 75.0, 1.0},
+        {"d", 35.0, 1.0}, {"e", 200.0, 1.0}};
+    const FloorplanResult fp1 = planner.plan(boxes);
+    const FloorplanResult fp2 = planner.plan(boxes);
+    ASSERT_EQ(fp1.placements.size(), fp2.placements.size());
+    for (std::size_t i = 0; i < fp1.placements.size(); ++i) {
+        EXPECT_EQ(fp1.placements[i].name, fp2.placements[i].name);
+        EXPECT_DOUBLE_EQ(fp1.placements[i].xMm,
+                         fp2.placements[i].xMm);
+        EXPECT_DOUBLE_EQ(fp1.placements[i].yMm,
+                         fp2.placements[i].yMm);
+    }
+}
+
+TEST(Floorplan, AdjacencyPairsAreRealNeighbors)
+{
+    Floorplanner planner(0.5);
+    const FloorplanResult fp = planner.plan(
+        {{"a", 100.0, 1.0}, {"b", 64.0, 1.0}, {"c", 49.0, 1.0}});
+    for (const auto &adj : fp.adjacencies) {
+        EXPECT_NE(adj.first, adj.second);
+        EXPECT_GT(adj.overlapMm, 0.0);
+        // Overlap cannot exceed the smaller die edge.
+        const Placement &pa = fp.placement(adj.first);
+        const Placement &pb = fp.placement(adj.second);
+        const double max_edge = std::max(
+            std::max(pa.widthMm, pa.heightMm),
+            std::max(pb.widthMm, pb.heightMm));
+        EXPECT_LE(adj.overlapMm, max_edge + 1e-9);
+    }
+}
+
+TEST(Floorplan, SystemSpecConvenienceOverload)
+{
+    TechDb tech;
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "x", DesignType::Logic, 7.0, 80.0, tech));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "y", DesignType::Memory, 10.0, 40.0, tech));
+    const FloorplanResult fp =
+        Floorplanner().plan(system, tech);
+    EXPECT_NEAR(fp.chipletAreaMm2, 120.0, 1e-9);
+    EXPECT_EQ(fp.placements.size(), 2u);
+}
+
+/** Structural invariants across chiplet counts. */
+class FloorplanPropertyTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::vector<ChipletBox>
+    makeBoxes(int n) const
+    {
+        std::vector<ChipletBox> boxes;
+        for (int i = 0; i < n; ++i) {
+            // Deterministic pseudo-varied sizes 20 - 180 mm^2.
+            const double area = 20.0 + 40.0 * (i % 5);
+            boxes.push_back(
+                {"c" + std::to_string(i), area, 1.0});
+        }
+        return boxes;
+    }
+
+    Floorplanner planner_{0.5};
+};
+
+TEST_P(FloorplanPropertyTest, NoPlacementsOverlap)
+{
+    const FloorplanResult fp = planner_.plan(makeBoxes(GetParam()));
+    for (std::size_t i = 0; i < fp.placements.size(); ++i)
+        for (std::size_t j = i + 1; j < fp.placements.size(); ++j)
+            EXPECT_FALSE(rectanglesOverlap(fp.placements[i],
+                                           fp.placements[j]))
+                << fp.placements[i].name << " overlaps "
+                << fp.placements[j].name;
+}
+
+TEST_P(FloorplanPropertyTest, PlacementsStayInsideOutline)
+{
+    const FloorplanResult fp = planner_.plan(makeBoxes(GetParam()));
+    for (const auto &p : fp.placements) {
+        EXPECT_GE(p.xMm, -1e-9);
+        EXPECT_GE(p.yMm, -1e-9);
+        EXPECT_LE(p.xMm + p.widthMm, fp.widthMm + 1e-9);
+        EXPECT_LE(p.yMm + p.heightMm, fp.heightMm + 1e-9);
+    }
+}
+
+TEST_P(FloorplanPropertyTest, WhitespaceIsNonNegativeAndBounded)
+{
+    const FloorplanResult fp = planner_.plan(makeBoxes(GetParam()));
+    EXPECT_GE(fp.whitespaceAreaMm2, -1e-9);
+    // A sane slicing plan of near-square dies wastes less than
+    // 60% of the outline.
+    EXPECT_LT(fp.whitespaceFraction(), 0.6);
+}
+
+TEST_P(FloorplanPropertyTest, OutlineCoversChipletArea)
+{
+    const FloorplanResult fp = planner_.plan(makeBoxes(GetParam()));
+    EXPECT_GE(fp.areaMm2(), fp.chipletAreaMm2 - 1e-9);
+    EXPECT_NEAR(fp.areaMm2() - fp.chipletAreaMm2,
+                fp.whitespaceAreaMm2, 1e-6);
+}
+
+TEST_P(FloorplanPropertyTest, EveryChipletIsPlacedOnce)
+{
+    const int n = GetParam();
+    const FloorplanResult fp = planner_.plan(makeBoxes(n));
+    EXPECT_EQ(fp.placements.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_NO_THROW(fp.placement("c" + std::to_string(i)));
+}
+
+TEST_P(FloorplanPropertyTest, MultiChipletPlansHaveAdjacency)
+{
+    if (GetParam() < 2)
+        GTEST_SKIP();
+    const FloorplanResult fp = planner_.plan(makeBoxes(GetParam()));
+    EXPECT_FALSE(fp.adjacencies.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipletCounts, FloorplanPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10,
+                                           16, 24, 40));
+
+TEST(Floorplan, ZeroSpacingPacksTightly)
+{
+    Floorplanner planner(0.0);
+    const FloorplanResult fp =
+        planner.plan({{"a", 100.0, 1.0}, {"b", 100.0, 1.0}});
+    EXPECT_NEAR(fp.whitespaceAreaMm2, 0.0, 1e-9);
+}
+
+TEST(Floorplan, WiderSpacingGrowsWhitespace)
+{
+    const std::vector<ChipletBox> boxes = {
+        {"a", 100.0, 1.0}, {"b", 80.0, 1.0}, {"c", 60.0, 1.0}};
+    const double tight =
+        Floorplanner(0.1).plan(boxes).whitespaceAreaMm2;
+    const double loose =
+        Floorplanner(1.0).plan(boxes).whitespaceAreaMm2;
+    EXPECT_GT(loose, tight);
+}
+
+} // namespace
+} // namespace ecochip

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for PiecewiseLinear and LinearRegression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/interp.h"
+
+namespace ecochip {
+namespace {
+
+TEST(PiecewiseLinear, ExactAtAnchors)
+{
+    PiecewiseLinear f({{1.0, 10.0}, {2.0, 20.0}, {4.0, 80.0}});
+    EXPECT_DOUBLE_EQ(f.eval(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(f.eval(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(f.eval(4.0), 80.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesLinearlyBetweenAnchors)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}});
+    EXPECT_DOUBLE_EQ(f.eval(2.5), 25.0);
+    EXPECT_DOUBLE_EQ(f.eval(5.0), 50.0);
+    EXPECT_DOUBLE_EQ(f.eval(7.5), 75.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesInCorrectSegment)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {1.0, 10.0}, {2.0, 0.0}});
+    EXPECT_DOUBLE_EQ(f.eval(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(f.eval(1.5), 5.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideRange)
+{
+    PiecewiseLinear f({{1.0, 10.0}, {2.0, 20.0}});
+    EXPECT_DOUBLE_EQ(f.eval(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(f.eval(100.0), 20.0);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput)
+{
+    PiecewiseLinear f({{4.0, 40.0}, {1.0, 10.0}, {2.0, 20.0}});
+    EXPECT_DOUBLE_EQ(f.minX(), 1.0);
+    EXPECT_DOUBLE_EQ(f.maxX(), 4.0);
+    EXPECT_DOUBLE_EQ(f.eval(1.5), 15.0);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateAbscissa)
+{
+    EXPECT_THROW(PiecewiseLinear({{1.0, 1.0}, {1.0, 2.0}}),
+                 ConfigError);
+}
+
+TEST(PiecewiseLinear, EmptyTableThrowsOnEval)
+{
+    PiecewiseLinear f;
+    EXPECT_TRUE(f.empty());
+    EXPECT_THROW(f.eval(1.0), ConfigError);
+}
+
+TEST(PiecewiseLinear, AddPointKeepsOrder)
+{
+    PiecewiseLinear f;
+    f.addPoint(5.0, 50.0);
+    f.addPoint(1.0, 10.0);
+    f.addPoint(3.0, 30.0);
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_DOUBLE_EQ(f.eval(2.0), 20.0);
+    EXPECT_THROW(f.addPoint(3.0, 99.0), ConfigError);
+}
+
+TEST(PiecewiseLinear, MinMaxY)
+{
+    PiecewiseLinear f({{0.0, 5.0}, {1.0, -2.0}, {2.0, 8.0}});
+    EXPECT_DOUBLE_EQ(f.minY(), -2.0);
+    EXPECT_DOUBLE_EQ(f.maxY(), 8.0);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant)
+{
+    PiecewiseLinear f({{3.0, 42.0}});
+    EXPECT_DOUBLE_EQ(f.eval(-10.0), 42.0);
+    EXPECT_DOUBLE_EQ(f.eval(3.0), 42.0);
+    EXPECT_DOUBLE_EQ(f.eval(10.0), 42.0);
+}
+
+TEST(LinearRegression, RecoversExactLine)
+{
+    LinearRegression fit(
+        {{0.0, 1.0}, {1.0, 3.0}, {2.0, 5.0}, {3.0, 7.0}});
+    EXPECT_NEAR(fit.slope(), 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept(), 1.0, 1e-12);
+    EXPECT_NEAR(fit.rSquared(), 1.0, 1e-12);
+    EXPECT_NEAR(fit.eval(10.0), 21.0, 1e-10);
+}
+
+TEST(LinearRegression, NoisyFitHasImperfectR2)
+{
+    LinearRegression fit(
+        {{0.0, 0.0}, {1.0, 1.2}, {2.0, 1.8}, {3.0, 3.1}});
+    EXPECT_GT(fit.rSquared(), 0.9);
+    EXPECT_LT(fit.rSquared(), 1.0);
+    EXPECT_NEAR(fit.slope(), 1.0, 0.15);
+}
+
+TEST(LinearRegression, RejectsDegenerateInput)
+{
+    EXPECT_THROW(LinearRegression({{1.0, 1.0}}), ConfigError);
+    EXPECT_THROW(LinearRegression({{1.0, 1.0}, {1.0, 2.0}}),
+                 ConfigError);
+}
+
+/** Interpolation never overshoots the sampled ordinate range. */
+class PiecewiseLinearBoundsTest
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PiecewiseLinearBoundsTest, EvalWithinSampledRange)
+{
+    PiecewiseLinear f({{3.0, 0.30}, {7.0, 0.20}, {14.0, 0.12},
+                       {28.0, 0.09}, {65.0, 0.07}});
+    const double y = f.eval(GetParam());
+    EXPECT_GE(y, f.minY());
+    EXPECT_LE(y, f.maxY());
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepX, PiecewiseLinearBoundsTest,
+                         ::testing::Values(1.0, 3.0, 5.0, 6.5, 9.0,
+                                           12.0, 20.0, 40.0, 64.9,
+                                           65.0, 100.0));
+
+} // namespace
+} // namespace ecochip

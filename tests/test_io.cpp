@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for JSON configuration loading and report emission.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "io/config_loader.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+TEST(ConfigLoader, SystemFromJsonWithAreas)
+{
+    TechDb tech;
+    const json::Value doc = json::parse(R"({
+        "name": "soc",
+        "monolithic": false,
+        "chiplets": [
+            {"name": "digital", "type": "logic", "node_nm": 7,
+             "area_mm2": 500.0},
+            {"name": "memory", "type": "memory", "node_nm": 10,
+             "area_mm2": 68.0, "reused": true}
+        ]
+    })");
+    const SystemSpec system = systemFromJson(doc, tech);
+    EXPECT_EQ(system.name, "soc");
+    EXPECT_FALSE(system.singleDie);
+    ASSERT_EQ(system.chiplets.size(), 2u);
+    EXPECT_NEAR(system.chiplets[0].areaMm2(tech), 500.0, 1e-9);
+    EXPECT_EQ(system.chiplets[1].type, DesignType::Memory);
+    EXPECT_TRUE(system.chiplets[1].reused);
+}
+
+TEST(ConfigLoader, SystemFromJsonWithTransistors)
+{
+    TechDb tech;
+    const json::Value doc = json::parse(R"({
+        "name": "soc",
+        "chiplets": [
+            {"name": "c", "type": "logic", "node_nm": 7,
+             "transistors_mtr": 9100.0}
+        ]
+    })");
+    const SystemSpec system = systemFromJson(doc, tech);
+    EXPECT_NEAR(system.chiplets[0].areaMm2(tech), 100.0, 1e-9);
+}
+
+TEST(ConfigLoader, SystemJsonValidation)
+{
+    TechDb tech;
+    // Both area and transistors given.
+    EXPECT_THROW(
+        systemFromJson(json::parse(R"({"chiplets": [
+            {"name": "c", "node_nm": 7, "area_mm2": 10,
+             "transistors_mtr": 100}]})"),
+                       tech),
+        ConfigError);
+    // Neither given.
+    EXPECT_THROW(
+        systemFromJson(json::parse(R"({"chiplets": [
+            {"name": "c", "node_nm": 7}]})"),
+                       tech),
+        ConfigError);
+    // Empty chiplet list.
+    EXPECT_THROW(
+        systemFromJson(json::parse(R"({"chiplets": []})"), tech),
+        ConfigError);
+    // Bad node.
+    EXPECT_THROW(
+        systemFromJson(json::parse(R"({"chiplets": [
+            {"name": "c", "node_nm": -7, "area_mm2": 10}]})"),
+                       tech),
+        ConfigError);
+}
+
+TEST(ConfigLoader, SystemRoundTrip)
+{
+    TechDb tech;
+    SystemSpec system;
+    system.name = "rt";
+    system.singleDie = true;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "logic", DesignType::Logic, 7.0, 120.0, tech));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "mem", DesignType::Memory, 7.0, 60.0, tech));
+    system.chiplets[1].reused = true;
+
+    const SystemSpec loaded =
+        systemFromJson(systemToJson(system), tech);
+    EXPECT_EQ(loaded.name, system.name);
+    EXPECT_EQ(loaded.singleDie, system.singleDie);
+    ASSERT_EQ(loaded.chiplets.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(loaded.chiplets[i].name,
+                  system.chiplets[i].name);
+        EXPECT_EQ(loaded.chiplets[i].type,
+                  system.chiplets[i].type);
+        EXPECT_DOUBLE_EQ(loaded.chiplets[i].transistorsMtr,
+                         system.chiplets[i].transistorsMtr);
+        EXPECT_EQ(loaded.chiplets[i].reused,
+                  system.chiplets[i].reused);
+    }
+}
+
+TEST(ConfigLoader, PackageParamsRoundTrip)
+{
+    PackageParams params;
+    params.arch = PackagingArch::Stack3d;
+    params.bondType = BondType::HybridBond;
+    params.hybridBondPitchUm = 2.0;
+    params.rdlLayers = 8;
+    params.router.flitWidthBits = 256;
+    params.bridgeRangeMm = 3.0;
+
+    const PackageParams loaded =
+        packageParamsFromJson(packageParamsToJson(params));
+    EXPECT_EQ(loaded.arch, params.arch);
+    EXPECT_EQ(loaded.bondType, params.bondType);
+    EXPECT_DOUBLE_EQ(loaded.hybridBondPitchUm, 2.0);
+    EXPECT_EQ(loaded.rdlLayers, 8);
+    EXPECT_EQ(loaded.router.flitWidthBits, 256);
+    EXPECT_DOUBLE_EQ(loaded.bridgeRangeMm, 3.0);
+}
+
+TEST(ConfigLoader, PackageParamsDefaultsWhenKeysMissing)
+{
+    const PackageParams loaded =
+        packageParamsFromJson(json::parse("{}"));
+    const PackageParams defaults;
+    EXPECT_EQ(loaded.arch, defaults.arch);
+    EXPECT_EQ(loaded.rdlLayers, defaults.rdlLayers);
+    EXPECT_DOUBLE_EQ(loaded.spacingMm, defaults.spacingMm);
+}
+
+TEST(ConfigLoader, DesignParamsRoundTrip)
+{
+    DesignParams params;
+    params.designIterations = 42;
+    params.chipletVolume = 5e5;
+    const DesignParams loaded =
+        designParamsFromJson(designParamsToJson(params));
+    EXPECT_EQ(loaded.designIterations, 42);
+    EXPECT_DOUBLE_EQ(loaded.chipletVolume, 5e5);
+}
+
+TEST(ConfigLoader, OperatingSpecRoundTripWithOptionals)
+{
+    OperatingSpec spec;
+    spec.lifetimeYears = 4.0;
+    spec.annualEnergyKwh = 1.5;
+    const OperatingSpec loaded =
+        operatingSpecFromJson(operatingSpecToJson(spec));
+    EXPECT_DOUBLE_EQ(loaded.lifetimeYears, 4.0);
+    ASSERT_TRUE(loaded.annualEnergyKwh.has_value());
+    EXPECT_DOUBLE_EQ(*loaded.annualEnergyKwh, 1.5);
+    EXPECT_FALSE(loaded.avgPowerW.has_value());
+
+    OperatingSpec with_power;
+    with_power.avgPowerW = 130.0;
+    const OperatingSpec loaded2 =
+        operatingSpecFromJson(operatingSpecToJson(with_power));
+    ASSERT_TRUE(loaded2.avgPowerW.has_value());
+    EXPECT_DOUBLE_EQ(*loaded2.avgPowerW, 130.0);
+}
+
+class DesignDirTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               "ecochip_design_dir";
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    writeFile(const std::string &name, const std::string &text)
+    {
+        std::ofstream out(dir_ / name);
+        out << text;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(DesignDirTest, LoadsAllConfigFiles)
+{
+    writeFile("architecture.json", R"({
+        "name": "dircase",
+        "packaging": "passive_interposer",
+        "chiplets": [
+            {"name": "a", "type": "logic", "node_nm": 7,
+             "area_mm2": 100.0},
+            {"name": "b", "type": "memory", "node_nm": 10,
+             "area_mm2": 40.0}
+        ]})");
+    writeFile("packageC.json",
+              R"({"interposer_node_nm": 40,
+                  "interposer_beol_layers": 6})");
+    writeFile("designC.json", R"({"design_iterations": 50})");
+    writeFile("operationalC.json", R"({"lifetime_years": 5})");
+
+    TechDb tech;
+    const DesignBundle bundle =
+        loadDesignDirectory(dir_.string(), tech);
+    EXPECT_EQ(bundle.system.name, "dircase");
+    EXPECT_EQ(bundle.config.package.arch,
+              PackagingArch::PassiveInterposer);
+    EXPECT_DOUBLE_EQ(bundle.config.package.interposerNodeNm,
+                     40.0);
+    EXPECT_EQ(bundle.config.package.interposerBeolLayers, 6);
+    EXPECT_EQ(bundle.config.design.designIterations, 50);
+    EXPECT_DOUBLE_EQ(bundle.config.operating.lifetimeYears, 5.0);
+}
+
+TEST_F(DesignDirTest, ArchitectureOnlyUsesDefaults)
+{
+    writeFile("architecture.json", R"({
+        "name": "minimal",
+        "chiplets": [
+            {"name": "a", "type": "logic", "node_nm": 7,
+             "area_mm2": 100.0}
+        ]})");
+    TechDb tech;
+    const DesignBundle bundle =
+        loadDesignDirectory(dir_.string(), tech);
+    EXPECT_EQ(bundle.config.package.arch,
+              PackageParams().arch);
+}
+
+TEST_F(DesignDirTest, MissingArchitectureThrows)
+{
+    TechDb tech;
+    EXPECT_THROW(loadDesignDirectory(dir_.string(), tech),
+                 ConfigError);
+    EXPECT_THROW(loadDesignDirectory("/no/such/dir", tech),
+                 ConfigError);
+}
+
+TEST(ReportJson, CarriesAllSections)
+{
+    EcoChip estimator;
+    SystemSpec system;
+    system.chiplets.push_back(Chiplet::fromArea(
+        "a", DesignType::Logic, 7.0, 100.0, estimator.tech()));
+    system.chiplets.push_back(Chiplet::fromArea(
+        "b", DesignType::Memory, 10.0, 50.0, estimator.tech()));
+    const CarbonReport report = estimator.estimate(system);
+    const json::Value doc = reportToJson(report);
+
+    EXPECT_NEAR(doc.at("mfg_co2_kg").asNumber(), report.mfgCo2Kg,
+                1e-12);
+    EXPECT_NEAR(doc.at("embodied_co2_kg").asNumber(),
+                report.embodiedCo2Kg(), 1e-12);
+    EXPECT_NEAR(doc.at("total_co2_kg").asNumber(),
+                report.totalCo2Kg(), 1e-12);
+    EXPECT_EQ(doc.at("chiplets").size(), 2u);
+    EXPECT_TRUE(doc.at("hi").contains("package_co2_kg"));
+    EXPECT_TRUE(doc.at("operational").contains("co2_kg"));
+    // Serialized report parses back.
+    EXPECT_NO_THROW(json::parse(doc.dump(true)));
+}
+
+} // namespace
+} // namespace ecochip

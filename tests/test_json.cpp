@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the JSON parser and serializer.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "support/error.h"
+
+namespace ecochip::json {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_EQ(parse("true").asBoolean(), true);
+    EXPECT_EQ(parse("false").asBoolean(), false);
+    EXPECT_DOUBLE_EQ(parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-3.25").asNumber(), -3.25);
+    EXPECT_DOUBLE_EQ(parse("6.02e23").asNumber(), 6.02e23);
+    EXPECT_DOUBLE_EQ(parse("1E-3").asNumber(), 1e-3);
+    EXPECT_EQ(parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    const Value doc = parse(R"({
+        "name": "soc",
+        "chiplets": [
+            {"name": "a", "area": 10.5},
+            {"name": "b", "area": 20.0}
+        ],
+        "flags": {"mono": false}
+    })");
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("name").asString(), "soc");
+    EXPECT_EQ(doc.at("chiplets").size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("chiplets")[1].at("area").asNumber(), 20.0);
+    EXPECT_FALSE(doc.at("flags").at("mono").asBoolean());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\"b")").asString(), "a\"b");
+    EXPECT_EQ(parse(R"("a\\b")").asString(), "a\\b");
+    EXPECT_EQ(parse(R"("a\nb\tc")").asString(), "a\nb\tc");
+    EXPECT_EQ(parse(R"("a\/b")").asString(), "a/b");
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    EXPECT_EQ(parse(R"("A")").asString(), "A");
+    // U+00E9 (e-acute) -> 2-byte UTF-8.
+    EXPECT_EQ(parse(R"("é")").asString(), "\xc3\xa9");
+    // U+20AC (euro) -> 3-byte UTF-8.
+    EXPECT_EQ(parse(R"("€")").asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, ToleratesLineComments)
+{
+    const Value doc = parse(
+        "{\n  // carbon config\n  \"x\": 1 // trailing\n}");
+    EXPECT_DOUBLE_EQ(doc.at("x").asNumber(), 1.0);
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    EXPECT_EQ(parse("[]").size(), 0u);
+    EXPECT_EQ(parse("{}").size(), 0u);
+    EXPECT_EQ(parse("[ ]").size(), 0u);
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn)
+{
+    try {
+        parse("{\n  \"a\": 1,\n  \"b\": }\n");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parse(""), ConfigError);
+    EXPECT_THROW(parse("{"), ConfigError);
+    EXPECT_THROW(parse("[1, 2"), ConfigError);
+    EXPECT_THROW(parse("tru"), ConfigError);
+    EXPECT_THROW(parse("\"unterminated"), ConfigError);
+    EXPECT_THROW(parse("01x"), ConfigError);
+    EXPECT_THROW(parse("1.2.3"), ConfigError);
+    EXPECT_THROW(parse("{\"a\" 1}"), ConfigError);
+    EXPECT_THROW(parse("{} extra"), ConfigError);
+    EXPECT_THROW(parse("1.-"), ConfigError);
+    EXPECT_THROW(parse("[1,]"), ConfigError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), ConfigError);
+}
+
+TEST(JsonValue, TypeMismatchThrows)
+{
+    const Value v = parse("{\"n\": 5}");
+    EXPECT_THROW(v.at("n").asString(), ConfigError);
+    EXPECT_THROW(v.at("n").asArray(), ConfigError);
+    EXPECT_THROW(v.at("missing"), ConfigError);
+    EXPECT_THROW(v.asNumber(), ConfigError);
+}
+
+TEST(JsonValue, AsIntegerValidatesIntegrality)
+{
+    EXPECT_EQ(parse("7").asInteger(), 7);
+    EXPECT_EQ(parse("-3").asInteger(), -3);
+    EXPECT_THROW(parse("7.5").asInteger(), ConfigError);
+}
+
+TEST(JsonValue, OptionalLookups)
+{
+    const Value v = parse(R"({"x": 2.0, "s": "hey", "b": true})");
+    EXPECT_DOUBLE_EQ(v.numberOr("x", 9.0), 2.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("y", 9.0), 9.0);
+    EXPECT_EQ(v.stringOr("s", "d"), "hey");
+    EXPECT_EQ(v.stringOr("t", "d"), "d");
+    EXPECT_TRUE(v.booleanOr("b", false));
+    EXPECT_TRUE(v.booleanOr("c", true));
+}
+
+TEST(JsonValue, SetOverwritesAndPreservesOrder)
+{
+    Value obj = Value::makeObject();
+    obj.set("z", 1);
+    obj.set("a", 2);
+    obj.set("z", 3);
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "z");
+    EXPECT_DOUBLE_EQ(obj.at("z").asNumber(), 3.0);
+}
+
+TEST(JsonDump, RoundTripsStructures)
+{
+    const std::string text =
+        R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+    const Value doc = parse(text);
+    EXPECT_EQ(parse(doc.dump()), doc);
+    EXPECT_EQ(parse(doc.dump(true)), doc);
+}
+
+TEST(JsonDump, EscapesSpecialCharacters)
+{
+    const Value v(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(JsonDump, IntegersPrintWithoutFraction)
+{
+    EXPECT_EQ(Value(42.0).dump(), "42");
+    EXPECT_EQ(Value(-7).dump(), "-7");
+}
+
+TEST(JsonDump, PrettyPrintIndents)
+{
+    Value obj = Value::makeObject();
+    obj.set("k", 1);
+    EXPECT_EQ(obj.dump(true), "{\n    \"k\": 1\n}");
+}
+
+TEST(JsonFile, WriteAndParseFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/ecochip_json_test.json";
+    Value obj = Value::makeObject();
+    obj.set("answer", 42);
+    writeFile(obj, path);
+    EXPECT_EQ(parseFile(path), obj);
+    std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileThrows)
+{
+    EXPECT_THROW(parseFile("/nonexistent/nope.json"), ConfigError);
+}
+
+TEST(JsonValue, Equality)
+{
+    EXPECT_EQ(parse("[1,2]"), parse("[1, 2]"));
+    EXPECT_FALSE(parse("[1,2]") == parse("[2,1]"));
+    EXPECT_FALSE(Value(1.0) == Value("1"));
+}
+
+} // namespace
+} // namespace ecochip::json

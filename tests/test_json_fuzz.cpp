@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Randomized JSON round-trip property tests: structurally random
+ * documents generated with the deterministic RNG must survive
+ * dump -> parse -> dump unchanged, in both compact and pretty
+ * form.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "support/rng.h"
+
+namespace ecochip::json {
+namespace {
+
+/** Generate a random JSON value with bounded depth. */
+Value
+randomValue(Rng &rng, int depth)
+{
+    const std::uint64_t pick = rng.next() % (depth <= 0 ? 4 : 6);
+    switch (pick) {
+      case 0:
+        return Value(); // null
+      case 1:
+        return Value(rng.next() % 2 == 0);
+      case 2: {
+        // Mix of integral, fractional, negative, and extreme
+        // magnitudes.
+        switch (rng.next() % 4) {
+          case 0:
+            return Value(static_cast<double>(
+                static_cast<std::int64_t>(rng.next() % 2000000) -
+                1000000));
+          case 1: return Value(rng.uniform(-1e6, 1e6));
+          case 2: return Value(rng.uniform(-1e-6, 1e-6));
+          default: return Value(rng.uniform(-1e18, 1e18));
+        }
+      }
+      case 3: {
+        // Strings with escapes and control characters.
+        static const char alphabet[] =
+            "abcXYZ019 _-\"\\\n\t\r/{}[]:,";
+        std::string s;
+        const std::uint64_t len = rng.next() % 12;
+        for (std::uint64_t i = 0; i < len; ++i)
+            s += alphabet[rng.next() % (sizeof(alphabet) - 1)];
+        return Value(std::move(s));
+      }
+      case 4: {
+        Value arr = Value::makeArray();
+        const std::uint64_t len = rng.next() % 5;
+        for (std::uint64_t i = 0; i < len; ++i)
+            arr.append(randomValue(rng, depth - 1));
+        return arr;
+      }
+      default: {
+        Value obj = Value::makeObject();
+        const std::uint64_t len = rng.next() % 5;
+        for (std::uint64_t i = 0; i < len; ++i)
+            obj.set("k" + std::to_string(i),
+                    randomValue(rng, depth - 1));
+        return obj;
+      }
+    }
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(JsonFuzzTest, CompactRoundTripIsIdentity)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    for (int i = 0; i < 50; ++i) {
+        const Value original = randomValue(rng, 4);
+        const std::string text = original.dump(false);
+        const Value reparsed = parse(text);
+        ASSERT_EQ(reparsed, original) << text;
+        // Idempotent: a second trip produces identical text.
+        ASSERT_EQ(reparsed.dump(false), text);
+    }
+}
+
+TEST_P(JsonFuzzTest, PrettyRoundTripIsIdentity)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    for (int i = 0; i < 50; ++i) {
+        const Value original = randomValue(rng, 4);
+        const Value reparsed = parse(original.dump(true));
+        ASSERT_EQ(reparsed, original);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace ecochip::json

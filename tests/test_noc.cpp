@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the NoC router and PHY models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/router_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class RouterTest : public ::testing::Test
+{
+  protected:
+    TechDb tech_;
+    RouterModel router_{tech_};
+};
+
+TEST_F(RouterTest, TransistorBudgetMatchesFormula)
+{
+    // Defaults: P=5, W=512, B=4, V=4.
+    const double p = 5, w = 512, v = 4, b = 4;
+    const double expected = (p * v * b * w * 6.0 +     // buffers
+                             p * p * w * 12.0 +        // crossbar
+                             p * p * v * v * 10.0 +    // VC alloc
+                             p * p * v * 10.0 +        // SW alloc
+                             p * w * 8.0) /            // outputs
+                            1e6;
+    EXPECT_NEAR(router_.transistorsMtr(), expected, 1e-12);
+}
+
+TEST_F(RouterTest, BuffersDominateTransistorBudget)
+{
+    RouterParams deep;
+    deep.buffersPerVc = 16;
+    RouterModel deep_router(tech_, deep);
+    EXPECT_GT(deep_router.transistorsMtr(),
+              2.5 * router_.transistorsMtr());
+}
+
+TEST_F(RouterTest, AreaShrinksAtAdvancedNodes)
+{
+    // The core passive-vs-active interposer asymmetry: the same
+    // router is much smaller in the chiplet's 7 nm than in the
+    // interposer's 65 nm (Sec. III-D(2)).
+    const double a7 = router_.areaMm2(7.0);
+    const double a65 = router_.areaMm2(65.0);
+    EXPECT_LT(a7, a65);
+    EXPECT_GT(a65 / a7, 10.0);
+}
+
+TEST_F(RouterTest, RouterAreaIsSmallVersusChiplets)
+{
+    // "Routing overheads ... are small and near-negligible
+    // compared to the core chiplet areas" even at 65 nm.
+    EXPECT_LT(router_.areaMm2(65.0), 5.0);
+    EXPECT_LT(router_.areaMm2(7.0), 0.1);
+}
+
+TEST_F(RouterTest, PowerScalesWithFlitRate)
+{
+    const double idle = router_.powerW(7.0, 0.0);
+    const double slow = router_.powerW(7.0, 1e8);
+    const double fast = router_.powerW(7.0, 1e9);
+    EXPECT_GT(idle, 0.0); // leakage floor
+    EXPECT_GT(slow, idle);
+    EXPECT_GT(fast, slow);
+    // Dynamic component is linear in the rate.
+    EXPECT_NEAR(fast - idle, 10.0 * (slow - idle), 1e-9);
+}
+
+TEST_F(RouterTest, LegacyNodeRouterBurnsMorePower)
+{
+    EXPECT_GT(router_.powerW(65.0, 1e9), router_.powerW(7.0, 1e9));
+    EXPECT_GT(router_.energyPerFlitNj(65.0),
+              router_.energyPerFlitNj(7.0));
+}
+
+TEST_F(RouterTest, WiderFlitsCostMore)
+{
+    RouterParams wide;
+    wide.flitWidthBits = 1024;
+    RouterModel wide_router(tech_, wide);
+    EXPECT_GT(wide_router.areaMm2(7.0), router_.areaMm2(7.0));
+    EXPECT_GT(wide_router.energyPerFlitNj(7.0),
+              router_.energyPerFlitNj(7.0));
+}
+
+TEST_F(RouterTest, ParameterValidation)
+{
+    RouterParams bad;
+    bad.ports = 1;
+    EXPECT_THROW(RouterModel(tech_, bad), ConfigError);
+    bad = RouterParams();
+    bad.flitWidthBits = 0;
+    EXPECT_THROW(RouterModel(tech_, bad), ConfigError);
+    bad = RouterParams();
+    bad.buffersPerVc = 0;
+    EXPECT_THROW(RouterModel(tech_, bad), ConfigError);
+    bad = RouterParams();
+    bad.virtualChannels = -1;
+    EXPECT_THROW(RouterModel(tech_, bad), ConfigError);
+    EXPECT_THROW(router_.powerW(7.0, -1.0), ConfigError);
+}
+
+TEST(PhyTest, PhyIsSmallIp)
+{
+    TechDb tech;
+    PhyModel phy(tech);
+    // "small additional areas when compared to the chiplets".
+    EXPECT_LT(phy.areaMm2(7.0), 0.1);
+    EXPECT_LT(phy.areaMm2(65.0), 1.0);
+}
+
+TEST(PhyTest, PhySmallerThanRouter)
+{
+    TechDb tech;
+    PhyModel phy(tech);
+    RouterModel router(tech);
+    EXPECT_LT(phy.transistorsMtr(), router.transistorsMtr());
+}
+
+TEST(PhyTest, PowerScalesWithBitRateAndNode)
+{
+    TechDb tech;
+    PhyModel phy(tech);
+    EXPECT_GT(phy.powerW(7.0, 1e11), phy.powerW(7.0, 1e10));
+    EXPECT_GT(phy.powerW(65.0, 1e11), phy.powerW(7.0, 1e11));
+    EXPECT_THROW(phy.powerW(7.0, -1.0), ConfigError);
+}
+
+TEST(PhyTest, WidthValidation)
+{
+    TechDb tech;
+    EXPECT_THROW(PhyModel(tech, 0), ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the operational-CFP model (Eqs. 3 and 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "operation/operational_model.h"
+#include "support/error.h"
+#include "support/units.h"
+
+namespace ecochip {
+namespace {
+
+class OperationTest : public ::testing::Test
+{
+  protected:
+    SystemSpec
+    makeSystem(double node_nm, double mtr = 1000.0) const
+    {
+        SystemSpec system;
+        Chiplet c;
+        c.name = "c";
+        c.type = DesignType::Logic;
+        c.nodeNm = node_nm;
+        c.transistorsMtr = mtr;
+        system.chiplets.push_back(c);
+        return system;
+    }
+
+    TechDb tech_;
+};
+
+TEST_F(OperationTest, ChipletPowerMatchesEq14ByHand)
+{
+    OperatingSpec spec;
+    spec.switchingActivity = 0.1;
+    spec.avgFrequencyHz = 1e9;
+    OperationalModel model(tech_, spec);
+
+    const SystemSpec system = makeSystem(7.0, 1000.0);
+    const Chiplet &c = system.chiplets.front();
+
+    const double vdd = tech_.supplyVoltageV(7.0);
+    const double leak_w =
+        vdd * tech_.leakageMaPerMtr(7.0) * 1e-3 * 1000.0;
+    const double cap_f =
+        1000.0 * 1e6 * tech_.effCapFfPerTransistor(7.0) * 1e-15;
+    const double dyn_w = 0.1 * cap_f * vdd * vdd * 1e9;
+    EXPECT_NEAR(model.chipletPowerW(c), leak_w + dyn_w, 1e-9);
+}
+
+TEST_F(OperationTest, EnergyAndCarbonFollowDutyAndLifetime)
+{
+    OperatingSpec spec;
+    spec.lifetimeYears = 2.0;
+    spec.dutyCycle = 0.10;
+    spec.avgPowerW = 130.0;
+    OperationalModel model(tech_, spec);
+
+    const OperationalBreakdown b =
+        model.evaluate(makeSystem(7.0));
+    const double expected_kwh =
+        130.0 * 2.0 * units::kHoursPerYear * 0.10 * 1e-3;
+    EXPECT_NEAR(b.lifetimeEnergyKwh, expected_kwh, 1e-9);
+    EXPECT_NEAR(b.co2Kg, expected_kwh * 0.7, 1e-9);
+    EXPECT_DOUBLE_EQ(b.avgPowerW, 130.0);
+}
+
+TEST_F(OperationTest, Ga102AnchorEuseNear228kWh)
+{
+    // Calibration check for the paper's GA102 anchor.
+    OperatingSpec spec;
+    spec.lifetimeYears = 2.0;
+    spec.dutyCycle = 0.10;
+    spec.avgPowerW = 130.0;
+    OperationalModel model(tech_, spec);
+    EXPECT_NEAR(model.evaluate(makeSystem(7.0)).lifetimeEnergyKwh,
+                228.0, 5.0);
+}
+
+TEST_F(OperationTest, BatteryPathBypassesPowerModel)
+{
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.annualEnergyKwh = 0.8;
+    OperationalModel model(tech_, spec);
+
+    const OperationalBreakdown b =
+        model.evaluate(makeSystem(7.0));
+    EXPECT_NEAR(b.lifetimeEnergyKwh, 2.4, 1e-9);
+    EXPECT_NEAR(b.co2Kg, 2.4 * 0.7, 1e-9);
+}
+
+TEST_F(OperationTest, BatteryPathStillChargesHiPower)
+{
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.dutyCycle = 0.15;
+    spec.annualEnergyKwh = 0.8;
+    OperationalModel model(tech_, spec);
+
+    const double base =
+        model.evaluate(makeSystem(7.0)).co2Kg;
+    const double with_noc =
+        model.evaluate(makeSystem(7.0), 0.5).co2Kg;
+    EXPECT_GT(with_noc, base);
+}
+
+TEST_F(OperationTest, LegacyNodeBurnsMorePower)
+{
+    // Same content at an older node draws more power: higher Vdd
+    // and capacitance -- why HI raises Cop (Sec. V-A(4)).
+    OperationalModel model(tech_, OperatingSpec{});
+    EXPECT_GT(model.chipletPowerW(
+                  makeSystem(14.0).chiplets.front()),
+              model.chipletPowerW(
+                  makeSystem(7.0).chiplets.front()));
+}
+
+TEST_F(OperationTest, SystemPowerSumsChipletsPlusExtra)
+{
+    OperationalModel model(tech_, OperatingSpec{});
+    SystemSpec two = makeSystem(7.0, 500.0);
+    Chiplet second = two.chiplets.front();
+    second.name = "d";
+    two.chiplets.push_back(second);
+
+    const double single = model.chipletPowerW(two.chiplets[0]);
+    EXPECT_NEAR(model.systemPowerW(two, 3.0), 2.0 * single + 3.0,
+                1e-9);
+}
+
+TEST_F(OperationTest, CarbonScalesWithUseIntensity)
+{
+    OperatingSpec coal;
+    coal.useIntensityGPerKwh = 700.0;
+    OperatingSpec wind = coal;
+    wind.useIntensityGPerKwh = 11.0;
+
+    const SystemSpec system = makeSystem(7.0);
+    const double c_coal =
+        OperationalModel(tech_, coal).evaluate(system).co2Kg;
+    const double c_wind =
+        OperationalModel(tech_, wind).evaluate(system).co2Kg;
+    EXPECT_NEAR(c_coal / c_wind, 700.0 / 11.0, 1e-6);
+}
+
+TEST_F(OperationTest, SpecValidation)
+{
+    OperatingSpec bad;
+    bad.lifetimeYears = 0.0;
+    EXPECT_THROW(OperationalModel(tech_, bad), ConfigError);
+    bad = OperatingSpec();
+    bad.dutyCycle = 1.5;
+    EXPECT_THROW(OperationalModel(tech_, bad), ConfigError);
+    bad = OperatingSpec();
+    bad.switchingActivity = 0.0;
+    EXPECT_THROW(OperationalModel(tech_, bad), ConfigError);
+    bad = OperatingSpec();
+    bad.avgPowerW = -5.0;
+    EXPECT_THROW(OperationalModel(tech_, bad), ConfigError);
+    bad = OperatingSpec();
+    bad.annualEnergyKwh = 0.0;
+    EXPECT_THROW(OperationalModel(tech_, bad), ConfigError);
+
+    OperationalModel ok(tech_, OperatingSpec{});
+    EXPECT_THROW(ok.systemPowerW(makeSystem(7.0), -1.0),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

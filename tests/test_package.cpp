@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit and behavioural tests for the packaging models (Eqs. 9-11)
+ * across all five architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/disaggregate.h"
+#include "package/package_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class PackageTest : public ::testing::Test
+{
+  protected:
+    SystemSpec
+    makeSystem(int nc, double area_each = 100.0) const
+    {
+        return makeUniformSplit("sys", area_each * nc, 7.0, nc,
+                                tech_);
+    }
+
+    HiResult
+    evaluate(PackageParams params, const SystemSpec &system) const
+    {
+        PackageModel model(tech_, mfg_, params);
+        return model.evaluate(system);
+    }
+
+    TechDb tech_;
+    ManufacturingModel mfg_{tech_};
+};
+
+TEST_F(PackageTest, MonolithHasNoHiOverhead)
+{
+    const HiResult hi =
+        evaluate(PackageParams(), makeSystem(1));
+    EXPECT_DOUBLE_EQ(hi.totalCo2Kg(), 0.0);
+    EXPECT_DOUBLE_EQ(hi.nocPowerW, 0.0);
+}
+
+TEST_F(PackageTest, SingleDieFlagSuppressesOverheads)
+{
+    SystemSpec mono = makeSystem(3);
+    mono.singleDie = true;
+    const HiResult hi = evaluate(PackageParams(), mono);
+    EXPECT_DOUBLE_EQ(hi.totalCo2Kg(), 0.0);
+}
+
+TEST_F(PackageTest, RdlCarbonLinearInLayerCount)
+{
+    const SystemSpec system = makeSystem(3);
+    PackageParams pkg;
+    pkg.arch = PackagingArch::RdlFanout;
+
+    pkg.rdlLayers = 3;
+    const double c3 = evaluate(pkg, system).packageCo2Kg;
+    pkg.rdlLayers = 6;
+    const double c6 = evaluate(pkg, system).packageCo2Kg;
+    pkg.rdlLayers = 9;
+    const double c9 = evaluate(pkg, system).packageCo2Kg;
+    EXPECT_NEAR(c6 / c3, 2.0, 1e-9);
+    EXPECT_NEAR(c9 / c3, 3.0, 1e-9);
+}
+
+TEST_F(PackageTest, RdlMatchesEq9ByHand)
+{
+    const SystemSpec system = makeSystem(2);
+    PackageParams pkg;
+    pkg.arch = PackagingArch::RdlFanout;
+
+    PackageModel model(tech_, mfg_, pkg);
+    const FloorplanResult fp = model.floorplan(system);
+    const HiResult hi = model.evaluate(system);
+
+    YieldModel ym(tech_);
+    const double yield = ym.rdlYield(fp.areaMm2(), pkg.rdlNodeNm);
+    const double expected =
+        pkg.rdlLayers * tech_.eplaRdlKwhPerCm2(pkg.rdlNodeNm) *
+        (pkg.intensityGPerKwh * 1e-3) * (fp.areaMm2() * 0.01) /
+        yield;
+    EXPECT_NEAR(hi.packageCo2Kg, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(hi.packageYield, yield);
+    EXPECT_NEAR(hi.packageAreaMm2, fp.areaMm2(), 1e-9);
+}
+
+TEST_F(PackageTest, BridgeCountCoversConnectivity)
+{
+    PackageParams pkg;
+    pkg.arch = PackagingArch::SiliconBridge;
+    for (int nc : {2, 3, 5, 8}) {
+        const HiResult hi = evaluate(pkg, makeSystem(nc));
+        EXPECT_GE(hi.bridgeCount, nc - 1) << "nc=" << nc;
+    }
+}
+
+TEST_F(PackageTest, LongerBridgeRangeNeedsFewerBridges)
+{
+    const SystemSpec system = makeSystem(4, 150.0);
+    PackageParams pkg;
+    pkg.arch = PackagingArch::SiliconBridge;
+
+    pkg.bridgeRangeMm = 1.0;
+    const HiResult short_range = evaluate(pkg, system);
+    pkg.bridgeRangeMm = 4.0;
+    const HiResult long_range = evaluate(pkg, system);
+    EXPECT_GT(short_range.bridgeCount, long_range.bridgeCount);
+    EXPECT_GT(short_range.totalCo2Kg(), long_range.totalCo2Kg());
+}
+
+TEST_F(PackageTest, BridgeBeatsRdlAtTwoChipletsOnly)
+{
+    // The Fig. 9 crossover.
+    PackageParams rdl;
+    rdl.arch = PackagingArch::RdlFanout;
+    PackageParams emib;
+    emib.arch = PackagingArch::SiliconBridge;
+
+    const SystemSpec two = makeSystem(2, 250.0);
+    EXPECT_LT(evaluate(emib, two).totalCo2Kg(),
+              evaluate(rdl, two).totalCo2Kg());
+
+    const SystemSpec eight = makeSystem(8, 62.5);
+    EXPECT_GT(evaluate(emib, eight).totalCo2Kg(),
+              evaluate(rdl, eight).totalCo2Kg());
+}
+
+TEST_F(PackageTest, InterposersCostMoreThanRdl)
+{
+    const SystemSpec system = makeSystem(4);
+    PackageParams rdl;
+    rdl.arch = PackagingArch::RdlFanout;
+    PackageParams passive;
+    passive.arch = PackagingArch::PassiveInterposer;
+    PackageParams active;
+    active.arch = PackagingArch::ActiveInterposer;
+
+    const double c_rdl = evaluate(rdl, system).totalCo2Kg();
+    const double c_passive =
+        evaluate(passive, system).totalCo2Kg();
+    const double c_active = evaluate(active, system).totalCo2Kg();
+    EXPECT_GT(c_passive, c_rdl);
+    EXPECT_GT(c_active, c_passive);
+}
+
+TEST_F(PackageTest, PassiveRoutersLiveInChiplets)
+{
+    // Passive: routers in the chiplets' advanced node -> small
+    // routing carbon; active: routers in the legacy interposer ->
+    // larger routing carbon (Sec. III-D(2)).
+    const SystemSpec system = makeSystem(4);
+    PackageParams passive;
+    passive.arch = PackagingArch::PassiveInterposer;
+    PackageParams active;
+    active.arch = PackagingArch::ActiveInterposer;
+
+    const HiResult hp = evaluate(passive, system);
+    const HiResult ha = evaluate(active, system);
+    EXPECT_GT(ha.routingCo2Kg, hp.routingCo2Kg);
+    EXPECT_GT(ha.commAreaMm2, hp.commAreaMm2);
+    // Active interposer routers at the legacy node also burn more
+    // NoC power.
+    EXPECT_GT(ha.nocPowerW, hp.nocPowerW);
+}
+
+TEST_F(PackageTest, OlderInterposerNodeIsGreener)
+{
+    const SystemSpec system = makeSystem(3);
+    PackageParams pkg;
+    pkg.arch = PackagingArch::ActiveInterposer;
+
+    pkg.interposerNodeNm = 22.0;
+    const double advanced = evaluate(pkg, system).totalCo2Kg();
+    pkg.interposerNodeNm = 65.0;
+    const double legacy = evaluate(pkg, system).totalCo2Kg();
+    EXPECT_GT(advanced, legacy);
+}
+
+TEST_F(PackageTest, StackedTiersReduce3dOverhead)
+{
+    // Fig. 9's 3D series: same logic in more tiers -> smaller
+    // footprint -> fewer via stacks -> lower CHI, despite worse
+    // package yield.
+    PackageParams pkg;
+    pkg.arch = PackagingArch::Stack3d;
+
+    const double total_area = 400.0;
+    double prev_chi = 1e18;
+    double prev_yield = 1.1;
+    for (int tiers : {2, 3, 4}) {
+        const SystemSpec stack = makeUniformSplit(
+            "stack", total_area, 7.0, tiers, tech_);
+        const HiResult hi = evaluate(pkg, stack);
+        EXPECT_LT(hi.totalCo2Kg(), prev_chi);
+        EXPECT_LT(hi.packageYield, prev_yield);
+        prev_chi = hi.totalCo2Kg();
+        prev_yield = hi.packageYield;
+    }
+}
+
+TEST_F(PackageTest, FinerBondPitchCostsCarbonAndYield)
+{
+    const SystemSpec stack = makeSystem(3);
+    PackageParams pkg;
+    pkg.arch = PackagingArch::Stack3d;
+    pkg.bondType = BondType::Tsv;
+
+    pkg.tsvPitchUm = 10.0;
+    const HiResult fine = evaluate(pkg, stack);
+    pkg.tsvPitchUm = 45.0;
+    const HiResult coarse = evaluate(pkg, stack);
+    EXPECT_GT(fine.bondCount, coarse.bondCount);
+    EXPECT_LT(fine.packageYield, coarse.packageYield);
+    EXPECT_GT(fine.totalCo2Kg(), coarse.totalCo2Kg());
+}
+
+TEST_F(PackageTest, BondTypeEnergyOrdering)
+{
+    PackageParams pkg;
+    pkg.bondType = BondType::Tsv;
+    EXPECT_DOUBLE_EQ(pkg.bondEnergyFactor(), 1.0);
+    pkg.bondType = BondType::Microbump;
+    EXPECT_LT(pkg.bondEnergyFactor(), 1.0);
+    pkg.bondType = BondType::HybridBond;
+    EXPECT_LT(pkg.bondEnergyFactor(), 0.1);
+    // Hybrid bonds are individually far more reliable.
+    EXPECT_LT(pkg.bondFailProbability(), 1e-8);
+}
+
+TEST_F(PackageTest, PhyOverheadChargedForPlanarPackages)
+{
+    const SystemSpec system = makeSystem(3);
+    for (PackagingArch arch : {PackagingArch::RdlFanout,
+                               PackagingArch::SiliconBridge}) {
+        PackageParams pkg;
+        pkg.arch = arch;
+        const HiResult hi = evaluate(pkg, system);
+        EXPECT_GT(hi.routingCo2Kg, 0.0) << toString(arch);
+        EXPECT_GT(hi.commAreaMm2, 0.0) << toString(arch);
+        EXPECT_GT(hi.nocPowerW, 0.0) << toString(arch);
+        // PHY is a small IP: its carbon is a sliver of package
+        // carbon.
+        EXPECT_LT(hi.routingCo2Kg, 0.1 * hi.packageCo2Kg)
+            << toString(arch);
+    }
+}
+
+TEST_F(PackageTest, PackageYieldAlwaysInUnitInterval)
+{
+    const SystemSpec system = makeSystem(5);
+    for (PackagingArch arch :
+         {PackagingArch::RdlFanout, PackagingArch::SiliconBridge,
+          PackagingArch::PassiveInterposer,
+          PackagingArch::ActiveInterposer,
+          PackagingArch::Stack3d}) {
+        PackageParams pkg;
+        pkg.arch = arch;
+        const HiResult hi = evaluate(pkg, system);
+        EXPECT_GT(hi.packageYield, 0.0) << toString(arch);
+        EXPECT_LE(hi.packageYield, 1.0) << toString(arch);
+        EXPECT_GT(hi.totalCo2Kg(), 0.0) << toString(arch);
+    }
+}
+
+TEST_F(PackageTest, ParameterValidation)
+{
+    PackageParams bad;
+    bad.rdlLayers = 0;
+    EXPECT_THROW(PackageModel(tech_, mfg_, bad), ConfigError);
+    bad = PackageParams();
+    bad.bridgeEmbedYield = 1.5;
+    EXPECT_THROW(PackageModel(tech_, mfg_, bad), ConfigError);
+    bad = PackageParams();
+    bad.tsvPitchUm = 0.0;
+    bad.bondType = BondType::Tsv;
+    EXPECT_THROW(PackageModel(tech_, mfg_, bad), ConfigError);
+    bad = PackageParams();
+    bad.intensityGPerKwh = -1.0;
+    EXPECT_THROW(PackageModel(tech_, mfg_, bad), ConfigError);
+    bad = PackageParams();
+    bad.repeaterAreaFraction = 1.0;
+    EXPECT_THROW(PackageModel(tech_, mfg_, bad), ConfigError);
+
+    PackageModel ok(tech_, mfg_, PackageParams());
+    SystemSpec empty;
+    EXPECT_THROW(ok.evaluate(empty), ConfigError);
+}
+
+TEST_F(PackageTest, ArchStringRoundTrip)
+{
+    for (PackagingArch arch :
+         {PackagingArch::RdlFanout, PackagingArch::SiliconBridge,
+          PackagingArch::PassiveInterposer,
+          PackagingArch::ActiveInterposer,
+          PackagingArch::Stack3d}) {
+        EXPECT_EQ(packagingArchFromString(toString(arch)), arch);
+    }
+    EXPECT_EQ(packagingArchFromString("emib"),
+              PackagingArch::SiliconBridge);
+    EXPECT_THROW(packagingArchFromString("wirebond"),
+                 ConfigError);
+
+    for (BondType type : {BondType::Tsv, BondType::Microbump,
+                          BondType::HybridBond}) {
+        EXPECT_EQ(bondTypeFromString(toString(type)), type);
+    }
+    EXPECT_THROW(bondTypeFromString("glue"), ConfigError);
+}
+
+TEST_F(PackageTest, CleanerPackagingFabLowersCarbon)
+{
+    const SystemSpec system = makeSystem(3);
+    PackageParams coal;
+    coal.intensityGPerKwh = 700.0;
+    PackageParams wind;
+    wind.intensityGPerKwh = 11.0;
+    EXPECT_GT(evaluate(coal, system).packageCo2Kg,
+              evaluate(wind, system).packageCo2Kg);
+}
+
+} // namespace
+} // namespace ecochip

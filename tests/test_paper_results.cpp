@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Integration tests asserting the paper's headline results -- the
+ * shape claims every figure reproduction rests on. Each test names
+ * the paper section/figure it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "core/testcases.h"
+#include "manufacture/mfg_model.h"
+#include "package/package_model.h"
+
+namespace ecochip {
+namespace {
+
+EcoChip
+ga102Estimator()
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::RdlFanout;
+    config.operating = testcases::ga102Operating();
+    return EcoChip(config);
+}
+
+TEST(PaperFig2a, MfgCarbonGrowsSuperlinearlyWithArea)
+{
+    TechDb tech;
+    ManufacturingModel mfg(tech);
+    const double c50 = mfg.dieMfg(50.0, 10.0).dieCo2Kg;
+    const double c200 = mfg.dieMfg(200.0, 10.0).dieCo2Kg;
+    EXPECT_GT(c200, 4.0 * c50);
+}
+
+TEST(PaperFig2b, FourChipletGa102BeatsMonolithEveryNode)
+{
+    EcoChip estimator = ga102Estimator();
+    for (double node : {7.0, 10.0, 14.0}) {
+        const CarbonReport mono = estimator.estimate(
+            testcases::ga102Monolithic(estimator.tech(), node));
+        const CarbonReport four = estimator.estimate(
+            testcases::ga102FourChiplet(estimator.tech(), node));
+        EXPECT_LT(four.mfgCo2Kg + four.hi.totalCo2Kg(),
+                  mono.mfgCo2Kg)
+            << "node " << node;
+    }
+}
+
+TEST(PaperFig3b, WastageWidensChipletAdvantage)
+{
+    // Charging periphery wastage hurts the big monolithic die
+    // more than the small chiplets.
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+
+    config.includeWastage = false;
+    EcoChip without(config);
+    config.includeWastage = true;
+    EcoChip with(config);
+
+    const SystemSpec mono =
+        testcases::ga102Monolithic(with.tech());
+    const SystemSpec four =
+        testcases::ga102FourChiplet(with.tech(), 7.0);
+
+    const double mono_delta =
+        with.estimate(mono).mfgCo2Kg -
+        without.estimate(mono).mfgCo2Kg;
+    const double four_delta =
+        with.estimate(four).mfgCo2Kg -
+        without.estimate(four).mfgCo2Kg;
+    EXPECT_GT(mono_delta, four_delta);
+    EXPECT_GT(four_delta, 0.0);
+}
+
+TEST(PaperFig6b, TotalCarbonRisesWithDefectDensity)
+{
+    double prev = 0.0;
+    for (double d0 : {0.07, 0.15, 0.30}) {
+        TechDb tech;
+        tech.setDefectDensityTable(
+            PiecewiseLinear({{3.0, d0}, {65.0, d0}}));
+        EcoChipConfig config;
+        config.operating = testcases::ga102Operating();
+        EcoChip estimator(config, tech);
+        const double total =
+            estimator
+                .estimate(testcases::ga102Monolithic(
+                    estimator.tech()))
+                .totalCo2Kg();
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+TEST(PaperFig7, BestTupleIsDigital7Memory14Analog10)
+{
+    EcoChip estimator = ga102Estimator();
+    TechSpaceExplorer explorer(estimator);
+    const auto points = explorer.sweep(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 10.0,
+                                     14.0),
+        {7.0, 10.0, 14.0});
+    const auto &best = TechSpaceExplorer::bestByEmbodied(points);
+    EXPECT_EQ(best.label(), "(7,14,10)");
+}
+
+TEST(PaperFig7, Uniform10nmTupleExceedsMonolith)
+{
+    // "(10,10,10) ... has a larger CFP than even the monolith."
+    EcoChip estimator = ga102Estimator();
+    const double mono =
+        estimator
+            .estimate(
+                testcases::ga102Monolithic(estimator.tech()))
+            .embodiedCo2Kg();
+    const double ten =
+        estimator
+            .estimate(testcases::ga102ThreeChiplet(
+                estimator.tech(), 10.0, 10.0, 10.0))
+            .embodiedCo2Kg();
+    EXPECT_GT(ten, mono);
+}
+
+TEST(PaperFig7, EmbodiedSavingVsMonolithInPaperBand)
+{
+    // "The Cemb of GA102 lowers by 30% when compared to its
+    // monolithic counterpart" -- we require a saving in the
+    // 10-40% band.
+    EcoChip estimator = ga102Estimator();
+    const double mono =
+        estimator
+            .estimate(
+                testcases::ga102Monolithic(estimator.tech()))
+            .embodiedCo2Kg();
+    const double best =
+        estimator
+            .estimate(testcases::ga102ThreeChiplet(
+                estimator.tech(), 7.0, 14.0, 10.0))
+            .embodiedCo2Kg();
+    const double saving = 1.0 - best / mono;
+    EXPECT_GT(saving, 0.10);
+    EXPECT_LT(saving, 0.40);
+}
+
+TEST(PaperFig7c, ActUnderestimatesByAtLeastTenKg)
+{
+    // "ACT ... can inaccurately estimate Cmfg by at least 10 kg
+    // of CO2 emission (~20% of Cemb)."
+    EcoChip estimator = ga102Estimator();
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        estimator.tech(), 7.0, 14.0, 10.0);
+    const double ours =
+        estimator.estimate(system).embodiedCo2Kg();
+    const double act = estimator.actEmbodiedCo2Kg(system);
+    EXPECT_GT(ours - act, 10.0);
+}
+
+TEST(PaperFig7d, Ga102EmbodiedIsRoughlyFifthOfTotal)
+{
+    // "the embodied carbon is approximately 20% of Ctot."
+    EcoChip estimator = ga102Estimator();
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 14.0,
+                                     10.0));
+    const double frac = r.embodiedCo2Kg() / r.totalCo2Kg();
+    EXPECT_GT(frac, 0.12);
+    EXPECT_LT(frac, 0.32);
+}
+
+TEST(PaperFig7d, HiRaisesOperationalCarbon)
+{
+    // Chiplets in older nodes + NoC power raise Cop vs. the
+    // monolith.
+    EcoChip estimator = ga102Estimator();
+    const double mono =
+        estimator
+            .estimate(
+                testcases::ga102Monolithic(estimator.tech()))
+            .operation.co2Kg;
+    const double hi =
+        estimator
+            .estimate(testcases::ga102ThreeChiplet(
+                estimator.tech(), 7.0, 14.0, 10.0))
+            .operation.co2Kg;
+    EXPECT_GT(hi, mono);
+}
+
+TEST(PaperFig8a, EmrIsOperationDominated)
+{
+    EcoChipConfig config;
+    config.package.arch = PackagingArch::SiliconBridge;
+    config.operating = testcases::emrOperating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::emrTwoChiplet(estimator.tech()));
+    EXPECT_GT(r.operation.co2Kg / r.totalCo2Kg(), 0.6);
+}
+
+TEST(PaperFig8b, A15IsEmbodiedDominatedLikeAppleReport)
+{
+    // Validation against Apple's report: ~80% embodied / ~20%
+    // operational for the monolithic A15 (Sec. VII).
+    EcoChipConfig config;
+    config.operating = testcases::a15Operating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::a15Monolithic(estimator.tech()));
+    const double emb_frac = r.embodiedCo2Kg() / r.totalCo2Kg();
+    EXPECT_GT(emb_frac, 0.7);
+    EXPECT_LT(emb_frac, 0.9);
+}
+
+TEST(PaperFig9, PackagingArchitectureOrderings)
+{
+    TechDb tech;
+    ManufacturingModel mfg(tech);
+    auto chi = [&](PackagingArch arch, int nc) {
+        PackageParams pkg;
+        pkg.arch = arch;
+        const SystemSpec split = makeUniformSplit(
+            "digital", 500.0, 7.0, nc, tech);
+        return PackageModel(tech, mfg, pkg)
+            .evaluate(split)
+            .totalCo2Kg();
+    };
+
+    // EMIB cheapest at Nc=2; RDL cheapest at Nc=8.
+    EXPECT_LT(chi(PackagingArch::SiliconBridge, 2),
+              chi(PackagingArch::RdlFanout, 2));
+    EXPECT_LT(chi(PackagingArch::RdlFanout, 8),
+              chi(PackagingArch::SiliconBridge, 8));
+    // Interposers costliest, active above passive.
+    for (int nc : {2, 4, 8}) {
+        EXPECT_GT(chi(PackagingArch::PassiveInterposer, nc),
+                  chi(PackagingArch::RdlFanout, nc));
+        EXPECT_GT(chi(PackagingArch::ActiveInterposer, nc),
+                  chi(PackagingArch::PassiveInterposer, nc));
+    }
+    // 3D overhead falls with tier count.
+    EXPECT_GT(chi(PackagingArch::Stack3d, 2),
+              chi(PackagingArch::Stack3d, 4));
+}
+
+TEST(PaperFig10, MfgFallsAndChiRisesWithNc)
+{
+    EcoChip estimator = ga102Estimator();
+    const CarbonReport r3 = estimator.estimate(
+        testcases::ga102Split(estimator.tech(), 3));
+    const CarbonReport r8 = estimator.estimate(
+        testcases::ga102Split(estimator.tech(), 8));
+    EXPECT_LT(r8.mfgCo2Kg, r3.mfgCo2Kg);
+    // Combined savings persist but shrink per added chiplet.
+    EXPECT_LT(r8.mfgCo2Kg + r8.hi.totalCo2Kg(),
+              r3.mfgCo2Kg + r3.hi.totalCo2Kg());
+}
+
+TEST(PaperFig12, DesignCarbonAmortizesHyperbolically)
+{
+    const double ns = 100000.0;
+    auto cdes = [&](double ratio) {
+        EcoChipConfig config;
+        config.design.systemVolume = ns;
+        config.design.chipletVolume = ratio * ns;
+        config.operating = testcases::emrOperating();
+        EcoChip estimator(config);
+        SystemSpec emr =
+            testcases::emrTwoChiplet(estimator.tech(), 7.0);
+        for (auto &c : emr.chiplets)
+            c.reused = false;
+        return estimator.estimate(emr).designCo2Kg;
+    };
+    const double at1 = cdes(1.0);
+    const double at10 = cdes(10.0);
+    EXPECT_NEAR(at1 / at10, 10.0, 0.2);
+}
+
+TEST(PaperFig13, EmbodiedGrowsWithSramTiers)
+{
+    TechDb tech;
+    double prev = 0.0;
+    for (int tiers = 1; tiers <= 4; ++tiers) {
+        const auto point =
+            testcases::arvrAccelerator(tech, "1K", tiers);
+        EcoChipConfig config;
+        config.package.arch = PackagingArch::Stack3d;
+        config.operating = testcases::arvrOperating(point);
+        EcoChip estimator(config, tech);
+        const double emb =
+            estimator.estimate(point.system).embodiedCo2Kg();
+        EXPECT_GT(emb, prev);
+        prev = emb;
+    }
+}
+
+TEST(PaperFig13, TotalCarbonRisesAcrossSeriesEnds)
+{
+    // "although the delay improves, the embodied Cemb increases"
+    // -> Ctot of the 4-tier stack exceeds the 1-tier stack.
+    TechDb tech;
+    for (const std::string series : {"1K", "2K"}) {
+        auto ctot = [&](int tiers) {
+            const auto point =
+                testcases::arvrAccelerator(tech, series, tiers);
+            EcoChipConfig config;
+            config.package.arch = PackagingArch::Stack3d;
+            config.operating = testcases::arvrOperating(point);
+            EcoChip estimator(config, tech);
+            return estimator.estimate(point.system).totalCo2Kg();
+        };
+        EXPECT_GT(ctot(4), ctot(1)) << series;
+    }
+}
+
+TEST(PaperFig15, OlderNodeChipletsAreCheaper)
+{
+    EcoChip estimator = ga102Estimator();
+    const double advanced =
+        estimator
+            .cost(testcases::ga102ThreeChiplet(estimator.tech(),
+                                               7.0, 7.0, 7.0))
+            .totalUsd();
+    const double mixed =
+        estimator
+            .cost(testcases::ga102ThreeChiplet(estimator.tech(),
+                                               7.0, 14.0, 10.0))
+            .totalUsd();
+    EXPECT_LT(mixed, advanced);
+}
+
+TEST(PaperSec5, LargeSocsBenefitMoreThanSmallOnes)
+{
+    // Key takeaway (c): GA102-class savings exceed A15-class
+    // savings.
+    EcoChip ga102 = ga102Estimator();
+    const double ga102_saving =
+        1.0 - ga102
+                  .estimate(testcases::ga102ThreeChiplet(
+                      ga102.tech(), 7.0, 14.0, 10.0))
+                  .embodiedCo2Kg() /
+                  ga102
+                      .estimate(testcases::ga102Monolithic(
+                          ga102.tech()))
+                      .embodiedCo2Kg();
+
+    EcoChipConfig a15_config;
+    a15_config.operating = testcases::a15Operating();
+    EcoChip a15(a15_config);
+    const double a15_saving =
+        1.0 - a15.estimate(testcases::a15ThreeChiplet(
+                      a15.tech(), 5.0, 7.0, 10.0))
+                  .embodiedCo2Kg() /
+                  a15.estimate(
+                         testcases::a15Monolithic(a15.tech()))
+                      .embodiedCo2Kg();
+
+    EXPECT_GT(ga102_saving, a15_saving);
+    EXPECT_GT(a15_saving, 0.0);
+}
+
+} // namespace
+} // namespace ecochip

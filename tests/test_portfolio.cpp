@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the cross-product chiplet-reuse portfolio analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/portfolio.h"
+#include "core/testcases.h"
+#include "design/design_model.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+class PortfolioTest : public ::testing::Test
+{
+  protected:
+    Product
+    makeProduct(const std::string &name, double io_area,
+                double volume) const
+    {
+        Product product;
+        product.system.name = name;
+        product.system.chiplets.push_back(Chiplet::fromArea(
+            name + "-compute", DesignType::Logic, 7.0, 100.0,
+            tech_));
+        // The shared design: identical IO chiplet in every
+        // product.
+        product.system.chiplets.push_back(Chiplet::fromArea(
+            "common-io", DesignType::Analog, 14.0, io_area,
+            tech_));
+        product.volume = volume;
+        product.operating = OperatingSpec{};
+        return product;
+    }
+
+    TechDb tech_;
+    PortfolioAnalyzer analyzer_{EcoChipConfig{}};
+};
+
+TEST_F(PortfolioTest, CountsDistinctDesigns)
+{
+    const auto result = analyzer_.analyze(
+        {makeProduct("a", 25.0, 1e5),
+         makeProduct("b", 25.0, 1e5)});
+    // a-compute, b-compute, common-io.
+    EXPECT_EQ(result.distinctDesigns, 3);
+    EXPECT_EQ(result.totalInstances, 4);
+    EXPECT_EQ(result.products.size(), 2u);
+}
+
+TEST_F(PortfolioTest, SharingSavesExactlyTheDuplicatedDesigns)
+{
+    // Two products sharing one IO design: sharing saves one full
+    // IO design effort.
+    const auto result = analyzer_.analyze(
+        {makeProduct("a", 25.0, 1e5),
+         makeProduct("b", 25.0, 1e5)});
+
+    DesignModel design(tech_, DesignParams{});
+    Chiplet io = Chiplet::fromArea("common-io",
+                                   DesignType::Analog, 14.0,
+                                   25.0, tech_);
+    const double io_once = design.chipletDesign(io).co2Kg;
+    EXPECT_NEAR(result.designSharingSavingsCo2Kg, io_once, 1e-6);
+}
+
+TEST_F(PortfolioTest, SingleProductHasNoSharingSavings)
+{
+    const auto result =
+        analyzer_.analyze({makeProduct("solo", 25.0, 1e5)});
+    EXPECT_NEAR(result.designSharingSavingsCo2Kg, 0.0, 1e-12);
+    EXPECT_NEAR(result.products[0].sharedDesignCo2Kg,
+                result.products[0].isolatedDesignCo2Kg, 1e-12);
+}
+
+TEST_F(PortfolioTest, SharedAmortizationSplitsOverTotalVolume)
+{
+    // IO design amortized over 3e5 parts when three products of
+    // 1e5 each share it.
+    const auto result = analyzer_.analyze(
+        {makeProduct("a", 25.0, 1e5), makeProduct("b", 25.0, 1e5),
+         makeProduct("c", 25.0, 1e5)});
+
+    DesignModel design(tech_, DesignParams{});
+    Chiplet io = Chiplet::fromArea("common-io",
+                                   DesignType::Analog, 14.0,
+                                   25.0, tech_);
+    const double io_once = design.chipletDesign(io).co2Kg;
+
+    for (const auto &product : result.products) {
+        // shared - isolated difference comes only from the IO
+        // chiplet: compute dies are product-unique.
+        const double io_share_delta =
+            io_once / 1e5 - io_once / 3e5;
+        EXPECT_NEAR(product.isolatedDesignCo2Kg -
+                        product.sharedDesignCo2Kg,
+                    io_share_delta, 1e-9);
+    }
+}
+
+TEST_F(PortfolioTest, TwinInstancesInOneProductShareOneDesign)
+{
+    Product twin;
+    twin.system.name = "twin";
+    const Chiplet die = Chiplet::fromArea(
+        "die", DesignType::Logic, 7.0, 100.0, tech_);
+    twin.system.chiplets.push_back(die);
+    twin.system.chiplets.push_back(die);
+    twin.volume = 1e5;
+
+    const auto result = analyzer_.analyze({twin});
+    EXPECT_EQ(result.distinctDesigns, 1);
+    EXPECT_EQ(result.totalInstances, 2);
+
+    DesignModel design(tech_, DesignParams{});
+    EXPECT_NEAR(result.products[0].sharedDesignCo2Kg,
+                design.chipletDesign(die).co2Kg / 1e5, 1e-9);
+}
+
+TEST_F(PortfolioTest, FleetCarbonSumsProducts)
+{
+    const auto result = analyzer_.analyze(
+        {makeProduct("a", 25.0, 2e5),
+         makeProduct("b", 25.0, 1e5)});
+    double expected = 0.0;
+    expected += 2e5 * result.products[0].report.totalCo2Kg();
+    expected += 1e5 * result.products[1].report.totalCo2Kg();
+    EXPECT_NEAR(result.fleetCo2Kg, expected, 1e-3);
+}
+
+TEST_F(PortfolioTest, MaskNreFoldsIntoSharing)
+{
+    EcoChipConfig with_nre;
+    with_nre.includeMaskNre = true;
+    PortfolioAnalyzer nre_analyzer(with_nre);
+
+    const auto plain = analyzer_.analyze(
+        {makeProduct("a", 25.0, 1e5),
+         makeProduct("b", 25.0, 1e5)});
+    const auto with = nre_analyzer.analyze(
+        {makeProduct("a", 25.0, 1e5),
+         makeProduct("b", 25.0, 1e5)});
+    // Shared mask sets add to both the per-part share and the
+    // sharing savings.
+    EXPECT_GT(with.designSharingSavingsCo2Kg,
+              plain.designSharingSavingsCo2Kg);
+    EXPECT_GT(with.products[0].sharedDesignCo2Kg,
+              plain.products[0].sharedDesignCo2Kg);
+}
+
+TEST_F(PortfolioTest, Validation)
+{
+    EXPECT_THROW(analyzer_.analyze({}), ConfigError);
+    Product empty;
+    empty.system.name = "empty";
+    EXPECT_THROW(analyzer_.analyze({empty}), ConfigError);
+    Product zero_volume = makeProduct("z", 25.0, 0.5);
+    EXPECT_THROW(analyzer_.analyze({zero_volume}), ConfigError);
+}
+
+TEST_F(PortfolioTest, DifferentNodesAreDifferentDesigns)
+{
+    Product a = makeProduct("a", 25.0, 1e5);
+    Product b = makeProduct("b", 25.0, 1e5);
+    // Retarget b's IO chiplet: no longer the same design.
+    for (auto &chiplet : b.system.chiplets)
+        if (chiplet.name == "common-io")
+            chiplet.nodeNm = 22.0;
+
+    const auto result = analyzer_.analyze({a, b});
+    EXPECT_EQ(result.distinctDesigns, 4);
+    EXPECT_NEAR(result.designSharingSavingsCo2Kg, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace ecochip

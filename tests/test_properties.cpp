@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold over
+ * broad parameter sweeps, exercised with parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/disaggregate.h"
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+namespace ecochip {
+namespace {
+
+/** (node_nm, area_mm2) grid for per-die invariants. */
+class DieGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+  protected:
+    TechDb tech_;
+    ManufacturingModel mfg_{tech_};
+};
+
+TEST_P(DieGridTest, YieldInUnitInterval)
+{
+    const auto [node, area] = GetParam();
+    const MfgBreakdown b = mfg_.dieMfg(area, node);
+    EXPECT_GT(b.yield, 0.0);
+    EXPECT_LE(b.yield, 1.0);
+}
+
+TEST_P(DieGridTest, CarbonHasMaterialFloor)
+{
+    // Even a perfect-yield die cannot emit less than its material
+    // and gas footprint.
+    const auto [node, area] = GetParam();
+    const MfgBreakdown b = mfg_.dieMfg(area, node);
+    const double floor_kg =
+        (tech_.cgasKgPerCm2(node) +
+         tech_.cmaterialKgPerCm2(node)) *
+        area * 0.01;
+    EXPECT_GT(b.dieCo2Kg, floor_kg);
+}
+
+TEST_P(DieGridTest, YieldedCfpaExceedsGross)
+{
+    const auto [node, area] = GetParam();
+    const MfgBreakdown b = mfg_.dieMfg(area, node);
+    EXPECT_GE(b.cfpaKgPerCm2,
+              mfg_.grossCfpaKgPerCm2(node) - 1e-12);
+}
+
+TEST_P(DieGridTest, WastedAreaPositiveAndBounded)
+{
+    const auto [node, area] = GetParam();
+    const MfgBreakdown b = mfg_.dieMfg(area, node);
+    EXPECT_GT(b.wastedAreaMm2, 0.0);
+    // Amortized wastage cannot exceed the wafer area per die.
+    EXPECT_LT(b.wastedAreaMm2,
+              WaferModel().areaMm2() / b.diesPerWafer);
+    (void)node;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeAreaGrid, DieGridTest,
+    ::testing::Combine(::testing::Values(5.0, 7.0, 10.0, 14.0,
+                                         28.0, 65.0),
+                       ::testing::Values(10.0, 50.0, 100.0, 300.0,
+                                         628.0)));
+
+/** Full-estimate invariants across packaging architectures. */
+class ArchSweepTest
+    : public ::testing::TestWithParam<PackagingArch>
+{};
+
+TEST_P(ArchSweepTest, ReportComponentsAreNonNegative)
+{
+    EcoChipConfig config;
+    config.package.arch = GetParam();
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Split(estimator.tech(), 4));
+
+    EXPECT_GT(r.mfgCo2Kg, 0.0);
+    EXPECT_GT(r.hi.packageCo2Kg, 0.0);
+    EXPECT_GE(r.hi.routingCo2Kg, 0.0);
+    EXPECT_GT(r.designCo2Kg, 0.0);
+    EXPECT_GT(r.operation.co2Kg, 0.0);
+    EXPECT_GE(r.hi.nocPowerW, 0.0);
+    EXPECT_GT(r.hi.packageYield, 0.0);
+    EXPECT_LE(r.hi.packageYield, 1.0);
+}
+
+TEST_P(ArchSweepTest, HiOverheadIsMinorityOfEmbodied)
+{
+    // For a realistic GPU-class system, packaging overheads stay
+    // well below the silicon manufacturing carbon.
+    EcoChipConfig config;
+    config.package.arch = GetParam();
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Split(estimator.tech(), 4));
+    EXPECT_LT(r.hi.totalCo2Kg(), 0.5 * r.mfgCo2Kg);
+}
+
+TEST_P(ArchSweepTest, CostReportIsConsistent)
+{
+    EcoChipConfig config;
+    config.package.arch = GetParam();
+    EcoChip estimator(config);
+    const CostBreakdown c = estimator.cost(
+        testcases::ga102Split(estimator.tech(), 4));
+    EXPECT_GT(c.dieUsd, 0.0);
+    EXPECT_GT(c.packageUsd, 0.0);
+    EXPECT_GT(c.assemblyUsd, 0.0);
+    EXPECT_NEAR(c.totalUsd(),
+                c.dieUsd + c.packageUsd + c.assemblyUsd + c.nreUsd,
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, ArchSweepTest,
+    ::testing::Values(PackagingArch::RdlFanout,
+                      PackagingArch::SiliconBridge,
+                      PackagingArch::PassiveInterposer,
+                      PackagingArch::ActiveInterposer,
+                      PackagingArch::Stack3d));
+
+/** Nc-sweep invariants for the disaggregation path. */
+class NcSweepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(NcSweepTest, SplitNeverHurtsSiliconMfg)
+{
+    // Splitting a die into equal parts always improves aggregate
+    // yield, so silicon mfg carbon must not increase.
+    TechDb tech;
+    ManufacturingModel mfg(tech);
+    const SystemSpec whole =
+        makeUniformSplit("w", 500.0, 7.0, 1, tech);
+    const SystemSpec split =
+        makeUniformSplit("s", 500.0, 7.0, GetParam(), tech);
+    EXPECT_LE(mfg.systemMfgCo2Kg(split),
+              mfg.systemMfgCo2Kg(whole) + 1e-9);
+}
+
+TEST_P(NcSweepTest, EstimateScalesChipletReports)
+{
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    EcoChip estimator(config);
+    const int nc = GetParam();
+    if (nc < 3)
+        GTEST_SKIP();
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Split(estimator.tech(), nc));
+    EXPECT_EQ(r.chiplets.size(), static_cast<std::size_t>(nc));
+    double sum = 0.0;
+    for (const auto &c : r.chiplets)
+        sum += c.mfgCo2Kg;
+    EXPECT_NEAR(sum, r.mfgCo2Kg, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipletCounts, NcSweepTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10));
+
+/** Carbon-intensity proportionality across the model stack. */
+class IntensitySweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(IntensitySweepTest, EmbodiedFallsWithCleanerEnergy)
+{
+    const double intensity = GetParam();
+    EcoChipConfig dirty;
+    dirty.operating = testcases::ga102Operating();
+    EcoChipConfig cleaner = dirty;
+    cleaner.fabIntensityGPerKwh = intensity;
+    cleaner.package.intensityGPerKwh = intensity;
+    cleaner.design.intensityGPerKwh = intensity;
+
+    EcoChip dirty_est(dirty);
+    EcoChip clean_est(cleaner);
+    const SystemSpec system = testcases::ga102ThreeChiplet(
+        dirty_est.tech(), 7.0, 14.0, 10.0);
+    EXPECT_LT(clean_est.estimate(system).embodiedCo2Kg(),
+              dirty_est.estimate(system).embodiedCo2Kg());
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, IntensitySweepTest,
+                         ::testing::Values(11.0, 41.0, 230.0,
+                                           450.0));
+
+/** Lifetime sweep: operational carbon is linear in lifetime. */
+class LifetimeSweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LifetimeSweepTest, OperationalCarbonLinearInLifetime)
+{
+    const double years = GetParam();
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    config.operating.lifetimeYears = years;
+    EcoChip estimator(config);
+    const SystemSpec mono =
+        testcases::ga102Monolithic(estimator.tech());
+    const double per_two_years =
+        estimator.estimate(mono).operation.co2Kg / years * 2.0;
+
+    EcoChipConfig base;
+    base.operating = testcases::ga102Operating();
+    EcoChip base_est(base);
+    EXPECT_NEAR(per_two_years,
+                base_est.estimate(mono).operation.co2Kg, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lifetimes, LifetimeSweepTest,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0));
+
+} // namespace
+} // namespace ecochip

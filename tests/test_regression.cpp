@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Calibration regression tests: pin the key measured values that
+ * EXPERIMENTS.md reports, at 2% tolerance. If a calibration table
+ * or model change moves these, EXPERIMENTS.md must be regenerated
+ * -- the failure is the reminder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ecochip.h"
+#include "core/testcases.h"
+
+namespace ecochip {
+namespace {
+
+/** Relative-tolerance helper. */
+void
+expectNearRel(double measured, double pinned, double rel = 0.02)
+{
+    EXPECT_NEAR(measured, pinned, rel * pinned);
+}
+
+class RegressionTest : public ::testing::Test
+{
+  protected:
+    static EcoChip
+    ga102Estimator()
+    {
+        EcoChipConfig config;
+        config.operating = testcases::ga102Operating();
+        return EcoChip(config);
+    }
+};
+
+TEST_F(RegressionTest, Ga102MonolithPinnedValues)
+{
+    EcoChip estimator = ga102Estimator();
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Monolithic(estimator.tech()));
+    expectNearRel(r.mfgCo2Kg, 46.94);
+    expectNearRel(r.designCo2Kg, 13.53);
+    expectNearRel(r.embodiedCo2Kg(), 60.47);
+    expectNearRel(r.operation.co2Kg, 158.85);
+    expectNearRel(r.totalCo2Kg(), 219.32);
+}
+
+TEST_F(RegressionTest, Ga102BestTuplePinnedValues)
+{
+    EcoChip estimator = ga102Estimator();
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 14.0,
+                                     10.0));
+    expectNearRel(r.mfgCo2Kg, 34.46, 0.03);
+    expectNearRel(r.hi.totalCo2Kg(), 1.73, 0.05);
+    expectNearRel(r.embodiedCo2Kg(), 49.53, 0.03);
+    const double act = estimator.actEmbodiedCo2Kg(
+        testcases::ga102ThreeChiplet(estimator.tech(), 7.0, 14.0,
+                                     10.0));
+    expectNearRel(act, 35.41, 0.03);
+}
+
+TEST_F(RegressionTest, Ga102EuseAnchor)
+{
+    EcoChip estimator = ga102Estimator();
+    const CarbonReport r = estimator.estimate(
+        testcases::ga102Monolithic(estimator.tech()));
+    // ~228 kWh over two years (paper anchor).
+    expectNearRel(r.operation.lifetimeEnergyKwh, 227.0, 0.03);
+}
+
+TEST_F(RegressionTest, A15EmbodiedShareAnchor)
+{
+    EcoChipConfig config;
+    config.operating = testcases::a15Operating();
+    EcoChip estimator(config);
+    const CarbonReport r = estimator.estimate(
+        testcases::a15Monolithic(estimator.tech()));
+    // Apple-report validation: ~80% embodied.
+    expectNearRel(r.embodiedCo2Kg() / r.totalCo2Kg(), 0.808,
+                  0.02);
+}
+
+TEST_F(RegressionTest, YieldModelChoicePropagates)
+{
+    EcoChipConfig nb_config;
+    nb_config.operating = testcases::ga102Operating();
+    EcoChipConfig poisson_config = nb_config;
+    poisson_config.yieldModel = YieldModelKind::Poisson;
+
+    EcoChip nb(nb_config);
+    EcoChip poisson(poisson_config);
+    const SystemSpec mono =
+        testcases::ga102Monolithic(nb.tech());
+    // Poisson is more pessimistic for the big die -> more carbon.
+    EXPECT_GT(poisson.estimate(mono).mfgCo2Kg,
+              nb.estimate(mono).mfgCo2Kg);
+}
+
+TEST_F(RegressionTest, DesignAnchorPinned)
+{
+    // 24 CPU-hours per 700k gates; GA102 ~1.54e5 CPU-hours.
+    TechDb tech;
+    DesignModel design(tech);
+    Chiplet ga102_digital = Chiplet::fromArea(
+        "d", DesignType::Logic, 7.0, 500.0, tech);
+    Chiplet mem = Chiplet::fromArea("m", DesignType::Memory, 7.0,
+                                    80.0, tech);
+    Chiplet ana = Chiplet::fromArea("a", DesignType::Analog, 7.0,
+                                    48.0, tech);
+    const double spr =
+        design.chipletDesign(ga102_digital).sprHours +
+        design.chipletDesign(mem).sprHours +
+        design.chipletDesign(ana).sprHours;
+    expectNearRel(spr, 1.81e5, 0.03);
+}
+
+TEST_F(RegressionTest, Fig9PinnedChi)
+{
+    // EMIB at Nc=2 and RDL at Nc=8 on the 500 mm^2 digital block
+    // (values from EXPERIMENTS.md, g CO2).
+    TechDb tech;
+    ManufacturingModel mfg(tech);
+    auto chi = [&](PackagingArch arch, int nc) {
+        PackageParams pkg;
+        pkg.arch = arch;
+        return PackageModel(tech, mfg, pkg)
+                   .evaluate(makeUniformSplit("d", 500.0, 7.0, nc,
+                                              tech))
+                   .totalCo2Kg() *
+               1e3;
+    };
+    expectNearRel(chi(PackagingArch::SiliconBridge, 2), 779.0,
+                  0.03);
+    expectNearRel(chi(PackagingArch::RdlFanout, 8), 1194.0, 0.03);
+}
+
+} // namespace
+} // namespace ecochip

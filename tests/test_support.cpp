@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for units, error helpers, TablePrinter, CsvWriter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/csv.h"
+#include "support/error.h"
+#include "support/table_printer.h"
+#include "support/units.h"
+
+namespace ecochip {
+namespace {
+
+TEST(Units, AreaConversionsAreInverse)
+{
+    EXPECT_DOUBLE_EQ(units::kMm2PerCm2 * units::kCm2PerMm2, 1.0);
+    EXPECT_DOUBLE_EQ(100.0 * units::kCm2PerMm2, 1.0);
+}
+
+TEST(Units, CarbonConversion)
+{
+    // 700 g/kWh * 10 kWh = 7 kg.
+    EXPECT_DOUBLE_EQ(units::carbonKg(700.0, 10.0), 7.0);
+    EXPECT_DOUBLE_EQ(units::carbonKg(700.0, 0.0), 0.0);
+}
+
+TEST(Units, TimeConversion)
+{
+    EXPECT_DOUBLE_EQ(units::kHoursPerYear, 365.0 * 24.0);
+    EXPECT_DOUBLE_EQ(1000.0 * units::kKwhPerWh, 1.0);
+}
+
+TEST(ErrorHelpers, RequireConfigThrowsOnlyWhenFalse)
+{
+    EXPECT_NO_THROW(requireConfig(true, "ok"));
+    EXPECT_THROW(requireConfig(false, "bad"), ConfigError);
+}
+
+TEST(ErrorHelpers, RequireModelThrowsOnlyWhenFalse)
+{
+    EXPECT_NO_THROW(requireModel(true, "ok"));
+    EXPECT_THROW(requireModel(false, "bug"), ModelError);
+}
+
+TEST(ErrorHelpers, MessagesArePrefixed)
+{
+    try {
+        requireConfig(false, "node must be positive");
+        FAIL();
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "config error: node must be positive"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorHelpers, BothDeriveFromError)
+{
+    EXPECT_THROW(requireConfig(false, "x"), Error);
+    EXPECT_THROW(requireModel(false, "x"), Error);
+}
+
+TEST(TablePrinter, AlignsColumnsAndSeparatesHeader)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow(std::vector<std::string>{"alpha", "1.5"});
+    table.addRow(std::vector<std::string>{"b", "20.25"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_THROW(table.addRow({std::string("only-one")}),
+                 ConfigError);
+}
+
+TEST(TablePrinter, NumericRowHelper)
+{
+    TablePrinter table({"x", "y"});
+    table.addRow(std::vector<double>{1.0, 2.5});
+    table.addRow("label", {3.0});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TablePrinter, FormatNumberUsesFixedMidRange)
+{
+    EXPECT_EQ(TablePrinter::formatNumber(1.5, 2), "1.50");
+    EXPECT_EQ(TablePrinter::formatNumber(0.0, 2), "0.00");
+}
+
+TEST(TablePrinter, FormatNumberUsesScientificExtremes)
+{
+    const std::string big =
+        TablePrinter::formatNumber(1.23e9, 3);
+    EXPECT_NE(big.find('e'), std::string::npos);
+    const std::string small =
+        TablePrinter::formatNumber(1.23e-6, 3);
+    EXPECT_NE(small.find('e'), std::string::npos);
+}
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCells)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""),
+              "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, LabeledNumericRow)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow("row", {1.0, 2.0}, 2);
+    EXPECT_EQ(oss.str(), "row,1.00,2.00\n");
+}
+
+} // namespace
+} // namespace ecochip

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit and property tests for the technology database, including
+ * the Table I range checks and the scaling-trend invariants the
+ * paper's arguments depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "tech/carbon_intensity.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+namespace {
+
+/** Adjacent standard-node pairs (advanced, legacy). */
+class NodePairTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+  protected:
+    TechDb tech_;
+};
+
+TEST_P(NodePairTest, DefectDensityFallsTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_GT(tech_.defectDensityPerCm2(advanced),
+              tech_.defectDensityPerCm2(legacy));
+}
+
+TEST_P(NodePairTest, TransistorDensityFallsTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    for (DesignType type : {DesignType::Logic, DesignType::Memory,
+                            DesignType::Analog}) {
+        EXPECT_GT(
+            tech_.transistorDensityMtrPerMm2(type, advanced),
+            tech_.transistorDensityMtrPerMm2(type, legacy))
+            << toString(type);
+    }
+}
+
+TEST_P(NodePairTest, EpaFallsTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_GT(tech_.epaKwhPerCm2(advanced),
+              tech_.epaKwhPerCm2(legacy));
+}
+
+TEST_P(NodePairTest, GasEmissionsFallTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_GT(tech_.cgasKgPerCm2(advanced),
+              tech_.cgasKgPerCm2(legacy));
+}
+
+TEST_P(NodePairTest, EquipmentDerateFavorsLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_GE(tech_.equipmentDerate(advanced),
+              tech_.equipmentDerate(legacy));
+}
+
+TEST_P(NodePairTest, EdaProductivityFavorsLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_LT(tech_.edaProductivity(advanced),
+              tech_.edaProductivity(legacy));
+}
+
+TEST_P(NodePairTest, SupplyVoltageRisesTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_LT(tech_.supplyVoltageV(advanced),
+              tech_.supplyVoltageV(legacy));
+}
+
+TEST_P(NodePairTest, WaferCostFallsTowardLegacyNodes)
+{
+    const auto [advanced, legacy] = GetParam();
+    EXPECT_GT(tech_.waferCostUsd(advanced),
+              tech_.waferCostUsd(legacy));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdjacentNodes, NodePairTest,
+    ::testing::Values(std::pair{3.0, 5.0}, std::pair{5.0, 7.0},
+                      std::pair{7.0, 10.0}, std::pair{10.0, 14.0},
+                      std::pair{14.0, 22.0}, std::pair{22.0, 28.0},
+                      std::pair{28.0, 40.0},
+                      std::pair{40.0, 65.0}));
+
+/** Every standard node obeys the Table I published ranges. */
+class TableRangeTest : public ::testing::TestWithParam<double>
+{
+  protected:
+    TechDb tech_;
+};
+
+TEST_P(TableRangeTest, DefectDensityInTableRange)
+{
+    const double d0 = tech_.defectDensityPerCm2(GetParam());
+    EXPECT_GE(d0, 0.07);
+    EXPECT_LE(d0, 0.30);
+}
+
+TEST_P(TableRangeTest, LogicDensityInTableRange)
+{
+    const double dt = tech_.transistorDensityMtrPerMm2(
+        DesignType::Logic, GetParam());
+    EXPECT_GE(dt, 5.0);
+    EXPECT_LE(dt, 150.0);
+}
+
+TEST_P(TableRangeTest, EpaInTableRange)
+{
+    const double epa = tech_.epaKwhPerCm2(GetParam());
+    EXPECT_GE(epa, 0.8);
+    EXPECT_LE(epa, 3.5);
+}
+
+TEST_P(TableRangeTest, CgasInTableRange)
+{
+    const double cgas = tech_.cgasKgPerCm2(GetParam());
+    EXPECT_GE(cgas, 0.1);
+    EXPECT_LE(cgas, 0.5);
+}
+
+TEST_P(TableRangeTest, DeratesInUnitInterval)
+{
+    EXPECT_GT(tech_.equipmentDerate(GetParam()), 0.0);
+    EXPECT_LE(tech_.equipmentDerate(GetParam()), 1.0);
+    EXPECT_GT(tech_.edaProductivity(GetParam()), 0.0);
+    EXPECT_LE(tech_.edaProductivity(GetParam()), 1.0);
+}
+
+TEST_P(TableRangeTest, MaterialFootprintMatchesTableI)
+{
+    EXPECT_DOUBLE_EQ(tech_.cmaterialKgPerCm2(GetParam()), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardNodes, TableRangeTest,
+    ::testing::ValuesIn(TechDb::standardNodesNm()));
+
+TEST(TechDb, PackagingEplaTablesInTableRange)
+{
+    TechDb tech;
+    for (double node : {22.0, 28.0, 40.0, 65.0}) {
+        EXPECT_GE(tech.eplaRdlKwhPerCm2(node), 0.05);
+        EXPECT_LE(tech.eplaRdlKwhPerCm2(node), 0.20);
+        EXPECT_GE(tech.eplaBridgeKwhPerCm2(node), 0.10);
+        EXPECT_LE(tech.eplaBridgeKwhPerCm2(node), 0.35);
+        // Bridge patterning (ultra-fine L/S) costs more per layer
+        // than coarse RDL at every node.
+        EXPECT_GT(tech.eplaBridgeKwhPerCm2(node),
+                  tech.eplaRdlKwhPerCm2(node));
+    }
+}
+
+TEST(TechDb, EffectiveDefectDensityOrdering)
+{
+    // RDL (coarse) < interposer BEOL < bridge (fine) == silicon.
+    TechDb tech;
+    for (double node : {22.0, 40.0, 65.0}) {
+        EXPECT_LT(tech.rdlDefectDensityPerCm2(node),
+                  tech.interposerDefectDensityPerCm2(node));
+        EXPECT_LT(tech.interposerDefectDensityPerCm2(node),
+                  tech.bridgeDefectDensityPerCm2(node));
+        EXPECT_DOUBLE_EQ(tech.bridgeDefectDensityPerCm2(node),
+                         tech.defectDensityPerCm2(node));
+    }
+}
+
+TEST(TechDb, AreaModelIsInverseOfTransistorModel)
+{
+    TechDb tech;
+    for (DesignType type : {DesignType::Logic, DesignType::Memory,
+                            DesignType::Analog}) {
+        for (double node : TechDb::standardNodesNm()) {
+            const double area = 123.0;
+            const double mtr =
+                tech.transistorsMtr(type, node, area);
+            EXPECT_NEAR(tech.dieAreaMm2(type, node, mtr), area,
+                        1e-9);
+        }
+    }
+}
+
+TEST(TechDb, LogicScalesFasterThanMemoryFasterThanAnalog)
+{
+    // Area growth when retargeting 7 nm content to 14 nm must be
+    // largest for logic -- the premise of the mix-and-match
+    // argument (Sec. II-A(2)).
+    TechDb tech;
+    auto growth = [&](DesignType type) {
+        const double mtr = tech.transistorsMtr(type, 7.0, 100.0);
+        return tech.dieAreaMm2(type, 14.0, mtr) / 100.0;
+    };
+    EXPECT_GT(growth(DesignType::Logic),
+              growth(DesignType::Memory));
+    EXPECT_GT(growth(DesignType::Memory),
+              growth(DesignType::Analog));
+    EXPECT_GT(growth(DesignType::Analog), 1.0);
+}
+
+TEST(TechDb, InterpolatesBetweenAnchors)
+{
+    TechDb tech;
+    const double d0_mid = tech.defectDensityPerCm2(8.5);
+    EXPECT_GT(d0_mid, tech.defectDensityPerCm2(10.0));
+    EXPECT_LT(d0_mid, tech.defectDensityPerCm2(7.0));
+}
+
+TEST(TechDb, OverridesReplaceTables)
+{
+    TechDb tech;
+    tech.setDefectDensityTable(
+        PiecewiseLinear({{3.0, 0.1}, {65.0, 0.1}}));
+    EXPECT_DOUBLE_EQ(tech.defectDensityPerCm2(7.0), 0.1);
+    tech.setClusteringAlpha(2.0);
+    EXPECT_DOUBLE_EQ(tech.clusteringAlpha(), 2.0);
+    tech.setTransistorDensityTable(
+        DesignType::Logic,
+        PiecewiseLinear({{3.0, 50.0}, {65.0, 50.0}}));
+    EXPECT_DOUBLE_EQ(
+        tech.transistorDensityMtrPerMm2(DesignType::Logic, 10.0),
+        50.0);
+    tech.setEpaTable(PiecewiseLinear({{3.0, 1.0}, {65.0, 1.0}}));
+    EXPECT_DOUBLE_EQ(tech.epaKwhPerCm2(28.0), 1.0);
+}
+
+TEST(TechDb, OverrideValidation)
+{
+    TechDb tech;
+    EXPECT_THROW(tech.setDefectDensityTable(PiecewiseLinear()),
+                 ConfigError);
+    EXPECT_THROW(tech.setClusteringAlpha(0.0), ConfigError);
+    EXPECT_THROW(tech.setEpaTable(PiecewiseLinear()), ConfigError);
+}
+
+TEST(TechDb, RejectsNonPositiveNodes)
+{
+    TechDb tech;
+    EXPECT_THROW(tech.defectDensityPerCm2(0.0), ConfigError);
+    EXPECT_THROW(tech.defectDensityPerCm2(-7.0), ConfigError);
+    EXPECT_THROW(
+        tech.transistorDensityMtrPerMm2(DesignType::Logic, -1.0),
+        ConfigError);
+}
+
+TEST(TechDb, EdaProductivitySamplesCoverStandardNodes)
+{
+    TechDb tech;
+    const auto samples = tech.edaProductivitySamples();
+    EXPECT_EQ(samples.size(), TechDb::standardNodesNm().size());
+    EXPECT_DOUBLE_EQ(samples.back().second, 1.0); // 65 nm anchor
+}
+
+TEST(CarbonIntensity, TableIRangeAndOrdering)
+{
+    // Table I: 30 - 700 g CO2/kWh between renewables and coal.
+    EXPECT_DOUBLE_EQ(
+        carbonIntensityGPerKwh(EnergySource::Coal), 700.0);
+    EXPECT_GT(carbonIntensityGPerKwh(EnergySource::Coal),
+              carbonIntensityGPerKwh(EnergySource::Gas));
+    EXPECT_GT(carbonIntensityGPerKwh(EnergySource::Gas),
+              carbonIntensityGPerKwh(EnergySource::Solar));
+    EXPECT_GT(carbonIntensityGPerKwh(EnergySource::Solar),
+              carbonIntensityGPerKwh(EnergySource::Wind));
+}
+
+TEST(CarbonIntensity, StringRoundTrip)
+{
+    for (EnergySource source :
+         {EnergySource::Coal, EnergySource::Gas,
+          EnergySource::Biomass, EnergySource::Solar,
+          EnergySource::Geothermal, EnergySource::Hydro,
+          EnergySource::Nuclear, EnergySource::Wind}) {
+        EXPECT_EQ(energySourceFromString(toString(source)),
+                  source);
+    }
+    EXPECT_THROW(energySourceFromString("fusion"), ConfigError);
+}
+
+TEST(DesignTypeNames, StringRoundTripAndAliases)
+{
+    for (DesignType type : {DesignType::Logic, DesignType::Memory,
+                            DesignType::Analog}) {
+        EXPECT_EQ(designTypeFromString(toString(type)), type);
+    }
+    EXPECT_EQ(designTypeFromString("digital"), DesignType::Logic);
+    EXPECT_EQ(designTypeFromString("sram"), DesignType::Memory);
+    EXPECT_EQ(designTypeFromString("io"), DesignType::Analog);
+    EXPECT_THROW(designTypeFromString("quantum"), ConfigError);
+}
+
+} // namespace
+} // namespace ecochip

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and property tests for the yield models (Eq. 4, bond-array
+ * and compound yields).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "yield/yield_model.h"
+
+namespace ecochip {
+namespace {
+
+TEST(NegativeBinomialYield, HandComputedValue)
+{
+    // Y = (1 + 1.0 * 0.3 / 3)^-3 = 1.1^-3.
+    EXPECT_NEAR(negativeBinomialYield(1.0, 0.3, 3.0),
+                std::pow(1.1, -3.0), 1e-12);
+}
+
+TEST(NegativeBinomialYield, PerfectYieldLimits)
+{
+    EXPECT_DOUBLE_EQ(negativeBinomialYield(0.0, 0.3, 3.0), 1.0);
+    EXPECT_DOUBLE_EQ(negativeBinomialYield(5.0, 0.0, 3.0), 1.0);
+}
+
+TEST(NegativeBinomialYield, ApproachesPoissonForLargeAlpha)
+{
+    // As alpha -> inf the model converges to exp(-A*D0).
+    const double a = 2.0, d0 = 0.2;
+    EXPECT_NEAR(negativeBinomialYield(a, d0, 1e7),
+                std::exp(-a * d0), 1e-6);
+}
+
+TEST(NegativeBinomialYield, InputValidation)
+{
+    EXPECT_THROW(negativeBinomialYield(-1.0, 0.1, 3.0),
+                 ConfigError);
+    EXPECT_THROW(negativeBinomialYield(1.0, -0.1, 3.0),
+                 ConfigError);
+    EXPECT_THROW(negativeBinomialYield(1.0, 0.1, 0.0),
+                 ConfigError);
+}
+
+/** Yield is strictly decreasing in area and defect density. */
+class YieldMonotonicityTest
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(YieldMonotonicityTest, DecreasesWithArea)
+{
+    const double d0 = GetParam();
+    double prev = 1.1;
+    for (double area : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        const double y = negativeBinomialYield(area, d0, 3.0);
+        EXPECT_GT(y, 0.0);
+        EXPECT_LT(y, prev);
+        prev = y;
+    }
+}
+
+TEST_P(YieldMonotonicityTest, DecreasesWithDefectDensity)
+{
+    const double area = GetParam() * 20.0; // reuse param as area
+    const double lo = negativeBinomialYield(area, 0.07, 3.0);
+    const double hi = negativeBinomialYield(area, 0.30, 3.0);
+    EXPECT_GT(lo, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(DefectDensities, YieldMonotonicityTest,
+                         ::testing::Values(0.07, 0.12, 0.20,
+                                           0.30));
+
+TEST(BondArrayYield, MatchesExponential)
+{
+    EXPECT_NEAR(bondArrayYield(1e6, 1e-7), std::exp(-0.1), 1e-12);
+    EXPECT_DOUBLE_EQ(bondArrayYield(0.0, 1e-7), 1.0);
+    EXPECT_DOUBLE_EQ(bondArrayYield(12345.0, 0.0), 1.0);
+}
+
+TEST(BondArrayYield, InputValidation)
+{
+    EXPECT_THROW(bondArrayYield(-1.0, 1e-7), ConfigError);
+    EXPECT_THROW(bondArrayYield(1.0, 1.0), ConfigError);
+    EXPECT_THROW(bondArrayYield(1.0, -0.1), ConfigError);
+}
+
+TEST(CompoundYield, MultipliesComponents)
+{
+    EXPECT_DOUBLE_EQ(compoundYield({}), 1.0);
+    EXPECT_DOUBLE_EQ(compoundYield({0.5}), 0.5);
+    EXPECT_NEAR(compoundYield({0.9, 0.8, 0.5}), 0.36, 1e-12);
+}
+
+TEST(CompoundYield, RejectsOutOfRangeComponents)
+{
+    EXPECT_THROW(compoundYield({0.9, 0.0}), ConfigError);
+    EXPECT_THROW(compoundYield({1.1}), ConfigError);
+    EXPECT_THROW(compoundYield({-0.5}), ConfigError);
+}
+
+TEST(YieldModel, UsesTechDbDefectDensity)
+{
+    TechDb tech;
+    YieldModel model(tech);
+    // 100 mm^2 = 1 cm^2 at 7 nm (D0 = 0.2).
+    EXPECT_NEAR(model.dieYield(100.0, 7.0),
+                negativeBinomialYield(1.0, 0.2, 3.0), 1e-12);
+}
+
+TEST(YieldModel, LegacyNodesYieldBetterAtSameArea)
+{
+    TechDb tech;
+    YieldModel model(tech);
+    EXPECT_GT(model.dieYield(200.0, 65.0),
+              model.dieYield(200.0, 7.0));
+}
+
+TEST(YieldModel, PackagingLayerYieldOrdering)
+{
+    // RDL (coarse features) yields best; fine bridge layers
+    // worst -- "EMIB yields lower than RDL" (Sec. II-C).
+    TechDb tech;
+    YieldModel model(tech);
+    const double area = 400.0, node = 65.0;
+    EXPECT_GT(model.rdlYield(area, node),
+              model.interposerYield(area, node));
+    EXPECT_GT(model.interposerYield(area, node),
+              model.bridgeYield(area, node));
+}
+
+} // namespace
+} // namespace ecochip

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the classical yield-model variants and the mesh
+ * network performance estimator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noc/network_model.h"
+#include "support/error.h"
+#include "yield/yield_model.h"
+
+namespace ecochip {
+namespace {
+
+TEST(YieldVariants, HandComputedValuesAtUnitDefects)
+{
+    // x = A*D0 = 1.
+    EXPECT_NEAR(poissonYield(2.0, 0.5), std::exp(-1.0), 1e-12);
+    const double murphy =
+        std::pow((1.0 - std::exp(-1.0)) / 1.0, 2.0);
+    EXPECT_NEAR(murphyYield(2.0, 0.5), murphy, 1e-12);
+    EXPECT_NEAR(seedsYield(2.0, 0.5), 0.5, 1e-12);
+}
+
+TEST(YieldVariants, KnownOrderingAtModerateDefects)
+{
+    // Classical result (Cunningham): at the same A*D0,
+    // Poisson < Murphy < negative binomial (alpha=3) < Seeds.
+    const double a = 2.0, d0 = 0.5;
+    const double p = poissonYield(a, d0);
+    const double m = murphyYield(a, d0);
+    const double nb = negativeBinomialYield(a, d0, 3.0);
+    const double s = seedsYield(a, d0);
+    EXPECT_LT(p, m);
+    EXPECT_LT(m, nb);
+    EXPECT_LT(nb, s);
+}
+
+TEST(YieldVariants, AllConvergeToOneAtZeroDefects)
+{
+    for (YieldModelKind kind :
+         {YieldModelKind::NegativeBinomial,
+          YieldModelKind::Poisson, YieldModelKind::Murphy,
+          YieldModelKind::Seeds}) {
+        EXPECT_DOUBLE_EQ(dieYield(kind, 0.0, 0.3, 3.0), 1.0)
+            << toString(kind);
+        EXPECT_DOUBLE_EQ(dieYield(kind, 5.0, 0.0, 3.0), 1.0)
+            << toString(kind);
+    }
+}
+
+TEST(YieldVariants, NegativeBinomialConvergesToSeedsAtAlphaOne)
+{
+    // NB with alpha = 1 is exactly the Seeds model.
+    EXPECT_NEAR(negativeBinomialYield(3.0, 0.2, 1.0),
+                seedsYield(3.0, 0.2), 1e-12);
+}
+
+TEST(YieldVariants, DecreasingInAreaForEveryKind)
+{
+    for (YieldModelKind kind :
+         {YieldModelKind::NegativeBinomial,
+          YieldModelKind::Poisson, YieldModelKind::Murphy,
+          YieldModelKind::Seeds}) {
+        double prev = 1.1;
+        for (double a : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+            const double y = dieYield(kind, a, 0.2, 3.0);
+            EXPECT_LT(y, prev) << toString(kind);
+            EXPECT_GT(y, 0.0) << toString(kind);
+            prev = y;
+        }
+    }
+}
+
+TEST(YieldVariants, StringRoundTrip)
+{
+    for (YieldModelKind kind :
+         {YieldModelKind::NegativeBinomial,
+          YieldModelKind::Poisson, YieldModelKind::Murphy,
+          YieldModelKind::Seeds}) {
+        EXPECT_EQ(yieldModelKindFromString(toString(kind)), kind);
+    }
+    EXPECT_THROW(yieldModelKindFromString("weibull"),
+                 ConfigError);
+}
+
+TEST(YieldVariants, YieldModelFacadeHonorsKind)
+{
+    TechDb tech;
+    YieldModel nb(tech);
+    YieldModel poisson(tech, YieldModelKind::Poisson);
+    EXPECT_EQ(poisson.kind(), YieldModelKind::Poisson);
+    // Poisson is the pessimist.
+    EXPECT_LT(poisson.dieYield(300.0, 7.0),
+              nb.dieYield(300.0, 7.0));
+}
+
+class NetworkTest : public ::testing::Test
+{
+  protected:
+    TechDb tech_;
+    NetworkModel network_{tech_};
+};
+
+TEST_F(NetworkTest, SingleNodeHasNoHops)
+{
+    const NetworkEstimate e =
+        network_.meshEstimate(1, 7.0, 1e9);
+    EXPECT_EQ(e.columns, 1);
+    EXPECT_EQ(e.rows, 1);
+    EXPECT_DOUBLE_EQ(e.avgHops, 0.0);
+    EXPECT_GT(e.avgLatencyNs, 0.0); // source router still counts
+}
+
+TEST_F(NetworkTest, MeshDimensionsCoverAllChiplets)
+{
+    for (int n : {2, 3, 4, 5, 6, 9, 12, 16, 30}) {
+        const NetworkEstimate e =
+            network_.meshEstimate(n, 7.0, 1e9);
+        EXPECT_GE(e.columns * e.rows, n) << n;
+        EXPECT_LE((e.columns - 1) * e.rows, n) << n;
+    }
+}
+
+TEST_F(NetworkTest, HopsGrowWithMeshSize)
+{
+    double prev = -1.0;
+    for (int n : {2, 4, 9, 16, 36, 64}) {
+        const NetworkEstimate e =
+            network_.meshEstimate(n, 7.0, 1e9);
+        EXPECT_GT(e.avgHops, prev) << n;
+        prev = e.avgHops;
+    }
+    // 2D mesh scaling: hops ~ (2/3) * sqrt(n) per dimension.
+    const NetworkEstimate e16 =
+        network_.meshEstimate(16, 7.0, 1e9);
+    EXPECT_NEAR(e16.avgHops, 2.0 * (16.0 - 1.0) / 12.0, 1e-9);
+}
+
+TEST_F(NetworkTest, FasterClockLowersLatencyRaisesBandwidth)
+{
+    const NetworkEstimate slow =
+        network_.meshEstimate(9, 7.0, 1e9);
+    const NetworkEstimate fast =
+        network_.meshEstimate(9, 7.0, 2e9);
+    EXPECT_GT(slow.avgLatencyNs, fast.avgLatencyNs);
+    EXPECT_LT(slow.bisectionBandwidthGbps,
+              fast.bisectionBandwidthGbps);
+}
+
+TEST_F(NetworkTest, BisectionBandwidthByHand)
+{
+    // 3x3 mesh at 1 GHz, 512-bit flits: 2 * 3 * 512 Gbit/s.
+    const NetworkEstimate e =
+        network_.meshEstimate(9, 7.0, 1e9);
+    EXPECT_NEAR(e.bisectionBandwidthGbps, 2.0 * 3.0 * 512.0,
+                1e-9);
+}
+
+TEST_F(NetworkTest, LegacyNodeNetworkBurnsMorePower)
+{
+    const NetworkEstimate advanced =
+        network_.meshEstimate(9, 7.0, 1e9);
+    const NetworkEstimate legacy =
+        network_.meshEstimate(9, 65.0, 1e9);
+    EXPECT_GT(legacy.networkPowerW, advanced.networkPowerW);
+}
+
+TEST_F(NetworkTest, Validation)
+{
+    EXPECT_THROW(network_.meshEstimate(0, 7.0, 1e9),
+                 ConfigError);
+    EXPECT_THROW(network_.meshEstimate(4, 7.0, 0.0),
+                 ConfigError);
+    EXPECT_THROW(network_.meshEstimate(4, 7.0, 1e9, -1.0),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace ecochip
