@@ -71,7 +71,16 @@ parseArgs(int argc, char **argv)
             std::stringstream ss(next_value());
             std::string token;
             while (std::getline(ss, token, ',')) {
-                const double node = std::stod(token);
+                double node = 0.0;
+                std::size_t consumed = 0;
+                try {
+                    node = std::stod(token, &consumed);
+                } catch (const std::exception &) {
+                    throw ConfigError("invalid node value: " +
+                                      token);
+                }
+                requireConfig(consumed == token.size(),
+                              "invalid node value: " + token);
                 requireConfig(node > 0.0,
                               "node must be positive");
                 opts.nodeList.push_back(node);

@@ -54,9 +54,7 @@ main()
                     system.totalSiliconAreaMm2(tech) +
                     r.hi.commAreaMm2 + r.hi.whitespaceAreaMm2;
                 const std::string label =
-                    "(" + std::to_string(int(d)) + "," +
-                    std::to_string(int(m)) + "," +
-                    std::to_string(int(a)) + ")";
+                    bench::nodeLabel(d, m, a);
                 rows.push_back(
                     {label, bench::num(area),
                      bench::num(r.operation.avgPowerW),

@@ -46,9 +46,7 @@ main()
                 const CostBreakdown c = estimator.cost(
                     testcases::ga102ThreeChiplet(tech, d, m, a));
                 const std::string label =
-                    "(" + std::to_string(int(d)) + "," +
-                    std::to_string(int(m)) + "," +
-                    std::to_string(int(a)) + ")";
+                    bench::nodeLabel(d, m, a);
                 rows.push_back({label, bench::num(c.dieUsd),
                                 bench::num(c.packageUsd),
                                 bench::num(c.assemblyUsd),

@@ -68,9 +68,12 @@ BM_Floorplan(benchmark::State &state)
 {
     const int nc = static_cast<int>(state.range(0));
     std::vector<ChipletBox> boxes;
-    for (int i = 0; i < nc; ++i)
-        boxes.push_back({"c" + std::to_string(i),
-                         50.0 + 13.0 * (i % 5), 1.0});
+    for (int i = 0; i < nc; ++i) {
+        std::string name("c");
+        name += std::to_string(i);
+        boxes.push_back(
+            {std::move(name), 50.0 + 13.0 * (i % 5), 1.0});
+    }
     Floorplanner planner;
     for (auto _ : state) {
         benchmark::DoNotOptimize(planner.plan(boxes));

@@ -34,4 +34,18 @@ num(double value, int precision)
     return TablePrinter::formatNumber(value, precision);
 }
 
+std::string
+nodeLabel(double digital_nm, double memory_nm, double analog_nm)
+{
+    std::string label;
+    label += '(';
+    label += std::to_string(int(digital_nm));
+    label += ',';
+    label += std::to_string(int(memory_nm));
+    label += ',';
+    label += std::to_string(int(analog_nm));
+    label += ')';
+    return label;
+}
+
 } // namespace ecochip::bench

@@ -30,6 +30,10 @@ void emit(const std::vector<std::string> &headers,
 /** Format a double for series output. */
 std::string num(double value, int precision = 4);
 
+/** Format a "(d,m,a)" node-triple label for sweep series. */
+std::string nodeLabel(double digital_nm, double memory_nm,
+                      double analog_nm);
+
 } // namespace ecochip::bench
 
 #endif // ECOCHIP_BENCH_BENCH_UTIL_H

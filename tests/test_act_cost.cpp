@@ -14,6 +14,14 @@
 namespace ecochip {
 namespace {
 
+std::string
+indexedName(char prefix, int i)
+{
+    std::string name(1, prefix);
+    name += std::to_string(i);
+    return name;
+}
+
 class ActTest : public ::testing::Test
 {
   protected:
@@ -148,7 +156,7 @@ TEST_F(CostTest, AssemblyGrowsWithChipletCount)
         SystemSpec system;
         for (int i = 0; i < nc; ++i)
             system.chiplets.push_back(Chiplet::fromArea(
-                "c" + std::to_string(i), DesignType::Logic, 7.0,
+                indexedName('c', i), DesignType::Logic, 7.0,
                 50.0, tech_));
         return cost_.systemCost(system, pkg).assemblyUsd;
     };
@@ -161,7 +169,7 @@ TEST_F(CostTest, InterposerPackagesCostMoreThanRdl)
     SystemSpec system;
     for (int i = 0; i < 4; ++i)
         system.chiplets.push_back(Chiplet::fromArea(
-            "c" + std::to_string(i), DesignType::Logic, 7.0,
+            indexedName('c', i), DesignType::Logic, 7.0,
             80.0, tech_));
 
     PackageParams rdl;

@@ -211,6 +211,40 @@ TEST_F(MonteCarloTest, DeterministicForEqualSeeds)
                      b.total.percentile(90.0));
 }
 
+TEST_F(MonteCarloTest, IndependentAnalyzersIdenticalForEqualSeeds)
+{
+    // Two analyzers constructed from scratch must reproduce the
+    // exact same distribution for the same seed: CTest runs suites
+    // in parallel (`ctest -j`), so any hidden global RNG state
+    // would surface as flaky cross-run differences here.
+    TechDb tech;
+    const SystemSpec system =
+        testcases::ga102ThreeChiplet(tech, 7.0, 14.0, 10.0);
+
+    const MonteCarloAnalyzer first(config());
+    const MonteCarloAnalyzer second(config());
+    const UncertaintyReport a = first.run(system, 64, 2024);
+    const UncertaintyReport b = second.run(system, 64, 2024);
+
+    const auto expect_identical = [](const SampleStats &x,
+                                     const SampleStats &y) {
+        EXPECT_EQ(x.count(), y.count());
+        EXPECT_DOUBLE_EQ(x.mean(), y.mean());
+        EXPECT_DOUBLE_EQ(x.stddev(), y.stddev());
+        EXPECT_DOUBLE_EQ(x.min(), y.min());
+        EXPECT_DOUBLE_EQ(x.max(), y.max());
+        for (double p : {5.0, 50.0, 95.0})
+            EXPECT_DOUBLE_EQ(x.percentile(p), y.percentile(p));
+    };
+    expect_identical(a.embodied, b.embodied);
+    expect_identical(a.operational, b.operational);
+    expect_identical(a.total, b.total);
+
+    // A different seed must actually move the distribution.
+    const UncertaintyReport c = first.run(system, 64, 2025);
+    EXPECT_NE(a.total.mean(), c.total.mean());
+}
+
 TEST_F(MonteCarloTest, DistributionBracketsDeterministicValue)
 {
     MonteCarloAnalyzer analyzer(config());

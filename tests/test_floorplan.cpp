@@ -166,8 +166,9 @@ class FloorplanPropertyTest : public ::testing::TestWithParam<int>
         for (int i = 0; i < n; ++i) {
             // Deterministic pseudo-varied sizes 20 - 180 mm^2.
             const double area = 20.0 + 40.0 * (i % 5);
-            boxes.push_back(
-                {"c" + std::to_string(i), area, 1.0});
+            std::string name("c");
+            name += std::to_string(i);
+            boxes.push_back({std::move(name), area, 1.0});
         }
         return boxes;
     }

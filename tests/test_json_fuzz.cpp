@@ -59,9 +59,11 @@ randomValue(Rng &rng, int depth)
       default: {
         Value obj = Value::makeObject();
         const std::uint64_t len = rng.next() % 5;
-        for (std::uint64_t i = 0; i < len; ++i)
-            obj.set("k" + std::to_string(i),
-                    randomValue(rng, depth - 1));
+        for (std::uint64_t i = 0; i < len; ++i) {
+            std::string key("k");
+            key += std::to_string(i);
+            obj.set(key, randomValue(rng, depth - 1));
+        }
         return obj;
       }
     }

@@ -123,7 +123,7 @@ TEST_F(OperationTest, SystemPowerSumsChipletsPlusExtra)
     OperationalModel model(tech_, OperatingSpec{});
     SystemSpec two = makeSystem(7.0, 500.0);
     Chiplet second = two.chiplets.front();
-    second.name = "d";
+    second.name = std::string("d");
     two.chiplets.push_back(second);
 
     const double single = model.chipletPowerW(two.chiplets[0]);
