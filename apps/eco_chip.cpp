@@ -2,35 +2,38 @@
  * @file
  * `eco_chip` command-line tool -- the C++ equivalent of the
  * reference artifact's `python3 src/ECO_chip.py --design_dir ...`
- * workflow.
+ * workflow, built on the `AnalysisSession` API.
  *
  * Usage:
  *   eco_chip --design_dir data/testcases/GA102 [options]
+ *   eco_chip --scenario ga102 [options]
  *
  * Options:
  *   --design_dir DIR   design directory with architecture.json
  *                      (+ optional packageC/designC/operationalC)
+ *   --scenario NAME    named scenario from the built-in registry
+ *                      (see --list_scenarios)
+ *   --list_scenarios   print the scenario catalog and exit
  *   --node_list LIST   comma-separated nodes (e.g. "7,10,14") to
  *                      explore across all chiplets; prints the
  *                      CFP of every combination
+ *   --montecarlo N     also run N Monte-Carlo trials
+ *   --threads T        batch Monte-Carlo trials over T threads
  *   --cost             also print the dollar-cost breakdown
- *   --json FILE        write the full carbon report as JSON
- *   --markdown FILE    write a human-readable markdown report
+ *   --json FILE        write all analysis results as JSON
+ *   --markdown FILE    write all analysis results as markdown
  *   --help             this text
  */
 
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include <fstream>
-
-#include "core/ecochip.h"
-#include "core/explorer.h"
-#include "io/config_loader.h"
-#include "io/report_writer.h"
+#include "io/result_writer.h"
+#include "session/analysis_session.h"
 #include "support/error.h"
 #include "support/table_printer.h"
 
@@ -41,7 +44,10 @@ using namespace ecochip;
 struct CliOptions
 {
     std::string designDir;
+    std::string scenario;
     std::vector<double> nodeList;
+    int monteCarloTrials = 0;
+    int threads = 1;
     bool showCost = false;
     std::optional<std::string> jsonPath;
     std::optional<std::string> markdownPath;
@@ -50,8 +56,37 @@ struct CliOptions
 void
 printUsage(std::ostream &os)
 {
-    os << "usage: eco_chip --design_dir DIR [--node_list 7,10,14]"
-          " [--cost] [--json FILE]\n";
+    os << "usage: eco_chip (--design_dir DIR | --scenario NAME)"
+          " [--node_list 7,10,14] [--montecarlo N]"
+          " [--threads T] [--cost] [--json FILE]"
+          " [--markdown FILE] [--list_scenarios]\n";
+}
+
+void
+printScenarios(std::ostream &os)
+{
+    os << "available scenarios:\n";
+    for (const auto &scenario :
+         ScenarioRegistry::builtin().scenarios()) {
+        os << "  " << scenario.name << "\n      "
+           << scenario.description << "\n";
+    }
+}
+
+int
+parsePositiveInt(const std::string &arg, const std::string &token)
+{
+    int value = 0;
+    try {
+        std::size_t consumed = 0;
+        value = std::stoi(token, &consumed);
+        requireConfig(consumed == token.size(), "trailing junk");
+    } catch (const std::exception &) {
+        throw ConfigError("invalid value for " + arg + ": " +
+                          token);
+    }
+    requireConfig(value > 0, arg + " must be positive");
+    return value;
 }
 
 CliOptions
@@ -67,6 +102,11 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--design_dir") {
             opts.designDir = next_value();
+        } else if (arg == "--scenario") {
+            opts.scenario = next_value();
+        } else if (arg == "--list_scenarios") {
+            printScenarios(std::cout);
+            std::exit(0);
         } else if (arg == "--node_list") {
             std::stringstream ss(next_value());
             std::string token;
@@ -87,6 +127,11 @@ parseArgs(int argc, char **argv)
             }
             requireConfig(!opts.nodeList.empty(),
                           "--node_list is empty");
+        } else if (arg == "--montecarlo") {
+            opts.monteCarloTrials =
+                parsePositiveInt(arg, next_value());
+        } else if (arg == "--threads") {
+            opts.threads = parsePositiveInt(arg, next_value());
         } else if (arg == "--cost") {
             opts.showCost = true;
         } else if (arg == "--json") {
@@ -100,8 +145,12 @@ parseArgs(int argc, char **argv)
             throw ConfigError("unknown option: " + arg);
         }
     }
-    requireConfig(!opts.designDir.empty(),
-                  "--design_dir is required");
+    requireConfig(opts.designDir.empty() != opts.scenario.empty(),
+                  "exactly one of --design_dir / --scenario is "
+                  "required");
+    requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
+                  "--threads batches Monte-Carlo trials; it "
+                  "requires --montecarlo");
     return opts;
 }
 
@@ -140,64 +189,114 @@ printReport(const SystemSpec &system, const CarbonReport &report)
     summary.print(std::cout);
 }
 
+void
+printSweep(const AnalysisResult &sweep)
+{
+    std::cout << "\n" << sweep.detail << ":\n";
+    TablePrinter table(
+        {"nodes", "Cmfg_kg", "CHI_kg", "Cdes_kg", "Cemb_kg",
+         "Cop_kg", "Ctot_kg"});
+    for (const auto &p : sweep.points) {
+        table.addRow(p.label(),
+                     {p.report.mfgCo2Kg,
+                      p.report.hi.totalCo2Kg(),
+                      p.report.designCo2Kg,
+                      p.report.embodiedCo2Kg(),
+                      p.report.operation.co2Kg,
+                      p.report.totalCo2Kg()});
+    }
+    table.print(std::cout);
+    const auto &best =
+        TechSpaceExplorer::bestByEmbodied(sweep.points);
+    std::cout << "lowest embodied CFP: " << best.label() << " at "
+              << best.report.embodiedCo2Kg() << " kg CO2\n";
+}
+
+void
+printUncertainty(const AnalysisResult &mc)
+{
+    std::cout << "\nMonte-Carlo bands (" << mc.detail << "):\n";
+    TablePrinter table(
+        {"metric", "mean", "stddev", "p5", "p50", "p95"});
+    auto row = [&](const char *name, const SampleStats &stats) {
+        table.addRow(name, {stats.mean(), stats.stddev(),
+                            stats.percentile(5.0),
+                            stats.percentile(50.0),
+                            stats.percentile(95.0)});
+    };
+    row("embodied", mc.uncertainty->embodied);
+    row("operational", mc.uncertainty->operational);
+    row("total", mc.uncertainty->total);
+    table.print(std::cout);
+}
+
+void
+printCost(const AnalysisResult &cost)
+{
+    std::cout << "\nDollar cost per part:\n";
+    TablePrinter table({"component", "usd"});
+    table.addRow("silicon dies", {cost.cost->dieUsd});
+    table.addRow("package", {cost.cost->packageUsd});
+    table.addRow("assembly+test", {cost.cost->assemblyUsd});
+    table.addRow("NRE, amortized", {cost.cost->nreUsd});
+    table.addRow("total", {cost.cost->totalUsd()});
+    table.print(std::cout);
+}
+
 int
 run(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
 
-    TechDb tech;
-    const DesignBundle bundle =
-        loadDesignDirectory(opts.designDir, tech);
-    EcoChip estimator(bundle.config, tech);
-
-    const CarbonReport report =
-        estimator.estimate(bundle.system);
-    printReport(bundle.system, report);
+    ScenarioBuilder builder;
+    if (!opts.designDir.empty())
+        builder.designDirectory(opts.designDir);
+    else
+        builder.scenario(opts.scenario);
+    const AnalysisSession session = builder.build();
 
     if (!opts.nodeList.empty()) {
-        std::cout << "\nTechnology-space exploration over {";
-        for (std::size_t i = 0; i < opts.nodeList.size(); ++i)
-            std::cout << (i ? "," : "") << opts.nodeList[i];
-        std::cout << "} nm:\n";
+        // Policy guard: a list longer than the chiplet count is
+        // nearly always a per-chiplet assignment pasted from a
+        // larger design, so fail fast instead of launching a
+        // misdirected |list|^n sweep.
+        requireConfig(
+            opts.nodeList.size() <= session.system().chiplets.size(),
+            "--node_list has " +
+                std::to_string(opts.nodeList.size()) +
+                " nodes but the design has only " +
+                std::to_string(session.system().chiplets.size()) +
+                " chiplets");
+    }
 
-        TechSpaceExplorer explorer(estimator);
-        const auto points =
-            explorer.sweep(bundle.system, opts.nodeList);
-        TablePrinter table(
-            {"nodes", "Cmfg_kg", "CHI_kg", "Cdes_kg", "Cemb_kg",
-             "Cop_kg", "Ctot_kg"});
-        for (const auto &p : points) {
-            table.addRow(p.label(),
-                         {p.report.mfgCo2Kg,
-                          p.report.hi.totalCo2Kg(),
-                          p.report.designCo2Kg,
-                          p.report.embodiedCo2Kg(),
-                          p.report.operation.co2Kg,
-                          p.report.totalCo2Kg()});
-        }
-        table.print(std::cout);
-        const auto &best =
-            TechSpaceExplorer::bestByEmbodied(points);
-        std::cout << "lowest embodied CFP: " << best.label()
-                  << " at " << best.report.embodiedCo2Kg()
-                  << " kg CO2\n";
+    std::vector<AnalysisResult> results;
+
+    results.push_back(session.estimate());
+    printReport(session.system(), *results.back().report);
+
+    if (!opts.nodeList.empty()) {
+        results.push_back(session.sweep(opts.nodeList));
+        printSweep(results.back());
+    }
+
+    if (opts.monteCarloTrials > 0) {
+        results.push_back(
+            session.monteCarlo(opts.monteCarloTrials, 42,
+                               Parallelism{opts.threads}));
+        printUncertainty(results.back());
     }
 
     if (opts.showCost) {
-        const CostBreakdown cost = estimator.cost(bundle.system);
-        std::cout << "\nDollar cost per part:\n";
-        TablePrinter table({"component", "usd"});
-        table.addRow("silicon dies", {cost.dieUsd});
-        table.addRow("package", {cost.packageUsd});
-        table.addRow("assembly+test", {cost.assemblyUsd});
-        table.addRow("NRE, amortized", {cost.nreUsd});
-        table.addRow("total", {cost.totalUsd()});
-        table.print(std::cout);
+        results.push_back(session.cost());
+        printCost(results.back());
     }
 
     if (opts.jsonPath) {
-        json::writeFile(reportToJson(report), *opts.jsonPath);
-        std::cout << "\nreport written to " << *opts.jsonPath
+        json::Value doc = json::Value::makeArray();
+        for (const auto &result : results)
+            doc.append(resultToJson(result));
+        json::writeFile(doc, *opts.jsonPath);
+        std::cout << "\nresults written to " << *opts.jsonPath
                   << "\n";
     }
 
@@ -206,8 +305,10 @@ run(int argc, char **argv)
         requireConfig(static_cast<bool>(out),
                       "cannot write markdown report: " +
                           *opts.markdownPath);
-        writeMarkdownReport(out, bundle.system, report,
-                            estimator.config());
+        for (const auto &result : results) {
+            writeResultMarkdown(out, result);
+            out << "\n";
+        }
         std::cout << "markdown report written to "
                   << *opts.markdownPath << "\n";
     }

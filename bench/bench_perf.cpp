@@ -14,6 +14,7 @@
 #include "core/explorer.h"
 #include "core/testcases.h"
 #include "floorplan/floorplan.h"
+#include "session/analysis_session.h"
 
 using namespace ecochip;
 
@@ -62,6 +63,50 @@ BM_TechSpaceSweep27(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TechSpaceSweep27);
+
+void
+BM_TechSpaceSweep27ColdCache(benchmark::State &state)
+{
+    // Fresh estimator per sweep: the memoization-free baseline
+    // the shared evaluation cache is measured against.
+    EcoChipConfig config;
+    config.operating = testcases::ga102Operating();
+    const TechDb tech;
+    const SystemSpec system =
+        testcases::ga102ThreeChiplet(tech, 7.0, 10.0, 14.0);
+    const std::vector<double> nodes = {7.0, 10.0, 14.0};
+    for (auto _ : state) {
+        EcoChip estimator(config, tech);
+        TechSpaceExplorer explorer(estimator);
+        benchmark::DoNotOptimize(explorer.sweep(system, nodes));
+    }
+}
+BENCHMARK(BM_TechSpaceSweep27ColdCache);
+
+void
+BM_SessionSweep27(benchmark::State &state)
+{
+    const AnalysisSession session =
+        ScenarioBuilder().scenario("ga102").build();
+    const std::vector<double> nodes = {7.0, 10.0, 14.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.sweep(nodes));
+    }
+}
+BENCHMARK(BM_SessionSweep27);
+
+void
+BM_MonteCarloBatched(benchmark::State &state)
+{
+    const AnalysisSession session =
+        ScenarioBuilder().scenario("ga102").build();
+    const int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.monteCarlo(
+            256, 42, Parallelism{threads}));
+    }
+}
+BENCHMARK(BM_MonteCarloBatched)->Arg(1)->Arg(4)->Arg(8);
 
 void
 BM_Floorplan(benchmark::State &state)

@@ -4,7 +4,9 @@
  * sweeps chiplet counts, node assignments, and packaging
  * architectures for a GA102-class GPU, with the mask-NRE carbon
  * extension enabled, and reports the carbon-optimal configuration
- * -- the paper's Sec. VI workflow, fully automated.
+ * -- the paper's Sec. VI workflow, fully automated. The winner is
+ * then re-examined through an `AnalysisSession` (Monte-Carlo
+ * bands + dollar cost on one shared context).
  */
 
 #include <algorithm>
@@ -13,6 +15,7 @@
 
 #include "core/optimizer.h"
 #include "core/testcases.h"
+#include "session/analysis_session.h"
 
 int
 main()
@@ -87,5 +90,26 @@ main()
               << best.report.designCo2Kg << " kg, mask NRE "
               << best.report.nreCo2Kg << " kg, Cop "
               << best.report.operation.co2Kg << " kg\n";
+
+    // How confident is the winner's number? Bind it into a
+    // session and run uncertainty + cost on one shared context.
+    EcoChipConfig winner_config = config;
+    winner_config.package.arch = best.arch;
+    const AnalysisSession session = ScenarioBuilder()
+                                        .system(best.system)
+                                        .config(winner_config)
+                                        .build();
+    const AnalysisResult bands =
+        session.monteCarlo(500, 42, Parallelism{4});
+    const SampleStats &emb = bands.uncertainty->embodied;
+    std::cout << "\nMonte-Carlo (500 trials, 4 threads): Cemb "
+              << emb.percentile(5.0) << " - "
+              << emb.percentile(95.0) << " kg (p5-p95), mean "
+              << emb.mean() << " kg\n";
+
+    const CostBreakdown cost = *session.cost().cost;
+    std::cout << "Unit cost of the winner: $" << cost.totalUsd()
+              << " (die $" << cost.dieUsd << ", NRE $"
+              << cost.nreUsd << ")\n";
     return 0;
 }

@@ -1,9 +1,8 @@
 /**
  * @file
  * Config-file workflow: load a design directory (the reference
- * tool's `--design_dir` flow) with `architecture.json` +
- * `packageC.json` + `designC.json` + `operationalC.json`, estimate
- * it, and emit a JSON report.
+ * tool's `--design_dir` flow) into an `AnalysisSession`, estimate
+ * it, and emit the result through the unified JSON path.
  *
  * Usage:
  *   ./custom_design_json [design_dir]
@@ -12,9 +11,11 @@
  */
 
 #include <iostream>
+#include <optional>
 
-#include "core/ecochip.h"
 #include "io/config_loader.h"
+#include "io/result_writer.h"
+#include "session/analysis_session.h"
 #include "support/error.h"
 
 int
@@ -22,13 +23,13 @@ main(int argc, char **argv)
 {
     using namespace ecochip;
 
-    TechDb tech;
-    DesignBundle bundle;
-
     const std::string dir =
         argc > 1 ? argv[1] : "data/testcases/GA102";
+
+    std::optional<AnalysisSession> session;
     try {
-        bundle = loadDesignDirectory(dir, tech);
+        session =
+            ScenarioBuilder().designDirectory(dir).build();
         std::cout << "Loaded design directory: " << dir << "\n";
     } catch (const ConfigError &e) {
         std::cout << "(" << e.what()
@@ -46,16 +47,19 @@ main(int argc, char **argv)
                  "node_nm": 14, "area_mm2": 20.0, "reused": true}
             ]
         })");
-        bundle.system = systemFromJson(arch, tech);
+        TechDb tech;
+        session = ScenarioBuilder()
+                      .system(systemFromJson(arch, tech))
+                      .tech(tech)
+                      .build();
     }
 
-    EcoChip estimator(bundle.config, tech);
-    const CarbonReport report = estimator.estimate(bundle.system);
+    const AnalysisResult result = session->estimate();
 
-    std::cout << "System \"" << bundle.system.name << "\" ("
-              << bundle.system.chiplets.size() << " chiplets, "
-              << toString(estimator.config().package.arch)
+    std::cout << "System \"" << session->system().name << "\" ("
+              << session->system().chiplets.size() << " chiplets, "
+              << toString(session->context().config().package.arch)
               << " packaging)\n\n";
-    std::cout << reportToJson(report).dump(true) << "\n";
+    std::cout << resultToJson(result).dump(true) << "\n";
     return 0;
 }

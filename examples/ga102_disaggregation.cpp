@@ -2,7 +2,7 @@
  * @file
  * GPU disaggregation study: take the monolithic GA102-class GPU,
  * explore (digital, memory, analog) technology-node tuples with
- * the TechSpaceExplorer, and report the carbon-optimal
+ * the session's `sweep()` verb, and report the carbon-optimal
  * configuration against the monolith and the ACT baseline --
  * the workflow behind the paper's Sec. V-A.
  */
@@ -10,39 +10,37 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/ecochip.h"
-#include "core/explorer.h"
 #include "core/testcases.h"
+#include "session/analysis_session.h"
 
 int
 main()
 {
     using namespace ecochip;
 
-    EcoChipConfig config;
-    config.package.arch = PackagingArch::RdlFanout;
-    config.operating = testcases::ga102Operating();
-    EcoChip estimator(config);
-    const TechDb &tech = estimator.tech();
+    // One cached evaluation context; the monolith and every sweep
+    // point share its memoized tech-db interpolations.
+    const AnalysisSession session =
+        ScenarioBuilder().scenario("ga102").build();
+    const TechDb &tech = session.context().tech();
 
     std::cout << std::fixed << std::setprecision(2);
 
     // Monolithic baseline at the native 7 nm node.
-    const SystemSpec mono = testcases::ga102Monolithic(tech);
-    const CarbonReport mono_r = estimator.estimate(mono);
+    const AnalysisSession mono_session =
+        session.withSystem(testcases::ga102Monolithic(tech));
+    const CarbonReport mono_r = *mono_session.estimate().report;
     std::cout << "Monolithic GA102 (7 nm): Cemb = "
               << mono_r.embodiedCo2Kg() << " kg, Ctot = "
               << mono_r.totalCo2Kg() << " kg CO2\n";
 
     // Explore every (digital, memory, analog) node tuple.
-    const SystemSpec base =
-        testcases::ga102ThreeChiplet(tech, 7.0, 10.0, 14.0);
-    TechSpaceExplorer explorer(estimator);
-    const auto points = explorer.sweep(base, {7.0, 10.0, 14.0});
+    const AnalysisResult space =
+        session.sweep({7.0, 10.0, 14.0});
 
-    std::cout << "\nExplored " << points.size()
+    std::cout << "\nExplored " << space.points.size()
               << " node assignments:\n";
-    for (const auto &point : points) {
+    for (const auto &point : space.points) {
         std::cout << "  " << std::setw(10) << point.label()
                   << "  Cemb " << std::setw(7)
                   << point.report.embodiedCo2Kg() << " kg, Ctot "
@@ -50,7 +48,8 @@ main()
                   << " kg\n";
     }
 
-    const auto &best = TechSpaceExplorer::bestByEmbodied(points);
+    const auto &best =
+        TechSpaceExplorer::bestByEmbodied(space.points);
     const double saving = 1.0 - best.report.embodiedCo2Kg() /
                                     mono_r.embodiedCo2Kg();
     std::cout << "\nCarbon-optimal tuple: " << best.label()
@@ -75,7 +74,8 @@ main()
 
     // ACT would miss the design and packaging carbon entirely.
     std::cout << "\nACT baseline for the winner: "
-              << estimator.actEmbodiedCo2Kg(best.system)
+              << session.context().estimator().actEmbodiedCo2Kg(
+                     best.system)
               << " kg CO2 vs. ECO-CHIP "
               << best.report.embodiedCo2Kg() << " kg CO2\n";
     return 0;

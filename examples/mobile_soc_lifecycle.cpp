@@ -3,14 +3,14 @@
  * Mobile-SoC lifecycle study (A15-class): embodied-dominated
  * devices, the battery-rating operational path, chiplet reuse, and
  * the effect of cleaner energy sources -- the paper's Sec. V-A(4)
- * and V-C territory.
+ * and V-C territory, driven through `AnalysisSession`.
  */
 
 #include <iomanip>
 #include <iostream>
 
-#include "core/ecochip.h"
 #include "core/testcases.h"
+#include "session/analysis_session.h"
 #include "tech/carbon_intensity.h"
 
 int
@@ -21,14 +21,12 @@ main()
     std::cout << std::fixed << std::setprecision(2);
 
     // Baseline: monolithic A15 on coal-powered manufacturing.
-    EcoChipConfig config;
-    config.package.arch = PackagingArch::RdlFanout;
-    config.operating = testcases::a15Operating();
-    EcoChip estimator(config);
-    const TechDb &tech = estimator.tech();
+    const AnalysisSession mono_session =
+        ScenarioBuilder().scenario("a15-mono").build();
+    const TechDb &tech = mono_session.context().tech();
+    const EcoChipConfig &config = mono_session.context().config();
 
-    const SystemSpec mono = testcases::a15Monolithic(tech);
-    const CarbonReport mono_r = estimator.estimate(mono);
+    const CarbonReport mono_r = *mono_session.estimate().report;
     std::cout << "A15 monolith (5 nm, coal-powered fab):\n"
               << "  embodied " << mono_r.embodiedCo2Kg()
               << " kg (" << std::setprecision(0)
@@ -40,15 +38,18 @@ main()
 
     // Disaggregate with the memory and IO as *reused* chiplets:
     // pre-designed IP shared across products amortizes its design
-    // carbon elsewhere.
+    // carbon elsewhere. Same context, different system -- the
+    // session re-targets without rebuilding caches.
     SystemSpec reuse =
         testcases::a15ThreeChiplet(tech, 5.0, 7.0, 10.0);
     for (auto &chiplet : reuse.chiplets)
         if (chiplet.type != DesignType::Logic)
             chiplet.reused = true;
     reuse.name = "A15-3c-reuse";
+    const AnalysisSession reuse_session =
+        mono_session.withSystem(reuse);
 
-    const CarbonReport reuse_r = estimator.estimate(reuse);
+    const CarbonReport reuse_r = *reuse_session.estimate().report;
     std::cout << "\nA15 3-chiplet (5,7,10) with reused "
                  "memory/IO chiplets:\n"
               << "  manufacturing " << reuse_r.mfgCo2Kg
@@ -71,8 +72,12 @@ main()
             clean.fabIntensityGPerKwh;
         clean.design.intensityGPerKwh =
             clean.fabIntensityGPerKwh;
-        EcoChip clean_estimator(clean);
-        const CarbonReport r = clean_estimator.estimate(reuse);
+        const AnalysisSession clean_session = ScenarioBuilder()
+                                                  .system(reuse)
+                                                  .config(clean)
+                                                  .build();
+        const CarbonReport r =
+            *clean_session.estimate().report;
         std::cout << "  " << std::setw(6) << toString(source)
                   << " (" << std::setw(3)
                   << carbonIntensityGPerKwh(source)
@@ -85,10 +90,16 @@ main()
     std::cout << "\nTotal carbon vs. lifetime (per year of "
                  "service):\n";
     for (double years : {2.0, 3.0, 4.0, 5.0}) {
-        EcoChipConfig longer = config;
-        longer.operating.lifetimeYears = years;
-        EcoChip longer_estimator(longer);
-        const CarbonReport r = longer_estimator.estimate(reuse);
+        OperatingSpec longer = config.operating;
+        longer.lifetimeYears = years;
+        const AnalysisSession longer_session =
+            ScenarioBuilder()
+                .system(reuse)
+                .config(config)
+                .operating(longer)
+                .build();
+        const CarbonReport r =
+            *longer_session.estimate().report;
         std::cout << "  " << years << " years: Ctot "
                   << r.totalCo2Kg() << " kg, per-year "
                   << r.totalCo2Kg() / years << " kg\n";

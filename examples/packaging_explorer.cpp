@@ -2,15 +2,16 @@
  * @file
  * Packaging-architecture explorer: compare all five advanced
  * packaging families on one system and sweep their key knobs --
- * the early-architecture decision support of the paper's Sec. V-B.
+ * the early-architecture decision support of the paper's Sec. V-B,
+ * with each architecture bound through `ScenarioBuilder`.
  */
 
 #include <iomanip>
 #include <iostream>
 
 #include "core/disaggregate.h"
-#include "core/ecochip.h"
 #include "floorplan/floorplan.h"
+#include "session/analysis_session.h"
 
 int
 main()
@@ -47,7 +48,8 @@ main()
                   << " (" << adj.overlapMm << " mm shared edge)\n";
     }
 
-    // Compare the five packaging architectures.
+    // Compare the five packaging architectures: one session per
+    // architecture, all on the same system.
     std::cout << "\nPackaging architecture comparison:\n";
     std::cout << "  arch                 CHI_kg  pkg_kg  comm_kg"
                  "  noc_W   pkg_yield\n";
@@ -56,10 +58,12 @@ main()
           PackagingArch::PassiveInterposer,
           PackagingArch::ActiveInterposer,
           PackagingArch::Stack3d}) {
-        EcoChipConfig config;
-        config.package.arch = arch;
-        EcoChip estimator(config);
-        const CarbonReport r = estimator.estimate(system);
+        const AnalysisSession session = ScenarioBuilder()
+                                            .system(system)
+                                            .tech(tech)
+                                            .packaging(arch)
+                                            .build();
+        const CarbonReport r = *session.estimate().report;
         std::cout << "  " << std::setw(19) << std::left
                   << toString(arch) << std::right << "  "
                   << std::setw(6) << r.hi.totalCo2Kg() << "  "
@@ -77,8 +81,12 @@ main()
         config.package.arch = PackagingArch::Stack3d;
         config.package.bondType = BondType::HybridBond;
         config.package.hybridBondPitchUm = pitch;
-        EcoChip estimator(config);
-        const CarbonReport r = estimator.estimate(system);
+        const AnalysisSession session = ScenarioBuilder()
+                                            .system(system)
+                                            .tech(tech)
+                                            .config(config)
+                                            .build();
+        const CarbonReport r = *session.estimate().report;
         std::cout << "  pitch " << std::setw(4) << pitch
                   << " um: " << std::setw(9) << std::setprecision(0)
                   << r.hi.bondCount << std::setprecision(3)

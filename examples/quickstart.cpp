@@ -1,29 +1,25 @@
 /**
  * @file
  * Quickstart: estimate the carbon footprint of a small custom
- * chiplet system with ECO-CHIP's default calibration.
+ * chiplet system through the `AnalysisSession` API.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/quickstart
  */
 
 #include <iostream>
 
-#include "core/ecochip.h"
+#include "session/analysis_session.h"
 
 int
 main()
 {
     using namespace ecochip;
 
-    // 1. An estimator with the paper's defaults: 450 mm wafers,
-    //    coal-powered fab (700 g CO2/kWh), RDL-fanout packaging.
-    EcoChip estimator;
-    const TechDb &tech = estimator.tech();
-
-    // 2. Describe a heterogeneous system: a 7 nm compute chiplet,
+    // 1. Describe a heterogeneous system: a 7 nm compute chiplet,
     //    a 10 nm SRAM cache chiplet, and a reused 14 nm IO chiplet.
+    TechDb tech;
     SystemSpec system;
     system.name = "quickstart-soc";
     system.chiplets.push_back(Chiplet::fromArea(
@@ -35,10 +31,17 @@ main()
     io.reused = true; // pre-designed IP: no new design carbon
     system.chiplets.push_back(io);
 
-    // 3. Estimate.
-    const CarbonReport report = estimator.estimate(system);
+    // 2. Bind it to the paper's default calibration: 450 mm
+    //    wafers, coal-powered fab (700 g CO2/kWh), RDL fanout.
+    //    Every analysis below shares one cached context.
+    const AnalysisSession session =
+        ScenarioBuilder().system(system).tech(tech).build();
 
-    std::cout << "System: " << system.name << "\n\n";
+    // 3. Estimate.
+    const AnalysisResult estimate = session.estimate();
+    const CarbonReport &report = *estimate.report;
+
+    std::cout << "System: " << session.system().name << "\n\n";
     std::cout << "Per-chiplet manufacturing:\n";
     for (const auto &c : report.chiplets) {
         std::cout << "  " << c.name << ": " << c.areaMm2
@@ -60,11 +63,13 @@ main()
 
     // 4. Compare against the ACT baseline model.
     std::cout << "\nACT baseline embodied:  "
-              << estimator.actEmbodiedCo2Kg(system)
+              << session.context().estimator().actEmbodiedCo2Kg(
+                     session.system())
               << " kg CO2 (no design CFP, fixed 150 g package)\n";
 
-    // 5. Dollar cost under the same yields.
-    const CostBreakdown cost = estimator.cost(system);
+    // 5. Dollar cost under the same yields, as another verb on
+    //    the same session.
+    const CostBreakdown cost = *session.cost().cost;
     std::cout << "Unit cost:              $" << cost.totalUsd()
               << " (die $" << cost.dieUsd << ", package $"
               << cost.packageUsd << ", assembly $"

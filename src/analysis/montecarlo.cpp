@@ -1,11 +1,22 @@
 #include "analysis/montecarlo.h"
 
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "support/error.h"
 #include "support/rng.h"
 
 namespace ecochip {
+
+Parallelism
+Parallelism::hardware()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return Parallelism{hw == 0 ? 1 : static_cast<int>(hw)};
+}
 
 MonteCarloAnalyzer::MonteCarloAnalyzer(EcoChipConfig config,
                                        TechDb tech,
@@ -22,56 +33,112 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(EcoChipConfig config,
         "uncertainty bands must be in [0, 1)");
 }
 
+CarbonReport
+MonteCarloAnalyzer::evaluateTrial(const SystemSpec &system,
+                                  const TrialScales &scales) const
+{
+    EcoChipConfig config = config_;
+    TechDb tech = tech_;
+
+    std::vector<std::pair<double, double>> d0_points;
+    std::vector<std::pair<double, double>> epa_points;
+    for (double node : TechDb::standardNodesNm()) {
+        d0_points.emplace_back(node,
+                               scales.defectDensity *
+                                   tech_.defectDensityPerCm2(node));
+        epa_points.emplace_back(
+            node, scales.epa * tech_.epaKwhPerCm2(node));
+    }
+    tech.setDefectDensityTable(PiecewiseLinear(d0_points));
+    tech.setEpaTable(PiecewiseLinear(epa_points));
+
+    config.fabIntensityGPerKwh *= scales.intensity;
+    config.package.intensityGPerKwh *= scales.intensity;
+    config.design.intensityGPerKwh *= scales.intensity;
+
+    config.design.sprHoursPerMgate *= scales.designTime;
+    config.operating.dutyCycle =
+        std::min(1.0, config.operating.dutyCycle *
+                          scales.dutyCycle);
+
+    EcoChip estimator(std::move(config), std::move(tech));
+    return estimator.estimate(system);
+}
+
 UncertaintyReport
 MonteCarloAnalyzer::run(const SystemSpec &system, int trials,
-                        std::uint64_t seed) const
+                        std::uint64_t seed,
+                        Parallelism parallelism) const
 {
     requireConfig(trials >= 2, "need at least two trials");
+    requireConfig(parallelism.threads >= 1,
+                  "need at least one worker thread");
 
+    // Draw every trial's input scales serially first: the sample
+    // stream depends only on the seed, never on the thread count.
     Rng rng(seed);
-    std::vector<double> embodied, operational, total;
-    embodied.reserve(trials);
-    operational.reserve(trials);
-    total.reserve(trials);
-
     auto scale_band = [&rng](double half_width) {
         return rng.uniform(1.0 - half_width, 1.0 + half_width);
     };
-
+    std::vector<TrialScales> scales;
+    scales.reserve(trials);
     for (int trial = 0; trial < trials; ++trial) {
-        EcoChipConfig config = config_;
-        TechDb tech = tech_;
+        TrialScales s;
+        s.defectDensity = scale_band(bands_.defectDensity);
+        s.epa = scale_band(bands_.epa);
+        s.intensity = scale_band(bands_.intensity);
+        s.designTime = scale_band(bands_.designTime);
+        s.dutyCycle = scale_band(bands_.dutyCycle);
+        scales.push_back(s);
+    }
 
-        const double d0_scale = scale_band(bands_.defectDensity);
-        const double epa_scale = scale_band(bands_.epa);
-        std::vector<std::pair<double, double>> d0_points;
-        std::vector<std::pair<double, double>> epa_points;
-        for (double node : TechDb::standardNodesNm()) {
-            d0_points.emplace_back(
-                node, d0_scale * tech_.defectDensityPerCm2(node));
-            epa_points.emplace_back(
-                node, epa_scale * tech_.epaKwhPerCm2(node));
+    std::vector<double> embodied(trials), operational(trials),
+        total(trials);
+    auto evaluate_range = [&](int begin, int end) {
+        for (int trial = begin; trial < end; ++trial) {
+            const CarbonReport report =
+                evaluateTrial(system, scales[trial]);
+            embodied[trial] = report.embodiedCo2Kg();
+            operational[trial] = report.operation.co2Kg;
+            total[trial] = report.totalCo2Kg();
         }
-        tech.setDefectDensityTable(PiecewiseLinear(d0_points));
-        tech.setEpaTable(PiecewiseLinear(epa_points));
+    };
 
-        const double intensity_scale =
-            scale_band(bands_.intensity);
-        config.fabIntensityGPerKwh *= intensity_scale;
-        config.package.intensityGPerKwh *= intensity_scale;
-        config.design.intensityGPerKwh *= intensity_scale;
+    const int workers =
+        std::min(parallelism.threads, trials);
+    if (workers <= 1) {
+        evaluate_range(0, trials);
+    } else {
+        // A trial that throws must surface as the same catchable
+        // exception the serial path produces, not std::terminate.
+        std::exception_ptr failure;
+        std::mutex failure_mutex;
+        auto guarded_range = [&](int begin, int end) {
+            try {
+                evaluate_range(begin, end);
+            } catch (...) {
+                std::lock_guard lock(failure_mutex);
+                if (!failure)
+                    failure = std::current_exception();
+            }
+        };
 
-        config.design.sprHoursPerMgate *=
-            scale_band(bands_.designTime);
-        config.operating.dutyCycle = std::min(
-            1.0, config.operating.dutyCycle *
-                     scale_band(bands_.dutyCycle));
-
-        EcoChip estimator(std::move(config), std::move(tech));
-        const CarbonReport report = estimator.estimate(system);
-        embodied.push_back(report.embodiedCo2Kg());
-        operational.push_back(report.operation.co2Kg);
-        total.push_back(report.totalCo2Kg());
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        // Contiguous chunks; results land by trial index, so the
+        // partition never affects the report.
+        const int chunk = (trials + workers - 1) / workers;
+        for (int w = 0; w < workers; ++w) {
+            const int begin = w * chunk;
+            const int end = std::min(trials, begin + chunk);
+            if (begin >= end)
+                break;
+            pool.emplace_back(guarded_range, begin, end);
+        }
+        for (auto &worker : pool)
+            worker.join();
+        if (failure)
+            std::rethrow_exception(failure);
     }
 
     return UncertaintyReport{SampleStats(std::move(embodied)),

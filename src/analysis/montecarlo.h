@@ -47,6 +47,23 @@ struct UncertaintyReport
     SampleStats total;
 };
 
+/**
+ * Trial-batching knob for Monte-Carlo runs.
+ *
+ * Trials are statistically independent, so they batch across a
+ * pool of worker threads; the sampled input scales are always
+ * drawn serially from the seed first, which keeps every report
+ * bit-identical to the single-threaded run for equal seeds.
+ */
+struct Parallelism
+{
+    /** Worker threads (1 = run serially on the caller). */
+    int threads = 1;
+
+    /** One worker per hardware thread. */
+    static Parallelism hardware();
+};
+
 /** Monte-Carlo driver. */
 class MonteCarloAnalyzer
 {
@@ -66,11 +83,28 @@ class MonteCarloAnalyzer
      * @param system System under study.
      * @param trials Sample count (>= 2).
      * @param seed PRNG seed; equal seeds give equal reports.
+     * @param parallelism Trial batching; any thread count yields
+     *        the same report as the serial run for equal seeds.
      */
     UncertaintyReport run(const SystemSpec &system, int trials,
-                          std::uint64_t seed = 42) const;
+                          std::uint64_t seed = 42,
+                          Parallelism parallelism = {}) const;
 
   private:
+    /** Input scales of one trial, pre-drawn from the seed. */
+    struct TrialScales
+    {
+        double defectDensity;
+        double epa;
+        double intensity;
+        double designTime;
+        double dutyCycle;
+    };
+
+    /** Evaluate one trial's perturbed estimate. */
+    CarbonReport evaluateTrial(const SystemSpec &system,
+                               const TrialScales &scales) const;
+
     EcoChipConfig config_;
     TechDb tech_;
     UncertaintyBands bands_;

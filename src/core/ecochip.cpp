@@ -6,8 +6,34 @@
 
 namespace ecochip {
 
+namespace {
+
+/**
+ * Exact key of a full-system evaluation: every SystemSpec field
+ * that reaches the models, plus the chiplet names that appear in
+ * the report's per-chiplet detail.
+ */
+std::string
+reportCacheKey(const SystemSpec &system)
+{
+    CacheKey key;
+    key.tag('R').add(system.singleDie).add(system.name);
+    for (const auto &c : system.chiplets) {
+        key.add(c.name)
+            .add(static_cast<int>(c.type))
+            .add(c.nodeNm)
+            .add(c.transistorsMtr)
+            .add(c.reused)
+            .add(c.stackGroup);
+    }
+    return std::move(key).str();
+}
+
+} // namespace
+
 EcoChip::EcoChip(EcoChipConfig config, TechDb tech)
-    : tech_(std::move(tech)), config_(std::move(config))
+    : tech_(std::move(tech)), config_(std::move(config)),
+      cache_(std::make_shared<EvalCache>())
 {
 }
 
@@ -15,6 +41,41 @@ void
 EcoChip::setConfig(EcoChipConfig config)
 {
     config_ = std::move(config);
+    // Memoized values are bound to the old configuration; detach
+    // from any sharers and start clean.
+    cache_ = std::make_shared<EvalCache>();
+}
+
+MfgBreakdown
+EcoChip::cachedDieMfg(const ManufacturingModel &mfg,
+                      double area_mm2, double node_nm) const
+{
+    const std::string key =
+        CacheKey().tag('M').add(area_mm2).add(node_nm).str();
+    MfgBreakdown out;
+    if (cache_->mfg.find(key, out))
+        return out;
+    out = mfg.dieMfg(area_mm2, node_nm);
+    cache_->mfg.store(key, out);
+    return out;
+}
+
+DesignBreakdown
+EcoChip::cachedChipletDesign(const DesignModel &design,
+                             const Chiplet &chiplet) const
+{
+    const std::string key = CacheKey()
+                                .tag('D')
+                                .add(static_cast<int>(chiplet.type))
+                                .add(chiplet.nodeNm)
+                                .add(chiplet.transistorsMtr)
+                                .str();
+    DesignBreakdown out;
+    if (cache_->design.find(key, out))
+        return out;
+    out = design.chipletDesign(chiplet);
+    cache_->design.store(key, out);
+    return out;
 }
 
 CarbonReport
@@ -23,13 +84,34 @@ EcoChip::estimate(const SystemSpec &system) const
     requireConfig(!system.chiplets.empty(),
                   "system has no chiplets");
 
+    const std::string report_key = reportCacheKey(system);
+    {
+        CarbonReport cached;
+        if (cache_->report.find(report_key, cached))
+            return cached;
+    }
+
     ManufacturingModel mfg(tech_, config_.wafer,
                            config_.fabIntensityGPerKwh,
                            config_.yieldModel);
     mfg.setIncludeWastage(config_.includeWastage);
 
     CarbonReport report;
-    report.mfgCo2Kg = mfg.systemMfgCo2Kg(system);
+    if (system.singleDie) {
+        double area_mm2 = 0.0;
+        for (const auto &block : system.chiplets)
+            area_mm2 += block.areaMm2(tech_);
+        report.mfgCo2Kg =
+            cachedDieMfg(mfg, area_mm2, system.monolithicNodeNm())
+                .totalCo2Kg();
+    } else {
+        double total = 0.0;
+        for (const auto &chiplet : system.chiplets)
+            total += cachedDieMfg(mfg, chiplet.areaMm2(tech_),
+                                  chiplet.nodeNm)
+                         .totalCo2Kg();
+        report.mfgCo2Kg = total;
+    }
 
     PackageModel pkg(tech_, mfg, config_.package);
     report.hi = pkg.evaluate(system);
@@ -68,8 +150,11 @@ EcoChip::estimate(const SystemSpec &system) const
             break;
         }
     }
-    report.designCo2Kg =
-        design.systemDesignCo2Kg(system, comm_mtr, comm_node_nm);
+    report.designCo2Kg = design.systemDesignCo2Kg(
+        system, comm_mtr, comm_node_nm,
+        [&](const Chiplet &chiplet) {
+            return cachedChipletDesign(design, chiplet);
+        });
 
     if (config_.includeMaskNre) {
         report.nreCo2Kg =
@@ -90,7 +175,8 @@ EcoChip::estimate(const SystemSpec &system) const
         double total_area = 0.0;
         for (const auto &block : system.chiplets)
             total_area += block.areaMm2(tech_);
-        const MfgBreakdown die = mfg.dieMfg(total_area, node);
+        const MfgBreakdown die =
+            cachedDieMfg(mfg, total_area, node);
         for (const auto &block : system.chiplets) {
             const double share =
                 block.areaMm2(tech_) / total_area;
@@ -103,12 +189,14 @@ EcoChip::estimate(const SystemSpec &system) const
             cr.designCo2Kg =
                 block.reused
                     ? 0.0
-                    : design.chipletDesign(block).amortizedCo2Kg;
+                    : cachedChipletDesign(design, block)
+                          .amortizedCo2Kg;
             report.chiplets.push_back(cr);
         }
     } else {
         for (const auto &chiplet : system.chiplets) {
-            const MfgBreakdown breakdown = mfg.chipletMfg(chiplet);
+            const MfgBreakdown breakdown = cachedDieMfg(
+                mfg, chiplet.areaMm2(tech_), chiplet.nodeNm);
             ChipletReport cr;
             cr.name = chiplet.name;
             cr.nodeNm = chiplet.nodeNm;
@@ -118,10 +206,12 @@ EcoChip::estimate(const SystemSpec &system) const
             cr.designCo2Kg =
                 chiplet.reused
                     ? 0.0
-                    : design.chipletDesign(chiplet).amortizedCo2Kg;
+                    : cachedChipletDesign(design, chiplet)
+                          .amortizedCo2Kg;
             report.chiplets.push_back(cr);
         }
     }
+    cache_->report.store(report_key, report);
     return report;
 }
 

@@ -13,11 +13,13 @@
 #ifndef ECOCHIP_CORE_ECOCHIP_H
 #define ECOCHIP_CORE_ECOCHIP_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "act/act_model.h"
 #include "chiplet/chiplet.h"
+#include "core/eval_cache.h"
 #include "cost/cost_model.h"
 #include "design/design_model.h"
 #include "manufacture/mfg_model.h"
@@ -112,10 +114,32 @@ struct CarbonReport
 };
 
 /**
+ * Memoized sub-evaluations of one (tech, config) pair.
+ *
+ * Bound to the exact technology database and configuration of the
+ * estimator that created it; EcoChip swaps in a fresh cache
+ * whenever its configuration changes. Copied estimators share the
+ * cache (their tech/config values are identical), which is what
+ * lets a session's analyses reuse each other's interpolations.
+ */
+struct EvalCache
+{
+    /** Per-die manufacturing, keyed by (area, node). */
+    MemoTable<MfgBreakdown> mfg;
+
+    /** Per-chiplet design carbon, keyed by (type, node, NT). */
+    MemoTable<DesignBreakdown> design;
+
+    /** Whole-system reports, keyed by the full system spec. */
+    MemoTable<CarbonReport> report;
+};
+
+/**
  * The ECO-CHIP estimator.
  *
  * Owns its technology database and configuration; `estimate()` is
- * const and thread-compatible, so sweeps can share one instance.
+ * const and thread-safe (the internal evaluation cache is guarded
+ * by reader/writer locks), so sweeps can share one instance.
  */
 class EcoChip
 {
@@ -153,9 +177,22 @@ class EcoChip
     CostBreakdown cost(const SystemSpec &system,
                        const CostParams &cost_params) const;
 
+    /**
+     * The evaluation cache backing this estimator (never null).
+     * Exposed for cache-statistics tests and benchmarks.
+     */
+    const EvalCache &cache() const { return *cache_; }
+
   private:
+    MfgBreakdown cachedDieMfg(const ManufacturingModel &mfg,
+                              double area_mm2,
+                              double node_nm) const;
+    DesignBreakdown cachedChipletDesign(const DesignModel &design,
+                                        const Chiplet &chiplet) const;
+
     TechDb tech_;
     EcoChipConfig config_;
+    std::shared_ptr<EvalCache> cache_;
 };
 
 } // namespace ecochip

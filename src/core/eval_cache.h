@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared evaluation cache for the estimator hot path.
+ *
+ * Technology-space sweeps, Monte-Carlo bands, and DSE loops
+ * re-evaluate the same (node, area) points thousands of times; the
+ * tech-db interpolation chain dominates the profile. A CacheKey
+ * encodes the exact inputs of a sub-evaluation bit-exactly, and a
+ * MemoTable memoizes its result behind a reader/writer lock so one
+ * estimator can be shared by every analysis of a session (and by
+ * concurrent sweep threads) without recomputation.
+ *
+ * Memoized values are reused only under the exact same technology
+ * database and configuration: EcoChip drops its cache whenever its
+ * configuration is replaced, and never exposes mutable access to
+ * its TechDb.
+ */
+
+#ifndef ECOCHIP_CORE_EVAL_CACHE_H
+#define ECOCHIP_CORE_EVAL_CACHE_H
+
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ecochip {
+
+/**
+ * Bit-exact binary key for memoized evaluations.
+ *
+ * Doubles are appended as their raw IEEE-754 bytes, so two keys
+ * compare equal exactly when every input is bit-identical -- no
+ * epsilon surprises, no formatting cost.
+ */
+class CacheKey
+{
+  public:
+    /** Tag byte separating key families in one table. */
+    CacheKey &
+    tag(char c)
+    {
+        buf_.push_back(c);
+        return *this;
+    }
+
+    /** Append a double bit-exactly. */
+    CacheKey &
+    add(double v)
+    {
+        char raw[sizeof(double)];
+        std::memcpy(raw, &v, sizeof(double));
+        buf_.append(raw, sizeof(double));
+        return *this;
+    }
+
+    /** Append an integer. */
+    CacheKey &
+    add(int v)
+    {
+        char raw[sizeof(int)];
+        std::memcpy(raw, &v, sizeof(int));
+        buf_.append(raw, sizeof(int));
+        return *this;
+    }
+
+    /** Append a bool. */
+    CacheKey &
+    add(bool v)
+    {
+        buf_.push_back(v ? '\1' : '\0');
+        return *this;
+    }
+
+    /** Append a length-prefixed string. */
+    CacheKey &
+    add(std::string_view s)
+    {
+        add(static_cast<int>(s.size()));
+        buf_.append(s.data(), s.size());
+        return *this;
+    }
+
+    /** The accumulated key. */
+    std::string
+    str() &&
+    {
+        return std::move(buf_);
+    }
+
+    /** The accumulated key (copying overload). */
+    const std::string &
+    str() const &
+    {
+        return buf_;
+    }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounded thread-safe memoization table.
+ *
+ * Lookups take a shared lock, insertions an exclusive one; when
+ * the table reaches its capacity it is cleared wholesale (sweep
+ * working sets are tiny, so eviction sophistication buys nothing).
+ */
+template <typename V> class MemoTable
+{
+  public:
+    /** @param max_entries Clear-threshold for the table. */
+    explicit MemoTable(std::size_t max_entries = 1u << 14)
+        : maxEntries_(max_entries)
+    {}
+
+    MemoTable(const MemoTable &) = delete;
+    MemoTable &operator=(const MemoTable &) = delete;
+
+    /**
+     * Look up a memoized value.
+     *
+     * @param key Exact evaluation key.
+     * @param out Filled with the value on a hit.
+     * @return True on a hit.
+     */
+    bool
+    find(const std::string &key, V &out) const
+    {
+        std::shared_lock lock(mutex_);
+        const auto it = map_.find(key);
+        if (it == map_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    /** Memoize @p value under @p key. */
+    void
+    store(std::string key, V value)
+    {
+        std::unique_lock lock(mutex_);
+        if (map_.size() >= maxEntries_)
+            map_.clear();
+        map_.emplace(std::move(key), std::move(value));
+    }
+
+    /** Drop every entry. */
+    void
+    clear()
+    {
+        std::unique_lock lock(mutex_);
+        map_.clear();
+    }
+
+    /** Current entry count. */
+    std::size_t
+    size() const
+    {
+        std::shared_lock lock(mutex_);
+        return map_.size();
+    }
+
+  private:
+    std::size_t maxEntries_;
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, V> map_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_CORE_EVAL_CACHE_H

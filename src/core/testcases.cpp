@@ -203,6 +203,100 @@ emrOperating()
     return spec;
 }
 
+SystemSpec
+serverMultiDie(const TechDb &tech, int compute_dies,
+               double node_nm)
+{
+    requireConfig(compute_dies >= 2,
+                  "server part needs at least two compute dies");
+
+    SystemSpec system;
+    system.name = "SRV-" + std::to_string(compute_dies) + "d";
+
+    // Identical compute dies: one design effort, the twins reuse
+    // it (the EMR pattern scaled out).
+    const Chiplet compute = Chiplet::fromArea(
+        "compute0", DesignType::Logic, node_nm,
+        emrDieBlocks().totalAreaMm2(), tech);
+    system.chiplets.push_back(compute);
+    for (int i = 1; i < compute_dies; ++i) {
+        Chiplet twin = compute;
+        twin.name = "compute" + std::to_string(i);
+        twin.reused = true;
+        system.chiplets.push_back(twin);
+    }
+
+    // DDR/PCIe/CXL PHY ring on a mature node.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "io-hub", DesignType::Analog, 14.0, 160.0, tech));
+    // Shared memory-side cache die.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "msc", DesignType::Memory, 10.0, 120.0, tech));
+    return system;
+}
+
+OperatingSpec
+serverOperating()
+{
+    // Always-provisioned server fleet: multi-year life at a high
+    // duty cycle, so operation dominates embodied (Sec. V-A(4)).
+    OperatingSpec spec;
+    spec.lifetimeYears = 4.0;
+    spec.dutyCycle = 0.50;
+    spec.avgFrequencyHz = 0.6e9;
+    spec.switchingActivity = 0.10;
+    spec.useIntensityGPerKwh = 700.0;
+    return spec;
+}
+
+SystemSpec
+hbmAccelerator(const TechDb &tech, int stacks,
+               int tiers_per_stack)
+{
+    requireConfig(stacks >= 1, "need at least one HBM stack");
+    requireConfig(tiers_per_stack >= 2,
+                  "stacks need at least two tiers");
+
+    SystemSpec system;
+    system.name = "HBM-ACCEL-" + std::to_string(stacks) + "x" +
+                  std::to_string(tiers_per_stack);
+
+    // Training-accelerator-class compute die.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "compute", DesignType::Logic, 7.0, 330.0, tech));
+    // SerDes / host-IO die on a mature node.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "serdes-io", DesignType::Analog, 14.0, 60.0, tech));
+
+    // Commodity DRAM towers: every die reused (designed and
+    // volume-amortized by the memory vendor).
+    for (int s = 0; s < stacks; ++s) {
+        for (int t = 0; t < tiers_per_stack; ++t) {
+            Chiplet die = Chiplet::fromArea(
+                "hbm" + std::to_string(s) + "-t" +
+                    std::to_string(t),
+                DesignType::Memory, 10.0, 70.0, tech);
+            die.stackGroup = "hbm" + std::to_string(s);
+            die.reused = true;
+            system.chiplets.push_back(die);
+        }
+    }
+    return system;
+}
+
+OperatingSpec
+hbmAcceleratorOperating()
+{
+    // Rated-power path: the accelerator runs near its provisioned
+    // draw whenever it is on.
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.dutyCycle = 0.50;
+    spec.useIntensityGPerKwh = 700.0;
+    spec.avgPowerW = 450.0;
+    return spec;
+}
+
 namespace {
 
 /** Latency/power tables for the accelerator study (Yang et al.). */

@@ -100,6 +100,40 @@ OperatingSpec emrOperating();
 
 /** @} */
 
+/** @{ @name Server-class multi-die part (beyond the paper) */
+
+/**
+ * Server CPU with @p compute_dies identical EMR-class compute
+ * dies (one design, the twins reused), a mature-node IO-hub die
+ * with the DDR/PCIe/CXL PHY ring, and a shared memory-side cache
+ * die -- the multi-socket/multi-die server parts the RISC-V HPC
+ * evaluations target. Pair with SiliconBridge (EMIB) packaging.
+ */
+SystemSpec serverMultiDie(const TechDb &tech, int compute_dies = 4,
+                          double node_nm = 10.0);
+
+/** Server operating spec (high duty cycle, 4-year life). */
+OperatingSpec serverOperating();
+
+/** @} */
+
+/** @{ @name HBM-stacked training accelerator (beyond the paper) */
+
+/**
+ * Datacenter accelerator: one large 7 nm compute die and a 14 nm
+ * SerDes/IO die planar on a passive interposer, plus @p stacks
+ * HBM towers of @p tiers_per_stack commodity 10 nm DRAM dies
+ * (`stackGroup` "hbm<k>", all reused) -- the mixed 2.5D/3D
+ * architecture of `bench_ext_hbm_stacks` scaled to a server part.
+ */
+SystemSpec hbmAccelerator(const TechDb &tech, int stacks = 4,
+                          int tiers_per_stack = 4);
+
+/** Accelerator operating spec (rated power, high duty cycle). */
+OperatingSpec hbmAcceleratorOperating();
+
+/** @} */
+
 /** @{ @name AR/VR 3D accelerator (Sec. VI, Fig. 13) */
 
 /** One sweep point of the accelerator study. */

@@ -90,11 +90,25 @@ DesignModel::systemDesignCo2Kg(const SystemSpec &system,
                                double comm_transistors_mtr,
                                double comm_node_nm) const
 {
+    return systemDesignCo2Kg(
+        system, comm_transistors_mtr, comm_node_nm,
+        [this](const Chiplet &chiplet) {
+            return chipletDesign(chiplet);
+        });
+}
+
+double
+DesignModel::systemDesignCo2Kg(
+    const SystemSpec &system, double comm_transistors_mtr,
+    double comm_node_nm,
+    const std::function<DesignBreakdown(const Chiplet &)>
+        &chiplet_design) const
+{
     double per_part = 0.0;
     for (const auto &chiplet : system.chiplets) {
         if (chiplet.reused)
             continue; // pre-designed IP: Cdes already amortized
-        per_part += chipletDesign(chiplet).amortizedCo2Kg;
+        per_part += chiplet_design(chiplet).amortizedCo2Kg;
     }
     if (comm_transistors_mtr > 0.0) {
         const double comm_gates =

@@ -12,6 +12,8 @@
 #ifndef ECOCHIP_DESIGN_DESIGN_MODEL_H
 #define ECOCHIP_DESIGN_DESIGN_MODEL_H
 
+#include <functional>
+
 #include "chiplet/chiplet.h"
 #include "support/interp.h"
 #include "tech/tech_db.h"
@@ -125,6 +127,21 @@ class DesignModel
     double systemDesignCo2Kg(const SystemSpec &system,
                              double comm_transistors_mtr = 0.0,
                              double comm_node_nm = 65.0) const;
+
+    /**
+     * Eq. 12 with an injected per-chiplet evaluator -- the hook
+     * cache-backed callers (EcoChip's evaluation cache) use to
+     * memoize `chipletDesign` without duplicating the
+     * amortization loop.
+     *
+     * @param chiplet_design Evaluator for one chiplet's design
+     *        breakdown; must agree with `chipletDesign()`.
+     */
+    double systemDesignCo2Kg(
+        const SystemSpec &system, double comm_transistors_mtr,
+        double comm_node_nm,
+        const std::function<DesignBreakdown(const Chiplet &)>
+            &chiplet_design) const;
 
   private:
     /** Eq. 13 total design hours for a gate count at a node. */

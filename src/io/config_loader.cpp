@@ -26,6 +26,7 @@ systemFromJson(const json::Value &doc, const TechDb &tech)
         requireConfig(chiplet.nodeNm > 0.0,
                       "chiplet node must be positive");
         chiplet.reused = entry.booleanOr("reused", false);
+        chiplet.stackGroup = entry.stringOr("stack_group", "");
 
         const bool has_area = entry.contains("area_mm2");
         const bool has_transistors =
@@ -63,6 +64,8 @@ systemToJson(const SystemSpec &system)
         entry.set("node_nm", chiplet.nodeNm);
         entry.set("transistors_mtr", chiplet.transistorsMtr);
         entry.set("reused", chiplet.reused);
+        if (!chiplet.stackGroup.empty())
+            entry.set("stack_group", chiplet.stackGroup);
         chiplets.append(std::move(entry));
     }
     doc.set("chiplets", std::move(chiplets));

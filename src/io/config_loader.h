@@ -38,6 +38,8 @@ namespace ecochip {
  *
  * Each chiplet provides either `area_mm2` (interpreted at its
  * `node_nm` via the area model) or `transistors_mtr` directly.
+ * Optional keys: `reused` (design CFP amortized elsewhere) and
+ * `stack_group` (vertical tower membership for mixed 2.5D/3D).
  *
  * @param doc Parsed JSON document.
  * @param tech Technology database for area inversion.

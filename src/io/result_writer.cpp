@@ -1,0 +1,291 @@
+#include "io/result_writer.h"
+
+#include <sstream>
+
+#include "io/config_loader.h"
+#include "support/table_printer.h"
+
+namespace ecochip {
+
+namespace {
+
+std::string
+num(double value, int precision = 3)
+{
+    return TablePrinter::formatNumber(value, precision);
+}
+
+json::Value
+explorationPointToJson(const ExplorationPoint &point)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("label", point.label());
+    json::Value nodes = json::Value::makeArray();
+    for (double node : point.nodesNm)
+        nodes.append(json::Value(node));
+    doc.set("nodes_nm", std::move(nodes));
+    doc.set("mfg_co2_kg", point.report.mfgCo2Kg);
+    doc.set("hi_co2_kg", point.report.hi.totalCo2Kg());
+    doc.set("design_co2_kg", point.report.designCo2Kg);
+    doc.set("embodied_co2_kg", point.report.embodiedCo2Kg());
+    doc.set("operational_co2_kg", point.report.operation.co2Kg);
+    doc.set("total_co2_kg", point.report.totalCo2Kg());
+    return doc;
+}
+
+json::Value
+sensitivityRowToJson(const SensitivityResult &row)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("name", row.name);
+    doc.set("low", row.lowValue);
+    doc.set("base", row.baseValue);
+    doc.set("high", row.highValue);
+    doc.set("elasticity", row.elasticity);
+    return doc;
+}
+
+json::Value
+costToJson(const CostBreakdown &cost)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("die_usd", cost.dieUsd);
+    doc.set("package_usd", cost.packageUsd);
+    doc.set("assembly_usd", cost.assemblyUsd);
+    doc.set("nre_usd", cost.nreUsd);
+    doc.set("total_usd", cost.totalUsd());
+    return doc;
+}
+
+} // namespace
+
+json::Value
+sampleStatsToJson(const SampleStats &stats)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("count", static_cast<double>(stats.count()));
+    doc.set("mean", stats.mean());
+    doc.set("stddev", stats.stddev());
+    doc.set("min", stats.min());
+    doc.set("p5", stats.percentile(5.0));
+    doc.set("p50", stats.percentile(50.0));
+    doc.set("p95", stats.percentile(95.0));
+    doc.set("max", stats.max());
+    return doc;
+}
+
+json::Value
+resultToJson(const AnalysisResult &result)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("kind", toString(result.kind));
+    doc.set("scenario", result.scenario);
+    doc.set("detail", result.detail);
+
+    switch (result.kind) {
+      case AnalysisKind::Estimate:
+        if (result.report)
+            doc.set("report", reportToJson(*result.report));
+        break;
+      case AnalysisKind::Sweep: {
+        json::Value points = json::Value::makeArray();
+        for (const auto &point : result.points)
+            points.append(explorationPointToJson(point));
+        doc.set("sweep", std::move(points));
+        if (!result.points.empty()) {
+            doc.set("best_embodied",
+                    TechSpaceExplorer::bestByEmbodied(
+                        result.points)
+                        .label());
+            doc.set("best_total",
+                    TechSpaceExplorer::bestByTotal(result.points)
+                        .label());
+        }
+        break;
+      }
+      case AnalysisKind::MonteCarlo:
+        if (result.uncertainty) {
+            json::Value bands = json::Value::makeObject();
+            bands.set("trials",
+                      static_cast<double>(result.trials));
+            bands.set("seed",
+                      static_cast<double>(result.seed));
+            bands.set("embodied", sampleStatsToJson(
+                                      result.uncertainty->embodied));
+            bands.set("operational",
+                      sampleStatsToJson(
+                          result.uncertainty->operational));
+            bands.set("total", sampleStatsToJson(
+                                   result.uncertainty->total));
+            doc.set("uncertainty", std::move(bands));
+        }
+        break;
+      case AnalysisKind::Sensitivity: {
+        json::Value rows = json::Value::makeArray();
+        for (const auto &row : result.sensitivity)
+            rows.append(sensitivityRowToJson(row));
+        json::Value payload = json::Value::makeObject();
+        payload.set("metric", toString(result.metric));
+        payload.set("rows", std::move(rows));
+        doc.set("sensitivity", std::move(payload));
+        break;
+      }
+      case AnalysisKind::Cost:
+        if (result.cost)
+            doc.set("cost", costToJson(*result.cost));
+        break;
+    }
+    return doc;
+}
+
+namespace {
+
+void
+writeEstimateMarkdown(std::ostream &os,
+                      const CarbonReport &report)
+{
+    os << "## Per-chiplet manufacturing\n\n";
+    os << "| chiplet | node (nm) | area (mm^2) | yield | mfg (kg "
+          "CO2) | design (kg CO2) |\n";
+    os << "|---|---|---|---|---|---|\n";
+    for (const auto &c : report.chiplets) {
+        os << "| " << c.name << " | " << num(c.nodeNm, 0) << " | "
+           << num(c.areaMm2) << " | " << num(c.yield) << " | "
+           << num(c.mfgCo2Kg) << " | " << num(c.designCo2Kg)
+           << " |\n";
+    }
+
+    os << "\n## Carbon breakdown (kg CO2 per part)\n\n";
+    os << "| component | kg CO2 |\n|---|---|\n";
+    os << "| manufacturing (Cmfg) | " << num(report.mfgCo2Kg)
+       << " |\n";
+    os << "| package (Cpackage) | "
+       << num(report.hi.packageCo2Kg) << " |\n";
+    os << "| inter-die comm (Cmfg,comm) | "
+       << num(report.hi.routingCo2Kg) << " |\n";
+    os << "| design, amortized (Cdes) | "
+       << num(report.designCo2Kg) << " |\n";
+    if (report.nreCo2Kg > 0.0)
+        os << "| mask NRE, amortized | " << num(report.nreCo2Kg)
+           << " |\n";
+    os << "| **embodied (Cemb)** | "
+       << num(report.embodiedCo2Kg()) << " |\n";
+    os << "| operational (Cop x lifetime) | "
+       << num(report.operation.co2Kg) << " |\n";
+    os << "| **total (Ctot)** | " << num(report.totalCo2Kg())
+       << " |\n";
+}
+
+void
+writeSweepMarkdown(std::ostream &os,
+                   const std::vector<ExplorationPoint> &points)
+{
+    os << "## Technology-space sweep\n\n";
+    os << "| nodes | Cmfg (kg) | CHI (kg) | Cdes (kg) | Cemb (kg)"
+          " | Cop (kg) | Ctot (kg) |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const auto &p : points) {
+        os << "| " << p.label() << " | " << num(p.report.mfgCo2Kg)
+           << " | " << num(p.report.hi.totalCo2Kg()) << " | "
+           << num(p.report.designCo2Kg) << " | "
+           << num(p.report.embodiedCo2Kg()) << " | "
+           << num(p.report.operation.co2Kg) << " | "
+           << num(p.report.totalCo2Kg()) << " |\n";
+    }
+    if (!points.empty()) {
+        const auto &best =
+            TechSpaceExplorer::bestByEmbodied(points);
+        os << "\nLowest embodied CFP: **" << best.label()
+           << "** at " << num(best.report.embodiedCo2Kg())
+           << " kg CO2\n";
+    }
+}
+
+void
+writeUncertaintyMarkdown(std::ostream &os,
+                         const UncertaintyReport &bands)
+{
+    os << "## Monte-Carlo uncertainty (kg CO2)\n\n";
+    os << "| metric | mean | stddev | p5 | p50 | p95 |\n";
+    os << "|---|---|---|---|---|---|\n";
+    auto row = [&](const char *name, const SampleStats &stats) {
+        os << "| " << name << " | " << num(stats.mean()) << " | "
+           << num(stats.stddev()) << " | "
+           << num(stats.percentile(5.0)) << " | "
+           << num(stats.percentile(50.0)) << " | "
+           << num(stats.percentile(95.0)) << " |\n";
+    };
+    row("embodied", bands.embodied);
+    row("operational", bands.operational);
+    row("total", bands.total);
+}
+
+void
+writeSensitivityMarkdown(
+    std::ostream &os,
+    const std::vector<SensitivityResult> &rows)
+{
+    os << "## Sensitivity\n\n";
+    os << "| parameter | low | base | high | elasticity |\n";
+    os << "|---|---|---|---|---|\n";
+    for (const auto &row : rows) {
+        os << "| " << row.name << " | " << num(row.lowValue)
+           << " | " << num(row.baseValue) << " | "
+           << num(row.highValue) << " | "
+           << num(row.elasticity) << " |\n";
+    }
+}
+
+void
+writeCostMarkdown(std::ostream &os, const CostBreakdown &cost)
+{
+    os << "## Dollar cost per part\n\n";
+    os << "| component | USD |\n|---|---|\n";
+    os << "| silicon dies | " << num(cost.dieUsd) << " |\n";
+    os << "| package | " << num(cost.packageUsd) << " |\n";
+    os << "| assembly+test | " << num(cost.assemblyUsd) << " |\n";
+    os << "| NRE, amortized | " << num(cost.nreUsd) << " |\n";
+    os << "| **total** | " << num(cost.totalUsd()) << " |\n";
+}
+
+} // namespace
+
+void
+writeResultMarkdown(std::ostream &os, const AnalysisResult &result)
+{
+    os << "# ECO-CHIP " << toString(result.kind) << ": "
+       << result.scenario << "\n\n";
+    if (!result.detail.empty())
+        os << "- " << result.detail << "\n\n";
+
+    switch (result.kind) {
+      case AnalysisKind::Estimate:
+        if (result.report)
+            writeEstimateMarkdown(os, *result.report);
+        break;
+      case AnalysisKind::Sweep:
+        writeSweepMarkdown(os, result.points);
+        break;
+      case AnalysisKind::MonteCarlo:
+        if (result.uncertainty)
+            writeUncertaintyMarkdown(os, *result.uncertainty);
+        break;
+      case AnalysisKind::Sensitivity:
+        writeSensitivityMarkdown(os, result.sensitivity);
+        break;
+      case AnalysisKind::Cost:
+        if (result.cost)
+            writeCostMarkdown(os, *result.cost);
+        break;
+    }
+}
+
+std::string
+resultMarkdown(const AnalysisResult &result)
+{
+    std::ostringstream os;
+    writeResultMarkdown(os, result);
+    return os.str();
+}
+
+} // namespace ecochip

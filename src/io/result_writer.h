@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Uniform serialization of `AnalysisResult` -- the single
+ * JSON/markdown path every session verb's output flows through,
+ * no matter which analysis produced it.
+ */
+
+#ifndef ECOCHIP_IO_RESULT_WRITER_H
+#define ECOCHIP_IO_RESULT_WRITER_H
+
+#include <ostream>
+#include <string>
+
+#include "json/json.h"
+#include "session/analysis_result.h"
+
+namespace ecochip {
+
+/**
+ * Serialize any analysis result to JSON.
+ *
+ * The document always carries `kind`, `scenario`, and `detail`;
+ * the verb-specific payload lands under a key named after the
+ * kind (`report`, `sweep`, `uncertainty`, `sensitivity`, `cost`).
+ */
+json::Value resultToJson(const AnalysisResult &result);
+
+/** Distribution summary of one sampled metric. */
+json::Value sampleStatsToJson(const SampleStats &stats);
+
+/**
+ * Render any analysis result as a markdown report.
+ *
+ * @param os Destination stream.
+ * @param result Result of any session verb.
+ */
+void writeResultMarkdown(std::ostream &os,
+                         const AnalysisResult &result);
+
+/** Convenience: the markdown report as a string. */
+std::string resultMarkdown(const AnalysisResult &result);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_RESULT_WRITER_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tagged result of one `AnalysisSession` verb.
+ *
+ * Every analysis the paper's workflow runs -- point estimate,
+ * node-space sweep, Monte-Carlo bands, sensitivity, dollar cost --
+ * returns this one type, so callers render and serialize results
+ * through a single path (`io/result_writer.h`) no matter which
+ * verb produced them.
+ */
+
+#ifndef ECOCHIP_SESSION_ANALYSIS_RESULT_H
+#define ECOCHIP_SESSION_ANALYSIS_RESULT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/montecarlo.h"
+#include "analysis/sensitivity.h"
+#include "core/ecochip.h"
+#include "core/explorer.h"
+#include "cost/cost_model.h"
+
+namespace ecochip {
+
+/** Which analysis verb produced a result. */
+enum class AnalysisKind
+{
+    Estimate,
+    Sweep,
+    MonteCarlo,
+    Sensitivity,
+    Cost,
+};
+
+/** Lower-snake name of an analysis kind. */
+const char *toString(AnalysisKind kind);
+
+/** Lower-snake name of a carbon metric. */
+const char *toString(CarbonMetric metric);
+
+/**
+ * The uniform result of one analysis.
+ *
+ * Exactly the payload matching `kind` is populated; the rest stay
+ * empty. `scenario` names the system under study and `detail`
+ * summarizes the verb's arguments for report headers.
+ */
+struct AnalysisResult
+{
+    AnalysisKind kind = AnalysisKind::Estimate;
+
+    /** System under study (SystemSpec::name). */
+    std::string scenario;
+
+    /** One-line description of the verb and its arguments. */
+    std::string detail;
+
+    /** Point estimate (`estimate()`). */
+    std::optional<CarbonReport> report;
+
+    /** Node-space sweep (`sweep()`), in lexicographic order. */
+    std::vector<ExplorationPoint> points;
+
+    /** Carbon distribution bands (`monteCarlo()`). */
+    std::optional<UncertaintyReport> uncertainty;
+
+    /** Monte-Carlo trial count (MonteCarlo only). */
+    int trials = 0;
+
+    /** Monte-Carlo seed (MonteCarlo only). */
+    std::uint64_t seed = 0;
+
+    /** Elasticity rows (`sensitivity()`). */
+    std::vector<SensitivityResult> sensitivity;
+
+    /** Differentiated metric (Sensitivity only). */
+    CarbonMetric metric = CarbonMetric::Embodied;
+
+    /** Dollar-cost breakdown (`cost()`). */
+    std::optional<CostBreakdown> cost;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SESSION_ANALYSIS_RESULT_H

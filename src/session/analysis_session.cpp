@@ -1,0 +1,250 @@
+#include "session/analysis_session.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+const char *
+toString(AnalysisKind kind)
+{
+    switch (kind) {
+      case AnalysisKind::Estimate: return "estimate";
+      case AnalysisKind::Sweep: return "sweep";
+      case AnalysisKind::MonteCarlo: return "monte_carlo";
+      case AnalysisKind::Sensitivity: return "sensitivity";
+      case AnalysisKind::Cost: return "cost";
+    }
+    return "unknown";
+}
+
+const char *
+toString(CarbonMetric metric)
+{
+    switch (metric) {
+      case CarbonMetric::Embodied: return "embodied";
+      case CarbonMetric::Operational: return "operational";
+      case CarbonMetric::Total: return "total";
+    }
+    return "unknown";
+}
+
+AnalysisSession::AnalysisSession(
+    std::shared_ptr<const EvaluationContext> context,
+    SystemSpec system)
+    : context_(std::move(context)), system_(std::move(system))
+{
+    requireConfig(static_cast<bool>(context_),
+                  "session needs an evaluation context");
+    requireConfig(!system_.chiplets.empty(),
+                  "session system has no chiplets");
+}
+
+AnalysisSession
+AnalysisSession::withSystem(SystemSpec system) const
+{
+    return AnalysisSession(context_, std::move(system));
+}
+
+AnalysisResult
+AnalysisSession::estimate() const
+{
+    AnalysisResult result;
+    result.kind = AnalysisKind::Estimate;
+    result.scenario = system_.name;
+    result.detail = "point estimate";
+    result.report = context_->estimator().estimate(system_);
+    return result;
+}
+
+AnalysisResult
+AnalysisSession::sweep(
+    const std::vector<double> &candidate_nodes_nm) const
+{
+    return sweep(std::vector<std::vector<double>>(
+        system_.chiplets.size(), candidate_nodes_nm));
+}
+
+AnalysisResult
+AnalysisSession::sweep(
+    const std::vector<std::vector<double>>
+        &candidates_per_chiplet) const
+{
+    TechSpaceExplorer explorer(context_->estimator());
+
+    AnalysisResult result;
+    result.kind = AnalysisKind::Sweep;
+    result.scenario = system_.name;
+    result.points =
+        explorer.sweep(system_, candidates_per_chiplet);
+    result.detail = std::to_string(result.points.size()) +
+                    " node assignments";
+    return result;
+}
+
+AnalysisResult
+AnalysisSession::monteCarlo(int trials, std::uint64_t seed,
+                            Parallelism parallelism,
+                            UncertaintyBands bands) const
+{
+    MonteCarloAnalyzer analyzer(context_->config(),
+                                context_->tech(), bands);
+
+    AnalysisResult result;
+    result.kind = AnalysisKind::MonteCarlo;
+    result.scenario = system_.name;
+    result.trials = trials;
+    result.seed = seed;
+    result.detail = std::to_string(trials) + " trials, seed " +
+                    std::to_string(seed) +
+                    (parallelism.threads > 1
+                         ? ", " +
+                               std::to_string(parallelism.threads) +
+                               " threads"
+                         : "");
+    result.uncertainty =
+        analyzer.run(system_, trials, seed, parallelism);
+    return result;
+}
+
+AnalysisResult
+AnalysisSession::sensitivity(CarbonMetric metric,
+                             double delta) const
+{
+    SensitivityAnalyzer analyzer(context_->config(),
+                                 context_->tech());
+
+    AnalysisResult result;
+    result.kind = AnalysisKind::Sensitivity;
+    result.scenario = system_.name;
+    result.metric = metric;
+    result.detail = std::string(toString(metric)) +
+                    " elasticities at +/-" +
+                    std::to_string(static_cast<int>(
+                        delta * 100.0 + 0.5)) +
+                    "%";
+    result.sensitivity = analyzer.analyze(
+        system_, SensitivityAnalyzer::standardParameters(),
+        metric, delta);
+    return result;
+}
+
+AnalysisResult
+AnalysisSession::cost(const CostParams &params) const
+{
+    AnalysisResult result;
+    result.kind = AnalysisKind::Cost;
+    result.scenario = system_.name;
+    result.detail = "dollar cost per part";
+    result.cost = context_->estimator().cost(system_, params);
+    return result;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::registry(ScenarioRegistry registry)
+{
+    registry_ = std::move(registry);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::scenario(const std::string &name)
+{
+    scenarioName_ = name;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::designDirectory(const std::string &dir)
+{
+    designDir_ = dir;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::system(SystemSpec system)
+{
+    system_ = std::move(system);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::config(EcoChipConfig config)
+{
+    config_ = std::move(config);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::tech(TechDb tech)
+{
+    tech_ = std::move(tech);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::packaging(PackagingArch arch)
+{
+    packaging_ = arch;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::operating(OperatingSpec spec)
+{
+    operating_ = spec;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::includeMaskNre(bool on)
+{
+    includeMaskNre_ = on;
+    return *this;
+}
+
+AnalysisSession
+ScenarioBuilder::build() const
+{
+    const int sources = (scenarioName_ ? 1 : 0) +
+                        (designDir_ ? 1 : 0) +
+                        (system_ ? 1 : 0);
+    requireConfig(sources == 1,
+                  "set exactly one of scenario(), "
+                  "designDirectory(), system()");
+
+    SystemSpec system;
+    EcoChipConfig config;
+    if (scenarioName_) {
+        const ScenarioRegistry &registry =
+            registry_ ? *registry_ : ScenarioRegistry::builtin();
+        DesignBundle bundle =
+            registry.instantiate(*scenarioName_, tech_);
+        system = std::move(bundle.system);
+        config = std::move(bundle.config);
+    } else if (designDir_) {
+        DesignBundle bundle =
+            loadDesignDirectory(*designDir_, tech_);
+        system = std::move(bundle.system);
+        config = std::move(bundle.config);
+    } else {
+        system = *system_;
+    }
+
+    if (config_)
+        config = *config_;
+    if (packaging_)
+        config.package.arch = *packaging_;
+    if (operating_)
+        config.operating = *operating_;
+    if (includeMaskNre_)
+        config.includeMaskNre = *includeMaskNre_;
+
+    auto context = std::make_shared<const EvaluationContext>(
+        std::move(config), tech_);
+    return AnalysisSession(std::move(context),
+                           std::move(system));
+}
+
+} // namespace ecochip

@@ -1,0 +1,203 @@
+#include "session/scenario_registry.h"
+
+#include "core/testcases.h"
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+ScenarioRegistry
+makeBuiltin()
+{
+    ScenarioRegistry registry;
+
+    registry.add(
+        {"ga102",
+         "GA102-class GPU, 3 chiplets (7,10,14) nm, RDL fanout",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::ga102ThreeChiplet(
+                 tech, 7.0, 10.0, 14.0);
+             bundle.config.package.arch =
+                 PackagingArch::RdlFanout;
+             bundle.config.operating =
+                 testcases::ga102Operating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"ga102-mono",
+         "GA102-class GPU, monolithic 7 nm baseline",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::ga102Monolithic(tech);
+             bundle.config.operating =
+                 testcases::ga102Operating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"ga102-hbm",
+         "GA102-class GPU with 2x4 HBM memory towers on a "
+         "passive interposer",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::ga102Hbm(tech, 2, 4);
+             bundle.config.package.arch =
+                 PackagingArch::PassiveInterposer;
+             bundle.config.operating =
+                 testcases::ga102Operating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"a15",
+         "A15-class mobile SoC, 3 chiplets (5,7,10) nm, RDL "
+         "fanout, battery-rating operation",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::a15ThreeChiplet(
+                 tech, 5.0, 7.0, 10.0);
+             bundle.config.package.arch =
+                 PackagingArch::RdlFanout;
+             bundle.config.operating = testcases::a15Operating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"a15-mono",
+         "A15-class mobile SoC, monolithic 5 nm baseline",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::a15Monolithic(tech);
+             bundle.config.operating = testcases::a15Operating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"emr",
+         "Emerald-Rapids-class server CPU, 2 compute dies, "
+         "silicon bridges (EMIB)",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::emrTwoChiplet(tech);
+             bundle.config.package.arch =
+                 PackagingArch::SiliconBridge;
+             bundle.config.operating = testcases::emrOperating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"server-4die",
+         "Server-class part: 4 EMR-class compute dies + IO hub + "
+         "memory-side cache, silicon bridges",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::serverMultiDie(tech, 4);
+             bundle.config.package.arch =
+                 PackagingArch::SiliconBridge;
+             bundle.config.operating =
+                 testcases::serverOperating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"hbm-accel",
+         "HBM-stacked training accelerator: 7 nm compute die + "
+         "4x4 DRAM towers on a passive interposer",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::hbmAccelerator(tech, 4, 4);
+             bundle.config.package.arch =
+                 PackagingArch::PassiveInterposer;
+             bundle.config.operating =
+                 testcases::hbmAcceleratorOperating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"arvr-2k",
+         "AR/VR neural accelerator, 2K MACs with 4 stacked SRAM "
+         "tiers (3D)",
+         [](const TechDb &tech) {
+             const testcases::ArvrPoint point =
+                 testcases::arvrAccelerator(tech, "2K", 4);
+             DesignBundle bundle;
+             bundle.system = point.system;
+             bundle.config.package.arch = PackagingArch::Stack3d;
+             bundle.config.operating =
+                 testcases::arvrOperating(point);
+             return bundle;
+         }});
+
+    return registry;
+}
+
+} // namespace
+
+const ScenarioRegistry &
+ScenarioRegistry::builtin()
+{
+    static const ScenarioRegistry registry = makeBuiltin();
+    return registry;
+}
+
+void
+ScenarioRegistry::add(Scenario scenario)
+{
+    requireConfig(!scenario.name.empty(),
+                  "scenario needs a name");
+    requireConfig(static_cast<bool>(scenario.make),
+                  "scenario \"" + scenario.name +
+                      "\" needs a factory");
+    requireConfig(!contains(scenario.name),
+                  "scenario \"" + scenario.name +
+                      "\" already registered");
+    scenarios_.push_back(std::move(scenario));
+}
+
+bool
+ScenarioRegistry::contains(const std::string &name) const
+{
+    for (const auto &scenario : scenarios_)
+        if (scenario.name == name)
+            return true;
+    return false;
+}
+
+const Scenario &
+ScenarioRegistry::get(const std::string &name) const
+{
+    for (const auto &scenario : scenarios_)
+        if (scenario.name == name)
+            return scenario;
+
+    std::string available;
+    for (const auto &scenario : scenarios_) {
+        if (!available.empty())
+            available += ", ";
+        available += scenario.name;
+    }
+    throw ConfigError("unknown scenario \"" + name +
+                      "\" (available: " + available + ")");
+}
+
+DesignBundle
+ScenarioRegistry::instantiate(const std::string &name,
+                              const TechDb &tech) const
+{
+    return get(name).make(tech);
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(scenarios_.size());
+    for (const auto &scenario : scenarios_)
+        out.push_back(scenario.name);
+    return out;
+}
+
+} // namespace ecochip

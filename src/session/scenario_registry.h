@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Named scenario registry: every built-in workload as a
+ * (system, configuration) factory addressable by name.
+ *
+ * The paper's workflow always starts from "a design bound to a
+ * tech database"; the registry makes those starting points
+ * first-class so the CLI (`eco_chip --scenario ga102`), the
+ * examples, and downstream DSE loops share one catalog instead of
+ * hand-wiring testcase helpers.
+ */
+
+#ifndef ECOCHIP_SESSION_SCENARIO_REGISTRY_H
+#define ECOCHIP_SESSION_SCENARIO_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/config_loader.h"
+#include "tech/tech_db.h"
+
+namespace ecochip {
+
+/** One named workload: a system + configuration factory. */
+struct Scenario
+{
+    /** Registry key ("ga102", "server-4die", ...). */
+    std::string name;
+
+    /** One-line description for listings. */
+    std::string description;
+
+    /**
+     * Instantiates the scenario against a technology database.
+     * Returns the system and the full estimator configuration
+     * (packaging choice, operating spec, model toggles).
+     */
+    std::function<DesignBundle(const TechDb &)> make;
+};
+
+/**
+ * Registry of named scenarios.
+ *
+ * `builtin()` carries the paper's GA102/A15/EMR/ARVR testcases
+ * plus the server-class multi-die part and the HBM-stacked
+ * accelerator; custom registries can be built up with `add()`.
+ */
+class ScenarioRegistry
+{
+  public:
+    /** Empty registry (for custom catalogs). */
+    ScenarioRegistry() = default;
+
+    /** The built-in catalog (constructed once). */
+    static const ScenarioRegistry &builtin();
+
+    /**
+     * Register a scenario.
+     *
+     * @param scenario Must have a unique, non-empty name and a
+     *        callable factory.
+     */
+    void add(Scenario scenario);
+
+    /** True when @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Lookup by name.
+     *
+     * @throws ConfigError listing the available names when @p name
+     *         is unknown.
+     */
+    const Scenario &get(const std::string &name) const;
+
+    /** Instantiate a scenario against @p tech. */
+    DesignBundle instantiate(const std::string &name,
+                             const TechDb &tech) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** All scenarios, in registration order. */
+    const std::vector<Scenario> &scenarios() const
+    {
+        return scenarios_;
+    }
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SESSION_SCENARIO_REGISTRY_H
