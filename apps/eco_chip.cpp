@@ -7,12 +7,21 @@
  * Usage:
  *   eco_chip --design_dir data/testcases/GA102 [options]
  *   eco_chip --scenario ga102 [options]
+ *   eco_chip --batch requests.json [--engine_threads N]
  *
  * Options:
  *   --design_dir DIR   design directory with architecture.json
  *                      (+ optional packageC/designC/operationalC)
  *   --scenario NAME    named scenario from the built-in registry
  *                      (see --list_scenarios)
+ *   --batch FILE       run a declarative request batch on the
+ *                      async AnalysisEngine; one line of status
+ *                      per request, exit 1 if any request failed
+ *   --engine_threads N engine worker threads for --batch
+ *                      (default: one per hardware thread;
+ *                      results are bit-identical at any count)
+ *   --scenarios FILE   load a user scenario catalog (JSON) into
+ *                      the registry before resolving names
  *   --list_scenarios   print the scenario catalog and exit
  *   --node_list LIST   comma-separated nodes (e.g. "7,10,14") to
  *                      explore across all chiplets; prints the
@@ -32,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/analysis_engine.h"
+#include "io/request_io.h"
 #include "io/result_writer.h"
 #include "session/analysis_session.h"
 #include "support/error.h"
@@ -45,6 +56,12 @@ struct CliOptions
 {
     std::string designDir;
     std::string scenario;
+    std::string batchPath;
+    std::string scenariosPath;
+    bool listScenarios = false;
+
+    /** Unset means one worker per hardware thread. */
+    std::optional<int> engineThreads;
     std::vector<double> nodeList;
     int monteCarloTrials = 0;
     int threads = 1;
@@ -56,18 +73,21 @@ struct CliOptions
 void
 printUsage(std::ostream &os)
 {
-    os << "usage: eco_chip (--design_dir DIR | --scenario NAME)"
-          " [--node_list 7,10,14] [--montecarlo N]"
-          " [--threads T] [--cost] [--json FILE]"
-          " [--markdown FILE] [--list_scenarios]\n";
+    os << "usage: eco_chip (--design_dir DIR | --scenario NAME |"
+          " --batch FILE)\n"
+          "    [--node_list 7,10,14] [--montecarlo N]"
+          " [--threads T] [--cost]\n"
+          "    [--engine_threads N] [--scenarios FILE]"
+          " [--json FILE]\n"
+          "    [--markdown FILE] [--list_scenarios]\n";
 }
 
 void
-printScenarios(std::ostream &os)
+printScenarios(std::ostream &os,
+               const ScenarioRegistry &registry)
 {
     os << "available scenarios:\n";
-    for (const auto &scenario :
-         ScenarioRegistry::builtin().scenarios()) {
+    for (const auto &scenario : registry.scenarios()) {
         os << "  " << scenario.name << "\n      "
            << scenario.description << "\n";
     }
@@ -104,9 +124,15 @@ parseArgs(int argc, char **argv)
             opts.designDir = next_value();
         } else if (arg == "--scenario") {
             opts.scenario = next_value();
+        } else if (arg == "--batch") {
+            opts.batchPath = next_value();
+        } else if (arg == "--engine_threads") {
+            opts.engineThreads =
+                parsePositiveInt(arg, next_value());
+        } else if (arg == "--scenarios") {
+            opts.scenariosPath = next_value();
         } else if (arg == "--list_scenarios") {
-            printScenarios(std::cout);
-            std::exit(0);
+            opts.listScenarios = true;
         } else if (arg == "--node_list") {
             std::stringstream ss(next_value());
             std::string token;
@@ -145,9 +171,24 @@ parseArgs(int argc, char **argv)
             throw ConfigError("unknown option: " + arg);
         }
     }
-    requireConfig(opts.designDir.empty() != opts.scenario.empty(),
-                  "exactly one of --design_dir / --scenario is "
-                  "required");
+    const int sources = (opts.designDir.empty() ? 0 : 1) +
+                        (opts.scenario.empty() ? 0 : 1) +
+                        (opts.batchPath.empty() ? 0 : 1);
+    requireConfig(sources == 1 ||
+                      (sources == 0 && opts.listScenarios),
+                  "exactly one of --design_dir / --scenario / "
+                  "--batch is required");
+    requireConfig(opts.batchPath.empty() ||
+                      (opts.nodeList.empty() &&
+                       opts.monteCarloTrials == 0 &&
+                       !opts.showCost && opts.threads == 1),
+                  "--batch takes its analyses from the request "
+                  "file; --node_list/--montecarlo/--threads/"
+                  "--cost do not apply");
+    requireConfig(!opts.engineThreads ||
+                      !opts.batchPath.empty(),
+                  "--engine_threads sizes the batch engine's "
+                  "pool; it requires --batch");
     requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
                   "--threads batches Monte-Carlo trials; it "
                   "requires --montecarlo");
@@ -243,12 +284,107 @@ printCost(const AnalysisResult &cost)
     table.print(std::cout);
 }
 
+/**
+ * Run a request batch on the engine: one status line per request,
+ * a throughput summary, optional JSON/markdown reports. Returns 1
+ * when any request failed (the batch itself always completes).
+ */
+int
+runBatch(const CliOptions &opts, ScenarioRegistry registry)
+{
+    const BatchFile batch = loadBatchFile(opts.batchPath);
+    if (batch.scenarioCatalog)
+        registry.loadFile(*batch.scenarioCatalog);
+
+    EngineOptions engine_options;
+    engine_options.threads = opts.engineThreads.value_or(
+        Parallelism::hardware().threads);
+    engine_options.registry = std::move(registry);
+    AnalysisEngine engine(std::move(engine_options));
+
+    std::cout << "batch: " << batch.requests.size()
+              << " requests on " << engine.threads()
+              << " engine thread(s)\n";
+    const BatchReport report = engine.runBatch(batch.requests);
+
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const RequestOutcome &outcome = report.outcomes[i];
+        std::cout << "  [" << (outcome.ok() ? "ok" : "FAILED")
+                  << "] #" << i << " "
+                  << toString(outcome.request.kind()) << " "
+                  << outcome.request.scenario.label();
+        if (outcome.ok())
+            std::cout << " -- " << outcome.result->detail;
+        else
+            std::cout << " -- " << outcome.error;
+        std::cout << "\n";
+    }
+    std::cout << report.succeeded() << "/"
+              << report.outcomes.size() << " requests ok, "
+              << engine.contextCount()
+              << " distinct evaluation context(s)\n";
+
+    if (opts.jsonPath) {
+        json::Value doc = json::Value::makeArray();
+        for (const auto &outcome : report.outcomes) {
+            json::Value entry = json::Value::makeObject();
+            entry.set("request",
+                      requestToJson(outcome.request));
+            entry.set("ok", outcome.ok());
+            if (outcome.ok())
+                entry.set("result",
+                          resultToJson(*outcome.result));
+            else
+                entry.set("error", outcome.error);
+            doc.append(std::move(entry));
+        }
+        json::writeFile(doc, *opts.jsonPath);
+        std::cout << "results written to " << *opts.jsonPath
+                  << "\n";
+    }
+
+    if (opts.markdownPath) {
+        std::ofstream out(*opts.markdownPath);
+        requireConfig(static_cast<bool>(out),
+                      "cannot write markdown report: " +
+                          *opts.markdownPath);
+        for (const auto &outcome : report.outcomes) {
+            if (outcome.ok())
+                writeResultMarkdown(out, *outcome.result);
+            else
+                out << "# ECO-CHIP "
+                    << toString(outcome.request.kind())
+                    << ": FAILED\n\n- "
+                    << outcome.request.scenario.label()
+                    << ": " << outcome.error << "\n";
+            out << "\n";
+        }
+        std::cout << "markdown report written to "
+                  << *opts.markdownPath << "\n";
+    }
+
+    return report.allOk() ? 0 : 1;
+}
+
 int
 run(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
 
+    ScenarioRegistry registry = ScenarioRegistry::builtin();
+    if (!opts.scenariosPath.empty())
+        registry.loadFile(opts.scenariosPath);
+
+    if (opts.listScenarios) {
+        printScenarios(std::cout, registry);
+        return 0;
+    }
+
+    if (!opts.batchPath.empty())
+        return runBatch(opts, std::move(registry));
+
     ScenarioBuilder builder;
+    builder.registry(std::move(registry));
     if (!opts.designDir.empty())
         builder.designDirectory(opts.designDir);
     else

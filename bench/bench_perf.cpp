@@ -8,11 +8,14 @@
  * DSE loops.
  */
 
+#include <cstdint>
+
 #include <benchmark/benchmark.h>
 
 #include "core/ecochip.h"
 #include "core/explorer.h"
 #include "core/testcases.h"
+#include "engine/analysis_engine.h"
 #include "floorplan/floorplan.h"
 #include "session/analysis_session.h"
 
@@ -108,10 +111,9 @@ BM_MonteCarloBatched(benchmark::State &state)
 }
 BENCHMARK(BM_MonteCarloBatched)->Arg(1)->Arg(4)->Arg(8);
 
-void
-BM_Floorplan(benchmark::State &state)
+std::vector<ChipletBox>
+floorplanBoxes(int nc)
 {
-    const int nc = static_cast<int>(state.range(0));
     std::vector<ChipletBox> boxes;
     for (int i = 0; i < nc; ++i) {
         std::string name("c");
@@ -119,12 +121,85 @@ BM_Floorplan(benchmark::State &state)
         boxes.push_back(
             {std::move(name), 50.0 + 13.0 * (i % 5), 1.0});
     }
+    return boxes;
+}
+
+void
+BM_Floorplan(benchmark::State &state)
+{
+    // Default planner: slicing search with the dominance
+    // lower-bound cutoff in the combine enumeration ("after").
+    const auto boxes =
+        floorplanBoxes(static_cast<int>(state.range(0)));
     Floorplanner planner;
     for (auto _ : state) {
         benchmark::DoNotOptimize(planner.plan(boxes));
     }
 }
 BENCHMARK(BM_Floorplan)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_FloorplanExhaustive(benchmark::State &state)
+{
+    // Exhaustive child-pair enumeration: the pre-cutoff baseline
+    // ("before"), kept so the saving stays measured. Results are
+    // bit-identical to BM_Floorplan's.
+    const auto boxes =
+        floorplanBoxes(static_cast<int>(state.range(0)));
+    Floorplanner planner;
+    planner.setExhaustiveCombine(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(planner.plan(boxes));
+    }
+}
+BENCHMARK(BM_FloorplanExhaustive)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    // Batch throughput (requests/s, reported as items_per_second)
+    // across engine thread counts. Each request carries real DSE
+    // work -- Monte-Carlo bands (fresh perturbed estimators every
+    // trial, nothing memoizable) and a full node sweep per
+    // builtin scenario -- so the numbers measure request-level
+    // scaling, not cache hits. One cold engine per iteration
+    // keeps context construction and deduplication in the
+    // measured cost.
+    const int threads = static_cast<int>(state.range(0));
+    std::vector<AnalysisRequest> requests;
+    std::uint64_t seed = 1;
+    for (const auto &name :
+         ScenarioRegistry::builtin().names()) {
+        MonteCarloSpec mc;
+        mc.trials = 48;
+        mc.seed = seed++;
+        requests.push_back({ScenarioRef::scenario(name), mc});
+    }
+    // Sweeps only where the space is small (3^3 / 3^2);
+    // server-4die and hbm-accel would be 3^6 / 3^18 assignments.
+    for (const char *name : {"ga102", "a15", "emr"}) {
+        SweepSpec sweep;
+        sweep.nodesNm = {7.0, 10.0, 14.0};
+        requests.push_back(
+            {ScenarioRef::scenario(name), sweep});
+    }
+
+    for (auto _ : state) {
+        AnalysisEngine engine(threads);
+        const BatchReport report = engine.runBatch(requests);
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_EngineBatch)
+    ->Name("EngineBatch")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 void
 BM_Estimate3dStack(benchmark::State &state)

@@ -37,6 +37,8 @@ struct UncertaintyBands
 
     /** Use-phase duty cycle: +/- 25%. */
     double dutyCycle = 0.25;
+
+    bool operator==(const UncertaintyBands &) const = default;
 };
 
 /** Distribution summary of one carbon metric. */

@@ -51,6 +51,8 @@ struct CostParams
 
     /** Include mask-set NRE in the per-part cost. */
     bool includeNre = true;
+
+    bool operator==(const CostParams &) const = default;
 };
 
 /** Per-system cost breakdown (USD per part). */

@@ -1,0 +1,138 @@
+#include "engine/analysis_engine.h"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+std::size_t
+BatchReport::succeeded() const
+{
+    std::size_t count = 0;
+    for (const auto &outcome : outcomes)
+        count += outcome.ok() ? 1 : 0;
+    return count;
+}
+
+std::size_t
+BatchReport::failed() const
+{
+    return outcomes.size() - succeeded();
+}
+
+namespace {
+
+EngineOptions
+optionsWithThreads(int threads)
+{
+    EngineOptions options;
+    options.threads = threads;
+    return options;
+}
+
+} // namespace
+
+AnalysisEngine::AnalysisEngine(EngineOptions options)
+    : options_(std::move(options)), pool_(options_.threads)
+{}
+
+AnalysisEngine::AnalysisEngine(int threads)
+    : AnalysisEngine(optionsWithThreads(threads))
+{}
+
+AnalysisSession
+AnalysisEngine::sessionFor(const ScenarioRef &ref)
+{
+    const std::string key = ref.label();
+
+    std::promise<AnalysisSession> promise;
+    std::shared_future<AnalysisSession> future;
+    bool building = false;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        const auto it = sessions_.find(key);
+        if (it != sessions_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            sessions_.emplace(key, future);
+            building = true;
+        }
+    }
+
+    if (building) {
+        try {
+            ScenarioBuilder builder;
+            builder.tech(options_.tech);
+            if (ref.kind == ScenarioRef::Kind::Registry)
+                builder.registry(options_.registry)
+                    .scenario(ref.value);
+            else
+                builder.designDirectory(ref.value);
+            promise.set_value(builder.build());
+        } catch (...) {
+            // Hand the error to everyone already waiting, then
+            // forget the entry so a later request retries (the
+            // failure may be transient, e.g. a design directory
+            // that appears later).
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            sessions_.erase(key);
+        }
+    }
+
+    return future.get();
+}
+
+std::future<AnalysisResult>
+AnalysisEngine::submit(AnalysisRequest request)
+{
+    auto task = std::make_shared<
+        std::packaged_task<AnalysisResult()>>(
+        [this, request = std::move(request)] {
+            // Binding resolution happens inside the task so a bad
+            // scenario name fails *its* future, not the caller.
+            const AnalysisSession session =
+                sessionFor(request.scenario);
+            return runSpec(session, request.spec);
+        });
+    std::future<AnalysisResult> future = task->get_future();
+    pool_.post([task] { (*task)(); });
+    return future;
+}
+
+BatchReport
+AnalysisEngine::runBatch(
+    const std::vector<AnalysisRequest> &requests)
+{
+    std::vector<std::future<AnalysisResult>> futures;
+    futures.reserve(requests.size());
+    for (const auto &request : requests)
+        futures.push_back(submit(request));
+
+    BatchReport report;
+    report.outcomes.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        RequestOutcome outcome;
+        outcome.request = requests[i];
+        try {
+            outcome.result = futures[i].get();
+        } catch (const std::exception &e) {
+            outcome.error = e.what();
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+std::size_t
+AnalysisEngine::contextCount() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    return sessions_.size();
+}
+
+} // namespace ecochip

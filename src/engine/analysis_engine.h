@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Asynchronous batch scheduler for declarative analysis requests.
+ *
+ * Where `AnalysisSession` answers one question at a time,
+ * `AnalysisEngine` takes *what to compute* -- `AnalysisRequest`
+ * values, typically parsed from a `requests.json` batch file --
+ * and owns *how it is scheduled*: a fixed thread-pool drains the
+ * request queue, and identical scenario bindings are deduplicated
+ * onto one shared `EvaluationContext`, so a thousand requests
+ * against nine scenarios build nine contexts and share their
+ * memoized evaluation caches.
+ *
+ * Determinism is preserved end to end: every request evaluates
+ * through the same `runSpec` executor the session verbs use, so a
+ * `runBatch` at any thread count is bit-identical to running the
+ * requests one by one through `AnalysisSession` (equal seeds
+ * included).
+ *
+ * @code
+ *   AnalysisEngine engine(EngineOptions{.threads = 8});
+ *   auto future = engine.submit(
+ *       {ScenarioRef::scenario("ga102"), MonteCarloSpec{}});
+ *   BatchReport report = engine.runBatch(requests);
+ *   // report.outcomes[i] matches requests[i]; a failed request
+ *   // carries its error and never takes down the batch.
+ * @endcode
+ */
+
+#ifndef ECOCHIP_ENGINE_ANALYSIS_ENGINE_H
+#define ECOCHIP_ENGINE_ANALYSIS_ENGINE_H
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "session/analysis_request.h"
+#include "session/analysis_session.h"
+
+namespace ecochip {
+
+/** Scheduling knobs of an `AnalysisEngine`. */
+struct EngineOptions
+{
+    /** Worker threads draining the request queue. */
+    int threads = 1;
+
+    /**
+     * Scenario catalog requests resolve registry bindings
+     * against; extend with `ScenarioRegistry::loadFile` to name
+     * user-defined workloads.
+     */
+    ScenarioRegistry registry = ScenarioRegistry::builtin();
+
+    /** Technology calibration shared by every context. */
+    TechDb tech;
+};
+
+/** Outcome of one request of a batch. */
+struct RequestOutcome
+{
+    /** The request this outcome answers. */
+    AnalysisRequest request;
+
+    /** Result; empty when the request failed. */
+    std::optional<AnalysisResult> result;
+
+    /** Error message; empty when the request succeeded. */
+    std::string error;
+
+    /** True when the request produced a result. */
+    bool ok() const { return result.has_value(); }
+};
+
+/** Per-request outcomes of one `runBatch`, in request order. */
+struct BatchReport
+{
+    std::vector<RequestOutcome> outcomes;
+
+    /** Count of successful requests. */
+    std::size_t succeeded() const;
+
+    /** Count of failed requests. */
+    std::size_t failed() const;
+
+    /** True when every request succeeded. */
+    bool allOk() const { return failed() == 0; }
+};
+
+/**
+ * Thread-pooled analysis scheduler with scenario-context
+ * deduplication. Thread-safe: `submit`/`runBatch` may be called
+ * from any thread.
+ */
+class AnalysisEngine
+{
+  public:
+    explicit AnalysisEngine(EngineOptions options = {});
+
+    /** Convenience: default options at @p threads workers. */
+    explicit AnalysisEngine(int threads);
+
+    /** Worker count. */
+    int threads() const { return pool_.threadCount(); }
+
+    /** The catalog registry bindings resolve against. */
+    const ScenarioRegistry &registry() const
+    {
+        return options_.registry;
+    }
+
+    /**
+     * Schedule one request on the pool.
+     *
+     * The future carries the result -- or the request's exception
+     * (`ConfigError` and friends propagate per request, exactly
+     * as the session verbs throw them).
+     */
+    std::future<AnalysisResult> submit(AnalysisRequest request);
+
+    /**
+     * Run a whole batch and wait for it.
+     *
+     * Requests are scheduled across the pool; outcome @c i
+     * answers request @c i. A failed request records its error in
+     * its outcome and never affects the others.
+     */
+    BatchReport
+    runBatch(const std::vector<AnalysisRequest> &requests);
+
+    /**
+     * The session a binding resolves to, built on first use and
+     * shared (one `EvaluationContext` per distinct binding)
+     * afterwards. Distinct bindings build concurrently; workers
+     * racing for the same binding wait on one build. A failed
+     * build throws to every waiter and is forgotten, so a later
+     * request retries it.
+     */
+    AnalysisSession sessionFor(const ScenarioRef &ref);
+
+    /** Distinct evaluation contexts built (or building). */
+    std::size_t contextCount() const;
+
+  private:
+    EngineOptions options_;
+
+    mutable std::mutex sessionsMutex_;
+
+    /**
+     * Shared futures so the lock is only held for map access,
+     * never for context construction (which may touch disk).
+     */
+    std::map<std::string, std::shared_future<AnalysisSession>>
+        sessions_;
+
+    /** Last member: destroyed (drained) before the caches. */
+    ThreadPool pool_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ENGINE_ANALYSIS_ENGINE_H

@@ -108,8 +108,13 @@ buildTree(const std::vector<int> &indices,
 
 /**
  * Keep only the Pareto frontier of shapes (no other shape is both
- * narrower and shorter), sorted by increasing width. Deterministic
- * for deterministic input order.
+ * narrower and shorter), sorted by increasing width. The
+ * comparator is a total order -- bounding box first, then child
+ * choices -- so the surviving representative of equal-box shapes
+ * is canonical: a function of the shape multiset, independent of
+ * enumeration order (std::sort is unstable) and of whether the
+ * dominated entries interleaved between them were enumerated at
+ * all (the combine cutoff skips some).
  */
 std::vector<Shape>
 pruneDominated(std::vector<Shape> shapes)
@@ -118,7 +123,13 @@ pruneDominated(std::vector<Shape> shapes)
               [](const Shape &a, const Shape &b) {
                   if (a.widthMm != b.widthMm)
                       return a.widthMm < b.widthMm;
-                  return a.heightMm < b.heightMm;
+                  if (a.heightMm != b.heightMm)
+                      return a.heightMm < b.heightMm;
+                  if (a.horizontalCut != b.horizontalCut)
+                      return a.horizontalCut;
+                  if (a.leftChoice != b.leftChoice)
+                      return a.leftChoice < b.leftChoice;
+                  return a.rightChoice < b.rightChoice;
               });
     std::vector<Shape> frontier;
     for (const Shape &shape : shapes) {
@@ -150,7 +161,7 @@ thinCurve(std::vector<Shape> shapes, std::size_t max_size)
 void
 shapeTree(SliceNode &node, const std::vector<ChipletBox> &boxes,
           const std::vector<double> &aspect_candidates,
-          double spacing_mm)
+          double spacing_mm, bool exhaustive_combine)
 {
     constexpr std::size_t max_curve = 16;
 
@@ -181,18 +192,37 @@ shapeTree(SliceNode &node, const std::vector<ChipletBox> &boxes,
         return;
     }
 
-    shapeTree(*node.left, boxes, aspect_candidates, spacing_mm);
-    shapeTree(*node.right, boxes, aspect_candidates, spacing_mm);
+    shapeTree(*node.left, boxes, aspect_candidates, spacing_mm,
+              exhaustive_combine);
+    shapeTree(*node.right, boxes, aspect_candidates, spacing_mm,
+              exhaustive_combine);
 
+    // Child curves are non-dominated: sorted by strictly
+    // increasing width, strictly decreasing height. That orders a
+    // lower bound on each cut's bounding box, which prunes most of
+    // the pair enumeration without touching the frontier:
+    //
+    //  - Horizontal cut (side by side): the combined height is at
+    //    least ls.height. Once the right child is no taller than
+    //    the left (rs.height <= ls.height), every wider right
+    //    shape yields the same height at strictly greater width --
+    //    dominated by the first such pairing. Emit it and stop.
+    //  - Vertical cut (stacked): symmetric on widths; scan the
+    //    right curve in decreasing width and stop after the first
+    //    right shape no wider than the left.
+    //
+    // Every skipped pair is strictly dominated by an emitted one,
+    // so pruneDominated() returns the identical frontier and the
+    // plan is bit-identical to the exhaustive enumeration.
     std::vector<Shape> shapes;
-    for (std::size_t li = 0; li < node.left->shapes.size();
-         ++li) {
-        for (std::size_t ri = 0; ri < node.right->shapes.size();
-             ++ri) {
-            const Shape &ls = node.left->shapes[li];
-            const Shape &rs = node.right->shapes[ri];
+    const auto &left = node.left->shapes;
+    const auto &right = node.right->shapes;
+    for (std::size_t li = 0; li < left.size(); ++li) {
+        const Shape &ls = left[li];
 
-            // Horizontal cut: children side by side.
+        // Horizontal cut: children side by side.
+        for (std::size_t ri = 0; ri < right.size(); ++ri) {
+            const Shape &rs = right[ri];
             Shape h;
             h.widthMm = ls.widthMm + spacing_mm + rs.widthMm;
             h.heightMm = std::max(ls.heightMm, rs.heightMm);
@@ -200,15 +230,23 @@ shapeTree(SliceNode &node, const std::vector<ChipletBox> &boxes,
             h.rightChoice = static_cast<int>(ri);
             h.horizontalCut = true;
             shapes.push_back(h);
+            if (!exhaustive_combine &&
+                rs.heightMm <= ls.heightMm)
+                break;
+        }
 
-            // Vertical cut: children stacked.
+        // Vertical cut: children stacked.
+        for (std::size_t k = right.size(); k-- > 0;) {
+            const Shape &rs = right[k];
             Shape v;
             v.widthMm = std::max(ls.widthMm, rs.widthMm);
             v.heightMm = ls.heightMm + spacing_mm + rs.heightMm;
             v.leftChoice = static_cast<int>(li);
-            v.rightChoice = static_cast<int>(ri);
+            v.rightChoice = static_cast<int>(k);
             v.horizontalCut = false;
             shapes.push_back(v);
+            if (!exhaustive_combine && rs.widthMm <= ls.widthMm)
+                break;
         }
     }
     node.shapes =
@@ -333,7 +371,8 @@ Floorplanner::plan(const std::vector<ChipletBox> &boxes) const
     });
 
     auto root = buildTree(order, boxes);
-    shapeTree(*root, boxes, aspectCandidates_, spacingMm_);
+    shapeTree(*root, boxes, aspectCandidates_, spacingMm_,
+              exhaustiveCombine_);
     const int root_choice = bestShape(root->shapes);
 
     FloorplanResult result;

@@ -113,6 +113,20 @@ class Floorplanner
     double spacingMm() const { return spacingMm_; }
 
     /**
+     * Disable the dominance lower-bound cutoff in the slicing
+     * search and enumerate every child-shape pair when combining
+     * sub-floorplans. The cutoff never changes the result (it only
+     * skips realizations whose bounding box is provably dominated
+     * by an already-enumerated one, so the non-dominated frontier
+     * is identical); the exhaustive mode exists to measure the
+     * before/after cost in `bench_perf`.
+     */
+    void setExhaustiveCombine(bool on) { exhaustiveCombine_ = on; }
+
+    /** True when the combine enumeration is exhaustive. */
+    bool exhaustiveCombine() const { return exhaustiveCombine_; }
+
+    /**
      * Aspect ratios the planner may choose for each chiplet whose
      * box does not pin one explicitly (paper Sec. III-D(3):
      * processing a leaf "involves setting the orientation and
@@ -150,6 +164,7 @@ class Floorplanner
 
   private:
     double spacingMm_;
+    bool exhaustiveCombine_ = false;
     std::vector<double> aspectCandidates_ = {1.0};
 };
 

@@ -2,14 +2,48 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "support/error.h"
 
 namespace ecochip {
 
-SystemSpec
-systemFromJson(const json::Value &doc, const TechDb &tech)
+void
+rejectUnknownKeys(const json::Value &doc,
+                  std::initializer_list<const char *> known,
+                  const std::string &context)
 {
+    if (!doc.isObject())
+        return;
+    for (const auto &[key, value] : doc.members()) {
+        bool recognized = false;
+        for (const char *candidate : known)
+            recognized |= key == candidate;
+        if (!recognized) {
+            std::string expected;
+            for (const char *candidate : known) {
+                if (!expected.empty())
+                    expected += ", ";
+                expected += candidate;
+            }
+            throw ConfigError(context + ": unknown key \"" + key +
+                              "\" (expected one of: " + expected +
+                              ")");
+        }
+    }
+}
+
+SystemSpec
+systemFromJson(const json::Value &doc, const TechDb &tech,
+               const std::string &context)
+{
+    // `packaging` / `yield_model` are config shortcuts consumed by
+    // designBundleFromJson on the same document.
+    rejectUnknownKeys(doc,
+                      {"name", "monolithic", "chiplets",
+                       "packaging", "yield_model"},
+                      context);
+
     SystemSpec system;
     system.name = doc.stringOr("name", "unnamed");
     system.singleDie = doc.booleanOr("monolithic", false);
@@ -18,6 +52,11 @@ systemFromJson(const json::Value &doc, const TechDb &tech)
     requireConfig(!chiplets.empty(),
                   "architecture has no chiplets");
     for (const auto &entry : chiplets) {
+        rejectUnknownKeys(entry,
+                          {"name", "type", "node_nm", "area_mm2",
+                           "transistors_mtr", "reused",
+                           "stack_group"},
+                          context + ": chiplet");
         Chiplet chiplet;
         chiplet.name = entry.at("name").asString();
         chiplet.type =
@@ -73,8 +112,23 @@ systemToJson(const SystemSpec &system)
 }
 
 PackageParams
-packageParamsFromJson(const json::Value &doc)
+packageParamsFromJson(const json::Value &doc,
+                      const std::string &context)
 {
+    rejectUnknownKeys(
+        doc,
+        {"arch", "intensity_g_per_kwh", "spacing_mm",
+         "rdl_layers", "rdl_node_nm", "substrate_base_layers",
+         "bridge_layers", "bridge_node_nm", "bridge_range_mm",
+         "bridge_area_mm2", "bridge_embed_yield",
+         "interposer_node_nm", "interposer_beol_layers",
+         "repeater_area_fraction", "bond_type", "tsv_pitch_um",
+         "microbump_pitch_um", "hybrid_bond_pitch_um",
+         "tsv_fail_probability", "microbump_fail_probability",
+         "hybrid_bond_fail_probability", "tier_assembly_yield",
+         "bond_process_node_nm", "router", "noc_flit_rate_hz"},
+        context);
+
     PackageParams params;
     if (doc.contains("arch"))
         params.arch =
@@ -126,6 +180,10 @@ packageParamsFromJson(const json::Value &doc)
         "bond_process_node_nm", params.bondProcessNodeNm);
     if (doc.contains("router")) {
         const auto &router = doc.at("router");
+        rejectUnknownKeys(router,
+                          {"ports", "flit_width_bits",
+                           "buffers_per_vc", "virtual_channels"},
+                          context + ": router");
         params.router.ports = static_cast<int>(
             router.numberOr("ports", params.router.ports));
         params.router.flitWidthBits =
@@ -184,8 +242,17 @@ packageParamsToJson(const PackageParams &params)
 }
 
 DesignParams
-designParamsFromJson(const json::Value &doc)
+designParamsFromJson(const json::Value &doc,
+                     const std::string &context)
 {
+    rejectUnknownKeys(doc,
+                      {"pdes_w", "design_iterations",
+                       "intensity_g_per_kwh",
+                       "spr_hours_per_mgate", "analyze_fraction",
+                       "verif_multiple", "gates_per_transistor",
+                       "chiplet_volume", "system_volume"},
+                      context);
+
     DesignParams params;
     params.pdesW = doc.numberOr("pdes_w", params.pdesW);
     params.designIterations = static_cast<int>(doc.numberOr(
@@ -224,8 +291,16 @@ designParamsToJson(const DesignParams &params)
 }
 
 OperatingSpec
-operatingSpecFromJson(const json::Value &doc)
+operatingSpecFromJson(const json::Value &doc,
+                      const std::string &context)
 {
+    rejectUnknownKeys(doc,
+                      {"lifetime_years", "duty_cycle",
+                       "avg_frequency_hz", "switching_activity",
+                       "intensity_g_per_kwh", "avg_power_w",
+                       "annual_energy_kwh"},
+                      context);
+
     OperatingSpec spec;
     spec.lifetimeYears =
         doc.numberOr("lifetime_years", spec.lifetimeYears);
@@ -261,6 +336,56 @@ operatingSpecToJson(const OperatingSpec &spec)
 }
 
 DesignBundle
+designBundleFromJson(const json::Value &arch,
+                     const json::Value *package,
+                     const json::Value *design,
+                     const json::Value *operational,
+                     const TechDb &tech,
+                     const std::string &context,
+                     const std::string &package_context,
+                     const std::string &design_context,
+                     const std::string &operational_context)
+{
+    DesignBundle bundle;
+    bundle.system = systemFromJson(arch, tech, context);
+
+    if (arch.contains("packaging")) {
+        bundle.config.package.arch = packagingArchFromString(
+            arch.at("packaging").asString());
+    }
+    if (arch.contains("yield_model")) {
+        bundle.config.yieldModel = yieldModelKindFromString(
+            arch.at("yield_model").asString());
+    }
+
+    if (package) {
+        PackageParams params = packageParamsFromJson(
+            *package, package_context.empty()
+                          ? context + ": package"
+                          : package_context);
+        // The architecture's packaging choice wins over the knob
+        // file's `arch`, matching the reference tool.
+        if (arch.contains("packaging"))
+            params.arch = bundle.config.package.arch;
+        bundle.config.package = params;
+    }
+
+    if (design)
+        bundle.config.design = designParamsFromJson(
+            *design, design_context.empty()
+                         ? context + ": design"
+                         : design_context);
+
+    if (operational)
+        bundle.config.operating = operatingSpecFromJson(
+            *operational, operational_context.empty()
+                              ? context + ": operational"
+                              : operational_context);
+
+    return bundle;
+}
+
+DesignBundle
 loadDesignDirectory(const std::string &dir, const TechDb &tech)
 {
     namespace fs = std::filesystem;
@@ -272,41 +397,29 @@ loadDesignDirectory(const std::string &dir, const TechDb &tech)
     requireConfig(fs::exists(arch_path),
                   "missing architecture.json in " + dir);
 
-    DesignBundle bundle;
-    bundle.system =
-        systemFromJson(json::parseFile(arch_path.string()), tech);
-
     const json::Value arch_doc =
         json::parseFile(arch_path.string());
-    if (arch_doc.contains("packaging")) {
-        bundle.config.package.arch = packagingArchFromString(
-            arch_doc.at("packaging").asString());
-    }
-    if (arch_doc.contains("yield_model")) {
-        bundle.config.yieldModel = yieldModelKindFromString(
-            arch_doc.at("yield_model").asString());
-    }
 
-    const fs::path pkg_path = root / "packageC.json";
-    if (fs::exists(pkg_path)) {
-        PackageParams params = packageParamsFromJson(
-            json::parseFile(pkg_path.string()));
-        if (arch_doc.contains("packaging"))
-            params.arch = bundle.config.package.arch;
-        bundle.config.package = params;
-    }
+    auto optional_doc =
+        [&](const char *name) -> std::optional<json::Value> {
+        const fs::path path = root / name;
+        if (!fs::exists(path))
+            return std::nullopt;
+        return json::parseFile(path.string());
+    };
+    const auto pkg_doc = optional_doc("packageC.json");
+    const auto design_doc = optional_doc("designC.json");
+    const auto op_doc = optional_doc("operationalC.json");
 
-    const fs::path design_path = root / "designC.json";
-    if (fs::exists(design_path))
-        bundle.config.design = designParamsFromJson(
-            json::parseFile(design_path.string()));
-
-    const fs::path op_path = root / "operationalC.json";
-    if (fs::exists(op_path))
-        bundle.config.operating = operatingSpecFromJson(
-            json::parseFile(op_path.string()));
-
-    return bundle;
+    // Exact file paths as contexts, so a typo'd key names the
+    // file that holds it.
+    return designBundleFromJson(
+        arch_doc, pkg_doc ? &*pkg_doc : nullptr,
+        design_doc ? &*design_doc : nullptr,
+        op_doc ? &*op_doc : nullptr, tech, arch_path.string(),
+        (root / "packageC.json").string(),
+        (root / "designC.json").string(),
+        (root / "operationalC.json").string());
 }
 
 json::Value

@@ -12,12 +12,24 @@
 #ifndef ECOCHIP_IO_CONFIG_LOADER_H
 #define ECOCHIP_IO_CONFIG_LOADER_H
 
+#include <initializer_list>
 #include <string>
 
 #include "core/ecochip.h"
 #include "json/json.h"
 
 namespace ecochip {
+
+/**
+ * Reject members of @p doc outside a schema's @p known key set
+ * with a ConfigError naming @p context and the offending key -- a
+ * typo'd field must fail loudly instead of silently loading as a
+ * default. Non-object values pass (their type errors surface at
+ * the checked accessors).
+ */
+void rejectUnknownKeys(const json::Value &doc,
+                       std::initializer_list<const char *> known,
+                       const std::string &context);
 
 /**
  * Parse a SystemSpec from an `architecture.json` document.
@@ -41,32 +53,45 @@ namespace ecochip {
  * Optional keys: `reused` (design CFP amortized elsewhere) and
  * `stack_group` (vertical tower membership for mixed 2.5D/3D).
  *
+ * Unknown keys are rejected (ConfigError naming the offending key
+ * and @p context), so a typo'd field can never silently load as a
+ * default. The same holds for every loader below.
+ *
  * @param doc Parsed JSON document.
  * @param tech Technology database for area inversion.
+ * @param context Source label (file path) for error messages.
  */
 SystemSpec systemFromJson(const json::Value &doc,
-                          const TechDb &tech);
+                          const TechDb &tech,
+                          const std::string &context =
+                              "architecture.json");
 
 /** Serialize a SystemSpec back to the architecture schema. */
 json::Value systemToJson(const SystemSpec &system);
 
 /**
  * Parse PackageParams from a `packageC.json` document; missing
- * keys keep their defaults.
+ * keys keep their defaults, unknown keys are rejected.
  */
-PackageParams packageParamsFromJson(const json::Value &doc);
+PackageParams packageParamsFromJson(const json::Value &doc,
+                                    const std::string &context =
+                                        "packageC.json");
 
 /** Serialize PackageParams to the packageC schema. */
 json::Value packageParamsToJson(const PackageParams &params);
 
 /** Parse DesignParams from a `designC.json` document. */
-DesignParams designParamsFromJson(const json::Value &doc);
+DesignParams designParamsFromJson(const json::Value &doc,
+                                  const std::string &context =
+                                      "designC.json");
 
 /** Serialize DesignParams. */
 json::Value designParamsToJson(const DesignParams &params);
 
 /** Parse an OperatingSpec from an `operationalC.json` document. */
-OperatingSpec operatingSpecFromJson(const json::Value &doc);
+OperatingSpec operatingSpecFromJson(const json::Value &doc,
+                                    const std::string &context =
+                                        "operationalC.json");
 
 /** Serialize an OperatingSpec. */
 json::Value operatingSpecToJson(const OperatingSpec &spec);
@@ -77,6 +102,31 @@ struct DesignBundle
     SystemSpec system;
     EcoChipConfig config;
 };
+
+/**
+ * Assemble a DesignBundle from already-parsed documents -- the
+ * shared core of `loadDesignDirectory` and JSON scenario catalogs
+ * (`ScenarioRegistry::loadFile`). The architecture document is
+ * required and may carry the `packaging` / `yield_model` config
+ * shortcuts; the other documents are optional (null pointers keep
+ * the paper defaults).
+ *
+ * @param arch Architecture document.
+ * @param package Optional packageC document.
+ * @param design Optional designC document.
+ * @param operational Optional operationalC document.
+ * @param tech Technology database.
+ * @param context Source label for error messages.
+ * @param package_context Label for @p package errors; empty
+ *        derives "<context>: package". Likewise the next two.
+ */
+DesignBundle designBundleFromJson(
+    const json::Value &arch, const json::Value *package,
+    const json::Value *design, const json::Value *operational,
+    const TechDb &tech, const std::string &context,
+    const std::string &package_context = "",
+    const std::string &design_context = "",
+    const std::string &operational_context = "");
 
 /**
  * Load a design directory (the `--design_dir` workflow of the

@@ -1,0 +1,385 @@
+#include "io/request_io.h"
+
+#include <filesystem>
+
+#include "io/config_loader.h"
+#include "support/error.h"
+
+namespace ecochip {
+
+json::Value
+costParamsToJson(const CostParams &params)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("substrate_cost_per_cm2_usd",
+            params.substrateCostPerCm2Usd);
+    doc.set("rdl_layer_cost_per_cm2_usd",
+            params.rdlLayerCostPerCm2Usd);
+    doc.set("bridge_cost_usd", params.bridgeCostUsd);
+    doc.set("interposer_layer_cost_per_cm2_usd",
+            params.interposerLayerCostPerCm2Usd);
+    doc.set("attach_cost_per_chiplet_usd",
+            params.attachCostPerChipletUsd);
+    doc.set("cost_per_bond_usd", params.costPerBondUsd);
+    doc.set("test_cost_per_chiplet_usd",
+            params.testCostPerChipletUsd);
+    doc.set("volume", params.volume);
+    doc.set("include_nre", params.includeNre);
+    return doc;
+}
+
+CostParams
+costParamsFromJson(const json::Value &doc,
+                   const std::string &context)
+{
+    rejectUnknownKeys(doc,
+                      {"substrate_cost_per_cm2_usd",
+                       "rdl_layer_cost_per_cm2_usd",
+                       "bridge_cost_usd",
+                       "interposer_layer_cost_per_cm2_usd",
+                       "attach_cost_per_chiplet_usd",
+                       "cost_per_bond_usd",
+                       "test_cost_per_chiplet_usd", "volume",
+                       "include_nre"},
+                      context);
+
+    CostParams params;
+    params.substrateCostPerCm2Usd =
+        doc.numberOr("substrate_cost_per_cm2_usd",
+                     params.substrateCostPerCm2Usd);
+    params.rdlLayerCostPerCm2Usd =
+        doc.numberOr("rdl_layer_cost_per_cm2_usd",
+                     params.rdlLayerCostPerCm2Usd);
+    params.bridgeCostUsd =
+        doc.numberOr("bridge_cost_usd", params.bridgeCostUsd);
+    params.interposerLayerCostPerCm2Usd =
+        doc.numberOr("interposer_layer_cost_per_cm2_usd",
+                     params.interposerLayerCostPerCm2Usd);
+    params.attachCostPerChipletUsd =
+        doc.numberOr("attach_cost_per_chiplet_usd",
+                     params.attachCostPerChipletUsd);
+    params.costPerBondUsd =
+        doc.numberOr("cost_per_bond_usd", params.costPerBondUsd);
+    params.testCostPerChipletUsd =
+        doc.numberOr("test_cost_per_chiplet_usd",
+                     params.testCostPerChipletUsd);
+    params.volume = doc.numberOr("volume", params.volume);
+    params.includeNre =
+        doc.booleanOr("include_nre", params.includeNre);
+    return params;
+}
+
+json::Value
+uncertaintyBandsToJson(const UncertaintyBands &bands)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("defect_density", bands.defectDensity);
+    doc.set("epa", bands.epa);
+    doc.set("intensity", bands.intensity);
+    doc.set("design_time", bands.designTime);
+    doc.set("duty_cycle", bands.dutyCycle);
+    return doc;
+}
+
+UncertaintyBands
+uncertaintyBandsFromJson(const json::Value &doc,
+                         const std::string &context)
+{
+    rejectUnknownKeys(doc,
+                      {"defect_density", "epa", "intensity",
+                       "design_time", "duty_cycle"},
+                      context);
+
+    UncertaintyBands bands;
+    bands.defectDensity =
+        doc.numberOr("defect_density", bands.defectDensity);
+    bands.epa = doc.numberOr("epa", bands.epa);
+    bands.intensity = doc.numberOr("intensity", bands.intensity);
+    bands.designTime =
+        doc.numberOr("design_time", bands.designTime);
+    bands.dutyCycle = doc.numberOr("duty_cycle", bands.dutyCycle);
+    return bands;
+}
+
+namespace {
+
+/** Sanity caps: a fat-fingered huge value must be rejected, not
+ *  wrapped modulo 2^32 or allowed to spawn absurd work. */
+constexpr std::int64_t kMaxTrials = 100'000'000;
+constexpr std::int64_t kMaxThreads = 4096;
+
+json::Value
+nodesToJson(const std::vector<double> &nodes)
+{
+    json::Value arr = json::Value::makeArray();
+    for (double node : nodes)
+        arr.append(json::Value(node));
+    return arr;
+}
+
+std::vector<double>
+nodesFromJson(const json::Value &arr, const std::string &context)
+{
+    std::vector<double> nodes;
+    for (const auto &entry : arr.asArray()) {
+        const double node = entry.asNumber();
+        requireConfig(node > 0.0,
+                      context + ": nodes must be positive");
+        nodes.push_back(node);
+    }
+    return nodes;
+}
+
+} // namespace
+
+json::Value
+requestToJson(const AnalysisRequest &request)
+{
+    json::Value doc = json::Value::makeObject();
+    if (request.scenario.kind == ScenarioRef::Kind::Registry)
+        doc.set("scenario", request.scenario.value);
+    else
+        doc.set("design_dir", request.scenario.value);
+    doc.set("analysis", toString(request.kind()));
+
+    std::visit(
+        [&](const auto &spec) {
+            using Spec = std::decay_t<decltype(spec)>;
+            if constexpr (std::is_same_v<Spec, SweepSpec>) {
+                if (!spec.nodesNm.empty())
+                    doc.set("nodes_nm",
+                            nodesToJson(spec.nodesNm));
+                if (!spec.nodesPerChiplet.empty()) {
+                    json::Value lists = json::Value::makeArray();
+                    for (const auto &nodes :
+                         spec.nodesPerChiplet)
+                        lists.append(nodesToJson(nodes));
+                    doc.set("nodes_per_chiplet",
+                            std::move(lists));
+                }
+            } else if constexpr (std::is_same_v<
+                                     Spec, MonteCarloSpec>) {
+                // JSON numbers are doubles: a seed above 2^53
+                // would come back corrupted, silently breaking
+                // the round-trip guarantee. Refuse instead.
+                requireConfig(
+                    spec.seed <=
+                        (std::uint64_t{1} << 53),
+                    "monte_carlo seed " +
+                        std::to_string(spec.seed) +
+                        " exceeds 2^53 and cannot round-trip "
+                        "through JSON");
+                doc.set("trials", spec.trials);
+                doc.set("seed",
+                        static_cast<double>(spec.seed));
+                doc.set("threads", spec.threads);
+                if (!(spec.bands == UncertaintyBands()))
+                    doc.set("bands",
+                            uncertaintyBandsToJson(spec.bands));
+            } else if constexpr (std::is_same_v<
+                                     Spec, SensitivitySpec>) {
+                doc.set("metric", toString(spec.metric));
+                doc.set("delta", spec.delta);
+            } else if constexpr (std::is_same_v<Spec,
+                                                CostSpec>) {
+                if (!(spec.params == CostParams()))
+                    doc.set("params",
+                            costParamsToJson(spec.params));
+            }
+        },
+        request.spec);
+    return doc;
+}
+
+AnalysisRequest
+requestFromJson(const json::Value &doc,
+                const std::string &context)
+{
+    requireConfig(doc.isObject(),
+                  context + ": request must be an object");
+
+    AnalysisRequest request;
+
+    const bool has_scenario = doc.contains("scenario");
+    const bool has_dir = doc.contains("design_dir");
+    requireConfig(has_scenario != has_dir,
+                  context + ": set exactly one of scenario / "
+                            "design_dir");
+    request.scenario =
+        has_scenario
+            ? ScenarioRef::scenario(
+                  doc.at("scenario").asString())
+            : ScenarioRef::designDirectory(
+                  doc.at("design_dir").asString());
+
+    const AnalysisKind kind = analysisKindFromString(
+        doc.stringOr("analysis", "estimate"));
+    switch (kind) {
+      case AnalysisKind::Estimate: {
+        rejectUnknownKeys(
+            doc, {"scenario", "design_dir", "analysis"},
+            context);
+        request.spec = EstimateSpec{};
+        break;
+      }
+      case AnalysisKind::Sweep: {
+        rejectUnknownKeys(doc,
+                          {"scenario", "design_dir", "analysis",
+                           "nodes_nm", "nodes_per_chiplet"},
+                          context);
+        SweepSpec spec;
+        if (doc.contains("nodes_nm"))
+            spec.nodesNm =
+                nodesFromJson(doc.at("nodes_nm"), context);
+        if (doc.contains("nodes_per_chiplet"))
+            for (const auto &nodes :
+                 doc.at("nodes_per_chiplet").asArray())
+                spec.nodesPerChiplet.push_back(
+                    nodesFromJson(nodes, context));
+        requireConfig(spec.nodesNm.empty() !=
+                          spec.nodesPerChiplet.empty(),
+                      context +
+                          ": sweep needs exactly one of "
+                          "nodes_nm / nodes_per_chiplet");
+        request.spec = std::move(spec);
+        break;
+      }
+      case AnalysisKind::MonteCarlo: {
+        rejectUnknownKeys(doc,
+                          {"scenario", "design_dir", "analysis",
+                           "trials", "seed", "threads", "bands"},
+                          context);
+        MonteCarloSpec spec;
+        // asInteger rejects non-integral numbers (10.7 must not
+        // silently truncate to 10 trials); the range checks run
+        // on the int64 before narrowing, so out-of-int values
+        // are rejected rather than wrapped.
+        if (doc.contains("trials")) {
+            const std::int64_t trials =
+                doc.at("trials").asInteger();
+            requireConfig(trials >= 2 &&
+                              trials <= kMaxTrials,
+                          context + ": trials must be in [2, " +
+                              std::to_string(kMaxTrials) + "]");
+            spec.trials = static_cast<int>(trials);
+        }
+        requireConfig(spec.trials >= 2,
+                      context + ": trials must be >= 2");
+        if (doc.contains("seed")) {
+            const std::int64_t seed =
+                doc.at("seed").asInteger();
+            requireConfig(seed >= 0,
+                          context +
+                              ": seed must be non-negative");
+            spec.seed = static_cast<std::uint64_t>(seed);
+        }
+        if (doc.contains("threads")) {
+            const std::int64_t threads =
+                doc.at("threads").asInteger();
+            requireConfig(threads >= 1 &&
+                              threads <= kMaxThreads,
+                          context + ": threads must be in [1, " +
+                              std::to_string(kMaxThreads) + "]");
+            spec.threads = static_cast<int>(threads);
+        }
+        requireConfig(spec.threads >= 1,
+                      context + ": threads must be >= 1");
+        if (doc.contains("bands"))
+            spec.bands = uncertaintyBandsFromJson(
+                doc.at("bands"), context + ": bands");
+        request.spec = spec;
+        break;
+      }
+      case AnalysisKind::Sensitivity: {
+        rejectUnknownKeys(doc,
+                          {"scenario", "design_dir", "analysis",
+                           "metric", "delta"},
+                          context);
+        SensitivitySpec spec;
+        spec.metric = carbonMetricFromString(
+            doc.stringOr("metric", "embodied"));
+        spec.delta = doc.numberOr("delta", spec.delta);
+        requireConfig(spec.delta > 0.0 && spec.delta < 1.0,
+                      context +
+                          ": delta must be in (0, 1)");
+        request.spec = spec;
+        break;
+      }
+      case AnalysisKind::Cost: {
+        rejectUnknownKeys(
+            doc,
+            {"scenario", "design_dir", "analysis", "params"},
+            context);
+        CostSpec spec;
+        if (doc.contains("params"))
+            spec.params = costParamsFromJson(
+                doc.at("params"), context + ": params");
+        request.spec = spec;
+        break;
+      }
+    }
+    return request;
+}
+
+std::vector<AnalysisRequest>
+requestsFromJson(const json::Value &doc,
+                 const std::string &context)
+{
+    const json::Value *list = &doc;
+    if (doc.isObject()) {
+        requireConfig(doc.contains("requests"),
+                      context + ": batch object needs a "
+                                "\"requests\" array");
+        list = &doc.at("requests");
+    }
+
+    std::vector<AnalysisRequest> requests;
+    std::size_t index = 0;
+    for (const auto &entry : list->asArray()) {
+        requests.push_back(requestFromJson(
+            entry,
+            context + " #" + std::to_string(index)));
+        ++index;
+    }
+    requireConfig(!requests.empty(),
+                  context + ": batch has no requests");
+    return requests;
+}
+
+json::Value
+requestsToJson(const std::vector<AnalysisRequest> &requests)
+{
+    json::Value arr = json::Value::makeArray();
+    for (const auto &request : requests)
+        arr.append(requestToJson(request));
+    return arr;
+}
+
+BatchFile
+loadBatchFile(const std::string &path)
+{
+    const json::Value doc = json::parseFile(path);
+
+    BatchFile batch;
+    if (doc.isObject()) {
+        rejectUnknownKeys(doc, {"scenarios", "requests"}, path);
+        if (doc.contains("scenarios")) {
+            // Catalog paths resolve relative to the batch file so
+            // a requests/ directory ships as a self-contained
+            // unit.
+            const std::filesystem::path catalog(
+                doc.at("scenarios").asString());
+            batch.scenarioCatalog =
+                catalog.is_absolute()
+                    ? catalog.string()
+                    : (std::filesystem::path(path)
+                           .parent_path() /
+                       catalog)
+                          .string();
+        }
+    }
+    batch.requests = requestsFromJson(doc, path);
+    return batch;
+}
+
+} // namespace ecochip

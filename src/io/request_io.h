@@ -1,0 +1,103 @@
+/**
+ * @file
+ * JSON serialization of declarative `AnalysisRequest`s -- the wire
+ * format of the batch engine (`eco_chip --batch requests.json`).
+ *
+ * A request document names its scenario binding and analysis:
+ * @code{.json}
+ * {
+ *   "scenario": "ga102",          // or "design_dir": "path"
+ *   "analysis": "monte_carlo",
+ *   "trials": 1000, "seed": 42, "threads": 4
+ * }
+ * @endcode
+ *
+ * A batch file is either a top-level array of requests or an
+ * object `{"scenarios": "catalog.json", "requests": [...]}` whose
+ * optional catalog (resolved relative to the batch file) is loaded
+ * into the scenario registry first, so batches can name
+ * user-defined workloads without recompilation.
+ *
+ * Unknown keys are rejected with the offending key named, exactly
+ * like the design-directory loaders in `config_loader.h`.
+ */
+
+#ifndef ECOCHIP_IO_REQUEST_IO_H
+#define ECOCHIP_IO_REQUEST_IO_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "session/analysis_request.h"
+
+namespace ecochip {
+
+/** Serialize one request to its JSON document. */
+json::Value requestToJson(const AnalysisRequest &request);
+
+/**
+ * Parse one request document.
+ *
+ * @param doc Parsed JSON object.
+ * @param context Source label for error messages.
+ * @throws ConfigError on unknown keys, missing binding, or
+ *         malformed spec arguments.
+ */
+AnalysisRequest requestFromJson(const json::Value &doc,
+                                const std::string &context =
+                                    "request");
+
+/**
+ * Parse a request list: a top-level array, or the `requests`
+ * member of a batch object.
+ */
+std::vector<AnalysisRequest>
+requestsFromJson(const json::Value &doc,
+                 const std::string &context = "requests");
+
+/** Serialize a request list to a top-level array. */
+json::Value requestsToJson(
+    const std::vector<AnalysisRequest> &requests);
+
+/** A parsed batch file. */
+struct BatchFile
+{
+    /** Requests in file order. */
+    std::vector<AnalysisRequest> requests;
+
+    /**
+     * Path of the scenario catalog the batch names (already
+     * resolved relative to the batch file), when one is given.
+     */
+    std::optional<std::string> scenarioCatalog;
+};
+
+/**
+ * Load a batch file (`--batch` workflow).
+ *
+ * @param path Path to the requests JSON.
+ */
+BatchFile loadBatchFile(const std::string &path);
+
+/** Serialize CostParams (the `cost` spec's `params` member). */
+json::Value costParamsToJson(const CostParams &params);
+
+/** Parse CostParams; missing keys keep their defaults. */
+CostParams costParamsFromJson(const json::Value &doc,
+                              const std::string &context =
+                                  "cost params");
+
+/** Serialize Monte-Carlo sampling bands. */
+json::Value
+uncertaintyBandsToJson(const UncertaintyBands &bands);
+
+/** Parse Monte-Carlo sampling bands. */
+UncertaintyBands
+uncertaintyBandsFromJson(const json::Value &doc,
+                         const std::string &context = "bands");
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_REQUEST_IO_H

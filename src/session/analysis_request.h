@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Declarative analysis requests: *what* to compute, decoupled from
+ * *how* it is scheduled.
+ *
+ * An `AnalysisRequest` is a value -- a scenario binding plus a
+ * tagged spec of one analysis verb -- that can be built in code,
+ * round-tripped through JSON (`io/request_io.h`), shipped in batch
+ * catalogs, and executed either inline by `AnalysisSession` (whose
+ * verbs are thin adapters over `runSpec`) or asynchronously by the
+ * thread-pooled `engine/AnalysisEngine`. Executing the same spec
+ * through either path yields bit-identical results.
+ */
+
+#ifndef ECOCHIP_SESSION_ANALYSIS_REQUEST_H
+#define ECOCHIP_SESSION_ANALYSIS_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/montecarlo.h"
+#include "analysis/sensitivity.h"
+#include "cost/cost_model.h"
+#include "session/analysis_result.h"
+
+namespace ecochip {
+
+class AnalysisSession;
+
+/**
+ * The scenario a request binds to: a named entry of a
+ * `ScenarioRegistry` or a design directory on disk. Requests with
+ * equal bindings share one `EvaluationContext` (and thus one
+ * evaluation cache) inside an `AnalysisEngine`.
+ */
+struct ScenarioRef
+{
+    enum class Kind
+    {
+        /** Named scenario resolved against a registry. */
+        Registry,
+
+        /** `--design_dir` layout on disk. */
+        DesignDirectory,
+    };
+
+    Kind kind = Kind::Registry;
+
+    /** Scenario name or directory path, per `kind`. */
+    std::string value;
+
+    /** Binding to registry scenario @p name. */
+    static ScenarioRef scenario(std::string name);
+
+    /** Binding to design directory @p dir. */
+    static ScenarioRef designDirectory(std::string dir);
+
+    /** Unique human-readable key ("scenario:ga102", "dir:..."). */
+    std::string label() const;
+
+    bool operator==(const ScenarioRef &) const = default;
+};
+
+/** Point estimate of the full carbon report (Eqs. 1-3). */
+struct EstimateSpec
+{
+    bool operator==(const EstimateSpec &) const = default;
+};
+
+/**
+ * Technology-space sweep. Exactly one of the candidate lists must
+ * be non-empty: `nodesNm` applies one list to every chiplet,
+ * `nodesPerChiplet` gives each chiplet its own list.
+ */
+struct SweepSpec
+{
+    std::vector<double> nodesNm;
+    std::vector<std::vector<double>> nodesPerChiplet;
+
+    bool operator==(const SweepSpec &) const = default;
+};
+
+/** Monte-Carlo uncertainty bands. */
+struct MonteCarloSpec
+{
+    /** Sample count (>= 2). */
+    int trials = 1000;
+
+    /** PRNG seed; equal seeds give equal reports at any thread
+     *  count. */
+    std::uint64_t seed = 42;
+
+    /** Trial batching across worker threads (inner parallelism,
+     *  independent of the engine's request-level pool). */
+    int threads = 1;
+
+    /** Sampling half-widths. */
+    UncertaintyBands bands;
+
+    bool operator==(const MonteCarloSpec &) const = default;
+};
+
+/** One-at-a-time sensitivity over the standard parameter set. */
+struct SensitivitySpec
+{
+    CarbonMetric metric = CarbonMetric::Embodied;
+
+    /** Relative perturbation. */
+    double delta = 0.10;
+
+    bool operator==(const SensitivitySpec &) const = default;
+};
+
+/** Dollar-cost breakdown under the configured package. */
+struct CostSpec
+{
+    CostParams params;
+
+    bool operator==(const CostSpec &) const = default;
+};
+
+/** Tagged union of every analysis verb's arguments. */
+using AnalysisSpec =
+    std::variant<EstimateSpec, SweepSpec, MonteCarloSpec,
+                 SensitivitySpec, CostSpec>;
+
+/** The `AnalysisKind` a spec alternative executes as. */
+AnalysisKind specKind(const AnalysisSpec &spec);
+
+/**
+ * One declarative unit of work: which scenario, which analysis.
+ */
+struct AnalysisRequest
+{
+    /** Scenario binding. */
+    ScenarioRef scenario;
+
+    /** Analysis to run against it. */
+    AnalysisSpec spec = EstimateSpec{};
+
+    /** Kind tag of `spec`. */
+    AnalysisKind kind() const { return specKind(spec); }
+
+    bool operator==(const AnalysisRequest &) const = default;
+};
+
+/**
+ * Execute a spec against an already-bound session -- the single
+ * evaluation path shared by the `AnalysisSession` verbs and the
+ * `AnalysisEngine` scheduler.
+ *
+ * @param session Session holding the scenario's evaluation
+ *        context.
+ * @param spec Analysis to run.
+ * @throws ConfigError on invalid spec arguments.
+ */
+AnalysisResult runSpec(const AnalysisSession &session,
+                       const AnalysisSpec &spec);
+
+/** Parse a lower-snake metric name ("embodied", ...). */
+CarbonMetric carbonMetricFromString(const std::string &name);
+
+/** Parse a lower-snake analysis kind name ("estimate", ...). */
+AnalysisKind analysisKindFromString(const std::string &name);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SESSION_ANALYSIS_REQUEST_H

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "session/analysis_request.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -47,23 +48,23 @@ AnalysisSession::withSystem(SystemSpec system) const
     return AnalysisSession(context_, std::move(system));
 }
 
+// Every verb is a thin adapter: build the declarative spec, run
+// it inline through the same executor the AnalysisEngine
+// schedules, so the two paths cannot drift apart.
+
 AnalysisResult
 AnalysisSession::estimate() const
 {
-    AnalysisResult result;
-    result.kind = AnalysisKind::Estimate;
-    result.scenario = system_.name;
-    result.detail = "point estimate";
-    result.report = context_->estimator().estimate(system_);
-    return result;
+    return runSpec(*this, EstimateSpec{});
 }
 
 AnalysisResult
 AnalysisSession::sweep(
     const std::vector<double> &candidate_nodes_nm) const
 {
-    return sweep(std::vector<std::vector<double>>(
-        system_.chiplets.size(), candidate_nodes_nm));
+    SweepSpec spec;
+    spec.nodesNm = candidate_nodes_nm;
+    return runSpec(*this, spec);
 }
 
 AnalysisResult
@@ -71,16 +72,9 @@ AnalysisSession::sweep(
     const std::vector<std::vector<double>>
         &candidates_per_chiplet) const
 {
-    TechSpaceExplorer explorer(context_->estimator());
-
-    AnalysisResult result;
-    result.kind = AnalysisKind::Sweep;
-    result.scenario = system_.name;
-    result.points =
-        explorer.sweep(system_, candidates_per_chiplet);
-    result.detail = std::to_string(result.points.size()) +
-                    " node assignments";
-    return result;
+    SweepSpec spec;
+    spec.nodesPerChiplet = candidates_per_chiplet;
+    return runSpec(*this, spec);
 }
 
 AnalysisResult
@@ -88,57 +82,30 @@ AnalysisSession::monteCarlo(int trials, std::uint64_t seed,
                             Parallelism parallelism,
                             UncertaintyBands bands) const
 {
-    MonteCarloAnalyzer analyzer(context_->config(),
-                                context_->tech(), bands);
-
-    AnalysisResult result;
-    result.kind = AnalysisKind::MonteCarlo;
-    result.scenario = system_.name;
-    result.trials = trials;
-    result.seed = seed;
-    result.detail = std::to_string(trials) + " trials, seed " +
-                    std::to_string(seed) +
-                    (parallelism.threads > 1
-                         ? ", " +
-                               std::to_string(parallelism.threads) +
-                               " threads"
-                         : "");
-    result.uncertainty =
-        analyzer.run(system_, trials, seed, parallelism);
-    return result;
+    MonteCarloSpec spec;
+    spec.trials = trials;
+    spec.seed = seed;
+    spec.threads = parallelism.threads;
+    spec.bands = bands;
+    return runSpec(*this, spec);
 }
 
 AnalysisResult
 AnalysisSession::sensitivity(CarbonMetric metric,
                              double delta) const
 {
-    SensitivityAnalyzer analyzer(context_->config(),
-                                 context_->tech());
-
-    AnalysisResult result;
-    result.kind = AnalysisKind::Sensitivity;
-    result.scenario = system_.name;
-    result.metric = metric;
-    result.detail = std::string(toString(metric)) +
-                    " elasticities at +/-" +
-                    std::to_string(static_cast<int>(
-                        delta * 100.0 + 0.5)) +
-                    "%";
-    result.sensitivity = analyzer.analyze(
-        system_, SensitivityAnalyzer::standardParameters(),
-        metric, delta);
-    return result;
+    SensitivitySpec spec;
+    spec.metric = metric;
+    spec.delta = delta;
+    return runSpec(*this, spec);
 }
 
 AnalysisResult
 AnalysisSession::cost(const CostParams &params) const
 {
-    AnalysisResult result;
-    result.kind = AnalysisKind::Cost;
-    result.scenario = system_.name;
-    result.detail = "dollar cost per part";
-    result.cost = context_->estimator().cost(system_, params);
-    return result;
+    CostSpec spec;
+    spec.params = params;
+    return runSpec(*this, spec);
 }
 
 ScenarioBuilder &

@@ -1,7 +1,19 @@
 /**
  * @file
- * Top-level analysis façade: one cached evaluation context, every
- * analysis as a uniform verb.
+ * Synchronous analysis façade: one cached evaluation context,
+ * every analysis as a uniform verb.
+ *
+ * The preferred entry point for new code is the declarative
+ * request API (`session/analysis_request.h`): build
+ * `AnalysisRequest` values -- JSON round-trippable through
+ * `io/request_io.h` -- and hand them to the thread-pooled
+ * `engine/AnalysisEngine` (`submit()` futures or `runBatch()`),
+ * which deduplicates scenario contexts across requests. The
+ * session remains the right tool for interactive, one-at-a-time
+ * use; its verbs are thin adapters that build the equivalent
+ * request spec and run it inline through the same `runSpec`
+ * executor the engine schedules, so both paths return
+ * bit-identical results.
  *
  * The paper's workflow is always the same shape -- load a design,
  * bind it to a technology database, then run one of several

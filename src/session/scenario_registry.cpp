@@ -1,5 +1,8 @@
 #include "session/scenario_registry.h"
 
+#include <filesystem>
+#include <memory>
+
 #include "core/testcases.h"
 #include "support/error.h"
 
@@ -155,6 +158,109 @@ ScenarioRegistry::add(Scenario scenario)
                   "scenario \"" + scenario.name +
                       "\" already registered");
     scenarios_.push_back(std::move(scenario));
+}
+
+void
+ScenarioRegistry::loadFile(const std::string &path)
+{
+    loadJson(json::parseFile(path), path,
+             std::filesystem::path(path)
+                 .parent_path()
+                 .string());
+}
+
+void
+ScenarioRegistry::loadJson(const json::Value &doc,
+                           const std::string &context,
+                           const std::string &base_dir)
+{
+    rejectUnknownKeys(doc, {"scenarios"}, context);
+    const auto &entries = doc.at("scenarios").asArray();
+    requireConfig(!entries.empty(),
+                  context + ": catalog has no scenarios");
+
+    for (const auto &entry : entries) {
+        rejectUnknownKeys(entry,
+                          {"name", "description", "architecture",
+                           "design_dir", "package", "design",
+                           "operational"},
+                          context);
+        Scenario scenario;
+        scenario.name = entry.at("name").asString();
+        scenario.description =
+            entry.stringOr("description",
+                           "user scenario from " + context);
+        const std::string entry_context =
+            context + ": scenario \"" + scenario.name + "\"";
+
+        const bool inline_arch = entry.contains("architecture");
+        const bool from_dir = entry.contains("design_dir");
+        requireConfig(inline_arch != from_dir,
+                      entry_context +
+                          " needs exactly one of architecture / "
+                          "design_dir");
+
+        if (from_dir) {
+            requireConfig(!entry.contains("package") &&
+                              !entry.contains("design") &&
+                              !entry.contains("operational"),
+                          entry_context +
+                              ": design_dir scenarios take their "
+                              "knob files from the directory");
+            const std::filesystem::path dir(
+                entry.at("design_dir").asString());
+            const std::string resolved =
+                dir.is_absolute()
+                    ? dir.string()
+                    : (std::filesystem::path(base_dir) / dir)
+                          .string();
+            // Same fail-at-load contract as inline entries: the
+            // directory (and its architecture.json) must exist
+            // now; its contents are parsed at instantiate time.
+            requireConfig(
+                std::filesystem::is_directory(resolved),
+                entry_context + ": not a design directory: " +
+                    resolved);
+            requireConfig(
+                std::filesystem::exists(
+                    std::filesystem::path(resolved) /
+                    "architecture.json"),
+                entry_context + ": missing architecture.json "
+                                "in " + resolved);
+            scenario.make = [resolved](const TechDb &tech) {
+                return loadDesignDirectory(resolved, tech);
+            };
+        } else {
+            // Capture the documents by value: the factory must
+            // outlive the parsed catalog, and instantiation binds
+            // a technology database only at build() time.
+            const json::Value arch = entry.at("architecture");
+            auto optional_doc =
+                [&](const char *key) -> std::shared_ptr<
+                                         const json::Value> {
+                if (!entry.contains(key))
+                    return nullptr;
+                return std::make_shared<const json::Value>(
+                    entry.at(key));
+            };
+            const auto pkg = optional_doc("package");
+            const auto design = optional_doc("design");
+            const auto operational = optional_doc("operational");
+            scenario.make = [arch, pkg, design, operational,
+                             entry_context](const TechDb &tech) {
+                return designBundleFromJson(
+                    arch, pkg.get(), design.get(),
+                    operational.get(), tech, entry_context);
+            };
+            // Instantiate once against the default calibration
+            // so a schema-broken catalog fails at load time, not
+            // at first use (the schema checks are
+            // tech-independent; only area inversion numerics
+            // depend on the database bound at build() time).
+            scenario.make(TechDb());
+        }
+        add(std::move(scenario));
+    }
 }
 
 bool

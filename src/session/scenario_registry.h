@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "io/config_loader.h"
+#include "json/json.h"
 #include "tech/tech_db.h"
 
 namespace ecochip {
@@ -62,6 +63,43 @@ class ScenarioRegistry
      *        callable factory.
      */
     void add(Scenario scenario);
+
+    /**
+     * Register every scenario of a JSON catalog file, so new
+     * workloads (and `--batch` request files naming them) need no
+     * recompilation.
+     *
+     * Schema:
+     * @code{.json}
+     * {
+     *   "scenarios": [
+     *     {"name": "my-soc",
+     *      "description": "two-chiplet custom part",
+     *      "architecture": { ... architecture.json schema ... },
+     *      "package": { ... packageC.json schema ... },
+     *      "design": { ... designC.json schema ... },
+     *      "operational": { ... operationalC.json schema ... }},
+     *     {"name": "shipped-ga102",
+     *      "design_dir": "../testcases/GA102"}
+     *   ]
+     * }
+     * @endcode
+     *
+     * Each entry provides exactly one of an inline `architecture`
+     * document (with optional knob documents) or a `design_dir`
+     * (resolved relative to the catalog file). Unknown keys are
+     * rejected with the file and key named.
+     *
+     * @param path Path to the catalog JSON.
+     * @throws ConfigError on malformed catalogs or duplicate
+     *         names.
+     */
+    void loadFile(const std::string &path);
+
+    /** Register catalog scenarios from a parsed document. */
+    void loadJson(const json::Value &doc,
+                  const std::string &context,
+                  const std::string &base_dir = ".");
 
     /** True when @p name is registered. */
     bool contains(const std::string &name) const;

@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Tests for the declarative request API and the async batch
+ * engine: JSON round-trips, batch-vs-session bit-equality at any
+ * thread count, per-request failure isolation, and scenario
+ * catalog loading.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "engine/analysis_engine.h"
+#include "engine/thread_pool.h"
+#include "io/request_io.h"
+#include "io/result_writer.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+void
+expectSameReport(const CarbonReport &expected,
+                 const CarbonReport &actual)
+{
+    EXPECT_EQ(expected.mfgCo2Kg, actual.mfgCo2Kg);
+    EXPECT_EQ(expected.designCo2Kg, actual.designCo2Kg);
+    EXPECT_EQ(expected.nreCo2Kg, actual.nreCo2Kg);
+    EXPECT_EQ(expected.hi.packageCo2Kg, actual.hi.packageCo2Kg);
+    EXPECT_EQ(expected.hi.routingCo2Kg, actual.hi.routingCo2Kg);
+    EXPECT_EQ(expected.operation.co2Kg, actual.operation.co2Kg);
+    EXPECT_EQ(expected.embodiedCo2Kg(), actual.embodiedCo2Kg());
+    EXPECT_EQ(expected.totalCo2Kg(), actual.totalCo2Kg());
+    ASSERT_EQ(expected.chiplets.size(), actual.chiplets.size());
+    for (std::size_t i = 0; i < expected.chiplets.size(); ++i) {
+        EXPECT_EQ(expected.chiplets[i].yield,
+                  actual.chiplets[i].yield);
+        EXPECT_EQ(expected.chiplets[i].mfgCo2Kg,
+                  actual.chiplets[i].mfgCo2Kg);
+    }
+}
+
+// ------------------------------------------------ acceptance
+
+TEST(Engine, BatchOfBuiltinEstimatesMatchesSequentialSessions)
+{
+    // The acceptance gate: estimates of every builtin scenario
+    // through `runBatch` -- with the requests additionally pushed
+    // through a JSON round-trip -- are bit-identical to
+    // sequential AnalysisSession::estimate() calls, at any
+    // engine thread count.
+    const auto names = ScenarioRegistry::builtin().names();
+    ASSERT_GE(names.size(), 9u);
+
+    std::vector<AnalysisRequest> requests;
+    for (const auto &name : names)
+        requests.push_back({ScenarioRef::scenario(name),
+                            EstimateSpec{}});
+
+    // serialize -> parse -> equal results.
+    const json::Value wire = requestsToJson(requests);
+    const std::vector<AnalysisRequest> parsed =
+        requestsFromJson(json::parse(wire.dump(true)),
+                         "round-trip");
+    ASSERT_EQ(parsed.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        EXPECT_TRUE(parsed[i] == requests[i]) << names[i];
+
+    for (int threads : {1, 3, 8}) {
+        AnalysisEngine engine(threads);
+        const BatchReport report = engine.runBatch(parsed);
+        ASSERT_TRUE(report.allOk());
+        ASSERT_EQ(report.outcomes.size(), names.size());
+
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const AnalysisResult sequential =
+                ScenarioBuilder()
+                    .scenario(names[i])
+                    .build()
+                    .estimate();
+            const auto &outcome = report.outcomes[i];
+            ASSERT_TRUE(outcome.ok()) << names[i];
+            EXPECT_EQ(outcome.request.scenario.value, names[i]);
+            ASSERT_TRUE(outcome.result->report.has_value());
+            expectSameReport(*sequential.report,
+                             *outcome.result->report);
+        }
+    }
+}
+
+TEST(Engine, ThreadCountsAreBitIdenticalForEqualSeeds)
+{
+    // Every verb kind in one batch; threads=1 and threads=8 must
+    // agree bit-for-bit (Monte Carlo seeds included).
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    SweepSpec sweep;
+    sweep.nodesNm = {7.0, 10.0, 14.0};
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), sweep});
+    MonteCarloSpec mc;
+    mc.trials = 64;
+    mc.seed = 7;
+    mc.threads = 2;
+    requests.push_back({ScenarioRef::scenario("emr"), mc});
+    requests.push_back({ScenarioRef::scenario("a15"),
+                        SensitivitySpec{}});
+    requests.push_back(
+        {ScenarioRef::scenario("hbm-accel"), CostSpec{}});
+
+    AnalysisEngine serial(1);
+    AnalysisEngine parallel(8);
+    const BatchReport a = serial.runBatch(requests);
+    const BatchReport b = parallel.runBatch(requests);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        const AnalysisResult &ra = *a.outcomes[i].result;
+        const AnalysisResult &rb = *b.outcomes[i].result;
+        EXPECT_EQ(ra.kind, rb.kind);
+        EXPECT_EQ(ra.scenario, rb.scenario);
+        // One serialization path -> byte-equal JSON is the
+        // strongest cheap bit-identity check across payloads.
+        EXPECT_EQ(resultToJson(ra).dump(true),
+                  resultToJson(rb).dump(true))
+            << i;
+    }
+}
+
+// ------------------------------------------------ failure paths
+
+TEST(Engine, FailedRequestNeverTakesDownTheBatch)
+{
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    requests.push_back(
+        {ScenarioRef::scenario("no-such-scenario"),
+         EstimateSpec{}});
+    requests.push_back(
+        {ScenarioRef::scenario("emr"), EstimateSpec{}});
+
+    AnalysisEngine engine(4);
+    const BatchReport report = engine.runBatch(requests);
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_EQ(report.succeeded(), 2u);
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_FALSE(report.allOk());
+
+    EXPECT_TRUE(report.outcomes[0].ok());
+    EXPECT_FALSE(report.outcomes[1].ok());
+    EXPECT_TRUE(report.outcomes[2].ok());
+    // The error names the unknown scenario and the alternatives,
+    // exactly as ScenarioBuilder throws it.
+    EXPECT_NE(report.outcomes[1].error.find("no-such-scenario"),
+              std::string::npos)
+        << report.outcomes[1].error;
+    EXPECT_NE(report.outcomes[1].error.find("ga102"),
+              std::string::npos);
+    EXPECT_TRUE(report.outcomes[1].result == std::nullopt);
+}
+
+TEST(Engine, SubmitPropagatesExceptionsThroughTheFuture)
+{
+    AnalysisEngine engine(2);
+    auto future = engine.submit(
+        {ScenarioRef::designDirectory("/no/such/dir"),
+         EstimateSpec{}});
+    EXPECT_THROW(future.get(), ConfigError);
+
+    // An invalid spec fails its own future too.
+    SweepSpec empty;
+    auto bad_spec = engine.submit(
+        {ScenarioRef::scenario("ga102"), empty});
+    EXPECT_THROW(bad_spec.get(), ConfigError);
+
+    // The engine stays usable afterwards.
+    auto good = engine.submit(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    EXPECT_TRUE(good.get().report.has_value());
+}
+
+// ------------------------------------------------ dedup
+
+TEST(Engine, IdenticalBindingsShareOneEvaluationContext)
+{
+    AnalysisEngine engine(4);
+    std::vector<AnalysisRequest> requests;
+    for (int i = 0; i < 12; ++i)
+        requests.push_back(
+            {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    requests.push_back(
+        {ScenarioRef::scenario("emr"), EstimateSpec{}});
+
+    const BatchReport report = engine.runBatch(requests);
+    ASSERT_TRUE(report.allOk());
+    EXPECT_EQ(engine.contextCount(), 2u);
+
+    // Same binding, same context object (shared caches).
+    const AnalysisSession a =
+        engine.sessionFor(ScenarioRef::scenario("ga102"));
+    const AnalysisSession b =
+        engine.sessionFor(ScenarioRef::scenario("ga102"));
+    EXPECT_EQ(&a.context(), &b.context());
+    EXPECT_GE(a.context().estimator().cache().report.size(), 1u);
+}
+
+// ------------------------------------------------ request JSON
+
+TEST(RequestIo, EveryKindRoundTripsThroughJson)
+{
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+
+    SweepSpec per_chiplet;
+    per_chiplet.nodesPerChiplet = {{7.0, 10.0}, {10.0, 14.0}};
+    requests.push_back(
+        {ScenarioRef::designDirectory("data/testcases/GA102"),
+         per_chiplet});
+
+    MonteCarloSpec mc;
+    mc.trials = 128;
+    mc.seed = 1234567;
+    mc.threads = 4;
+    mc.bands.defectDensity = 0.5;
+    requests.push_back({ScenarioRef::scenario("emr"), mc});
+
+    SensitivitySpec sens;
+    sens.metric = CarbonMetric::Total;
+    sens.delta = 0.05;
+    requests.push_back({ScenarioRef::scenario("a15"), sens});
+
+    CostSpec cost;
+    cost.params.volume = 5.0e6;
+    cost.params.includeNre = false;
+    requests.push_back({ScenarioRef::scenario("arvr-2k"), cost});
+
+    for (const auto &request : requests) {
+        const json::Value doc = requestToJson(request);
+        const AnalysisRequest parsed = requestFromJson(
+            json::parse(doc.dump(true)));
+        EXPECT_TRUE(parsed == request)
+            << doc.dump(true);
+        EXPECT_EQ(parsed.kind(), request.kind());
+    }
+}
+
+TEST(RequestIo, RejectsMalformedRequests)
+{
+    // Unknown key, named in the error.
+    try {
+        requestFromJson(json::parse(
+            R"({"scenario": "ga102", "analysis": "estimate",
+                "trils": 10})"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("\"trils\""),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Missing / ambiguous binding.
+    EXPECT_THROW(
+        requestFromJson(json::parse(R"({"analysis": "cost"})")),
+        ConfigError);
+    EXPECT_THROW(requestFromJson(json::parse(
+                     R"({"scenario": "x", "design_dir": "y"})")),
+                 ConfigError);
+
+    // Bad enum values and spec arguments.
+    EXPECT_THROW(requestFromJson(json::parse(
+                     R"({"scenario": "x", "analysis": "bogus"})")),
+                 ConfigError);
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "monte_carlo",
+                "trials": 1})")),
+        ConfigError);
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "sweep"})")),
+        ConfigError);
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "sensitivity",
+                "metric": "karbon"})")),
+        ConfigError);
+
+    // Batches must be non-empty.
+    EXPECT_THROW(requestsFromJson(json::parse("[]")),
+                 ConfigError);
+    EXPECT_THROW(requestsFromJson(json::parse("{}")),
+                 ConfigError);
+}
+
+TEST(RequestIo, GuardsAgainstLossyNumericConversions)
+{
+    // JSON numbers are doubles: a seed above 2^53 cannot
+    // round-trip, so serialization refuses it outright.
+    MonteCarloSpec big_seed;
+    big_seed.seed = (std::uint64_t{1} << 53) + 2;
+    EXPECT_THROW(
+        requestToJson({ScenarioRef::scenario("ga102"),
+                       big_seed}),
+        ConfigError);
+
+    // Non-integral trial/seed/thread counts must not silently
+    // truncate.
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "monte_carlo",
+                "trials": 10.7})")),
+        ConfigError);
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "monte_carlo",
+                "seed": -4})")),
+        ConfigError);
+
+    // Values past int range (or the sanity caps) are rejected,
+    // not wrapped modulo 2^32: 4294967298 must not become "2
+    // trials", and 10^10 threads must not become ~1.4 billion.
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "monte_carlo",
+                "trials": 4294967298})")),
+        ConfigError);
+    EXPECT_THROW(
+        requestFromJson(json::parse(
+            R"({"scenario": "x", "analysis": "monte_carlo",
+                "threads": 10000000000})")),
+        ConfigError);
+}
+
+// ------------------------------------------------ catalogs
+
+class CatalogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info = ::testing::UnitTest::GetInstance()
+                               ->current_test_info();
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               (std::string("ecochip_catalog_") + info->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    writeFile(const std::string &name, const std::string &text)
+    {
+        const auto path = dir_ / name;
+        std::ofstream out(path);
+        out << text;
+        return path.string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+constexpr const char *kCatalogJson = R"({
+    "scenarios": [
+        {
+            "name": "tiny-soc",
+            "description": "two-chiplet catalog scenario",
+            "architecture": {
+                "name": "tiny",
+                "packaging": "rdl_fanout",
+                "chiplets": [
+                    {"name": "core", "type": "logic",
+                     "node_nm": 7, "area_mm2": 60.0},
+                    {"name": "cache", "type": "memory",
+                     "node_nm": 10, "area_mm2": 30.0}
+                ]
+            },
+            "operational": {"lifetime_years": 3,
+                            "avg_power_w": 15.0}
+        }
+    ]
+})";
+
+TEST_F(CatalogTest, LoadFileRegistersScenariosForTheEngine)
+{
+    const std::string path =
+        writeFile("catalog.json", kCatalogJson);
+
+    EngineOptions options;
+    options.threads = 2;
+    options.registry.loadFile(path);
+    AnalysisEngine engine(std::move(options));
+
+    // Builtin and catalog scenarios resolve side by side.
+    EXPECT_TRUE(engine.registry().contains("ga102"));
+    EXPECT_TRUE(engine.registry().contains("tiny-soc"));
+
+    const BatchReport report = engine.runBatch(
+        {{ScenarioRef::scenario("tiny-soc"), EstimateSpec{}}});
+    ASSERT_TRUE(report.allOk());
+    const CarbonReport &estimate =
+        *report.outcomes[0].result->report;
+    EXPECT_EQ(report.outcomes[0].result->scenario, "tiny");
+    EXPECT_EQ(estimate.chiplets.size(), 2u);
+    EXPECT_GT(estimate.operation.co2Kg, 0.0);
+}
+
+TEST_F(CatalogTest, BatchFileResolvesItsCatalogRelatively)
+{
+    writeFile("catalog.json", kCatalogJson);
+    const std::string batch_path = writeFile("batch.json", R"({
+        "scenarios": "catalog.json",
+        "requests": [
+            {"scenario": "tiny-soc", "analysis": "estimate"},
+            {"scenario": "ga102", "analysis": "cost"}
+        ]
+    })");
+
+    const BatchFile batch = loadBatchFile(batch_path);
+    ASSERT_TRUE(batch.scenarioCatalog.has_value());
+    ASSERT_EQ(batch.requests.size(), 2u);
+
+    EngineOptions options;
+    options.threads = 2;
+    options.registry.loadFile(*batch.scenarioCatalog);
+    AnalysisEngine engine(std::move(options));
+    const BatchReport report =
+        engine.runBatch(batch.requests);
+    EXPECT_TRUE(report.allOk());
+    EXPECT_TRUE(
+        report.outcomes[1].result->cost.has_value());
+}
+
+TEST_F(CatalogTest, BrokenCatalogsFailAtLoadTime)
+{
+    // Typo'd chiplet key: rejected while loading, naming the
+    // catalog and the key.
+    const std::string bad = writeFile("bad.json", R"({
+        "scenarios": [
+            {"name": "broken",
+             "architecture": {
+                 "name": "b",
+                 "chiplets": [
+                     {"name": "c", "node_nm": 7,
+                      "area_m2": 10.0}
+                 ]
+             }}
+        ]
+    })");
+    ScenarioRegistry registry;
+    try {
+        registry.loadFile(bad);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad.json"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("\"area_m2\""), std::string::npos)
+            << what;
+    }
+
+    // Duplicate names collide with the builtin catalog.
+    const std::string dup = writeFile("dup.json", R"({
+        "scenarios": [
+            {"name": "ga102",
+             "architecture": {
+                 "name": "g",
+                 "chiplets": [
+                     {"name": "c", "node_nm": 7,
+                      "area_mm2": 10.0}
+                 ]
+             }}
+        ]
+    })");
+    ScenarioRegistry builtin_copy = ScenarioRegistry::builtin();
+    EXPECT_THROW(builtin_copy.loadFile(dup), ConfigError);
+
+    // design_dir entries fail at load time too when the
+    // directory is missing.
+    const std::string gone = writeFile("gone.json", R"({
+        "scenarios": [
+            {"name": "vanished",
+             "design_dir": "no/such/dir"}
+        ]
+    })");
+    ScenarioRegistry dir_registry;
+    EXPECT_THROW(dir_registry.loadFile(gone), ConfigError);
+}
+
+// ------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, RejectsNonPositiveWorkerCounts)
+{
+    EXPECT_THROW(ThreadPool(0), ConfigError);
+    EXPECT_THROW(AnalysisEngine(0), ConfigError);
+    EXPECT_THROW(ThreadPool(-3), ConfigError);
+}
+
+TEST(ThreadPoolTest, DrainsEveryPostedTaskBeforeJoining)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.threadCount(), 3);
+        for (int i = 0; i < 100; ++i)
+            pool.post([&ran] { ++ran; });
+        // Destructor must wait for all 100, not drop the queue.
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+} // namespace
+} // namespace ecochip

@@ -244,6 +244,47 @@ TEST(Floorplan, ZeroSpacingPacksTightly)
     EXPECT_NEAR(fp.whitespaceAreaMm2, 0.0, 1e-9);
 }
 
+TEST(Floorplan, PrunedCombineMatchesExhaustiveEnumeration)
+{
+    // The dominance cutoff in the slicing search only skips
+    // provably dominated child-shape pairings; outline and every
+    // placement must stay bit-identical to the exhaustive
+    // enumeration. The 64-box set repeats areas (i % 5), the
+    // strongest tie generator we have.
+    for (int nc : {2, 3, 7, 16, 64}) {
+        std::vector<ChipletBox> boxes;
+        for (int i = 0; i < nc; ++i) {
+            std::string name("c");
+            name += std::to_string(i);
+            boxes.push_back(
+                {std::move(name), 50.0 + 13.0 * (i % 5), 1.0});
+        }
+        Floorplanner pruned;
+        Floorplanner exhaustive;
+        exhaustive.setExhaustiveCombine(true);
+        ASSERT_FALSE(pruned.exhaustiveCombine());
+        ASSERT_TRUE(exhaustive.exhaustiveCombine());
+
+        const FloorplanResult fast = pruned.plan(boxes);
+        const FloorplanResult slow = exhaustive.plan(boxes);
+        EXPECT_EQ(fast.widthMm, slow.widthMm) << nc;
+        EXPECT_EQ(fast.heightMm, slow.heightMm) << nc;
+        ASSERT_EQ(fast.placements.size(), slow.placements.size());
+        for (std::size_t i = 0; i < fast.placements.size(); ++i) {
+            EXPECT_EQ(fast.placements[i].name,
+                      slow.placements[i].name);
+            EXPECT_EQ(fast.placements[i].xMm,
+                      slow.placements[i].xMm);
+            EXPECT_EQ(fast.placements[i].yMm,
+                      slow.placements[i].yMm);
+            EXPECT_EQ(fast.placements[i].widthMm,
+                      slow.placements[i].widthMm);
+        }
+        ASSERT_EQ(fast.adjacencies.size(),
+                  slow.adjacencies.size());
+    }
+}
+
 TEST(Floorplan, WiderSpacingGrowsWhitespace)
 {
     const std::vector<ChipletBox> boxes = {

@@ -175,8 +175,15 @@ class DesignDirTest : public ::testing::Test
     void
     SetUp() override
     {
+        // Unique per test: gtest_discover_tests runs each case as
+        // its own process, so a shared directory name races under
+        // `ctest -j`.
+        const auto *info = ::testing::UnitTest::GetInstance()
+                               ->current_test_info();
         dir_ = std::filesystem::path(::testing::TempDir()) /
-               "ecochip_design_dir";
+               (std::string("ecochip_design_dir_") +
+                info->name());
+        std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
     }
 
@@ -239,6 +246,71 @@ TEST_F(DesignDirTest, ArchitectureOnlyUsesDefaults)
         loadDesignDirectory(dir_.string(), tech);
     EXPECT_EQ(bundle.config.package.arch,
               PackageParams().arch);
+}
+
+TEST(ConfigLoader, UnknownKeysAreRejectedWithKeyName)
+{
+    TechDb tech;
+    // Top-level architecture typo.
+    try {
+        systemFromJson(json::parse(R"({
+            "nmae": "soc",
+            "chiplets": [{"name": "c", "node_nm": 7,
+                          "area_mm2": 10.0}]})"),
+                       tech);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("\"nmae\""),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Chiplet-level typo.
+    EXPECT_THROW(
+        systemFromJson(json::parse(R"({"chiplets": [
+            {"name": "c", "node_nm": 7, "area_mm2": 10,
+             "resued": true}]})"),
+                       tech),
+        ConfigError);
+
+    // Knob-file typos: every loader rejects, naming the key.
+    EXPECT_THROW(
+        packageParamsFromJson(json::parse(R"({"rdl_layer": 4})")),
+        ConfigError);
+    EXPECT_THROW(packageParamsFromJson(json::parse(
+                     R"({"router": {"prots": 5}})")),
+                 ConfigError);
+    EXPECT_THROW(designParamsFromJson(
+                     json::parse(R"({"design_iters": 50})")),
+                 ConfigError);
+    EXPECT_THROW(operatingSpecFromJson(
+                     json::parse(R"({"lifetime_yrs": 3})")),
+                 ConfigError);
+}
+
+TEST_F(DesignDirTest, TypoedKeyReportsFileAndKey)
+{
+    writeFile("architecture.json", R"({
+        "name": "typocase",
+        "chiplets": [
+            {"name": "a", "type": "logic", "node_nm": 7,
+             "area_mm2": 100.0}
+        ]})");
+    writeFile("operationalC.json", R"({"liftime_years": 5})");
+
+    TechDb tech;
+    try {
+        loadDesignDirectory(dir_.string(), tech);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("operationalC.json"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("\"liftime_years\""),
+                  std::string::npos)
+            << what;
+    }
 }
 
 TEST_F(DesignDirTest, MissingArchitectureThrows)
