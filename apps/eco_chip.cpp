@@ -2,12 +2,15 @@
  * @file
  * `eco_chip` command-line tool -- the C++ equivalent of the
  * reference artifact's `python3 src/ECO_chip.py --design_dir ...`
- * workflow, built on the `AnalysisSession` API.
+ * workflow, built on the `AnalysisSession` API. Every flag is
+ * documented with runnable examples in `docs/cli.md`.
  *
  * Usage:
  *   eco_chip --design_dir data/testcases/GA102 [options]
  *   eco_chip --scenario ga102 [options]
- *   eco_chip --batch requests.json [--engine_threads N]
+ *   eco_chip --batch requests.json [--engine_threads N] [--stream]
+ *   eco_chip --shard requests.json --shards K [--json FILE]
+ *   eco_chip --shard_worker sub_batch.json --json report.json
  *
  * Options:
  *   --design_dir DIR   design directory with architecture.json
@@ -17,7 +20,22 @@
  *   --batch FILE       run a declarative request batch on the
  *                      async AnalysisEngine; one line of status
  *                      per request, exit 1 if any request failed
- *   --engine_threads N engine worker threads for --batch
+ *   --stream           with --batch: emit one NDJSON line per
+ *                      request on stdout, in completion order
+ *   --shard FILE       split a batch across --shards worker
+ *                      processes and merge their reports; the
+ *                      merged BatchReport is byte-identical to
+ *                      the --batch run
+ *   --shards K         worker process count for --shard
+ *                      (default 2; capped at the number of
+ *                      distinct scenario bindings)
+ *   --shard_dir DIR    keep sub-batch/report files in DIR
+ *                      instead of a temp directory
+ *   --shard_worker F   run one sub-batch and write its
+ *                      BatchReport JSON to the --json path
+ *                      (what --shard fork/execs per shard)
+ *   --engine_threads N engine worker threads for --batch /
+ *                      per-process for --shard/--shard_worker
  *                      (default: one per hardware thread;
  *                      results are bit-identical at any count)
  *   --scenarios FILE   load a user scenario catalog (JSON) into
@@ -29,11 +47,14 @@
  *   --montecarlo N     also run N Monte-Carlo trials
  *   --threads T        batch Monte-Carlo trials over T threads
  *   --cost             also print the dollar-cost breakdown
- *   --json FILE        write all analysis results as JSON
+ *   --json FILE        write results as JSON (for batch modes:
+ *                      the BatchReport document)
  *   --markdown FILE    write all analysis results as markdown
  *   --help             this text
  */
 
+#include <algorithm>
+#include <cstddef>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -41,7 +62,11 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "engine/analysis_engine.h"
+#include "engine/shard_runner.h"
+#include "io/batch_report_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
 #include "session/analysis_session.h"
@@ -57,8 +82,15 @@ struct CliOptions
     std::string designDir;
     std::string scenario;
     std::string batchPath;
+    std::string shardPath;
+    std::string shardWorkerPath;
+    std::string shardDir;
     std::string scenariosPath;
     bool listScenarios = false;
+    bool stream = false;
+
+    /** Unset means the default of 2 worker processes. */
+    std::optional<int> shards;
 
     /** Unset means one worker per hardware thread. */
     std::optional<int> engineThreads;
@@ -74,12 +106,15 @@ void
 printUsage(std::ostream &os)
 {
     os << "usage: eco_chip (--design_dir DIR | --scenario NAME |"
-          " --batch FILE)\n"
+          " --batch FILE |\n"
+          "    --shard FILE --shards K | --shard_worker FILE)\n"
           "    [--node_list 7,10,14] [--montecarlo N]"
           " [--threads T] [--cost]\n"
           "    [--engine_threads N] [--scenarios FILE]"
           " [--json FILE]\n"
-          "    [--markdown FILE] [--list_scenarios]\n";
+          "    [--markdown FILE] [--list_scenarios] [--stream]\n"
+          "    [--shard_dir DIR]\n"
+          "see docs/cli.md for the full flag reference\n";
 }
 
 void
@@ -126,6 +161,16 @@ parseArgs(int argc, char **argv)
             opts.scenario = next_value();
         } else if (arg == "--batch") {
             opts.batchPath = next_value();
+        } else if (arg == "--stream") {
+            opts.stream = true;
+        } else if (arg == "--shard") {
+            opts.shardPath = next_value();
+        } else if (arg == "--shards") {
+            opts.shards = parsePositiveInt(arg, next_value());
+        } else if (arg == "--shard_dir") {
+            opts.shardDir = next_value();
+        } else if (arg == "--shard_worker") {
+            opts.shardWorkerPath = next_value();
         } else if (arg == "--engine_threads") {
             opts.engineThreads =
                 parsePositiveInt(arg, next_value());
@@ -171,24 +216,49 @@ parseArgs(int argc, char **argv)
             throw ConfigError("unknown option: " + arg);
         }
     }
+    const bool batch_mode = !opts.batchPath.empty() ||
+                            !opts.shardPath.empty() ||
+                            !opts.shardWorkerPath.empty();
     const int sources = (opts.designDir.empty() ? 0 : 1) +
                         (opts.scenario.empty() ? 0 : 1) +
-                        (opts.batchPath.empty() ? 0 : 1);
+                        (opts.batchPath.empty() ? 0 : 1) +
+                        (opts.shardPath.empty() ? 0 : 1) +
+                        (opts.shardWorkerPath.empty() ? 0 : 1);
     requireConfig(sources == 1 ||
                       (sources == 0 && opts.listScenarios),
                   "exactly one of --design_dir / --scenario / "
-                  "--batch is required");
-    requireConfig(opts.batchPath.empty() ||
+                  "--batch / --shard / --shard_worker is "
+                  "required");
+    requireConfig(!batch_mode ||
                       (opts.nodeList.empty() &&
                        opts.monteCarloTrials == 0 &&
                        !opts.showCost && opts.threads == 1),
-                  "--batch takes its analyses from the request "
-                  "file; --node_list/--montecarlo/--threads/"
-                  "--cost do not apply");
-    requireConfig(!opts.engineThreads ||
-                      !opts.batchPath.empty(),
+                  "batch modes take their analyses from the "
+                  "request file; --node_list/--montecarlo/"
+                  "--threads/--cost do not apply");
+    requireConfig(!opts.engineThreads || batch_mode,
                   "--engine_threads sizes the batch engine's "
-                  "pool; it requires --batch");
+                  "pool; it requires --batch, --shard, or "
+                  "--shard_worker");
+    requireConfig(!opts.stream || !opts.batchPath.empty(),
+                  "--stream emits batch results as NDJSON; it "
+                  "requires --batch");
+    requireConfig(!opts.shards || !opts.shardPath.empty(),
+                  "--shards sizes the worker-process fleet; it "
+                  "requires --shard");
+    requireConfig(opts.shardDir.empty() ||
+                      !opts.shardPath.empty(),
+                  "--shard_dir keeps shard scratch files; it "
+                  "requires --shard");
+    requireConfig(opts.shardWorkerPath.empty() ||
+                      opts.jsonPath.has_value(),
+                  "--shard_worker writes its BatchReport to the "
+                  "--json path; --json FILE is required");
+    requireConfig(!opts.markdownPath ||
+                      (opts.shardPath.empty() &&
+                       opts.shardWorkerPath.empty()),
+                  "--markdown applies to --design_dir/--scenario/"
+                  "--batch runs, not shard modes");
     requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
                   "--threads batches Monte-Carlo trials; it "
                   "requires --montecarlo");
@@ -285,9 +355,13 @@ printCost(const AnalysisResult &cost)
 }
 
 /**
- * Run a request batch on the engine: one status line per request,
- * a throughput summary, optional JSON/markdown reports. Returns 1
- * when any request failed (the batch itself always completes).
+ * Run a request batch on the engine. Default: one status line
+ * per request (request order) plus a summary. With --stream:
+ * stdout carries exactly one NDJSON line per request, in
+ * completion order, and the human-readable summary moves to
+ * stderr. Either way --json writes the BatchReport document.
+ * Returns 1 when any request failed (the batch itself always
+ * completes).
  */
 int
 runBatch(const CliOptions &opts, ScenarioRegistry registry)
@@ -302,45 +376,55 @@ runBatch(const CliOptions &opts, ScenarioRegistry registry)
     engine_options.registry = std::move(registry);
     AnalysisEngine engine(std::move(engine_options));
 
-    std::cout << "batch: " << batch.requests.size()
-              << " requests on " << engine.threads()
-              << " engine thread(s)\n";
-    const BatchReport report = engine.runBatch(batch.requests);
+    if (!opts.stream)
+        std::cout << "batch: " << batch.requests.size()
+                  << " requests on " << engine.threads()
+                  << " engine thread(s)\n";
 
-    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
-        const RequestOutcome &outcome = report.outcomes[i];
-        std::cout << "  [" << (outcome.ok() ? "ok" : "FAILED")
-                  << "] #" << i << " "
-                  << toString(outcome.request.kind()) << " "
-                  << outcome.request.scenario.label();
-        if (outcome.ok())
-            std::cout << " -- " << outcome.result->detail;
-        else
-            std::cout << " -- " << outcome.error;
-        std::cout << "\n";
+    BatchReport report;
+    if (opts.stream) {
+        // Completion-order NDJSON: the line is flushed as each
+        // request finishes, so long batches report progress
+        // incrementally; the report is assembled alongside for
+        // --json and the exit code.
+        report.outcomes.resize(batch.requests.size());
+        engine.runStream(
+            batch.requests,
+            [&report](std::size_t index,
+                      const RequestOutcome &outcome) {
+                std::cout << streamEventLine(index, outcome)
+                          << std::endl;
+                report.outcomes[index] = outcome;
+            });
+    } else {
+        report = engine.runBatch(batch.requests);
     }
-    std::cout << report.succeeded() << "/"
-              << report.outcomes.size() << " requests ok, "
-              << engine.contextCount()
-              << " distinct evaluation context(s)\n";
+
+    if (!opts.stream) {
+        for (std::size_t i = 0; i < report.outcomes.size();
+             ++i) {
+            const RequestOutcome &outcome = report.outcomes[i];
+            std::cout << "  ["
+                      << (outcome.ok() ? "ok" : "FAILED")
+                      << "] #" << i << " "
+                      << toString(outcome.request.kind()) << " "
+                      << outcome.request.scenario.label();
+            if (outcome.ok())
+                std::cout << " -- " << outcome.result->detail;
+            else
+                std::cout << " -- " << outcome.error;
+            std::cout << "\n";
+        }
+    }
+    (opts.stream ? std::cerr : std::cout)
+        << report.succeeded() << "/" << report.outcomes.size()
+        << " requests ok, " << engine.contextCount()
+        << " distinct evaluation context(s)\n";
 
     if (opts.jsonPath) {
-        json::Value doc = json::Value::makeArray();
-        for (const auto &outcome : report.outcomes) {
-            json::Value entry = json::Value::makeObject();
-            entry.set("request",
-                      requestToJson(outcome.request));
-            entry.set("ok", outcome.ok());
-            if (outcome.ok())
-                entry.set("result",
-                          resultToJson(*outcome.result));
-            else
-                entry.set("error", outcome.error);
-            doc.append(std::move(entry));
-        }
-        json::writeFile(doc, *opts.jsonPath);
-        std::cout << "results written to " << *opts.jsonPath
-                  << "\n";
+        writeBatchReportFile(report, *opts.jsonPath);
+        (opts.stream ? std::cerr : std::cout)
+            << "results written to " << *opts.jsonPath << "\n";
     }
 
     if (opts.markdownPath) {
@@ -366,10 +450,96 @@ runBatch(const CliOptions &opts, ScenarioRegistry registry)
     return report.allOk() ? 0 : 1;
 }
 
+/**
+ * Path of this binary, for re-exec'ing it as shard workers.
+ * Prefers /proc/self/exe (immune to PATH and cwd changes) and
+ * falls back to argv[0].
+ */
+std::string
+selfExecutable(const char *argv0)
+{
+    std::error_code ec;
+    const auto self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    return ec ? std::string(argv0) : self.string();
+}
+
+/**
+ * Coordinate a sharded batch: fork/exec one `--shard_worker`
+ * process per shard, merge the reports, and print the same
+ * per-request status lines as --batch. Returns 1 when any
+ * request failed.
+ */
+int
+runShard(const CliOptions &opts, const char *argv0)
+{
+    ShardedRunOptions run;
+    run.batchPath = opts.shardPath;
+    run.shards = opts.shards.value_or(2);
+    // Unset: automatic (the machine divided between the workers
+    // actually planned).
+    run.engineThreadsPerWorker = opts.engineThreads.value_or(0);
+    run.shardDir = opts.shardDir;
+    run.workerExe = selfExecutable(argv0);
+    run.scenariosPath = opts.scenariosPath;
+
+    const ShardedRunResult result = runShardedBatch(run);
+
+    const auto &outcomes =
+        result.mergedReport.at("outcomes").asArray();
+    std::cout << "shard: " << outcomes.size()
+              << " requests across " << result.shardsUsed
+              << " worker process(es), "
+              << result.threadsPerWorker
+              << " engine thread(s) each\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const json::Value &outcome = outcomes[i];
+        const bool ok = outcome.booleanOr("ok", false);
+        // Parse the request back so kind/binding print through
+        // the same typed path as the --batch status lines.
+        const AnalysisRequest request =
+            requestFromJson(outcome.at("request"));
+        std::cout << "  [" << (ok ? "ok" : "FAILED") << "] #"
+                  << i << " " << toString(request.kind()) << " "
+                  << request.scenario.label();
+        if (ok)
+            std::cout << " -- "
+                      << outcome.at("result").stringOr("detail",
+                                                       "");
+        else
+            std::cout << " -- " << outcome.stringOr("error", "");
+        std::cout << "\n";
+    }
+    std::cout << result.succeeded << "/" << outcomes.size()
+              << " requests ok\n";
+    if (!opts.shardDir.empty())
+        std::cout << "shard scratch files kept in "
+                  << opts.shardDir << "\n";
+
+    if (opts.jsonPath) {
+        json::writeFile(result.mergedReport, *opts.jsonPath);
+        std::cout << "merged report written to "
+                  << *opts.jsonPath << "\n";
+    }
+    return result.allOk() ? 0 : 1;
+}
+
 int
 run(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+
+    // Shard modes manage their own registries (the worker loads
+    // builtin + catalogs itself, once per process).
+    if (!opts.shardWorkerPath.empty())
+        return runShardWorker(
+            opts.shardWorkerPath, *opts.jsonPath,
+            opts.engineThreads.value_or(
+                Parallelism::hardware().threads),
+            opts.scenariosPath);
+
+    if (!opts.shardPath.empty())
+        return runShard(opts, argv[0]);
 
     ScenarioRegistry registry = ScenarioRegistry::builtin();
     if (!opts.scenariosPath.empty())

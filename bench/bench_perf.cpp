@@ -9,6 +9,9 @@
  */
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -16,7 +19,10 @@
 #include "core/explorer.h"
 #include "core/testcases.h"
 #include "engine/analysis_engine.h"
+#include "engine/shard_runner.h"
 #include "floorplan/floorplan.h"
+#include "io/request_io.h"
+#include "json/json.h"
 #include "session/analysis_session.h"
 
 using namespace ecochip;
@@ -154,18 +160,10 @@ BM_FloorplanExhaustive(benchmark::State &state)
 }
 BENCHMARK(BM_FloorplanExhaustive)->Arg(4)->Arg(16)->Arg(64);
 
-void
-BM_EngineBatch(benchmark::State &state)
+/** The EngineBatch request mix, shared with BM_ShardedBatch. */
+std::vector<AnalysisRequest>
+engineBatchRequests()
 {
-    // Batch throughput (requests/s, reported as items_per_second)
-    // across engine thread counts. Each request carries real DSE
-    // work -- Monte-Carlo bands (fresh perturbed estimators every
-    // trial, nothing memoizable) and a full node sweep per
-    // builtin scenario -- so the numbers measure request-level
-    // scaling, not cache hits. One cold engine per iteration
-    // keeps context construction and deduplication in the
-    // measured cost.
-    const int threads = static_cast<int>(state.range(0));
     std::vector<AnalysisRequest> requests;
     std::uint64_t seed = 1;
     for (const auto &name :
@@ -183,6 +181,23 @@ BM_EngineBatch(benchmark::State &state)
         requests.push_back(
             {ScenarioRef::scenario(name), sweep});
     }
+    return requests;
+}
+
+void
+BM_EngineBatch(benchmark::State &state)
+{
+    // Batch throughput (requests/s, reported as items_per_second)
+    // across engine thread counts. Each request carries real DSE
+    // work -- Monte-Carlo bands (fresh perturbed estimators every
+    // trial, nothing memoizable) and a full node sweep per
+    // builtin scenario -- so the numbers measure request-level
+    // scaling, not cache hits. One cold engine per iteration
+    // keeps context construction and deduplication in the
+    // measured cost.
+    const int threads = static_cast<int>(state.range(0));
+    const std::vector<AnalysisRequest> requests =
+        engineBatchRequests();
 
     for (auto _ : state) {
         AnalysisEngine engine(threads);
@@ -199,6 +214,55 @@ BENCHMARK(BM_EngineBatch)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void
+BM_ShardedBatch(benchmark::State &state)
+{
+    // Process-level scaling of the same mix EngineBatch measures
+    // thread-level scaling on: each iteration shards the batch
+    // file across N forked worker processes (2 engine threads
+    // each) and merges the per-shard reports. Arg(1) is the
+    // one-process baseline, so the fork/serialize/merge overhead
+    // stays visible next to the 2- and 4-process speedups.
+    const int processes = static_cast<int>(state.range(0));
+    const auto requests = engineBatchRequests();
+
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        "ecochip_bench_sharded";
+    std::filesystem::create_directories(dir);
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    ShardedRunOptions options;
+    options.batchPath = batch_path;
+    options.shards = processes;
+    options.engineThreadsPerWorker = 2;
+
+    for (auto _ : state) {
+        const ShardedRunResult result =
+            runShardedBatch(options);
+        if (!result.allOk()) {
+            state.SkipWithError("sharded batch failed");
+            break;
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ShardedBatch)
+    ->Name("ShardedBatch")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 void

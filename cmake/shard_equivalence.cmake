@@ -1,0 +1,46 @@
+# CTest script: `eco_chip --shard --shards 4` must produce a
+# merged BatchReport byte-identical to the single-process
+# `--batch` run of the same file (the PR 4 acceptance gate,
+# exercised here at the CLI level; tests/test_engine.cpp locks
+# the same property at the library level).
+#
+# Variables: APP (eco_chip binary), BATCH (requests.json),
+#            WORKDIR (scratch directory).
+
+if(NOT APP OR NOT BATCH OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DAPP=... -DBATCH=... -DWORKDIR=... -P shard_equivalence.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(batch_json "${WORKDIR}/batch_report.json")
+set(shard_json "${WORKDIR}/shard_report.json")
+
+execute_process(
+    COMMAND "${APP}" --batch "${BATCH}" --engine_threads 4
+            --json "${batch_json}"
+    RESULT_VARIABLE batch_rc
+    OUTPUT_QUIET)
+if(NOT batch_rc EQUAL 0)
+    message(FATAL_ERROR "--batch run failed (exit ${batch_rc})")
+endif()
+
+execute_process(
+    COMMAND "${APP}" --shard "${BATCH}" --shards 4
+            --engine_threads 2 --json "${shard_json}"
+    RESULT_VARIABLE shard_rc
+    OUTPUT_QUIET)
+if(NOT shard_rc EQUAL 0)
+    message(FATAL_ERROR "--shard run failed (exit ${shard_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${batch_json}" "${shard_json}"
+    RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+        "merged shard report differs from the single-process "
+        "batch report:\n  ${batch_json}\n  ${shard_json}")
+endif()
+
+message(STATUS "shard/batch reports byte-identical")

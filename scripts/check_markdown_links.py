@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in README.md and docs/
+resolves to an existing file.
+
+External links (http/https/mailto) and pure-fragment links (#...)
+are skipped; a `path#fragment` link is checked for the path part
+only. Exits 1 listing every broken link.
+
+Usage: scripts/check_markdown_links.py [FILE_OR_DIR ...]
+       (default: README.md docs/)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) -- non-greedy text, target up to the closing
+# paren; inline code spans are stripped first so examples of the
+# syntax don't trip the checker.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`]*`")
+
+
+def collect(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+        else:
+            print(f"warning: skipping non-markdown {path}",
+                  file=sys.stderr)
+
+
+def check_file(md: Path):
+    text = md.read_text(encoding="utf-8")
+    text = CODE_FENCE.sub("", text)
+    text = INLINE_CODE.sub("", text)
+    broken = []
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not (md.parent / rel).exists():
+            broken.append((target, rel))
+    return broken
+
+
+def main(argv):
+    roots = argv[1:] or ["README.md", "docs"]
+    files = list(collect(roots))
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 2
+    total = 0
+    bad = 0
+    for md in files:
+        broken = check_file(md)
+        total += 1
+        for target, rel in broken:
+            bad += 1
+            print(f"{md}: broken link '{target}' "
+                  f"(missing {md.parent / rel})")
+    print(f"checked {total} markdown file(s), "
+          f"{bad} broken link(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

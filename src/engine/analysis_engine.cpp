@@ -1,7 +1,9 @@
 #include "engine/analysis_engine.h"
 
+#include <condition_variable>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "support/error.h"
@@ -43,13 +45,30 @@ AnalysisEngine::AnalysisEngine(int threads)
     : AnalysisEngine(optionsWithThreads(threads))
 {}
 
+namespace {
+
+/**
+ * ConfigError prefixes its message; strip it so re-throwing a
+ * stored failure as a fresh ConfigError does not double it.
+ */
+std::string
+withoutConfigPrefix(std::string what)
+{
+    constexpr const char *prefix = "config error: ";
+    if (what.rfind(prefix, 0) == 0)
+        what.erase(0, std::string(prefix).size());
+    return what;
+}
+
+} // namespace
+
 AnalysisSession
 AnalysisEngine::sessionFor(const ScenarioRef &ref)
 {
     const std::string key = ref.label();
 
-    std::promise<AnalysisSession> promise;
-    std::shared_future<AnalysisSession> future;
+    std::promise<SessionBuild> promise;
+    std::shared_future<SessionBuild> future;
     bool building = false;
     {
         std::lock_guard<std::mutex> lock(sessionsMutex_);
@@ -64,6 +83,7 @@ AnalysisEngine::sessionFor(const ScenarioRef &ref)
     }
 
     if (building) {
+        SessionBuild built;
         try {
             ScenarioBuilder builder;
             builder.tech(options_.tech);
@@ -72,19 +92,35 @@ AnalysisEngine::sessionFor(const ScenarioRef &ref)
                     .scenario(ref.value);
             else
                 builder.designDirectory(ref.value);
-            promise.set_value(builder.build());
+            built.session = builder.build();
+        } catch (const ConfigError &e) {
+            built.error = withoutConfigPrefix(e.what());
+            built.isConfigError = true;
+        } catch (const std::exception &e) {
+            built.error = e.what();
         } catch (...) {
-            // Hand the error to everyone already waiting, then
-            // forget the entry so a later request retries (the
+            built.error = "unknown error building scenario "
+                          "context";
+        }
+        if (!built.session) {
+            // Forget the entry so a later request retries (the
             // failure may be transient, e.g. a design directory
-            // that appears later).
-            promise.set_exception(std::current_exception());
+            // that appears later); waiters already holding the
+            // future still see this failure.
             std::lock_guard<std::mutex> lock(sessionsMutex_);
             sessions_.erase(key);
         }
+        promise.set_value(std::move(built));
     }
 
-    return future.get();
+    const SessionBuild &built = future.get();
+    if (built.session)
+        return *built.session;
+    // Every waiter throws its own exception object; see
+    // SessionBuild for why the error travels as data.
+    if (built.isConfigError)
+        throw ConfigError(built.error);
+    throw Error(built.error);
 }
 
 std::future<AnalysisResult>
@@ -104,27 +140,66 @@ AnalysisEngine::submit(AnalysisRequest request)
     return future;
 }
 
+void
+AnalysisEngine::runStream(
+    const std::vector<AnalysisRequest> &requests,
+    const StreamCallback &on_complete)
+{
+    if (requests.empty())
+        return;
+
+    // Shared by every task; runStream outlives them all (it
+    // blocks on `remaining`), so the callback reference stays
+    // valid for the tasks' whole lifetime.
+    struct StreamState
+    {
+        std::mutex mutex;
+        std::condition_variable drained;
+        std::size_t remaining;
+    };
+    auto state = std::make_shared<StreamState>();
+    state->remaining = requests.size();
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        pool_.post([this, state, &on_complete, i,
+                    request = requests[i]] {
+            RequestOutcome outcome;
+            outcome.request = request;
+            try {
+                const AnalysisSession session =
+                    sessionFor(request.scenario);
+                outcome.result = runSpec(session, request.spec);
+            } catch (const std::exception &e) {
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.error = "unknown error";
+            }
+            // Deliver under the state lock: events are serialized
+            // and the decrement happens only after the callback
+            // returned, so runStream cannot unblock mid-delivery.
+            std::lock_guard<std::mutex> lock(state->mutex);
+            on_complete(i, outcome);
+            if (--state->remaining == 0)
+                state->drained.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->drained.wait(
+        lock, [&state] { return state->remaining == 0; });
+}
+
 BatchReport
 AnalysisEngine::runBatch(
     const std::vector<AnalysisRequest> &requests)
 {
-    std::vector<std::future<AnalysisResult>> futures;
-    futures.reserve(requests.size());
-    for (const auto &request : requests)
-        futures.push_back(submit(request));
-
     BatchReport report;
-    report.outcomes.reserve(requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        RequestOutcome outcome;
-        outcome.request = requests[i];
-        try {
-            outcome.result = futures[i].get();
-        } catch (const std::exception &e) {
-            outcome.error = e.what();
-        }
-        report.outcomes.push_back(std::move(outcome));
-    }
+    report.outcomes.resize(requests.size());
+    runStream(requests,
+              [&report](std::size_t index,
+                        const RequestOutcome &outcome) {
+                  report.outcomes[index] = outcome;
+              });
     return report;
 }
 

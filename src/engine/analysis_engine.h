@@ -11,16 +11,44 @@
  * against nine scenarios build nine contexts and share their
  * memoized evaluation caches.
  *
+ * Three execution shapes, all over the same scheduler:
+ *
+ *  - `submit()` hands back one `std::future<AnalysisResult>` per
+ *    request;
+ *  - `runStream()` delivers every `(index, RequestOutcome)` to a
+ *    callback in completion order as workers finish -- the
+ *    incremental-progress path behind `eco_chip --batch --stream`
+ *    and its NDJSON output;
+ *  - `runBatch()` waits for the whole batch and returns the
+ *    outcomes in request order. It is implemented on top of
+ *    `runStream`, so the aggregate and streaming paths can never
+ *    diverge.
+ *
+ * Batches also shard across *processes*: `engine/shard_planner.h`
+ * splits a batch file into per-shard sub-batches (keeping equal
+ * bindings together so context dedup survives the cut) and
+ * `engine/shard_runner.h` runs them as worker processes and
+ * merges the per-shard `BatchReport`s back into one report that
+ * is byte-identical to the single-process run.
+ *
  * Determinism is preserved end to end: every request evaluates
  * through the same `runSpec` executor the session verbs use, so a
- * `runBatch` at any thread count is bit-identical to running the
- * requests one by one through `AnalysisSession` (equal seeds
- * included).
+ * `runBatch` at any thread count -- or sharded over any process
+ * count -- is bit-identical to running the requests one by one
+ * through `AnalysisSession` (equal seeds included).
+ *
+ * Wire formats (`requests.json` in, `BatchReport` JSON and NDJSON
+ * stream events out) are specified in `docs/file_formats.md`; the
+ * CLI surface is documented in `docs/cli.md`.
  *
  * @code
  *   AnalysisEngine engine(EngineOptions{.threads = 8});
  *   auto future = engine.submit(
  *       {ScenarioRef::scenario("ga102"), MonteCarloSpec{}});
+ *   engine.runStream(requests, [](std::size_t i,
+ *                                 const RequestOutcome &o) {
+ *       std::cout << streamEventLine(i, o) << "\n";  // NDJSON
+ *   });
  *   BatchReport report = engine.runBatch(requests);
  *   // report.outcomes[i] matches requests[i]; a failed request
  *   // carries its error and never takes down the batch.
@@ -31,6 +59,7 @@
 #define ECOCHIP_ENGINE_ANALYSIS_ENGINE_H
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <map>
 #include <mutex>
@@ -93,6 +122,18 @@ struct BatchReport
 };
 
 /**
+ * Completion-order delivery of one finished request: the
+ * request's index in the submitted batch plus its outcome.
+ * Invocations are serialized (never concurrent), so callbacks may
+ * write to shared state -- a stream, a vector slot -- without
+ * locking. A callback must not throw and must not re-enter the
+ * engine it was called from.
+ */
+using StreamCallback =
+    std::function<void(std::size_t index,
+                       const RequestOutcome &outcome)>;
+
+/**
  * Thread-pooled analysis scheduler with scenario-context
  * deduplication. Thread-safe: `submit`/`runBatch` may be called
  * from any thread.
@@ -124,11 +165,27 @@ class AnalysisEngine
     std::future<AnalysisResult> submit(AnalysisRequest request);
 
     /**
+     * Run a whole batch, streaming each outcome as it completes.
+     *
+     * Requests are scheduled across the pool; @p on_complete is
+     * invoked once per request, in completion order (which is
+     * scheduling-dependent -- the `index` argument maps an event
+     * back to its request). Every request is delivered exactly
+     * once, failures included: a failed request streams an
+     * outcome carrying its error, exactly as `runBatch` records
+     * it. Blocks until the whole batch has been delivered.
+     */
+    void runStream(const std::vector<AnalysisRequest> &requests,
+                   const StreamCallback &on_complete);
+
+    /**
      * Run a whole batch and wait for it.
      *
      * Requests are scheduled across the pool; outcome @c i
      * answers request @c i. A failed request records its error in
-     * its outcome and never affects the others.
+     * its outcome and never affects the others. Implemented over
+     * `runStream`, so the aggregate report is bit-identical to
+     * assembling the stream's events by index.
      */
     BatchReport
     runBatch(const std::vector<AnalysisRequest> &requests);
@@ -149,13 +206,34 @@ class AnalysisEngine
   private:
     EngineOptions options_;
 
+    /**
+     * Outcome of one scenario-context build: the session, or the
+     * error it failed with. Failures travel as *data*, not as a
+     * shared `std::exception_ptr`: concurrent waiters rethrowing
+     * one exception object race on its destruction (the last
+     * catch block destroys it while another thread still reads
+     * `what()`), so `sessionFor` throws every waiter its own
+     * fresh exception instead.
+     */
+    struct SessionBuild
+    {
+        /** Built session; empty when the build failed. */
+        std::optional<AnalysisSession> session;
+
+        /** Failure text (sans type prefix); empty on success. */
+        std::string error;
+
+        /** Whether the failure was a ConfigError. */
+        bool isConfigError = false;
+    };
+
     mutable std::mutex sessionsMutex_;
 
     /**
      * Shared futures so the lock is only held for map access,
      * never for context construction (which may touch disk).
      */
-    std::map<std::string, std::shared_future<AnalysisSession>>
+    std::map<std::string, std::shared_future<SessionBuild>>
         sessions_;
 
     /** Last member: destroyed (drained) before the caches. */

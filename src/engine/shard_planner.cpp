@@ -1,0 +1,154 @@
+#include "engine/shard_planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+std::size_t
+ShardPlan::requestCount() const
+{
+    std::size_t count = 0;
+    for (const auto &shard : shards)
+        count += shard.size();
+    return count;
+}
+
+ShardPlan
+planShards(const std::vector<AnalysisRequest> &requests,
+           int shards)
+{
+    requireConfig(!requests.empty(),
+                  "cannot shard an empty batch");
+    requireConfig(shards >= 1,
+                  "shard count must be at least 1");
+
+    // Group indices by binding, keeping first-appearance order so
+    // the plan is a pure function of the batch (any process
+    // recomputing it gets the same assignment).
+    std::vector<std::vector<std::size_t>> groups;
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::string key = requests[i].scenario.label();
+        const auto it = group_of.find(key);
+        if (it == group_of.end()) {
+            group_of.emplace(key, groups.size());
+            groups.push_back({i});
+        } else {
+            groups[it->second].push_back(i);
+        }
+    }
+
+    // Deal whole groups round-robin; a binding never straddles a
+    // shard boundary, so each worker builds every context it
+    // needs exactly once.
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(shards),
+                 groups.size());
+    ShardPlan plan;
+    plan.shards.resize(count);
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        for (std::size_t index : groups[g])
+            plan.shards[g % count].push_back(index);
+
+    // Ascending indices per shard: sub-batches preserve the
+    // original relative request order, which keeps the merge a
+    // straight scatter.
+    for (auto &shard : plan.shards)
+        std::sort(shard.begin(), shard.end());
+    return plan;
+}
+
+std::vector<std::string>
+writeShardFiles(const BatchFile &batch, const ShardPlan &plan,
+                const std::string &directory)
+{
+    requireConfig(plan.requestCount() == batch.requests.size(),
+                  "shard plan covers " +
+                      std::to_string(plan.requestCount()) +
+                      " requests but the batch has " +
+                      std::to_string(batch.requests.size()));
+    std::filesystem::create_directories(directory);
+
+    // The catalog path was resolved against the original batch
+    // file, but may still be cwd-relative; the sub-batches live
+    // in another directory, so pin it down to an absolute path.
+    std::string catalog;
+    if (batch.scenarioCatalog)
+        catalog = std::filesystem::absolute(*batch.scenarioCatalog)
+                      .lexically_normal()
+                      .string();
+
+    std::vector<std::string> paths;
+    paths.reserve(plan.shardCount());
+    for (std::size_t s = 0; s < plan.shardCount(); ++s) {
+        json::Value doc = json::Value::makeObject();
+        if (!catalog.empty())
+            doc.set("scenarios", catalog);
+        json::Value requests = json::Value::makeArray();
+        for (std::size_t index : plan.shards[s])
+            requests.append(
+                requestToJson(batch.requests[index]));
+        doc.set("requests", std::move(requests));
+
+        char name[32];
+        std::snprintf(name, sizeof(name), "shard_%03zu.json", s);
+        const std::string path =
+            (std::filesystem::path(directory) / name).string();
+        json::writeFile(doc, path);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+json::Value
+mergeShardReports(const ShardPlan &plan,
+                  const std::vector<json::Value> &shard_reports)
+{
+    requireConfig(shard_reports.size() == plan.shardCount(),
+                  "expected " +
+                      std::to_string(plan.shardCount()) +
+                      " shard reports, got " +
+                      std::to_string(shard_reports.size()));
+
+    // Scatter each shard's outcomes back to their original batch
+    // indices.
+    std::vector<json::Value> merged(plan.requestCount());
+    std::size_t succeeded = 0;
+    for (std::size_t s = 0; s < plan.shardCount(); ++s) {
+        const std::string context =
+            "shard report #" + std::to_string(s);
+        const json::Value &report = shard_reports[s];
+        requireConfig(report.isObject() &&
+                          report.contains("outcomes"),
+                      context +
+                          ": not a BatchReport document "
+                          "(missing \"outcomes\")");
+        const auto &outcomes = report.at("outcomes").asArray();
+        requireConfig(outcomes.size() == plan.shards[s].size(),
+                      context + ": has " +
+                          std::to_string(outcomes.size()) +
+                          " outcomes but the plan assigned " +
+                          std::to_string(plan.shards[s].size()) +
+                          " requests");
+        for (std::size_t j = 0; j < outcomes.size(); ++j) {
+            if (outcomes[j].booleanOr("ok", false))
+                ++succeeded;
+            merged[plan.shards[s][j]] = outcomes[j];
+        }
+    }
+
+    json::Value doc = json::Value::makeObject();
+    doc.set("succeeded", static_cast<double>(succeeded));
+    doc.set("failed",
+            static_cast<double>(merged.size() - succeeded));
+    doc.set("outcomes",
+            json::Value::makeArray(std::move(merged)));
+    return doc;
+}
+
+} // namespace ecochip

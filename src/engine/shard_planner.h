@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Splitting one request batch into per-process shards, and
+ * merging the per-shard `BatchReport`s back together.
+ *
+ * A shard is just a sub-batch file: requests already serialize to
+ * JSON (`io/request_io.h`), so the planner's whole job is
+ * deciding *which* requests travel together. Requests are grouped
+ * by scenario binding and whole groups are dealt round-robin
+ * across shards, so every request against one binding lands in
+ * the same worker process and the engine's `EvaluationContext`
+ * deduplication (and its memoized caches) survives the cut.
+ *
+ * The merge step is the planner's inverse: given the per-shard
+ * `BatchReport` JSON documents (in the shard order this plan
+ * produced), it reassembles one report with every outcome back at
+ * its original batch index -- byte-identical to the report a
+ * single-process `runBatch` over the unsplit batch serializes.
+ *
+ * Formats are specified in `docs/file_formats.md`; the
+ * process-level orchestration lives in `engine/shard_runner.h`.
+ */
+
+#ifndef ECOCHIP_ENGINE_SHARD_PLANNER_H
+#define ECOCHIP_ENGINE_SHARD_PLANNER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/request_io.h"
+#include "json/json.h"
+#include "session/analysis_request.h"
+
+namespace ecochip {
+
+/** Which original request indices each shard runs. */
+struct ShardPlan
+{
+    /**
+     * Per-shard original batch indices, ascending within each
+     * shard. Every shard is non-empty; the plan may hold fewer
+     * shards than requested when the batch has fewer distinct
+     * bindings.
+     */
+    std::vector<std::vector<std::size_t>> shards;
+
+    /** Number of shards actually planned. */
+    std::size_t shardCount() const { return shards.size(); }
+
+    /** Total requests across all shards. */
+    std::size_t requestCount() const;
+};
+
+/**
+ * Plan @p shards shards over @p requests.
+ *
+ * Requests are grouped by scenario binding (`ScenarioRef` label)
+ * in first-appearance order; group `g` is dealt to shard
+ * `g % shards`. Shards that would end up empty (more shards
+ * requested than distinct bindings exist) are dropped, so every
+ * planned shard is a valid non-empty batch.
+ *
+ * @throws ConfigError when @p requests is empty or @p shards < 1.
+ */
+ShardPlan planShards(const std::vector<AnalysisRequest> &requests,
+                     int shards);
+
+/**
+ * Write one sub-batch file per shard into @p directory
+ * (`shard_000.json`, `shard_001.json`, ...). Each file is a
+ * regular batch document -- `{"requests": [...]}`, plus the
+ * original batch's already-resolved `"scenarios"` catalog path
+ * when @p batch names one -- loadable by `loadBatchFile` and thus
+ * runnable by `eco_chip --shard_worker`.
+ *
+ * @return The sub-batch file paths, in shard order.
+ */
+std::vector<std::string>
+writeShardFiles(const BatchFile &batch, const ShardPlan &plan,
+                const std::string &directory);
+
+/**
+ * Merge per-shard `BatchReport` JSON documents back into one.
+ *
+ * @param plan The plan the shards were produced from.
+ * @param shard_reports One parsed `BatchReport` document per
+ *        shard, in plan order.
+ * @return A `BatchReport` document whose outcomes sit at their
+ *         original batch indices -- byte-identical (under
+ *         `json::Value::dump`) to the single-process report.
+ * @throws ConfigError when a shard report is malformed or its
+ *         outcome count disagrees with the plan.
+ */
+json::Value
+mergeShardReports(const ShardPlan &plan,
+                  const std::vector<json::Value> &shard_reports);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ENGINE_SHARD_PLANNER_H

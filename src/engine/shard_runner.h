@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Multi-process execution of a sharded request batch.
+ *
+ * The planner (`engine/shard_planner.h`) decides *what* each
+ * shard runs; this module runs the shards as worker processes and
+ * merges their reports:
+ *
+ *  - `runShardWorker` is one worker's whole job -- load a
+ *    sub-batch file, run it on an in-process `AnalysisEngine`,
+ *    write the `BatchReport` JSON to disk. `eco_chip
+ *    --shard_worker` is a thin wrapper around it.
+ *  - `runShardedBatch` is the coordinator: split the batch, fork
+ *    K workers, wait for them, merge the per-shard reports into
+ *    one `BatchReport` document that is byte-identical to the
+ *    single-process `runBatch` over the unsplit file.
+ *
+ * Workers run either by fork/exec of a worker executable
+ * (`ShardedRunOptions::workerExe`, the CLI path: `eco_chip
+ * --shard` re-execs itself with `--shard_worker`) or, when no
+ * executable is named, by plain fork with the worker running
+ * `runShardWorker` in the child -- the library/test/bench path,
+ * which needs no knowledge of any binary's location. Both paths
+ * are POSIX-only; on other platforms `runShardedBatch` throws.
+ *
+ * Fork-only mode carries the usual POSIX precondition: call it
+ * from an effectively single-threaded process (no live
+ * `AnalysisEngine`/`ThreadPool` workers). The child starts as a
+ * clone of the calling thread only, so a lock held by any other
+ * parent thread at fork time -- allocator, iostream -- stays
+ * locked forever in the child and deadlocks it. The fork/exec
+ * mode has no such restriction.
+ *
+ * Determinism: workers inherit the engine's bit-identity
+ * guarantee (any thread count, same results), the planner keeps
+ * equal bindings in one process, and the merge restores original
+ * request order -- so `--shard --shards K` output is locked
+ * byte-identical to `--batch` output (see `tests/test_engine.cpp`
+ * and the `shard_equivalence` CTest).
+ *
+ * Formats in `docs/file_formats.md`, CLI in `docs/cli.md`.
+ */
+
+#ifndef ECOCHIP_ENGINE_SHARD_RUNNER_H
+#define ECOCHIP_ENGINE_SHARD_RUNNER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace ecochip {
+
+/**
+ * Run one shard: load the sub-batch at @p sub_batch_path
+ * (including its optional `"scenarios"` catalog), run it on an
+ * `AnalysisEngine`, and write the `BatchReport` JSON to
+ * @p report_path.
+ *
+ * @param sub_batch_path Sub-batch file (`writeShardFiles`
+ *        output, or any batch file).
+ * @param report_path Destination for the `BatchReport` JSON.
+ * @param engine_threads Worker threads for this shard's engine
+ *        (results are bit-identical at any count).
+ * @param scenarios_path Optional extra scenario catalog to load
+ *        before the sub-batch's own.
+ * @return 0 when every request succeeded, 1 when any failed (the
+ *         report is written either way) -- the worker process
+ *         exit convention.
+ */
+int runShardWorker(const std::string &sub_batch_path,
+                   const std::string &report_path,
+                   int engine_threads,
+                   const std::string &scenarios_path = "");
+
+/** How `runShardedBatch` splits and runs a batch. */
+struct ShardedRunOptions
+{
+    /** Batch file to shard. */
+    std::string batchPath;
+
+    /** Worker process count requested (>= 1; capped at the
+     *  number of distinct scenario bindings). */
+    int shards = 2;
+
+    /**
+     * Engine threads per worker process. 0 (the default) sizes
+     * automatically: hardware threads divided by the shard count
+     * actually planned, at least 1.
+     */
+    int engineThreadsPerWorker = 0;
+
+    /**
+     * Directory for sub-batch and report files. Empty: a
+     * pid-scoped directory under the system temp path, removed
+     * after the run. Non-empty: created if needed and left in
+     * place.
+     */
+    std::string shardDir;
+
+    /**
+     * Worker executable. Empty: fork and run `runShardWorker`
+     * in the child. Non-empty: fork/exec
+     * `<workerExe> --shard_worker <sub-batch> --json <report>
+     *  --engine_threads <N> [--scenarios <path>]`.
+     */
+    std::string workerExe;
+
+    /** Extra scenario catalog passed through to every worker. */
+    std::string scenariosPath;
+};
+
+/** What a sharded run produced. */
+struct ShardedRunResult
+{
+    /** Merged `BatchReport` document, original request order. */
+    json::Value mergedReport;
+
+    /** Shards actually run (<= requested). */
+    std::size_t shardsUsed = 0;
+
+    /** Engine threads each worker ran with. */
+    int threadsPerWorker = 0;
+
+    /** Requests that succeeded / failed across all shards. */
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+
+    /** Sub-batch files, in shard order (empty when the scratch
+     *  directory was temporary and has been removed). */
+    std::vector<std::string> shardFiles;
+
+    /** Per-shard report files (ditto). */
+    std::vector<std::string> reportFiles;
+
+    /** True when every request of every shard succeeded. */
+    bool allOk() const { return failed == 0; }
+};
+
+/**
+ * Shard @p options.batchPath across worker processes and merge
+ * the results.
+ *
+ * @throws ConfigError on invalid options or malformed files.
+ * @throws Error when a worker process dies without writing a
+ *         valid report (crash, signal, exec failure) -- a worker
+ *         that merely had failing requests exits 1 and is
+ *         reported through the merged outcomes instead.
+ */
+ShardedRunResult runShardedBatch(const ShardedRunOptions &options);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ENGINE_SHARD_RUNNER_H

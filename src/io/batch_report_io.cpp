@@ -1,0 +1,61 @@
+#include "io/batch_report_io.h"
+
+#include "io/request_io.h"
+#include "io/result_writer.h"
+
+namespace ecochip {
+
+json::Value
+outcomeToJson(const RequestOutcome &outcome)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("request", requestToJson(outcome.request));
+    doc.set("ok", outcome.ok());
+    if (outcome.ok())
+        doc.set("result", resultToJson(*outcome.result));
+    else
+        doc.set("error", outcome.error);
+    return doc;
+}
+
+json::Value
+batchReportToJson(const BatchReport &report)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("succeeded",
+            static_cast<double>(report.succeeded()));
+    doc.set("failed", static_cast<double>(report.failed()));
+    json::Value outcomes = json::Value::makeArray();
+    for (const auto &outcome : report.outcomes)
+        outcomes.append(outcomeToJson(outcome));
+    doc.set("outcomes", std::move(outcomes));
+    return doc;
+}
+
+void
+writeBatchReportFile(const BatchReport &report,
+                     const std::string &path)
+{
+    json::writeFile(batchReportToJson(report), path);
+}
+
+json::Value
+streamEventToJson(std::size_t index,
+                  const RequestOutcome &outcome)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("index", static_cast<double>(index));
+    const json::Value body = outcomeToJson(outcome);
+    for (const auto &member : body.members())
+        doc.set(member.first, member.second);
+    return doc;
+}
+
+std::string
+streamEventLine(std::size_t index,
+                const RequestOutcome &outcome)
+{
+    return streamEventToJson(index, outcome).dump(false);
+}
+
+} // namespace ecochip

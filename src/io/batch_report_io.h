@@ -1,0 +1,70 @@
+/**
+ * @file
+ * JSON serialization of `BatchReport` and the NDJSON stream
+ * format -- the wire formats of the batch engine's output side,
+ * mirroring `io/request_io.h` on the input side.
+ *
+ * Two formats live here (field-by-field reference in
+ * `docs/file_formats.md`):
+ *
+ *  - **BatchReport JSON** (`--batch --json`, `--shard_worker`
+ *    reports, `--shard` merged output): one object
+ *    `{"succeeded": N, "failed": M, "outcomes": [...]}` whose
+ *    outcomes sit in request order. Shard workers write this
+ *    format to disk and the shard merge step reassembles the
+ *    per-shard documents into one report that is byte-identical
+ *    to the single-process run.
+ *
+ *  - **NDJSON stream events** (`--batch --stream`): one compact
+ *    JSON object per line, emitted in completion order as worker
+ *    threads finish. Each line carries the outcome plus the
+ *    request's original batch `index`, so consumers can reorder
+ *    or join against the input file.
+ */
+
+#ifndef ECOCHIP_IO_BATCH_REPORT_IO_H
+#define ECOCHIP_IO_BATCH_REPORT_IO_H
+
+#include <cstddef>
+#include <string>
+
+#include "engine/analysis_engine.h"
+#include "json/json.h"
+
+namespace ecochip {
+
+/**
+ * Serialize one outcome:
+ * `{"request": ..., "ok": bool, "result": ...}` on success,
+ * `{"request": ..., "ok": false, "error": "..."}` on failure.
+ */
+json::Value outcomeToJson(const RequestOutcome &outcome);
+
+/**
+ * Serialize a whole report:
+ * `{"succeeded": N, "failed": M, "outcomes": [...]}` with the
+ * outcomes in request order.
+ */
+json::Value batchReportToJson(const BatchReport &report);
+
+/** Write `batchReportToJson` pretty-printed to @p path. */
+void writeBatchReportFile(const BatchReport &report,
+                          const std::string &path);
+
+/**
+ * One NDJSON stream event: the outcome document of
+ * `outcomeToJson` with the request's batch `index` prepended.
+ */
+json::Value streamEventToJson(std::size_t index,
+                              const RequestOutcome &outcome);
+
+/**
+ * The event as one compact NDJSON line (no trailing newline --
+ * the stream writer owns the line discipline).
+ */
+std::string streamEventLine(std::size_t index,
+                            const RequestOutcome &outcome);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_BATCH_REPORT_IO_H

@@ -2,21 +2,34 @@
  * @file
  * Tests for the declarative request API and the async batch
  * engine: JSON round-trips, batch-vs-session bit-equality at any
- * thread count, per-request failure isolation, and scenario
- * catalog loading.
+ * thread count, per-request failure isolation, scenario catalog
+ * loading, completion-order streaming, and multi-process
+ * sharding (merged shard reports byte-identical to the
+ * single-process run).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "engine/analysis_engine.h"
+#include "engine/shard_planner.h"
+#include "engine/shard_runner.h"
 #include "engine/thread_pool.h"
+#include "io/batch_report_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
 #include "support/error.h"
+
+#ifndef ECOCHIP_DATA_DIR
+#define ECOCHIP_DATA_DIR ""
+#endif
 
 namespace ecochip {
 namespace {
@@ -497,6 +510,393 @@ TEST_F(CatalogTest, BrokenCatalogsFailAtLoadTime)
     })");
     ScenarioRegistry dir_registry;
     EXPECT_THROW(dir_registry.loadFile(gone), ConfigError);
+}
+
+// ------------------------------------------------ streaming
+
+TEST(Stream, DeliversEveryRequestExactlyOnceUnderFailures)
+{
+    // A batch salted with injected failures (unknown scenario,
+    // missing design dir, invalid spec): the stream must deliver
+    // every index exactly once, failures included, with the
+    // callback serialized.
+    std::vector<AnalysisRequest> requests;
+    for (int round = 0; round < 3; ++round) {
+        requests.push_back(
+            {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+        requests.push_back(
+            {ScenarioRef::scenario("no-such-scenario"),
+             EstimateSpec{}});
+        requests.push_back(
+            {ScenarioRef::designDirectory("/no/such/dir"),
+             EstimateSpec{}});
+        requests.push_back(
+            {ScenarioRef::scenario("emr"), SweepSpec{}});
+        requests.push_back(
+            {ScenarioRef::scenario("a15"), CostSpec{}});
+    }
+
+    AnalysisEngine engine(4);
+    std::vector<int> seen(requests.size(), 0);
+    std::size_t events = 0;
+    std::atomic<int> in_callback{0};
+    bool overlapped = false;
+    engine.runStream(
+        requests, [&](std::size_t index,
+                      const RequestOutcome &outcome) {
+            if (++in_callback != 1)
+                overlapped = true;
+            ASSERT_LT(index, requests.size());
+            ++seen[index];
+            ++events;
+            EXPECT_TRUE(outcome.request == requests[index]);
+            // Failure pattern matches the request pattern.
+            const bool expect_ok = (index % 5 == 0) ||
+                                   (index % 5 == 4);
+            EXPECT_EQ(outcome.ok(), expect_ok) << index;
+            if (!outcome.ok()) {
+                EXPECT_FALSE(outcome.error.empty());
+            }
+            --in_callback;
+        });
+
+    EXPECT_FALSE(overlapped);
+    EXPECT_EQ(events, requests.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(Stream, RunBatchIsBitIdenticalToAssemblingTheStream)
+{
+    std::vector<AnalysisRequest> requests;
+    for (const auto &name :
+         ScenarioRegistry::builtin().names())
+        requests.push_back(
+            {ScenarioRef::scenario(name), EstimateSpec{}});
+    MonteCarloSpec mc;
+    mc.trials = 32;
+    mc.seed = 11;
+    requests.push_back({ScenarioRef::scenario("emr"), mc});
+
+    AnalysisEngine stream_engine(8);
+    BatchReport assembled;
+    assembled.outcomes.resize(requests.size());
+    stream_engine.runStream(
+        requests, [&assembled](std::size_t index,
+                               const RequestOutcome &outcome) {
+            assembled.outcomes[index] = outcome;
+        });
+
+    AnalysisEngine batch_engine(8);
+    const BatchReport batch =
+        batch_engine.runBatch(requests);
+
+    // One serialization path -> byte-equal JSON is the bit-
+    // identity check across every payload kind.
+    EXPECT_EQ(batchReportToJson(assembled).dump(true),
+              batchReportToJson(batch).dump(true));
+}
+
+TEST(Stream, NdjsonEventsRoundTripThroughRequestIo)
+{
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    MonteCarloSpec mc;
+    mc.trials = 16;
+    mc.seed = 3;
+    requests.push_back({ScenarioRef::scenario("emr"), mc});
+    requests.push_back(
+        {ScenarioRef::scenario("no-such-scenario"),
+         CostSpec{}});
+
+    AnalysisEngine engine(2);
+    std::ostringstream ndjson;
+    engine.runStream(
+        requests, [&ndjson](std::size_t index,
+                            const RequestOutcome &outcome) {
+            ndjson << streamEventLine(index, outcome) << "\n";
+        });
+
+    // Each line is a standalone JSON document whose "request"
+    // member parses back to the original request via request_io.
+    std::istringstream lines(ndjson.str());
+    std::string line;
+    std::size_t parsed_lines = 0;
+    std::set<std::size_t> indices;
+    while (std::getline(lines, line)) {
+        const json::Value event = json::parse(line);
+        ASSERT_TRUE(event.isObject());
+        const auto index = static_cast<std::size_t>(
+            event.at("index").asInteger());
+        indices.insert(index);
+        const AnalysisRequest request =
+            requestFromJson(event.at("request"));
+        EXPECT_TRUE(request == requests[index]) << line;
+        EXPECT_EQ(event.at("ok").asBoolean(),
+                  !event.contains("error"));
+        ++parsed_lines;
+    }
+    EXPECT_EQ(parsed_lines, requests.size());
+    EXPECT_EQ(indices.size(), requests.size());
+}
+
+// ------------------------------------------------ shard planning
+
+TEST(ShardPlanner, KeepsBindingsTogetherAndDealsRoundRobin)
+{
+    // Bindings A B C A B A: groups appear in order A, B, C.
+    std::vector<AnalysisRequest> requests = {
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+        {ScenarioRef::scenario("a15"), EstimateSpec{}},
+        {ScenarioRef::scenario("ga102"), CostSpec{}},
+        {ScenarioRef::scenario("emr"), CostSpec{}},
+        {ScenarioRef::scenario("ga102"), SensitivitySpec{}},
+    };
+
+    const ShardPlan plan = planShards(requests, 2);
+    ASSERT_EQ(plan.shardCount(), 2u);
+    EXPECT_EQ(plan.requestCount(), requests.size());
+    // Round-robin by group: shard 0 gets ga102 + a15, shard 1
+    // gets emr; indices ascend within each shard.
+    EXPECT_EQ(plan.shards[0],
+              (std::vector<std::size_t>{0, 2, 3, 5}));
+    EXPECT_EQ(plan.shards[1],
+              (std::vector<std::size_t>{1, 4}));
+
+    // A binding never straddles shards, at any shard count.
+    for (int shards : {1, 2, 3, 4, 8}) {
+        const ShardPlan p = planShards(requests, shards);
+        EXPECT_LE(p.shardCount(),
+                  static_cast<std::size_t>(3));
+        EXPECT_EQ(p.requestCount(), requests.size());
+        std::map<std::string, std::size_t> home;
+        std::set<std::size_t> all;
+        for (std::size_t s = 0; s < p.shardCount(); ++s) {
+            EXPECT_FALSE(p.shards[s].empty());
+            for (std::size_t index : p.shards[s]) {
+                all.insert(index);
+                const std::string key =
+                    requests[index].scenario.label();
+                const auto it = home.find(key);
+                if (it == home.end()) {
+                    home.emplace(key, s);
+                } else {
+                    EXPECT_EQ(it->second, s) << key;
+                }
+            }
+        }
+        EXPECT_EQ(all.size(), requests.size());
+    }
+
+    EXPECT_THROW(planShards({}, 2), ConfigError);
+    EXPECT_THROW(planShards(requests, 0), ConfigError);
+}
+
+TEST(ShardPlanner, MergeRejectsMalformedShardReports)
+{
+    const std::vector<AnalysisRequest> requests = {
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+    };
+    const ShardPlan plan = planShards(requests, 2);
+
+    // Wrong report count.
+    EXPECT_THROW(mergeShardReports(plan, {}), ConfigError);
+
+    // Not a BatchReport document.
+    EXPECT_THROW(
+        mergeShardReports(
+            plan, {json::parse("[]"), json::parse("{}")}),
+        ConfigError);
+
+    // Outcome count disagrees with the plan.
+    const json::Value one_outcome = json::parse(
+        R"({"outcomes": [{"ok": true}]})");
+    EXPECT_THROW(
+        mergeShardReports(
+            plan,
+            {json::parse(R"({"outcomes": []})"), one_outcome}),
+        ConfigError);
+}
+
+// ------------------------------------------------ sharded runs
+
+/** data/requests path of the shipped tree. */
+std::string
+shippedBatchPath()
+{
+    return (std::filesystem::path(ECOCHIP_DATA_DIR) /
+            "requests" / "builtin_estimates.json")
+        .string();
+}
+
+TEST(ShardRunner, MergedShardReportsAreByteIdenticalToOneProcess)
+{
+    // The acceptance gate: the shipped 13-request batch run as
+    // 1/2/4 worker processes merges to the byte-identical
+    // BatchReport JSON of the single-process runBatch.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+
+    // Scoped so the engine's pool threads are joined before the
+    // sharded runs fork worker processes.
+    std::string single;
+    {
+        AnalysisEngine engine(4);
+        single =
+            batchReportToJson(engine.runBatch(batch.requests))
+                .dump(true);
+    }
+
+    for (int shards : {1, 2, 4}) {
+        ShardedRunOptions options;
+        options.batchPath = shippedBatchPath();
+        options.shards = shards;
+        options.engineThreadsPerWorker = 2;
+        // No workerExe: fork-without-exec library mode.
+        const ShardedRunResult result =
+            runShardedBatch(options);
+        EXPECT_EQ(result.shardsUsed,
+                  static_cast<std::size_t>(
+                      std::min(shards, 9))); // 9 bindings
+        EXPECT_TRUE(result.allOk());
+        EXPECT_EQ(result.mergedReport.dump(true), single)
+            << shards << " shards";
+    }
+}
+
+TEST(ShardRunner, FailedRequestsSurviveTheShardCut)
+{
+    // A sub-batch with a failing request: the worker exits 1,
+    // the report still merges, and the failure lands at its
+    // original index.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_shard_failures";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::vector<AnalysisRequest> requests = {
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("no-such-scenario"),
+         EstimateSpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+    };
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    ShardedRunOptions options;
+    options.batchPath = batch_path;
+    options.shards = 3;
+    options.shardDir = (dir / "shards").string();
+    const ShardedRunResult result = runShardedBatch(options);
+
+    EXPECT_EQ(result.shardsUsed, 3u);
+    EXPECT_EQ(result.succeeded, 2u);
+    EXPECT_EQ(result.failed, 1u);
+    EXPECT_FALSE(result.allOk());
+    const auto &outcomes =
+        result.mergedReport.at("outcomes").asArray();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].at("ok").asBoolean());
+    EXPECT_FALSE(outcomes[1].at("ok").asBoolean());
+    EXPECT_NE(outcomes[1].at("error").asString().find(
+                  "no-such-scenario"),
+              std::string::npos);
+    EXPECT_TRUE(outcomes[2].at("ok").asBoolean());
+
+    // Scratch files were kept (explicit shardDir).
+    EXPECT_EQ(result.shardFiles.size(), 3u);
+    for (const auto &path : result.shardFiles)
+        EXPECT_TRUE(std::filesystem::exists(path)) << path;
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardRunner, RelativeCatalogPathsSurviveTheShardCut)
+{
+    // Regression: a batch named by a cwd-relative path whose
+    // "scenarios" catalog is batch-relative used to break under
+    // sharding -- the sub-batch files live in another directory,
+    // so the stored catalog path resolved against the wrong
+    // base. writeShardFiles must pin it to an absolute path.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_shard_rel_catalog";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    {
+        std::ofstream catalog(dir / "catalog.json");
+        catalog << kCatalogJson;
+    }
+    {
+        std::ofstream batch(dir / "batch.json");
+        batch << R"({
+            "scenarios": "catalog.json",
+            "requests": [
+                {"scenario": "tiny-soc", "analysis": "estimate"},
+                {"scenario": "ga102", "analysis": "estimate"}
+            ]
+        })";
+    }
+
+    // Address the batch with a path relative to the test's cwd,
+    // exactly as a CLI user would.
+    const std::string relative_batch =
+        std::filesystem::relative(dir / "batch.json").string();
+    ASSERT_FALSE(
+        std::filesystem::path(relative_batch).is_absolute());
+
+    ShardedRunOptions options;
+    options.batchPath = relative_batch;
+    options.shards = 2;
+    options.shardDir = (dir / "shards").string();
+    const ShardedRunResult result = runShardedBatch(options);
+    EXPECT_EQ(result.shardsUsed, 2u);
+    EXPECT_TRUE(result.allOk()) << result.mergedReport.dump();
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardRunner, WorkerRoundTripsItsSubBatchThroughRequestIo)
+{
+    // runShardWorker end to end on one file: the report's
+    // requests parse back (NDJSON/report round-trip through
+    // request_io) and match the sub-batch on disk.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_shard_worker";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    const ShardPlan plan = planShards(batch.requests, 4);
+    const auto files =
+        writeShardFiles(batch, plan, dir.string());
+    ASSERT_EQ(files.size(), 4u);
+
+    const std::string report_path =
+        (dir / "report.json").string();
+    const int code =
+        runShardWorker(files[0], report_path, 2);
+    EXPECT_EQ(code, 0);
+
+    const json::Value report = json::parseFile(report_path);
+    const auto &outcomes = report.at("outcomes").asArray();
+    ASSERT_EQ(outcomes.size(), plan.shards[0].size());
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        const AnalysisRequest request = requestFromJson(
+            outcomes[j].at("request"));
+        EXPECT_TRUE(request ==
+                    batch.requests[plan.shards[0][j]]);
+    }
+
+    std::filesystem::remove_all(dir);
 }
 
 // ------------------------------------------------ thread pool
