@@ -11,6 +11,8 @@
  *   eco_chip --batch requests.json [--engine_threads N] [--stream]
  *   eco_chip --shard requests.json --shards K [--json FILE]
  *   eco_chip --shard_worker sub_batch.json --json report.json
+ *   eco_chip --coordinate requests.json --hosts hosts.json
+ *            [--retries N] [--shard_timeout S]
  *
  * Options:
  *   --design_dir DIR   design directory with architecture.json
@@ -34,6 +36,18 @@
  *   --shard_worker F   run one sub-batch and write its
  *                      BatchReport JSON to the --json path
  *                      (what --shard fork/execs per shard)
+ *   --coordinate FILE  dispatch a batch's shards onto the hosts
+ *                      of a --hosts manifest (local or command
+ *                      transports), retry failures/stragglers,
+ *                      and merge; byte-identical to --batch
+ *   --hosts FILE       hosts.json manifest for --coordinate
+ *                      (host name, slots, optional command
+ *                      template -- see docs/distributed.md)
+ *   --retries N        re-dispatches allowed per shard before
+ *                      the coordinated run fails (default 2)
+ *   --shard_timeout S  straggler deadline in seconds: a shard
+ *                      dispatch running longer is cancelled and
+ *                      re-dispatched (default: no deadline)
  *   --engine_threads N engine worker threads for --batch /
  *                      per-process for --shard/--shard_worker
  *                      (default: one per hardware thread;
@@ -65,8 +79,10 @@
 #include <filesystem>
 
 #include "engine/analysis_engine.h"
+#include "engine/shard_coordinator.h"
 #include "engine/shard_runner.h"
 #include "io/batch_report_io.h"
+#include "io/host_manifest_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
 #include "session/analysis_session.h"
@@ -86,11 +102,19 @@ struct CliOptions
     std::string shardWorkerPath;
     std::string shardDir;
     std::string scenariosPath;
+    std::string coordinatePath;
+    std::string hostsPath;
     bool listScenarios = false;
     bool stream = false;
 
     /** Unset means the default of 2 worker processes. */
     std::optional<int> shards;
+
+    /** Unset means the coordinator default of 2 re-dispatches. */
+    std::optional<int> retries;
+
+    /** Unset means no straggler deadline. */
+    std::optional<double> shardTimeout;
 
     /** Unset means one worker per hardware thread. */
     std::optional<int> engineThreads;
@@ -107,14 +131,17 @@ printUsage(std::ostream &os)
 {
     os << "usage: eco_chip (--design_dir DIR | --scenario NAME |"
           " --batch FILE |\n"
-          "    --shard FILE --shards K | --shard_worker FILE)\n"
+          "    --shard FILE --shards K | --shard_worker FILE |\n"
+          "    --coordinate FILE --hosts HOSTS.json)\n"
           "    [--node_list 7,10,14] [--montecarlo N]"
           " [--threads T] [--cost]\n"
           "    [--engine_threads N] [--scenarios FILE]"
           " [--json FILE]\n"
           "    [--markdown FILE] [--list_scenarios] [--stream]\n"
-          "    [--shard_dir DIR]\n"
-          "see docs/cli.md for the full flag reference\n";
+          "    [--shard_dir DIR] [--retries N]"
+          " [--shard_timeout S]\n"
+          "see docs/cli.md and docs/distributed.md for the full"
+          " flag reference\n";
 }
 
 void
@@ -129,7 +156,8 @@ printScenarios(std::ostream &os,
 }
 
 int
-parsePositiveInt(const std::string &arg, const std::string &token)
+parseIntAtLeast(const std::string &arg, const std::string &token,
+                int min)
 {
     int value = 0;
     try {
@@ -140,7 +168,40 @@ parsePositiveInt(const std::string &arg, const std::string &token)
         throw ConfigError("invalid value for " + arg + ": " +
                           token);
     }
-    requireConfig(value > 0, arg + " must be positive");
+    requireConfig(value >= min,
+                  arg + (min == 1 ? " must be positive"
+                                  : " must be >= " +
+                                        std::to_string(min)));
+    return value;
+}
+
+int
+parsePositiveInt(const std::string &arg, const std::string &token)
+{
+    return parseIntAtLeast(arg, token, 1);
+}
+
+int
+parseNonNegativeInt(const std::string &arg,
+                    const std::string &token)
+{
+    return parseIntAtLeast(arg, token, 0);
+}
+
+double
+parsePositiveDouble(const std::string &arg,
+                    const std::string &token)
+{
+    double value = 0.0;
+    try {
+        std::size_t consumed = 0;
+        value = std::stod(token, &consumed);
+        requireConfig(consumed == token.size(), "trailing junk");
+    } catch (const std::exception &) {
+        throw ConfigError("invalid value for " + arg + ": " +
+                          token);
+    }
+    requireConfig(value > 0.0, arg + " must be positive");
     return value;
 }
 
@@ -171,6 +232,16 @@ parseArgs(int argc, char **argv)
             opts.shardDir = next_value();
         } else if (arg == "--shard_worker") {
             opts.shardWorkerPath = next_value();
+        } else if (arg == "--coordinate") {
+            opts.coordinatePath = next_value();
+        } else if (arg == "--hosts") {
+            opts.hostsPath = next_value();
+        } else if (arg == "--retries") {
+            opts.retries =
+                parseNonNegativeInt(arg, next_value());
+        } else if (arg == "--shard_timeout") {
+            opts.shardTimeout =
+                parsePositiveDouble(arg, next_value());
         } else if (arg == "--engine_threads") {
             opts.engineThreads =
                 parsePositiveInt(arg, next_value());
@@ -218,17 +289,19 @@ parseArgs(int argc, char **argv)
     }
     const bool batch_mode = !opts.batchPath.empty() ||
                             !opts.shardPath.empty() ||
-                            !opts.shardWorkerPath.empty();
+                            !opts.shardWorkerPath.empty() ||
+                            !opts.coordinatePath.empty();
     const int sources = (opts.designDir.empty() ? 0 : 1) +
                         (opts.scenario.empty() ? 0 : 1) +
                         (opts.batchPath.empty() ? 0 : 1) +
                         (opts.shardPath.empty() ? 0 : 1) +
-                        (opts.shardWorkerPath.empty() ? 0 : 1);
+                        (opts.shardWorkerPath.empty() ? 0 : 1) +
+                        (opts.coordinatePath.empty() ? 0 : 1);
     requireConfig(sources == 1 ||
                       (sources == 0 && opts.listScenarios),
                   "exactly one of --design_dir / --scenario / "
-                  "--batch / --shard / --shard_worker is "
-                  "required");
+                  "--batch / --shard / --shard_worker / "
+                  "--coordinate is required");
     requireConfig(!batch_mode ||
                       (opts.nodeList.empty() &&
                        opts.monteCarloTrials == 0 &&
@@ -238,8 +311,8 @@ parseArgs(int argc, char **argv)
                   "--threads/--cost do not apply");
     requireConfig(!opts.engineThreads || batch_mode,
                   "--engine_threads sizes the batch engine's "
-                  "pool; it requires --batch, --shard, or "
-                  "--shard_worker");
+                  "pool; it requires --batch, --shard, "
+                  "--shard_worker, or --coordinate");
     requireConfig(!opts.stream || !opts.batchPath.empty(),
                   "--stream emits batch results as NDJSON; it "
                   "requires --batch");
@@ -247,16 +320,30 @@ parseArgs(int argc, char **argv)
                   "--shards sizes the worker-process fleet; it "
                   "requires --shard");
     requireConfig(opts.shardDir.empty() ||
-                      !opts.shardPath.empty(),
+                      !opts.shardPath.empty() ||
+                      !opts.coordinatePath.empty(),
                   "--shard_dir keeps shard scratch files; it "
-                  "requires --shard");
+                  "requires --shard or --coordinate");
+    requireConfig(opts.coordinatePath.empty() ||
+                      !opts.hostsPath.empty(),
+                  "--coordinate dispatches shards onto a host "
+                  "manifest; --hosts HOSTS.json is required");
+    requireConfig(opts.hostsPath.empty() ||
+                      !opts.coordinatePath.empty(),
+                  "--hosts names the coordinator's host "
+                  "manifest; it requires --coordinate");
+    requireConfig((!opts.retries && !opts.shardTimeout) ||
+                      !opts.coordinatePath.empty(),
+                  "--retries/--shard_timeout tune the shard "
+                  "coordinator; they require --coordinate");
     requireConfig(opts.shardWorkerPath.empty() ||
                       opts.jsonPath.has_value(),
                   "--shard_worker writes its BatchReport to the "
                   "--json path; --json FILE is required");
     requireConfig(!opts.markdownPath ||
                       (opts.shardPath.empty() &&
-                       opts.shardWorkerPath.empty()),
+                       opts.shardWorkerPath.empty() &&
+                       opts.coordinatePath.empty()),
                   "--markdown applies to --design_dir/--scenario/"
                   "--batch runs, not shard modes");
     requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
@@ -465,6 +552,34 @@ selfExecutable(const char *argv0)
 }
 
 /**
+ * Per-request status lines for a merged BatchReport document --
+ * the same shape --batch prints, parsed back from the merged
+ * JSON so shard and coordinate modes share one path.
+ */
+void
+printMergedOutcomes(const std::vector<json::Value> &outcomes)
+{
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const json::Value &outcome = outcomes[i];
+        const bool ok = outcome.booleanOr("ok", false);
+        // Parse the request back so kind/binding print through
+        // the same typed path as the --batch status lines.
+        const AnalysisRequest request =
+            requestFromJson(outcome.at("request"));
+        std::cout << "  [" << (ok ? "ok" : "FAILED") << "] #"
+                  << i << " " << toString(request.kind()) << " "
+                  << request.scenario.label();
+        if (ok)
+            std::cout << " -- "
+                      << outcome.at("result").stringOr("detail",
+                                                       "");
+        else
+            std::cout << " -- " << outcome.stringOr("error", "");
+        std::cout << "\n";
+    }
+}
+
+/**
  * Coordinate a sharded batch: fork/exec one `--shard_worker`
  * process per shard, merge the reports, and print the same
  * per-request status lines as --batch. Returns 1 when any
@@ -492,26 +607,58 @@ runShard(const CliOptions &opts, const char *argv0)
               << " worker process(es), "
               << result.threadsPerWorker
               << " engine thread(s) each\n";
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        const json::Value &outcome = outcomes[i];
-        const bool ok = outcome.booleanOr("ok", false);
-        // Parse the request back so kind/binding print through
-        // the same typed path as the --batch status lines.
-        const AnalysisRequest request =
-            requestFromJson(outcome.at("request"));
-        std::cout << "  [" << (ok ? "ok" : "FAILED") << "] #"
-                  << i << " " << toString(request.kind()) << " "
-                  << request.scenario.label();
-        if (ok)
-            std::cout << " -- "
-                      << outcome.at("result").stringOr("detail",
-                                                       "");
-        else
-            std::cout << " -- " << outcome.stringOr("error", "");
-        std::cout << "\n";
-    }
+    printMergedOutcomes(outcomes);
     std::cout << result.succeeded << "/" << outcomes.size()
               << " requests ok\n";
+    if (!opts.shardDir.empty())
+        std::cout << "shard scratch files kept in "
+                  << opts.shardDir << "\n";
+
+    if (opts.jsonPath) {
+        json::writeFile(result.mergedReport, *opts.jsonPath);
+        std::cout << "merged report written to "
+                  << *opts.jsonPath << "\n";
+    }
+    return result.allOk() ? 0 : 1;
+}
+
+/**
+ * Coordinate a batch across the hosts of a manifest: dispatch
+ * each shard through its host's transport, retry failures and
+ * cancelled stragglers on other hosts, merge, and print the
+ * same per-request status lines as --batch. Returns 1 when any
+ * request failed.
+ */
+int
+runCoordinate(const CliOptions &opts, const char *argv0)
+{
+    CoordinatorOptions run;
+    run.batchPath = opts.coordinatePath;
+    run.hosts = loadHostManifest(opts.hostsPath);
+    run.retries = opts.retries.value_or(2);
+    run.shardTimeoutSeconds = opts.shardTimeout.value_or(0.0);
+    // Unset: automatic (the machine divided between the shards
+    // actually planned).
+    run.engineThreadsPerWorker = opts.engineThreads.value_or(0);
+    run.shardDir = opts.shardDir;
+    run.workerExe = selfExecutable(argv0);
+    run.scenariosPath = opts.scenariosPath;
+
+    const CoordinatedRunResult result =
+        runCoordinatedBatch(run);
+
+    const auto &outcomes =
+        result.mergedReport.at("outcomes").asArray();
+    std::cout << "coordinate: " << outcomes.size()
+              << " requests across " << run.hosts.hosts.size()
+              << " host(s) / " << run.hosts.totalSlots()
+              << " slot(s), " << result.shardsUsed
+              << " shard(s), " << result.threadsPerWorker
+              << " engine thread(s) each\n";
+    printMergedOutcomes(outcomes);
+    std::cout << result.succeeded << "/" << outcomes.size()
+              << " requests ok, " << result.redispatches
+              << " re-dispatch(es)\n";
     if (!opts.shardDir.empty())
         std::cout << "shard scratch files kept in "
                   << opts.shardDir << "\n";
@@ -540,6 +687,9 @@ run(int argc, char **argv)
 
     if (!opts.shardPath.empty())
         return runShard(opts, argv[0]);
+
+    if (!opts.coordinatePath.empty())
+        return runCoordinate(opts, argv[0]);
 
     ScenarioRegistry registry = ScenarioRegistry::builtin();
     if (!opts.scenariosPath.empty())

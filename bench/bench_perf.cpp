@@ -19,6 +19,7 @@
 #include "core/explorer.h"
 #include "core/testcases.h"
 #include "engine/analysis_engine.h"
+#include "engine/shard_coordinator.h"
 #include "engine/shard_runner.h"
 #include "floorplan/floorplan.h"
 #include "io/request_io.h"
@@ -259,6 +260,58 @@ BM_ShardedBatch(benchmark::State &state)
 }
 BENCHMARK(BM_ShardedBatch)
     ->Name("ShardedBatch")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_CoordinatedBatch(benchmark::State &state)
+{
+    // Host-level scaling of the same mix, one layer up: each
+    // iteration coordinates the batch file across N one-slot
+    // local hosts (2 engine threads per worker) through the
+    // shard coordinator's dispatch loop, so its scheduling,
+    // polling, and merge overhead stays measured next to
+    // ShardedBatch's raw fork/merge numbers. Arg(1) is the
+    // one-host baseline.
+    const int host_count = static_cast<int>(state.range(0));
+    const auto requests = engineBatchRequests();
+
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        "ecochip_bench_coordinated";
+    std::filesystem::create_directories(dir);
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    CoordinatorOptions options;
+    options.batchPath = batch_path;
+    for (int h = 0; h < host_count; ++h)
+        options.hosts.hosts.push_back(
+            {"local-" + std::to_string(h), 1, ""});
+    options.engineThreadsPerWorker = 2;
+
+    for (auto _ : state) {
+        const CoordinatedRunResult result =
+            runCoordinatedBatch(options);
+        if (!result.allOk()) {
+            state.SkipWithError("coordinated batch failed");
+            break;
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CoordinatedBatch)
+    ->Name("CoordinatedBatch")
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -1,49 +1,64 @@
 #!/usr/bin/env bash
 # Smoke-run every `./build/eco_chip ...` invocation documented in
-# docs/cli.md so the documented commands cannot rot: each line of
-# a fenced code block that starts with `./build/eco_chip`
+# the docs so the documented commands cannot rot: each line of a
+# fenced code block that starts with `./build/eco_chip`
 # (backslash continuations joined) is executed from the repo root
-# and must exit 0.
+# and must exit 0. Every scanned doc must contain at least one
+# invocation (doc/scanner drift is itself an error).
 #
-# Usage: scripts/run_doc_invocations.sh [ECO_CHIP_BINARY] [DOC]
+# Usage: scripts/run_doc_invocations.sh [ECO_CHIP_BINARY] [DOC ...]
 #   ECO_CHIP_BINARY  substituted for `./build/eco_chip`
 #                    (default: ./build/eco_chip)
-#   DOC              markdown file to scan (default: docs/cli.md)
+#   DOC ...          markdown files to scan
+#                    (default: docs/cli.md docs/distributed.md)
 set -u
 
 APP="${1:-./build/eco_chip}"
-DOC="${2:-docs/cli.md}"
+if [ "$#" -ge 1 ]; then
+    shift
+fi
+if [ "$#" -ge 1 ]; then
+    DOCS=("$@")
+else
+    DOCS=(docs/cli.md docs/distributed.md)
+fi
 
 if [ ! -x "$APP" ]; then
     echo "error: eco_chip binary not executable: $APP" >&2
-    exit 2
-fi
-if [ ! -f "$DOC" ]; then
-    echo "error: doc file not found: $DOC" >&2
     exit 2
 fi
 
 ran=0
 failed=0
 
-# Join "\"-continued lines, then keep the eco_chip invocations.
-while IFS= read -r cmd; do
-    # Substitute the binary path for the documented one.
-    cmd="${APP}${cmd#./build/eco_chip}"
-    ran=$((ran + 1))
-    echo "[$ran] $cmd"
-    status=0
-    bash -c "$cmd" >/dev/null 2>&1 || status=$?
-    if [ "$status" -ne 0 ]; then
-        echo "    FAILED (exit $status)" >&2
-        failed=$((failed + 1))
+for DOC in "${DOCS[@]}"; do
+    if [ ! -f "$DOC" ]; then
+        echo "error: doc file not found: $DOC" >&2
+        exit 2
     fi
-done < <(sed -e ':a' -e '/\\$/N' -e 's/\\\n[[:space:]]*/ /' -e 'ta' "$DOC" \
-         | grep -E '^\./build/eco_chip')
+    doc_ran=0
+
+    # Join "\"-continued lines, then keep the eco_chip invocations.
+    while IFS= read -r cmd; do
+        # Substitute the binary path for the documented one.
+        cmd="${APP}${cmd#./build/eco_chip}"
+        ran=$((ran + 1))
+        doc_ran=$((doc_ran + 1))
+        echo "[$ran] $cmd"
+        status=0
+        bash -c "$cmd" >/dev/null 2>&1 || status=$?
+        if [ "$status" -ne 0 ]; then
+            echo "    FAILED (exit $status)" >&2
+            failed=$((failed + 1))
+        fi
+    done < <(sed -e ':a' -e '/\\$/N' -e 's/\\\n[[:space:]]*/ /' -e 'ta' "$DOC" \
+             | grep -E '^\./build/eco_chip')
+
+    if [ "$doc_ran" -eq 0 ]; then
+        echo "error: no invocations found in $DOC (doc/scanner drift?)" >&2
+        exit 2
+    fi
+done
 
 echo "doc invocations: $((ran - failed))/$ran ok"
-if [ "$ran" -eq 0 ]; then
-    echo "error: no invocations found in $DOC (doc/scanner drift?)" >&2
-    exit 2
-fi
 [ "$failed" -eq 0 ]

@@ -1,0 +1,713 @@
+#include "engine/shard_coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "engine/analysis_engine.h"
+#include "engine/shard_planner.h"
+#include "engine/shard_runner.h"
+#include "io/request_io.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ECOCHIP_COORD_HAS_FORK 1
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define ECOCHIP_COORD_HAS_FORK 0
+#endif
+
+namespace ecochip {
+
+namespace {
+
+#if ECOCHIP_COORD_HAS_FORK
+
+/**
+ * Fork one child: exec'ing @p argv_strings when non-empty, else
+ * running @p in_child. Returns the child's pid. The child _exits
+ * (never exit) so it cannot flush stdio buffers or run atexit
+ * handlers inherited from the parent.
+ */
+long
+spawnChild(const std::vector<std::string> &argv_strings,
+           const std::function<int()> &in_child)
+{
+    const pid_t pid = fork();
+    if (pid < 0)
+        throw ModelError("fork() failed spawning a shard "
+                         "dispatch");
+    if (pid == 0) {
+        // Own process group, so cancelling a straggler can kill
+        // the whole tree -- a compound command template keeps
+        // /bin/sh alive as the worker's parent, and killing the
+        // shell alone would orphan the worker. Both sides call
+        // setpgid to close the fork/exec race; failure is
+        // harmless (the child stays in the parent's group and
+        // the direct kill below still lands).
+        setpgid(0, 0);
+        if (!argv_strings.empty()) {
+            std::vector<char *> argv;
+            for (const auto &arg : argv_strings)
+                argv.push_back(const_cast<char *>(arg.c_str()));
+            argv.push_back(nullptr);
+            execvp(argv[0], argv.data());
+            _exit(127); // exec failed
+        }
+        int code = 125;
+        try {
+            code = in_child();
+        } catch (...) {
+            code = 125;
+        }
+        _exit(code);
+    }
+    setpgid(pid, pid); // see the child-side call above
+    return pid;
+}
+
+/**
+ * Non-blocking wait: the child's exit code once it finished
+ * (signal-terminated children report 128 + signo, un-waitable
+ * ones -1), nullopt while it is still running.
+ */
+std::optional<int>
+pollChild(long pid)
+{
+    int status = 0;
+    pid_t waited;
+    do {
+        waited = waitpid(static_cast<pid_t>(pid), &status,
+                         WNOHANG);
+    } while (waited < 0 && errno == EINTR);
+    if (waited == 0)
+        return std::nullopt;
+    if (waited != static_cast<pid_t>(pid))
+        return -1; // unaccountable child
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return std::nullopt; // stopped/continued: still running
+}
+
+/** Kill and reap a straggler child and its process group. */
+void
+killChild(long pid)
+{
+    // Group first (shell wrappers, compound commands), then the
+    // direct child in case setpgid lost its race.
+    kill(-static_cast<pid_t>(pid), SIGKILL);
+    kill(static_cast<pid_t>(pid), SIGKILL);
+    int status = 0;
+    pid_t waited;
+    do {
+        waited = waitpid(static_cast<pid_t>(pid), &status, 0);
+    } while (waited < 0 && errno == EINTR);
+}
+
+#else // !ECOCHIP_COORD_HAS_FORK
+
+[[noreturn]] void
+throwNoFork()
+{
+    throw ConfigError(
+        "process transports require a POSIX platform "
+        "(fork/exec); inject a custom ShardTransport instead");
+}
+
+#endif // ECOCHIP_COORD_HAS_FORK
+
+/** Shared poll step for the pid-keyed transports. */
+std::optional<int>
+pollPidTable(std::map<std::size_t, long> &pids,
+             std::size_t shard)
+{
+#if !ECOCHIP_COORD_HAS_FORK
+    (void)pids;
+    (void)shard;
+    throwNoFork();
+#else
+    const auto it = pids.find(shard);
+    requireModel(it != pids.end(),
+                 "poll() on a shard with no live dispatch");
+    const auto code = pollChild(it->second);
+    if (code)
+        pids.erase(it);
+    return code;
+#endif
+}
+
+/** Shared cancel step for the pid-keyed transports. */
+void
+cancelPidTable(std::map<std::size_t, long> &pids,
+               std::size_t shard)
+{
+#if !ECOCHIP_COORD_HAS_FORK
+    (void)pids;
+    (void)shard;
+    throwNoFork();
+#else
+    const auto it = pids.find(shard);
+    requireModel(it != pids.end(),
+                 "cancel() on a shard with no live dispatch");
+    killChild(it->second);
+    pids.erase(it);
+#endif
+}
+
+} // namespace
+
+// ---------------------------------------------- LocalProcessTransport
+
+void
+LocalProcessTransport::start(const ShardDispatch &dispatch)
+{
+#if !ECOCHIP_COORD_HAS_FORK
+    (void)dispatch;
+    throwNoFork();
+#else
+    std::vector<std::string> argv;
+    if (!dispatch.workerExe.empty()) {
+        argv = {dispatch.workerExe,
+                "--shard_worker",
+                dispatch.subBatchPath,
+                "--json",
+                dispatch.reportPath,
+                "--engine_threads",
+                std::to_string(dispatch.engineThreads)};
+        if (!dispatch.scenariosPath.empty()) {
+            argv.push_back("--scenarios");
+            argv.push_back(dispatch.scenariosPath);
+        }
+    }
+    // Fork-only mode runs the worker in the child directly; the
+    // coordinator's event loop is single-threaded, so the usual
+    // POSIX fork-from-one-thread precondition holds (see
+    // engine/shard_runner.h).
+    pids_[dispatch.shard] = spawnChild(argv, [dispatch] {
+        return runShardWorker(
+            dispatch.subBatchPath, dispatch.reportPath,
+            dispatch.engineThreads, dispatch.scenariosPath);
+    });
+#endif
+}
+
+std::optional<int>
+LocalProcessTransport::poll(std::size_t shard)
+{
+    return pollPidTable(pids_, shard);
+}
+
+void
+LocalProcessTransport::cancel(std::size_t shard)
+{
+    cancelPidTable(pids_, shard);
+}
+
+// ---------------------------------------------- CommandTransport
+
+namespace {
+
+/**
+ * POSIX-shell-quote one substituted value. Values made only of
+ * known-safe characters pass through untouched (keeps the
+ * common expanded command readable and ssh-friendly); anything
+ * else -- a shard dir with spaces, a quote -- is single-quoted
+ * with embedded quotes escaped, so it can never split into
+ * extra words or grow shell syntax inside `/bin/sh -c`.
+ */
+std::string
+shellQuote(const std::string &value)
+{
+    static const char *safe =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789" "_@%+=:,./-";
+    if (!value.empty() &&
+        value.find_first_not_of(safe) == std::string::npos)
+        return value;
+    std::string quoted = "'";
+    for (const char c : value) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+} // namespace
+
+CommandTransport::CommandTransport(HostSpec host)
+    : host_(std::move(host))
+{
+    requireConfig(!host_.command.empty(),
+                  "host \"" + host_.name +
+                      "\" has no command template; use the "
+                      "local transport instead");
+    validateCommandTemplate(host_.command,
+                            "host \"" + host_.name + "\"");
+}
+
+std::string
+CommandTransport::commandFor(const ShardDispatch &dispatch) const
+{
+    if (dispatch.workerExe.empty() &&
+        host_.command.find("{worker}") != std::string::npos)
+        throw ConfigError(
+            "host \"" + host_.name +
+            "\" names {worker} in its command template but "
+            "this run has no worker executable");
+    const std::vector<std::pair<std::string, std::string>>
+        values = {
+        {"host", shellQuote(host_.name)},
+        {"worker", shellQuote(dispatch.workerExe)},
+        {"sub_batch", shellQuote(dispatch.subBatchPath)},
+        {"report", shellQuote(dispatch.reportPath)},
+        {"threads", std::to_string(dispatch.engineThreads)},
+        {"scenarios_args",
+         dispatch.scenariosPath.empty()
+             ? std::string()
+             : "--scenarios " +
+                   shellQuote(dispatch.scenariosPath)},
+    };
+    return expandCommandTemplate(host_.command, values);
+}
+
+void
+CommandTransport::start(const ShardDispatch &dispatch)
+{
+#if !ECOCHIP_COORD_HAS_FORK
+    (void)dispatch;
+    throwNoFork();
+#else
+    const std::string command = commandFor(dispatch);
+    pids_[dispatch.shard] =
+        spawnChild({"/bin/sh", "-c", command}, {});
+#endif
+}
+
+std::optional<int>
+CommandTransport::poll(std::size_t shard)
+{
+    return pollPidTable(pids_, shard);
+}
+
+void
+CommandTransport::cancel(std::size_t shard)
+{
+    cancelPidTable(pids_, shard);
+}
+
+// ---------------------------------------------- TestTransport
+
+void
+TestTransport::injectHangs(std::size_t shard, std::size_t count)
+{
+    hangs_[shard] += count;
+}
+
+void
+TestTransport::injectFailures(std::size_t shard,
+                              std::size_t count)
+{
+    failures_[shard] += count;
+}
+
+void
+TestTransport::start(const ShardDispatch &dispatch)
+{
+    history_.push_back(dispatch);
+    const std::size_t nth = dispatches_[dispatch.shard]++;
+
+    const std::size_t hangs = hangs_.count(dispatch.shard)
+                                  ? hangs_[dispatch.shard]
+                                  : 0;
+    if (nth < hangs) {
+        state_[dispatch.shard] = std::nullopt; // hung
+        return;
+    }
+    const std::size_t failures =
+        failures_.count(dispatch.shard)
+            ? failures_[dispatch.shard]
+            : 0;
+    if (nth < hangs + failures) {
+        state_[dispatch.shard] = 134; // died, no report
+        return;
+    }
+    // Healthy dispatch: run the worker in-process, synchronously.
+    state_[dispatch.shard] = runShardWorker(
+        dispatch.subBatchPath, dispatch.reportPath,
+        dispatch.engineThreads, dispatch.scenariosPath);
+}
+
+std::optional<int>
+TestTransport::poll(std::size_t shard)
+{
+    const auto it = state_.find(shard);
+    requireModel(it != state_.end(),
+                 "poll() on a shard with no live dispatch");
+    if (!it->second.has_value())
+        return std::nullopt; // hung until cancelled
+    const int code = *it->second;
+    state_.erase(it);
+    return code;
+}
+
+void
+TestTransport::cancel(std::size_t shard)
+{
+    const auto it = state_.find(shard);
+    requireModel(it != state_.end(),
+                 "cancel() on a shard with no live dispatch");
+    state_.erase(it);
+    ++cancelled_;
+}
+
+// ---------------------------------------------- coordinator
+
+namespace {
+
+std::shared_ptr<ShardTransport>
+defaultTransport(const HostSpec &host)
+{
+    if (host.isLocal())
+        return std::make_shared<LocalProcessTransport>();
+    return std::make_shared<CommandTransport>(host);
+}
+
+} // namespace
+
+CoordinatedRunResult
+runCoordinatedBatch(const CoordinatorOptions &options)
+{
+    const auto &hosts = options.hosts.hosts;
+    requireConfig(!hosts.empty(),
+                  "host manifest names no hosts");
+    requireConfig(options.retries >= 0,
+                  "--retries must be >= 0");
+    requireConfig(options.shardTimeoutSeconds >= 0.0,
+                  "--shard_timeout must be positive "
+                  "(0 disables the deadline)");
+    requireConfig(options.engineThreadsPerWorker >= 0,
+                  "engine threads per worker must be >= 1 "
+                  "(or 0 for automatic)");
+
+    const BatchFile batch = loadBatchFile(options.batchPath);
+    const ShardPlan plan =
+        planShards(batch.requests, options.hosts.totalSlots());
+
+    // Same auto sizing rule as the single-host runner: divide
+    // the machine between the shards actually planned.
+    const int worker_threads =
+        options.engineThreadsPerWorker > 0
+            ? options.engineThreadsPerWorker
+            : std::max(1,
+                       Parallelism::hardware().threads /
+                           static_cast<int>(plan.shardCount()));
+
+    const bool temporary = options.shardDir.empty();
+    const std::string dir =
+        temporary
+            ? (std::filesystem::temp_directory_path() /
+               ("ecochip_coordinate_" +
+                std::to_string(
+#if ECOCHIP_COORD_HAS_FORK
+                    static_cast<long>(getpid())
+#else
+                    0L
+#endif
+                        )))
+                  .string()
+            : options.shardDir;
+
+    std::vector<std::shared_ptr<ShardTransport>> transports;
+    transports.reserve(hosts.size());
+    for (const auto &host : hosts)
+        transports.push_back(options.transportFactory
+                                 ? options.transportFactory(host)
+                                 : defaultTransport(host));
+
+    CoordinatedRunResult result;
+    result.shardsUsed = plan.shardCount();
+    result.threadsPerWorker = worker_threads;
+    try {
+        result.shardFiles = writeShardFiles(batch, plan, dir);
+        for (const auto &shard_file : result.shardFiles)
+            result.reportFiles.push_back(shard_file + ".report");
+
+        struct ShardState
+        {
+            std::size_t attempts = 0;
+            std::set<std::size_t> excludedHosts;
+            bool inFlight = false;
+            bool done = false;
+            std::size_t host = 0;
+            std::chrono::steady_clock::time_point started;
+
+            /** Report path of the live (then successful)
+             *  dispatch. */
+            std::string currentReport;
+        };
+        std::vector<ShardState> states(plan.shardCount());
+        std::vector<int> free_slots;
+        for (const auto &host : hosts)
+            free_slots.push_back(host.slots);
+        std::deque<std::size_t> ready;
+        for (std::size_t s = 0; s < plan.shardCount(); ++s)
+            ready.push_back(s);
+        std::size_t completed = 0;
+
+        const auto record_attempt =
+            [&](std::size_t shard, bool ok,
+                const std::string &reason) {
+                const ShardState &st = states[shard];
+                result.attempts.push_back(
+                    {shard, st.attempts - 1,
+                     hosts[st.host].name, ok, reason});
+            };
+
+        // A failed/cancelled dispatch frees its slot, burns one
+        // retry, excludes the host it failed on, and re-queues
+        // the shard -- or fails the whole run once the retry
+        // budget is spent.
+        const auto handle_failure = [&](std::size_t shard,
+                                        const std::string
+                                            &reason) {
+            ShardState &st = states[shard];
+            st.inFlight = false;
+            ++free_slots[st.host];
+            record_attempt(shard, false, reason);
+            if (static_cast<int>(st.attempts) >
+                options.retries) {
+                // The result (and its attempt history) never
+                // escapes on the error path, so the operator's
+                // per-attempt trail must ride in the message.
+                std::string history;
+                for (const auto &attempt : result.attempts)
+                    if (attempt.shard == shard)
+                        history += "\n  attempt #" +
+                                   std::to_string(
+                                       attempt.attempt) +
+                                   " on host '" + attempt.host +
+                                   "': " + attempt.reason;
+                throw Error(
+                    "shard #" + std::to_string(shard) + " (" +
+                    result.shardFiles[shard] +
+                    ") has no retries left after " +
+                    std::to_string(st.attempts) +
+                    " attempt(s); dispatch history:" + history);
+            }
+            st.excludedHosts.insert(st.host);
+            ++result.redispatches;
+            ready.push_back(shard);
+        };
+
+        // On any mid-run error (retries exhausted, transport
+        // failure), kill the other in-flight dispatches before
+        // unwinding -- orphaned workers must not race the
+        // scratch-directory cleanup below.
+        const auto cancel_in_flight = [&]() {
+            for (std::size_t shard = 0; shard < states.size();
+                 ++shard)
+                if (states[shard].inFlight)
+                    try {
+                        transports[states[shard].host]->cancel(
+                            shard);
+                    } catch (...) {
+                        // Best effort; keep the original error.
+                    }
+        };
+
+        try {
+            // Idle backoff: start fine-grained so short shards
+            // complete promptly, decay toward a coarse tick so
+            // hour-long dispatches do not busy-poll the
+            // coordinating node. Any progress resets it.
+            std::chrono::milliseconds idle_sleep{1};
+            constexpr std::chrono::milliseconds max_idle_sleep{
+                50};
+            while (completed < plan.shardCount()) {
+                // Dispatch: deal every ready shard a free slot on
+                // the first (manifest order) host it has not failed
+                // on; once a shard has failed everywhere, any host
+                // will do -- a one-host manifest must still be able
+                // to retry.
+                for (std::size_t n = ready.size(); n > 0; --n) {
+                    const std::size_t shard = ready.front();
+                    ready.pop_front();
+                    ShardState &st = states[shard];
+                    bool any_unexcluded = false;
+                    for (std::size_t h = 0; h < hosts.size(); ++h)
+                        if (st.excludedHosts.count(h) == 0)
+                            any_unexcluded = true;
+                    std::optional<std::size_t> chosen;
+                    for (std::size_t h = 0; h < hosts.size();
+                         ++h) {
+                        if (free_slots[h] <= 0)
+                            continue;
+                        if (any_unexcluded &&
+                            st.excludedHosts.count(h) != 0)
+                            continue;
+                        chosen = h;
+                        break;
+                    }
+                    if (!chosen) {
+                        ready.push_back(shard); // wait for a slot
+                        continue;
+                    }
+
+                    ShardDispatch dispatch;
+                    dispatch.shard = shard;
+                    dispatch.attempt = st.attempts;
+                    dispatch.host = hosts[*chosen].name;
+                    dispatch.subBatchPath =
+                        result.shardFiles[shard];
+                    // Retries write to a fresh per-attempt path:
+                    // a cancelled straggler whose worker outlives
+                    // the kill (an orphan behind ssh or a shell
+                    // wrapper) may still scribble on *its* report
+                    // file, and must never race the retry's
+                    // output or the final merge read.
+                    dispatch.reportPath =
+                        st.attempts == 0
+                            ? result.reportFiles[shard]
+                            : result.reportFiles[shard] +
+                                  ".retry" +
+                                  std::to_string(st.attempts);
+                    dispatch.engineThreads = worker_threads;
+                    dispatch.scenariosPath = options.scenariosPath;
+                    dispatch.workerExe = options.workerExe;
+
+                    // A stale report (previous run, reused
+                    // shard_dir) must never merge as this
+                    // dispatch's output.
+                    std::error_code ec;
+                    std::filesystem::remove(dispatch.reportPath,
+                                            ec);
+
+                    ++st.attempts;
+                    st.host = *chosen;
+                    st.currentReport = dispatch.reportPath;
+                    st.started = std::chrono::steady_clock::now();
+                    st.inFlight = true;
+                    --free_slots[*chosen];
+                    transports[*chosen]->start(dispatch);
+                }
+
+                // Poll: collect completions, cancel stragglers.
+                bool progressed = false;
+                for (std::size_t shard = 0; shard < states.size();
+                     ++shard) {
+                    ShardState &st = states[shard];
+                    if (!st.inFlight)
+                        continue;
+                    const auto code =
+                        transports[st.host]->poll(shard);
+                    if (code) {
+                        progressed = true;
+                        const bool exit_ok =
+                            *code == 0 || *code == 1;
+                        if (exit_ok &&
+                            std::filesystem::exists(
+                                st.currentReport)) {
+                            st.inFlight = false;
+                            st.done = true;
+                            ++free_slots[st.host];
+                            ++completed;
+                            // The merge (and the user-facing
+                            // listing) must read the attempt
+                            // that actually succeeded.
+                            result.reportFiles[shard] =
+                                st.currentReport;
+                            record_attempt(shard, true,
+                                           *code == 0
+                                               ? "ok"
+                                               : "requests "
+                                                 "failed");
+                        } else if (exit_ok) {
+                            handle_failure(
+                                shard,
+                                "exited " +
+                                    std::to_string(*code) +
+                                    " but wrote no report at " +
+                                    st.currentReport);
+                        } else {
+                            handle_failure(
+                                shard,
+                                "died with exit code " +
+                                    std::to_string(*code) +
+                                    " before writing its report");
+                        }
+                    } else if (options.shardTimeoutSeconds > 0.0) {
+                        const double elapsed =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                st.started)
+                                .count();
+                        if (elapsed >
+                            options.shardTimeoutSeconds) {
+                            progressed = true;
+                            transports[st.host]->cancel(shard);
+                            handle_failure(
+                                shard,
+                                "missed the " +
+                                    std::to_string(
+                                        options
+                                            .shardTimeoutSeconds) +
+                                    " s deadline (straggler "
+                                    "cancelled)");
+                        }
+                    }
+                }
+
+                if (progressed) {
+                    idle_sleep = std::chrono::milliseconds{1};
+                } else if (completed < plan.shardCount()) {
+                    std::this_thread::sleep_for(idle_sleep);
+                    idle_sleep =
+                        std::min(idle_sleep * 2, max_idle_sleep);
+                }
+            }
+        } catch (...) {
+            cancel_in_flight();
+            throw;
+        }
+
+        std::vector<json::Value> reports;
+        reports.reserve(plan.shardCount());
+        for (const auto &report_file : result.reportFiles)
+            reports.push_back(json::parseFile(report_file));
+        result.mergedReport = mergeShardReports(plan, reports);
+        result.succeeded = static_cast<std::size_t>(
+            result.mergedReport.at("succeeded").asInteger());
+        result.failed = static_cast<std::size_t>(
+            result.mergedReport.at("failed").asInteger());
+    } catch (...) {
+        if (temporary) {
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec);
+        }
+        throw;
+    }
+
+    if (temporary) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        result.shardFiles.clear();
+        result.reportFiles.clear();
+    }
+    return result;
+}
+
+} // namespace ecochip

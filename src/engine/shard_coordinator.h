@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Multi-host coordination of a sharded request batch.
+ *
+ * `engine/shard_runner.h` runs shards as worker processes on one
+ * machine; this module is the layer above it: a coordinator that
+ * takes the same `planShards` output and dispatches each shard
+ * through a pluggable `ShardTransport` onto the hosts of a
+ * `hosts.json` manifest (`io/host_manifest_io.h`):
+ *
+ *  - `LocalProcessTransport` wraps the fork(/exec) worker path,
+ *    so `runShardedBatch` is now a thin wrapper over the
+ *    coordinator with a one-host manifest.
+ *  - `CommandTransport` runs a user-supplied command template
+ *    (e.g. `ssh {host} eco_chip --shard_worker {sub_batch} ...`)
+ *    through `/bin/sh -c`. The sub-batch and report files are
+ *    staged in the run's shard directory, which must be visible
+ *    to the remote host (shared filesystem) -- see
+ *    `docs/distributed.md`.
+ *  - `TestTransport` injects faults (failed or hanging
+ *    dispatches) and records the dispatch history, for tests.
+ *
+ * The scheduler is a single-threaded event loop (so the
+ * fork-only library mode stays safe to use): shards are dealt
+ * onto free host slots in manifest order, stragglers are
+ * detected against a configurable per-shard deadline and
+ * cancelled, and a failed or timed-out shard is re-dispatched --
+ * bounded by `CoordinatorOptions::retries` -- preferring hosts
+ * it has not failed on yet. The per-shard reports merge through
+ * `mergeShardReports`, so the coordinated `BatchReport` stays
+ * byte-identical to the single-process `--batch` run no matter
+ * how many hosts, failures, or re-dispatches were involved
+ * (locked by `tests/test_engine.cpp` and the
+ * `coordinate_equivalence` CTest).
+ *
+ * CLI: `eco_chip --coordinate FILE --hosts HOSTS.json`
+ * (`docs/cli.md`); operator guide: `docs/distributed.md`.
+ */
+
+#ifndef ECOCHIP_ENGINE_SHARD_COORDINATOR_H
+#define ECOCHIP_ENGINE_SHARD_COORDINATOR_H
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/host_manifest_io.h"
+#include "json/json.h"
+
+namespace ecochip {
+
+/** One attempt to run one shard on one host. */
+struct ShardDispatch
+{
+    /** Shard index within the plan. */
+    std::size_t shard = 0;
+
+    /** 0-based attempt number for this shard. */
+    std::size_t attempt = 0;
+
+    /** Manifest name of the host this dispatch targets. */
+    std::string host;
+
+    /** Sub-batch file the worker must run. */
+    std::string subBatchPath;
+
+    /** Where the worker must leave its `BatchReport` JSON. */
+    std::string reportPath;
+
+    /** Engine threads the worker should run with. */
+    int engineThreads = 1;
+
+    /** Extra scenario catalog (may be empty). */
+    std::string scenariosPath;
+
+    /** Worker executable for transports that exec one (empty in
+     *  the fork-only library mode). */
+    std::string workerExe;
+};
+
+/**
+ * How a dispatch reaches a host. One transport instance serves
+ * one manifest host; a shard has at most one live dispatch at a
+ * time, so the shard index keys `poll`/`cancel`.
+ *
+ * The exit-code contract matches the shard-worker convention:
+ * 0 = every request ok, 1 = some requests failed (the report is
+ * written either way); anything else means the dispatch died
+ * without a usable report and the coordinator will retry it.
+ */
+class ShardTransport
+{
+  public:
+    virtual ~ShardTransport() = default;
+
+    /** Launch @p dispatch; must not block on its completion. */
+    virtual void start(const ShardDispatch &dispatch) = 0;
+
+    /**
+     * Exit code of @p shard's live dispatch once it finished,
+     * `std::nullopt` while it is still running.
+     */
+    virtual std::optional<int> poll(std::size_t shard) = 0;
+
+    /** Abandon @p shard's live dispatch (straggler cancelled by
+     *  the deadline), reaping any resources it held. */
+    virtual void cancel(std::size_t shard) = 0;
+
+    /** Transport name for logs and dispatch records. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Runs a dispatch as a worker process on the coordinating
+ * machine: fork/exec of `ShardDispatch::workerExe` when set
+ * (`<exe> --shard_worker <sub_batch> --json <report> ...`), else
+ * plain fork with `runShardWorker` in the child -- the
+ * library/test/bench path. POSIX only; `start` throws elsewhere.
+ */
+class LocalProcessTransport : public ShardTransport
+{
+  public:
+    void start(const ShardDispatch &dispatch) override;
+    std::optional<int> poll(std::size_t shard) override;
+    void cancel(std::size_t shard) override;
+    std::string name() const override { return "local"; }
+
+  private:
+    /** Live child pid per shard. */
+    std::map<std::size_t, long> pids_;
+};
+
+/**
+ * Runs a dispatch through the host's command template: the
+ * `{...}` placeholders are expanded
+ * (`io/host_manifest_io.h`) and the line runs under
+ * `/bin/sh -c`. The command's exit code is the dispatch's exit
+ * code, so remote invocations should propagate the worker's
+ * (ssh does). POSIX only; `start` throws elsewhere.
+ */
+class CommandTransport : public ShardTransport
+{
+  public:
+    /** @param host Manifest entry; `host.command` must be a
+     *  validated template. */
+    explicit CommandTransport(HostSpec host);
+
+    void start(const ShardDispatch &dispatch) override;
+    std::optional<int> poll(std::size_t shard) override;
+    void cancel(std::size_t shard) override;
+    std::string name() const override { return "command"; }
+
+    /** The expanded command line @p dispatch would run. */
+    std::string commandFor(const ShardDispatch &dispatch) const;
+
+  private:
+    HostSpec host_;
+    std::map<std::size_t, long> pids_;
+};
+
+/**
+ * Fault-injecting transport for tests: runs dispatches
+ * in-process through `runShardWorker` (no fork), except that
+ * each shard's first `injectHangs` dispatches hang until
+ * cancelled and its next `injectFailures` dispatches report exit
+ * code 134 without writing a report. Every dispatch (including
+ * injected ones) is recorded in `history()`.
+ */
+class TestTransport : public ShardTransport
+{
+  public:
+    /** The first @p count dispatches of @p shard hang until the
+     *  coordinator cancels them. */
+    void injectHangs(std::size_t shard, std::size_t count);
+
+    /** The next @p count dispatches of @p shard (after any
+     *  injected hangs) fail without writing a report. */
+    void injectFailures(std::size_t shard, std::size_t count);
+
+    void start(const ShardDispatch &dispatch) override;
+    std::optional<int> poll(std::size_t shard) override;
+    void cancel(std::size_t shard) override;
+    std::string name() const override { return "test"; }
+
+    /** Every dispatch started, in start order. */
+    const std::vector<ShardDispatch> &history() const
+    {
+        return history_;
+    }
+
+    /** Dispatches the coordinator cancelled. */
+    std::size_t cancelled() const { return cancelled_; }
+
+  private:
+    std::map<std::size_t, std::size_t> hangs_;
+    std::map<std::size_t, std::size_t> failures_;
+    std::map<std::size_t, std::size_t> dispatches_;
+    /** Live dispatch state: value = exit code, nullopt = hung. */
+    std::map<std::size_t, std::optional<int>> state_;
+    std::vector<ShardDispatch> history_;
+    std::size_t cancelled_ = 0;
+};
+
+/** How `runCoordinatedBatch` schedules a batch onto hosts. */
+struct CoordinatorOptions
+{
+    /** Batch file to shard and dispatch. */
+    std::string batchPath;
+
+    /** Host manifest; `totalSlots()` is the shard-count request
+     *  (capped, as always, at the number of distinct scenario
+     *  bindings). */
+    HostManifest hosts;
+
+    /** Re-dispatches allowed per shard (>= 0): a shard may run
+     *  `retries + 1` times before the run fails. */
+    int retries = 2;
+
+    /**
+     * Straggler deadline in seconds: a dispatch running longer
+     * is cancelled and re-dispatched (it costs one retry).
+     * 0 disables the deadline.
+     */
+    double shardTimeoutSeconds = 0.0;
+
+    /** Engine threads per worker; 0 sizes automatically
+     *  (hardware threads / planned shard count, at least 1). */
+    int engineThreadsPerWorker = 0;
+
+    /**
+     * Directory for sub-batch and report files. Empty: a
+     * pid-scoped temp directory, removed after the run.
+     * Non-empty: created if needed and left in place. Command
+     * transports stage files here, so for remote hosts it must
+     * be on a shared filesystem.
+     */
+    std::string shardDir;
+
+    /** Worker executable for transports that exec or name one
+     *  (`{worker}`); empty = fork-only local workers. */
+    std::string workerExe;
+
+    /** Extra scenario catalog passed through to every worker. */
+    std::string scenariosPath;
+
+    /**
+     * Transport factory override (tests): called once per
+     * manifest host. Unset: local hosts get
+     * `LocalProcessTransport`, command hosts get
+     * `CommandTransport`.
+     */
+    std::function<std::shared_ptr<ShardTransport>(
+        const HostSpec &)>
+        transportFactory;
+};
+
+/** One row of a coordinated run's dispatch history. */
+struct ShardAttempt
+{
+    std::size_t shard = 0;
+    std::size_t attempt = 0;
+    std::string host;
+
+    /** True when the dispatch produced a usable report. */
+    bool ok = false;
+
+    /** "ok", "requests failed", or the failure description
+     *  ("died with exit code ...", "missed the ... deadline"). */
+    std::string reason;
+};
+
+/** What a coordinated run produced. */
+struct CoordinatedRunResult
+{
+    /** Merged `BatchReport` document, original request order --
+     *  byte-identical to the single-process `--batch` run. */
+    json::Value mergedReport;
+
+    /** Shards actually planned (<= manifest slots). */
+    std::size_t shardsUsed = 0;
+
+    /** Engine threads each worker ran with. */
+    int threadsPerWorker = 0;
+
+    /** Requests that succeeded / failed across all shards. */
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+
+    /** Shard dispatches that were retried (failures +
+     *  cancelled stragglers). */
+    std::size_t redispatches = 0;
+
+    /** Every dispatch, in completion-handling order. */
+    std::vector<ShardAttempt> attempts;
+
+    /** Sub-batch files, in shard order (empty when the scratch
+     *  directory was temporary and has been removed). */
+    std::vector<std::string> shardFiles;
+
+    /** Per-shard report files (ditto). */
+    std::vector<std::string> reportFiles;
+
+    /** True when every request of every shard succeeded. */
+    bool allOk() const { return failed == 0; }
+};
+
+/**
+ * Shard @p options.batchPath across the manifest's hosts and
+ * merge the reports.
+ *
+ * @throws ConfigError on invalid options or malformed files.
+ * @throws Error when a shard exhausts its retries without
+ *         producing a usable report -- a worker that merely had
+ *         failing requests exits 1 and is reported through the
+ *         merged outcomes instead.
+ */
+CoordinatedRunResult
+runCoordinatedBatch(const CoordinatorOptions &options);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_ENGINE_SHARD_COORDINATOR_H

@@ -1,25 +1,16 @@
 #include "engine/shard_runner.h"
 
-#include <algorithm>
-#include <cerrno>
-#include <filesystem>
-#include <functional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "engine/analysis_engine.h"
-#include "engine/shard_planner.h"
+#include "engine/shard_coordinator.h"
 #include "io/batch_report_io.h"
 #include "io/request_io.h"
 #include "support/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ECOCHIP_HAS_FORK 1
-#include <csignal>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
 #else
 #define ECOCHIP_HAS_FORK 0
 #endif
@@ -50,84 +41,6 @@ runShardWorker(const std::string &sub_batch_path,
     return report.allOk() ? 0 : 1;
 }
 
-#if ECOCHIP_HAS_FORK
-
-namespace {
-
-/**
- * Fork one child per shard -- exec'ing @p argvs[i] when exec mode
- * is on, else running @p in_child(i) -- and wait for them all.
- * Returns each child's exit code; a signal-terminated child
- * reports 128 + signo, an un-waitable one -1.
- */
-std::vector<int>
-runWorkerProcesses(
-    std::size_t count,
-    const std::vector<std::vector<std::string>> &argvs,
-    const std::function<int(std::size_t)> &in_child)
-{
-    std::vector<pid_t> pids(count, -1);
-    for (std::size_t i = 0; i < count; ++i) {
-        const pid_t pid = fork();
-        if (pid < 0) {
-            // Reap what was already spawned before failing, or
-            // the children race the caller's scratch-dir cleanup
-            // and linger as zombies.
-            for (std::size_t j = 0; j < i; ++j) {
-                kill(pids[j], SIGKILL);
-                int status = 0;
-                waitpid(pids[j], &status, 0);
-            }
-            throw ModelError("fork() failed spawning shard "
-                             "worker #" + std::to_string(i));
-        }
-        if (pid == 0) {
-            // Child. _exit (not exit) everywhere: the child must
-            // not flush stdio buffers or run atexit handlers
-            // inherited from the parent.
-            if (!argvs.empty()) {
-                std::vector<char *> argv;
-                for (const auto &arg : argvs[i])
-                    argv.push_back(
-                        const_cast<char *>(arg.c_str()));
-                argv.push_back(nullptr);
-                // execvp: the worker path may be a bare argv[0]
-                // fallback that needs the PATH search.
-                execvp(argv[0], argv.data());
-                _exit(127); // exec failed
-            }
-            int code = 125;
-            try {
-                code = in_child(i);
-            } catch (...) {
-                code = 125;
-            }
-            _exit(code);
-        }
-        pids[i] = pid;
-    }
-
-    std::vector<int> codes(count, -1);
-    for (std::size_t i = 0; i < count; ++i) {
-        int status = 0;
-        pid_t waited;
-        do {
-            waited = waitpid(pids[i], &status, 0);
-        } while (waited < 0 && errno == EINTR);
-        if (waited != pids[i])
-            continue; // leaves -1: unaccountable child
-        if (WIFEXITED(status))
-            codes[i] = WEXITSTATUS(status);
-        else if (WIFSIGNALED(status))
-            codes[i] = 128 + WTERMSIG(status);
-    }
-    return codes;
-}
-
-} // namespace
-
-#endif // ECOCHIP_HAS_FORK
-
 ShardedRunResult
 runShardedBatch(const ShardedRunOptions &options)
 {
@@ -144,120 +57,36 @@ runShardedBatch(const ShardedRunOptions &options)
                   "engine threads per worker must be >= 1 "
                   "(or 0 for automatic)");
 
-    const BatchFile batch = loadBatchFile(options.batchPath);
-    const ShardPlan plan =
-        planShards(batch.requests, options.shards);
+    // One synthetic host with --shards slots, no retries, no
+    // deadline: the coordinator's scheduling degenerates to
+    // exactly the old fork-K-workers-and-wait behavior, and the
+    // merge path is shared outright -- so the merged report
+    // stays byte-identical to the single-process --batch run.
+    CoordinatorOptions coordinate;
+    coordinate.batchPath = options.batchPath;
+    HostSpec host;
+    host.name = "localhost";
+    host.slots = options.shards;
+    coordinate.hosts.hosts = {std::move(host)};
+    coordinate.retries = 0;
+    coordinate.shardTimeoutSeconds = 0.0;
+    coordinate.engineThreadsPerWorker =
+        options.engineThreadsPerWorker;
+    coordinate.shardDir = options.shardDir;
+    coordinate.workerExe = options.workerExe;
+    coordinate.scenariosPath = options.scenariosPath;
 
-    // Auto thread sizing divides the machine between the shards
-    // *actually planned* -- a batch with fewer bindings than
-    // requested shards runs fewer, wider workers.
-    const int worker_threads =
-        options.engineThreadsPerWorker > 0
-            ? options.engineThreadsPerWorker
-            : std::max(1,
-                       Parallelism::hardware().threads /
-                           static_cast<int>(plan.shardCount()));
-
-    // Scratch directory for sub-batches and reports.
-    const bool temporary = options.shardDir.empty();
-    const std::string dir =
-        temporary
-            ? (std::filesystem::temp_directory_path() /
-               ("ecochip_shards_" + std::to_string(getpid())))
-                  .string()
-            : options.shardDir;
+    CoordinatedRunResult coordinated =
+        runCoordinatedBatch(coordinate);
 
     ShardedRunResult result;
-    try {
-        result.shardFiles = writeShardFiles(batch, plan, dir);
-        result.shardsUsed = plan.shardCount();
-        result.threadsPerWorker = worker_threads;
-        for (const auto &shard_file : result.shardFiles) {
-            result.reportFiles.push_back(shard_file + ".report");
-            // A reused --shard_dir may hold a report from a
-            // previous run; a worker dying pre-report must not
-            // let that stale file merge as fresh output.
-            std::error_code ec;
-            std::filesystem::remove(result.reportFiles.back(),
-                                    ec);
-        }
-
-        // Assemble exec argvs (exec mode only).
-        std::vector<std::vector<std::string>> argvs;
-        if (!options.workerExe.empty()) {
-            for (std::size_t s = 0; s < plan.shardCount(); ++s) {
-                std::vector<std::string> argv = {
-                    options.workerExe,
-                    "--shard_worker",
-                    result.shardFiles[s],
-                    "--json",
-                    result.reportFiles[s],
-                    "--engine_threads",
-                    std::to_string(worker_threads),
-                };
-                if (!options.scenariosPath.empty()) {
-                    argv.push_back("--scenarios");
-                    argv.push_back(options.scenariosPath);
-                }
-                argvs.push_back(std::move(argv));
-            }
-        }
-
-        const std::vector<int> codes = runWorkerProcesses(
-            plan.shardCount(), argvs, [&](std::size_t s) {
-                return runShardWorker(
-                    result.shardFiles[s],
-                    result.reportFiles[s], worker_threads,
-                    options.scenariosPath);
-            });
-
-        // Exit convention: 0 = all requests ok, 1 = some failed
-        // but the report was written. Anything else means the
-        // worker died without a usable report.
-        std::vector<json::Value> reports;
-        for (std::size_t s = 0; s < codes.size(); ++s) {
-            if (codes[s] != 0 && codes[s] != 1)
-                throw Error(
-                    "shard worker #" + std::to_string(s) +
-                    " (" + result.shardFiles[s] +
-                    ") died with exit code " +
-                    std::to_string(codes[s]) +
-                    " before writing its report");
-            // A worker that hit a config error (bad catalog,
-            // unreadable sub-batch) exits 1 *without* a report;
-            // distinguish that from "some requests failed".
-            if (!std::filesystem::exists(
-                    result.reportFiles[s]))
-                throw Error(
-                    "shard worker #" + std::to_string(s) +
-                    " (exit " + std::to_string(codes[s]) +
-                    ") wrote no report at " +
-                    result.reportFiles[s] +
-                    " -- it likely failed before running its "
-                    "sub-batch; see its stderr above");
-            reports.push_back(
-                json::parseFile(result.reportFiles[s]));
-        }
-
-        result.mergedReport = mergeShardReports(plan, reports);
-        result.succeeded = static_cast<std::size_t>(
-            result.mergedReport.at("succeeded").asInteger());
-        result.failed = static_cast<std::size_t>(
-            result.mergedReport.at("failed").asInteger());
-    } catch (...) {
-        if (temporary) {
-            std::error_code ec;
-            std::filesystem::remove_all(dir, ec);
-        }
-        throw;
-    }
-
-    if (temporary) {
-        std::error_code ec;
-        std::filesystem::remove_all(dir, ec);
-        result.shardFiles.clear();
-        result.reportFiles.clear();
-    }
+    result.mergedReport = std::move(coordinated.mergedReport);
+    result.shardsUsed = coordinated.shardsUsed;
+    result.threadsPerWorker = coordinated.threadsPerWorker;
+    result.succeeded = coordinated.succeeded;
+    result.failed = coordinated.failed;
+    result.shardFiles = std::move(coordinated.shardFiles);
+    result.reportFiles = std::move(coordinated.reportFiles);
     return result;
 #endif
 }

@@ -10,10 +10,13 @@
  *    sub-batch file, run it on an in-process `AnalysisEngine`,
  *    write the `BatchReport` JSON to disk. `eco_chip
  *    --shard_worker` is a thin wrapper around it.
- *  - `runShardedBatch` is the coordinator: split the batch, fork
- *    K workers, wait for them, merge the per-shard reports into
- *    one `BatchReport` document that is byte-identical to the
- *    single-process `runBatch` over the unsplit file.
+ *  - `runShardedBatch` coordinates one machine: split the batch,
+ *    fork K workers, wait for them, merge the per-shard reports
+ *    into one `BatchReport` document that is byte-identical to
+ *    the single-process `runBatch` over the unsplit file. Since
+ *    the multi-host coordinator landed it is a thin wrapper over
+ *    `runCoordinatedBatch` (`engine/shard_coordinator.h`) with a
+ *    one-host manifest of K slots, no retries, and no deadline.
  *
  * Workers run either by fork/exec of a worker executable
  * (`ShardedRunOptions::workerExe`, the CLI path: `eco_chip

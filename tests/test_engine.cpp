@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/analysis_engine.h"
+#include "engine/shard_coordinator.h"
 #include "engine/shard_planner.h"
 #include "engine/shard_runner.h"
 #include "engine/thread_pool.h"
@@ -897,6 +898,301 @@ TEST(ShardRunner, WorkerRoundTripsItsSubBatchThroughRequestIo)
     }
 
     std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------ coordinator
+
+/** A manifest of @p count local-transport hosts, 1 slot each. */
+HostManifest
+localHosts(std::size_t count)
+{
+    HostManifest manifest;
+    for (std::size_t i = 0; i < count; ++i)
+        manifest.hosts.push_back(
+            {"local-" + std::to_string(i), 1, ""});
+    return manifest;
+}
+
+/** A shared TestTransport wired as every host's transport. */
+CoordinatorOptions
+testTransportOptions(const std::string &batch_path,
+                     std::size_t host_count,
+                     std::shared_ptr<TestTransport> transport)
+{
+    CoordinatorOptions options;
+    options.batchPath = batch_path;
+    options.hosts = localHosts(host_count);
+    options.engineThreadsPerWorker = 2;
+    options.transportFactory =
+        [transport](const HostSpec &) { return transport; };
+    return options;
+}
+
+TEST(Coordinator, MergedReportByteIdenticalAtOneTwoFourHosts)
+{
+    // The acceptance gate: the shipped 13-request batch
+    // coordinated across 1/2/4 hosts merges to the
+    // byte-identical BatchReport JSON of the single-process
+    // runBatch.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+
+    // Scoped so the engine's pool threads are joined before the
+    // coordinated runs fork worker processes.
+    std::string single;
+    {
+        AnalysisEngine engine(4);
+        single =
+            batchReportToJson(engine.runBatch(batch.requests))
+                .dump(true);
+    }
+
+    for (std::size_t hosts : {1u, 2u, 4u}) {
+        CoordinatorOptions options;
+        options.batchPath = shippedBatchPath();
+        options.hosts = localHosts(hosts);
+        options.engineThreadsPerWorker = 2;
+        // No workerExe: fork-without-exec library mode.
+        const CoordinatedRunResult result =
+            runCoordinatedBatch(options);
+        EXPECT_EQ(result.shardsUsed,
+                  std::min<std::size_t>(hosts, 9)); // 9 bindings
+        EXPECT_TRUE(result.allOk());
+        EXPECT_EQ(result.redispatches, 0u);
+        EXPECT_EQ(result.attempts.size(), result.shardsUsed);
+        EXPECT_EQ(result.mergedReport.dump(true), single)
+            << hosts << " hosts";
+    }
+}
+
+TEST(Coordinator, RetriesFailedShardOnAnotherHost)
+{
+    // Shard 0's first dispatch dies without a report: the
+    // coordinator must retry it on a *different* host and the
+    // merged report must still be byte-identical to the
+    // single-process run.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    std::string single;
+    {
+        AnalysisEngine engine(4);
+        single =
+            batchReportToJson(engine.runBatch(batch.requests))
+                .dump(true);
+    }
+
+    auto transport = std::make_shared<TestTransport>();
+    transport->injectFailures(0, 1);
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 2, transport);
+    options.retries = 2;
+
+    const CoordinatedRunResult result =
+        runCoordinatedBatch(options);
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.redispatches, 1u);
+    EXPECT_EQ(result.mergedReport.dump(true), single);
+
+    // Dispatch history: shard 0 ran twice, on distinct hosts,
+    // and the retry wrote to a fresh per-attempt report path
+    // (so an orphaned first attempt can never race it).
+    std::vector<std::string> shard0_hosts;
+    std::vector<std::string> shard0_reports;
+    for (const auto &dispatch : transport->history())
+        if (dispatch.shard == 0) {
+            shard0_hosts.push_back(dispatch.host);
+            shard0_reports.push_back(dispatch.reportPath);
+        }
+    ASSERT_EQ(shard0_hosts.size(), 2u);
+    EXPECT_NE(shard0_hosts[0], shard0_hosts[1]);
+    ASSERT_EQ(shard0_reports.size(), 2u);
+    EXPECT_NE(shard0_reports[0], shard0_reports[1]);
+    EXPECT_NE(shard0_reports[1].find(".retry1"),
+              std::string::npos)
+        << shard0_reports[1];
+
+    // The attempt record mirrors it: one failure, then ok.
+    std::size_t failed_attempts = 0;
+    for (const auto &attempt : result.attempts)
+        if (attempt.shard == 0 && !attempt.ok)
+            ++failed_attempts;
+    EXPECT_EQ(failed_attempts, 1u);
+}
+
+TEST(Coordinator, StragglerIsCancelledAndRedispatched)
+{
+    // Shard 0's first dispatch hangs: the deadline must cancel
+    // it, re-dispatch (on the other host), and the merged
+    // report must still be byte-identical.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    std::string single;
+    {
+        AnalysisEngine engine(4);
+        single =
+            batchReportToJson(engine.runBatch(batch.requests))
+                .dump(true);
+    }
+
+    auto transport = std::make_shared<TestTransport>();
+    transport->injectHangs(0, 1);
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 2, transport);
+    options.retries = 1;
+    options.shardTimeoutSeconds = 0.05;
+
+    const CoordinatedRunResult result =
+        runCoordinatedBatch(options);
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(transport->cancelled(), 1u);
+    EXPECT_EQ(result.redispatches, 1u);
+    EXPECT_EQ(result.mergedReport.dump(true), single);
+
+    bool deadline_recorded = false;
+    for (const auto &attempt : result.attempts)
+        if (!attempt.ok &&
+            attempt.reason.find("deadline") !=
+                std::string::npos)
+            deadline_recorded = true;
+    EXPECT_TRUE(deadline_recorded);
+}
+
+TEST(Coordinator, SingleHostRetriesInPlace)
+{
+    // With one host there is no "other host" to exclude: the
+    // retry must still happen (on the same host) instead of
+    // deadlocking on an impossible exclusion.
+    auto transport = std::make_shared<TestTransport>();
+    transport->injectFailures(0, 1);
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 1, transport);
+    options.retries = 1;
+
+    const CoordinatedRunResult result =
+        runCoordinatedBatch(options);
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.redispatches, 1u);
+    std::size_t shard0_dispatches = 0;
+    for (const auto &dispatch : transport->history())
+        if (dispatch.shard == 0)
+            ++shard0_dispatches;
+    EXPECT_EQ(shard0_dispatches, 2u);
+}
+
+TEST(Coordinator, ThrowsOnceRetriesAreExhausted)
+{
+    auto transport = std::make_shared<TestTransport>();
+    transport->injectFailures(0, 100);
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 2, transport);
+    options.retries = 1;
+
+    try {
+        runCoordinatedBatch(options);
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no retries left"),
+                  std::string::npos)
+            << what;
+    }
+    // retries=1 allows 2 attempts of shard 0.
+    std::size_t shard0_dispatches = 0;
+    for (const auto &dispatch : transport->history())
+        if (dispatch.shard == 0)
+            ++shard0_dispatches;
+    EXPECT_EQ(shard0_dispatches, 2u);
+}
+
+TEST(Coordinator, RequestLevelFailuresAreDataNotRetries)
+{
+    // A worker whose *requests* fail exits 1 with a report:
+    // that is data in the merged outcomes, never a re-dispatch.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_coordinator_failures";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::vector<AnalysisRequest> requests = {
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("no-such-scenario"),
+         EstimateSpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+    };
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    auto transport = std::make_shared<TestTransport>();
+    CoordinatorOptions options =
+        testTransportOptions(batch_path, 3, transport);
+    options.shardDir = (dir / "shards").string();
+    const CoordinatedRunResult result =
+        runCoordinatedBatch(options);
+
+    EXPECT_EQ(result.shardsUsed, 3u);
+    EXPECT_EQ(result.succeeded, 2u);
+    EXPECT_EQ(result.failed, 1u);
+    EXPECT_EQ(result.redispatches, 0u);
+    EXPECT_FALSE(result.allOk());
+    const auto &outcomes =
+        result.mergedReport.at("outcomes").asArray();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[1].at("ok").asBoolean());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Coordinator, CommandTransportExpandsItsTemplate)
+{
+    HostSpec host;
+    host.name = "node-a";
+    host.slots = 2;
+    host.command =
+        "ssh {host} {worker} --shard_worker {sub_batch} "
+        "--json {report} --engine_threads {threads} "
+        "{scenarios_args}";
+    const CommandTransport transport(host);
+
+    ShardDispatch dispatch;
+    dispatch.shard = 3;
+    dispatch.host = host.name;
+    dispatch.subBatchPath = "/shared/shard_003.json";
+    dispatch.reportPath = "/shared/shard_003.json.report";
+    dispatch.engineThreads = 4;
+    dispatch.workerExe = "/shared/eco_chip";
+    EXPECT_EQ(transport.commandFor(dispatch),
+              "ssh node-a /shared/eco_chip --shard_worker "
+              "/shared/shard_003.json --json "
+              "/shared/shard_003.json.report "
+              "--engine_threads 4 ");
+
+    dispatch.scenariosPath = "/shared/catalog.json";
+    EXPECT_EQ(transport.commandFor(dispatch),
+              "ssh node-a /shared/eco_chip --shard_worker "
+              "/shared/shard_003.json --json "
+              "/shared/shard_003.json.report "
+              "--engine_threads 4 "
+              "--scenarios /shared/catalog.json");
+
+    // {worker} with no worker executable is a config error.
+    dispatch.workerExe.clear();
+    EXPECT_THROW(transport.commandFor(dispatch), ConfigError);
+
+    // Substituted values with shell metacharacters are quoted
+    // so they cannot split into words or grow syntax under
+    // `/bin/sh -c`.
+    dispatch.workerExe = "/shared/eco_chip";
+    dispatch.subBatchPath = "/tmp/my runs/shard_003.json";
+    dispatch.scenariosPath = "/tmp/it's/catalog.json";
+    const std::string quoted = transport.commandFor(dispatch);
+    EXPECT_NE(quoted.find("'/tmp/my runs/shard_003.json'"),
+              std::string::npos)
+        << quoted;
+    EXPECT_NE(
+        quoted.find("--scenarios '/tmp/it'\\''s/catalog.json'"),
+        std::string::npos)
+        << quoted;
 }
 
 // ------------------------------------------------ thread pool
