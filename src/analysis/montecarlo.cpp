@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "engine/thread_pool.h"
+#include "kernels/batch_evaluator.h"
+#include "kernels/trial_batch.h"
 #include "support/error.h"
 #include "support/rng.h"
 
@@ -33,38 +36,6 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(EcoChipConfig config,
         "uncertainty bands must be in [0, 1)");
 }
 
-CarbonReport
-MonteCarloAnalyzer::evaluateTrial(const SystemSpec &system,
-                                  const TrialScales &scales) const
-{
-    EcoChipConfig config = config_;
-    TechDb tech = tech_;
-
-    std::vector<std::pair<double, double>> d0_points;
-    std::vector<std::pair<double, double>> epa_points;
-    for (double node : TechDb::standardNodesNm()) {
-        d0_points.emplace_back(node,
-                               scales.defectDensity *
-                                   tech_.defectDensityPerCm2(node));
-        epa_points.emplace_back(
-            node, scales.epa * tech_.epaKwhPerCm2(node));
-    }
-    tech.setDefectDensityTable(PiecewiseLinear(d0_points));
-    tech.setEpaTable(PiecewiseLinear(epa_points));
-
-    config.fabIntensityGPerKwh *= scales.intensity;
-    config.package.intensityGPerKwh *= scales.intensity;
-    config.design.intensityGPerKwh *= scales.intensity;
-
-    config.design.sprHoursPerMgate *= scales.designTime;
-    config.operating.dutyCycle =
-        std::min(1.0, config.operating.dutyCycle *
-                          scales.dutyCycle);
-
-    EcoChip estimator(std::move(config), std::move(tech));
-    return estimator.estimate(system);
-}
-
 UncertaintyReport
 MonteCarloAnalyzer::run(const SystemSpec &system, int trials,
                         std::uint64_t seed,
@@ -80,32 +51,45 @@ MonteCarloAnalyzer::run(const SystemSpec &system, int trials,
     auto scale_band = [&rng](double half_width) {
         return rng.uniform(1.0 - half_width, 1.0 + half_width);
     };
-    std::vector<TrialScales> scales;
-    scales.reserve(trials);
+    TrialBatch batch;
+    batch.resize(static_cast<std::size_t>(trials));
     for (int trial = 0; trial < trials; ++trial) {
-        TrialScales s;
-        s.defectDensity = scale_band(bands_.defectDensity);
-        s.epa = scale_band(bands_.epa);
-        s.intensity = scale_band(bands_.intensity);
-        s.designTime = scale_band(bands_.designTime);
-        s.dutyCycle = scale_band(bands_.dutyCycle);
-        scales.push_back(s);
+        const double defect_density =
+            scale_band(bands_.defectDensity);
+        const double epa = scale_band(bands_.epa);
+        const double intensity = scale_band(bands_.intensity);
+        const double design_time = scale_band(bands_.designTime);
+        const double duty_cycle = scale_band(bands_.dutyCycle);
+
+        // One carbon-intensity draw scales the fab, packaging, and
+        // design-compute sources together, exactly like the legacy
+        // per-trial config mutation did.
+        batch.defectDensityScale[trial] = defect_density;
+        batch.epaScale[trial] = epa;
+        batch.fabIntensityScale[trial] = intensity;
+        batch.packageIntensityScale[trial] = intensity;
+        batch.designIntensityScale[trial] = intensity;
+        batch.sprHoursScale[trial] = design_time;
+        batch.dutyCycleScale[trial] = duty_cycle;
+        // The legacy path re-interpolated both tables at the
+        // standard node anchors; the rebuild flags reproduce that.
+        batch.rebuildDefectDensity[trial] = 1;
+        batch.rebuildEpa[trial] = 1;
     }
+
+    // All scenario-invariant setup happens once, not per trial.
+    const BatchEvaluator evaluator(config_, tech_, system);
 
     std::vector<double> embodied(trials), operational(trials),
         total(trials);
     auto evaluate_range = [&](int begin, int end) {
-        for (int trial = begin; trial < end; ++trial) {
-            const CarbonReport report =
-                evaluateTrial(system, scales[trial]);
-            embodied[trial] = report.embodiedCo2Kg();
-            operational[trial] = report.operation.co2Kg;
-            total[trial] = report.totalCo2Kg();
-        }
+        evaluator.evaluateRange(
+            batch, static_cast<std::size_t>(begin),
+            static_cast<std::size_t>(end), embodied.data(),
+            operational.data(), total.data());
     };
 
-    const int workers =
-        std::min(parallelism.threads, trials);
+    const int workers = std::min(parallelism.threads, trials);
     if (workers <= 1) {
         evaluate_range(0, trials);
     } else {
@@ -113,30 +97,28 @@ MonteCarloAnalyzer::run(const SystemSpec &system, int trials,
         // exception the serial path produces, not std::terminate.
         std::exception_ptr failure;
         std::mutex failure_mutex;
-        auto guarded_range = [&](int begin, int end) {
-            try {
-                evaluate_range(begin, end);
-            } catch (...) {
-                std::lock_guard lock(failure_mutex);
-                if (!failure)
-                    failure = std::current_exception();
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
         // Contiguous chunks; results land by trial index, so the
         // partition never affects the report.
         const int chunk = (trials + workers - 1) / workers;
-        for (int w = 0; w < workers; ++w) {
-            const int begin = w * chunk;
-            const int end = std::min(trials, begin + chunk);
-            if (begin >= end)
-                break;
-            pool.emplace_back(guarded_range, begin, end);
+        {
+            ThreadPool pool(workers);
+            for (int w = 0; w < workers; ++w) {
+                const int begin = w * chunk;
+                const int end = std::min(trials, begin + chunk);
+                if (begin >= end)
+                    break;
+                pool.post([&, begin, end] {
+                    try {
+                        evaluate_range(begin, end);
+                    } catch (...) {
+                        std::lock_guard lock(failure_mutex);
+                        if (!failure)
+                            failure = std::current_exception();
+                    }
+                });
+            }
+            // ~ThreadPool drains the queue and joins the workers.
         }
-        for (auto &worker : pool)
-            worker.join();
         if (failure)
             std::rethrow_exception(failure);
     }

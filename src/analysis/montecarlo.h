@@ -8,6 +8,14 @@
  * bands around the default calibration and reports the resulting
  * carbon distribution -- so a claimed "30% embodied saving" can be
  * stated with confidence bounds.
+ *
+ * Trials are evaluated through the data-oriented batch kernel
+ * (src/kernels/): the sampled scales fill a structure-of-arrays
+ * TrialBatch, one BatchEvaluator precomputes every trial-invariant
+ * quantity, and worker threads from the shared engine ThreadPool
+ * stream contiguous trial ranges through it. Reports stay
+ * bit-identical to the legacy copy-the-config-per-trial path for
+ * equal seeds, at any thread count.
  */
 
 #ifndef ECOCHIP_ANALYSIS_MONTECARLO_H
@@ -93,20 +101,6 @@ class MonteCarloAnalyzer
                           Parallelism parallelism = {}) const;
 
   private:
-    /** Input scales of one trial, pre-drawn from the seed. */
-    struct TrialScales
-    {
-        double defectDensity;
-        double epa;
-        double intensity;
-        double designTime;
-        double dutyCycle;
-    };
-
-    /** Evaluate one trial's perturbed estimate. */
-    CarbonReport evaluateTrial(const SystemSpec &system,
-                               const TrialScales &scales) const;
-
     EcoChipConfig config_;
     TechDb tech_;
     UncertaintyBands bands_;

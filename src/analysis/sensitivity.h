@@ -16,12 +16,33 @@
 #define ECOCHIP_ANALYSIS_SENSITIVITY_H
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/ecochip.h"
 
 namespace ecochip {
+
+struct TrialBatch;
+
+/**
+ * Batch-kernel column a standard parameter maps to. Parameters
+ * that declare a target are evaluated through the data-oriented
+ * BatchEvaluator (one model build for the whole sweep); parameters
+ * without one fall back to the per-perturbation scalar path.
+ */
+enum class ScaleTarget
+{
+    DefectDensityTable, ///< rebuild D0(p) with scaled ordinates
+    EpaTable,           ///< rebuild EPA(p) with scaled ordinates
+    FabIntensity,       ///< fab carbon intensity Cmfg,src
+    PackageIntensity,   ///< packaging carbon intensity
+    DesignIterations,   ///< Ndes (rounded, floored at 1)
+    ChipletVolume,      ///< amortization volume NMi
+    Lifetime,           ///< product lifetime (years)
+    DutyCycle,          ///< TON, clamped to <= 1
+};
 
 /** A perturbable input parameter. */
 struct SensitivityParameter
@@ -35,6 +56,13 @@ struct SensitivityParameter
      */
     std::function<void(EcoChipConfig &, TechDb &, double scale)>
         apply;
+
+    /**
+     * Batch-kernel column equivalent to `apply`; must produce
+     * bit-identical estimates when set. Custom parameters may
+     * leave it empty to opt out of batched evaluation.
+     */
+    std::optional<ScaleTarget> target;
 };
 
 /** Result row of a sensitivity sweep. */
@@ -104,6 +132,16 @@ class SensitivityAnalyzer
                     const EcoChipConfig &config,
                     const TechDb &tech,
                     CarbonMetric metric) const;
+
+    /** Write one perturbed trial row into the batch. */
+    void fillTrial(TrialBatch &batch, std::size_t row,
+                   ScaleTarget target, double scale) const;
+
+    /** Legacy copy-the-config path for opaque parameters. */
+    std::vector<SensitivityResult> analyzeScalar(
+        const SystemSpec &system,
+        const std::vector<SensitivityParameter> &parameters,
+        CarbonMetric metric, double delta) const;
 
     EcoChipConfig config_;
     TechDb tech_;

@@ -1,27 +1,21 @@
 #include "core/ecochip.h"
 
+#include <cstring>
+
 #include "manufacture/nre_model.h"
 #include "noc/router_model.h"
 #include "support/error.h"
 
 namespace ecochip {
 
-namespace {
-
-/**
- * Exact key of a full-system evaluation: every SystemSpec field
- * that reaches the models, plus the chiplet names that appear in
- * the report's per-chiplet detail.
- */
 std::string
-reportCacheKey(const SystemSpec &system)
+EcoChip::reportKeyPrefix(const SystemSpec &system)
 {
     CacheKey key;
     key.tag('R').add(system.singleDie).add(system.name);
     for (const auto &c : system.chiplets) {
         key.add(c.name)
             .add(static_cast<int>(c.type))
-            .add(c.nodeNm)
             .add(c.transistorsMtr)
             .add(c.reused)
             .add(c.stackGroup);
@@ -29,7 +23,19 @@ reportCacheKey(const SystemSpec &system)
     return std::move(key).str();
 }
 
-} // namespace
+std::string
+EcoChip::reportKey(const SystemSpec &system)
+{
+    std::string key = reportKeyPrefix(system);
+    key.reserve(key.size() +
+                system.chiplets.size() * sizeof(double));
+    for (const auto &c : system.chiplets) {
+        char raw[sizeof(double)];
+        std::memcpy(raw, &c.nodeNm, sizeof(double));
+        key.append(raw, sizeof(double));
+    }
+    return key;
+}
 
 EcoChip::EcoChip(EcoChipConfig config, TechDb tech)
     : tech_(std::move(tech)), config_(std::move(config)),
@@ -84,7 +90,7 @@ EcoChip::estimate(const SystemSpec &system) const
     requireConfig(!system.chiplets.empty(),
                   "system has no chiplets");
 
-    const std::string report_key = reportCacheKey(system);
+    const std::string report_key = reportKey(system);
     {
         CarbonReport cached;
         if (cache_->report.find(report_key, cached))

@@ -132,6 +132,15 @@ struct EvalCache
 
     /** Whole-system reports, keyed by the full system spec. */
     MemoTable<CarbonReport> report;
+
+    /**
+     * Precomputed batch-evaluation plans (src/kernels/), keyed by
+     * the sweep or trial structure they were built for. Stored
+     * type-erased; each kernel knows the concrete plan type it
+     * stores. Shares the cache's lifetime rules: invalidated
+     * wholesale when the configuration changes.
+     */
+    MemoTable<std::shared_ptr<const void>> kernel;
 };
 
 /**
@@ -184,6 +193,23 @@ class EcoChip
     const EvalCache &cache() const { return *cache_; }
 
   private:
+    // The data-oriented batch kernels reuse the estimator's memo
+    // tables and key layout so scalar and batch evaluations hit
+    // the same cache entries.
+    friend class BatchEvaluator;
+    friend class SweepEvaluator;
+
+    /**
+     * Exact memo key of a full-system evaluation: every SystemSpec
+     * field that reaches the models. Layout: reportKeyPrefix()
+     * followed by each chiplet's node (raw doubles, in order), so
+     * sweep kernels rebuild only the node suffix per point.
+     */
+    static std::string reportKey(const SystemSpec &system);
+
+    /** Node-independent prefix of reportKey(). */
+    static std::string reportKeyPrefix(const SystemSpec &system);
+
     MfgBreakdown cachedDieMfg(const ManufacturingModel &mfg,
                               double area_mm2,
                               double node_nm) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/sweep_evaluator.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -47,33 +48,12 @@ TechSpaceExplorer::sweep(
         requireConfig(!candidates.empty(),
                       "empty candidate node list");
 
-    std::vector<ExplorationPoint> points;
-    std::vector<double> assignment(system.chiplets.size());
-
-    // Odometer-style enumeration in lexicographic order.
-    std::vector<std::size_t> idx(system.chiplets.size(), 0);
-    while (true) {
-        for (std::size_t i = 0; i < idx.size(); ++i)
-            assignment[i] = candidates_per_chiplet[i][idx[i]];
-
-        ExplorationPoint point;
-        point.nodesNm = assignment;
-        point.system = system.withNodes(assignment);
-        point.report = estimator_->estimate(point.system);
-        points.push_back(std::move(point));
-
-        // Advance the odometer from the last digit.
-        std::size_t digit = idx.size();
-        while (digit > 0) {
-            --digit;
-            if (++idx[digit] <
-                candidates_per_chiplet[digit].size())
-                break;
-            idx[digit] = 0;
-            if (digit == 0)
-                return points;
-        }
-    }
+    // The cartesian enumeration and per-point evaluation live in
+    // the data-oriented sweep kernel, which compiles the sweep's
+    // point-invariant structure once and reuses it per point; its
+    // points are bit-identical to per-point estimate() calls.
+    return SweepEvaluator(*estimator_)
+        .sweep(system, candidates_per_chiplet);
 }
 
 const ExplorationPoint &

@@ -20,12 +20,16 @@ CostModel::CostModel(const TechDb &tech, WaferModel wafer,
 double
 CostModel::dieCostUsd(const Chiplet &chiplet) const
 {
-    const double area_mm2 = chiplet.areaMm2(*tech_);
+    return dieCostUsd(chiplet.areaMm2(*tech_), chiplet.nodeNm);
+}
+
+double
+CostModel::dieCostUsd(double area_mm2, double node_nm) const
+{
     const long dpw = wafer_.diesPerWafer(area_mm2);
     requireConfig(dpw > 0, "die does not fit the wafer");
-    const double yield =
-        yieldModel_.dieYield(area_mm2, chiplet.nodeNm);
-    return tech_->waferCostUsd(chiplet.nodeNm) /
+    const double yield = yieldModel_.dieYield(area_mm2, node_nm);
+    return tech_->waferCostUsd(node_nm) /
            (static_cast<double>(dpw) * yield);
 }
 
@@ -66,8 +70,16 @@ CostModel::systemCost(const SystemSpec &system,
         return out;
     }
 
-    for (const auto &chiplet : system.chiplets) {
-        out.dieUsd += dieCostUsd(chiplet);
+    // One logic-density lookup per chiplet; every consumer below
+    // (die costs, 3D footprint) reads the hoisted area.
+    std::vector<double> areas_mm2;
+    areas_mm2.reserve(system.chiplets.size());
+    for (const auto &chiplet : system.chiplets)
+        areas_mm2.push_back(chiplet.areaMm2(*tech_));
+
+    for (std::size_t i = 0; i < system.chiplets.size(); ++i) {
+        const Chiplet &chiplet = system.chiplets[i];
+        out.dieUsd += dieCostUsd(areas_mm2[i], chiplet.nodeNm);
         if (params_.includeNre)
             out.nreUsd += nreCostUsd(chiplet);
     }
@@ -79,9 +91,8 @@ CostModel::systemCost(const SystemSpec &system,
 
     if (pkg.arch == PackagingArch::Stack3d) {
         double footprint_mm2 = 0.0;
-        for (const auto &chiplet : system.chiplets)
-            footprint_mm2 =
-                std::max(footprint_mm2, chiplet.areaMm2(*tech_));
+        for (double area_mm2 : areas_mm2)
+            footprint_mm2 = std::max(footprint_mm2, area_mm2);
         const double pitch_um = pkg.bondPitchUm();
         const double vias =
             std::floor(footprint_mm2 * units::kUm2PerMm2 /

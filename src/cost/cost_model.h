@@ -114,6 +114,9 @@ class CostModel
                              const PackageParams &pkg) const;
 
   private:
+    /** Die cost with the area lookup hoisted by the caller. */
+    double dieCostUsd(double area_mm2, double node_nm) const;
+
     const TechDb *tech_;
     WaferModel wafer_;
     YieldModel yieldModel_;

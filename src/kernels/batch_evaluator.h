@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Data-oriented batch evaluation kernel for scaled-input trials.
+ *
+ * The scalar path evaluates one perturbed trial by copying the
+ * whole EcoChipConfig and TechDb, rebuilding two interpolation
+ * tables, and constructing a fresh EcoChip plus every sub-model --
+ * roughly 15 us per trial, almost all of it setup. A
+ * BatchEvaluator does that setup exactly once: its constructor
+ * precomputes every scenario-invariant quantity (chiplet areas,
+ * floorplan, interpolation-segment knots, bond counts, EDA
+ * productivity fits, ...) and `evaluateRange()` then runs only the
+ * trial-dependent arithmetic per trial.
+ *
+ * Bit-identity contract: for any TrialBatch row, the (embodied,
+ * operational, total) outputs are bit-identical to building the
+ * scaled config/tech the way MonteCarloAnalyzer::evaluateTrial and
+ * SensitivityAnalyzer's parameter closures do and calling
+ * EcoChip::estimate on a fresh estimator. The kernel guarantees
+ * this by replicating the scalar models' floating-point expression
+ * trees exactly; tests/test_kernels.cpp locks the contract with
+ * byte-compare golden tests. Interpolation-table rebuilds are
+ * reproduced through hoisted PiecewiseLinear::segment() knots: a
+ * rebuilt table's eval is (s*yLo) + t*((s*yHi) - (s*yLo)) on the
+ * resampled base knots, computed without touching the table.
+ */
+
+#ifndef ECOCHIP_KERNELS_BATCH_EVALUATOR_H
+#define ECOCHIP_KERNELS_BATCH_EVALUATOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ecochip.h"
+#include "kernels/trial_batch.h"
+#include "support/interp.h"
+
+namespace ecochip {
+
+/**
+ * Precompiled evaluation plan for one (config, tech, system).
+ *
+ * Construction runs every configuration validation the scalar
+ * path would run (same exception types and messages) and hoists
+ * all scenario-invariant structure. `evaluateRange()` is const and
+ * thread-safe; Monte-Carlo workers share one evaluator.
+ */
+class BatchEvaluator
+{
+  public:
+    /**
+     * Build the plan. Throws exactly what a scalar estimate of
+     * @p system under @p config / @p tech would throw.
+     */
+    BatchEvaluator(const EcoChipConfig &config, const TechDb &tech,
+                   const SystemSpec &system);
+
+    /**
+     * Evaluate trials [@p begin, @p end) of @p batch, writing each
+     * trial's metrics at its own index of the output arrays.
+     *
+     * @param batch Trial columns (all sized >= @p end).
+     * @param embodied Embodied carbon per trial (kg CO2).
+     * @param operational Operational carbon per trial (kg CO2).
+     * @param total Total carbon per trial (kg CO2).
+     */
+    void evaluateRange(const TrialBatch &batch, std::size_t begin,
+                       std::size_t end, double *embodied,
+                       double *operational, double *total) const;
+
+  private:
+    /**
+     * Hoisted interpolation lookup of one (table, node) query.
+     * Reproduces both the untouched-table eval (`baseVal`) and the
+     * rebuilt-at-standard-nodes eval (knot pair + parameter from
+     * the resampled base table).
+     */
+    struct ScaledLookup
+    {
+        double baseVal = 0.0;
+        double yLo = 0.0;
+        double yHi = 0.0;
+        double t = 0.0;
+
+        double
+        eval(double scale, bool rebuild) const
+        {
+            return rebuild
+                       ? (scale * yLo) +
+                             t * ((scale * yHi) - (scale * yLo))
+                       : baseVal;
+        }
+    };
+
+    /** Everything invariant of one die's manufacturing carbon. */
+    struct DieTerm
+    {
+        double areaMm2 = 0.0;
+        double areaCm2 = 0.0;
+        double derate = 0.0;
+        double cgas = 0.0;
+        double cmaterial = 0.0;
+        double wastedCo2Kg = 0.0;
+        ScaledLookup d0;
+        ScaledLookup epa;
+    };
+
+    /** Per-chiplet communication silicon growth (PHY or router). */
+    struct CommTerm
+    {
+        DieTerm grown;
+        std::size_t bareIndex = 0; ///< index into mfgTerms_
+        bool zero = false;         ///< added area was <= 0
+    };
+
+    /** Invariants of one layered-patterning carbon term. */
+    struct PatterningTerm
+    {
+        double energyKwh = 0.0;
+        double areaCm2 = 0.0;
+        double d0Derate = 1.0;
+        ScaledLookup d0;
+    };
+
+    /** Invariants of one vertical-stack bond carbon term. */
+    struct BondTerm
+    {
+        double energyKwh = 0.0;
+        double yield = 1.0;
+    };
+
+    /** Per-chiplet design-carbon invariants (non-reused only). */
+    struct DesignTerm
+    {
+        double gates = 0.0;
+        double etaC = 1.0;
+    };
+
+    double dieTotalCo2Kg(const DieTerm &term, double s_d0,
+                         bool rebuild_d0, double s_epa,
+                         bool rebuild_epa, double fab_t) const;
+
+    // --- yield statistics ---
+    YieldModelKind yieldKind_;
+    double alpha_ = 0.0;
+
+    // --- manufacturing ---
+    bool singleDie_ = false;
+    std::vector<DieTerm> mfgTerms_;
+
+    // --- packaging ---
+    PackagingArch arch_;
+    bool monolithic_ = false;
+    std::vector<CommTerm> commTerms_;
+    PatterningTerm archPat_;      ///< RDL / bridge / beol term
+    PatterningTerm substratePat_; ///< organic base substrate
+    bool hasSubstrate_ = false;
+    int bridges_ = 0;
+    double embedYield_ = 1.0;
+    double wastageCo2Kg_ = 0.0;
+    BondTerm mainBond_;
+    std::vector<BondTerm> stackBonds_;
+    // Active-interposer FEOL (router + repeater regions).
+    double feolDerate_ = 0.0;
+    double feolCgas_ = 0.0;
+    double feolCmaterial_ = 0.0;
+    ScaledLookup feolEpa_;
+    double routerAreaMm2_ = 0.0;
+    double repeaterAreaMm2_ = 0.0;
+
+    // --- intensities (baseline values the scales multiply) ---
+    double fabIntensityBase_ = 0.0;
+    double pkgIntensityBase_ = 0.0;
+    double designIntensityBase_ = 0.0;
+
+    // --- design ---
+    std::vector<DesignTerm> designTerms_;
+    double sprBase_ = 0.0;
+    double designIterBase_ = 0.0;
+    double analyzeFraction_ = 0.0;
+    double verifMultiple_ = 0.0;
+    double pdesW_ = 0.0;
+    double chipletVolumeBase_ = 0.0;
+    double systemVolume_ = 0.0;
+    bool hasComm_ = false;
+    double commGates_ = 0.0;
+    double commEtaC_ = 1.0;
+
+    // --- mask-set NRE ---
+    bool includeNre_ = false;
+    std::vector<double> maskSetEnergiesKwh_;
+
+    // --- operation ---
+    bool annualPath_ = false;
+    double annualEnergyKwh_ = 0.0;
+    double extraPowerW_ = 0.0;
+    double avgPowerBaseW_ = 0.0;
+    double lifetimeBase_ = 0.0;
+    double dutyCycleBase_ = 0.0;
+    double useIntensity_ = 0.0;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_KERNELS_BATCH_EVALUATOR_H

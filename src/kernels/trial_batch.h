@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structure-of-arrays trial container for batch evaluation.
+ *
+ * Monte-Carlo and sensitivity analyses evaluate the same system
+ * under thousands of scaled input variants. The legacy path copied
+ * the whole EcoChipConfig/TechDb per trial and rebuilt every model;
+ * a TrialBatch instead stores one flat column per perturbable
+ * input, so a BatchEvaluator can stream trials through tight,
+ * branch-light loops (see docs/architecture.md, "Data-oriented
+ * evaluation").
+ *
+ * Every column is multiplicative against the baseline except
+ * `designIterations`, which is an absolute replacement value
+ * (0.0 = keep the baseline count). The defaults written by
+ * `resize()` are exact identities: a freshly resized trial
+ * evaluates bit-identically to the unperturbed scalar estimate.
+ */
+
+#ifndef ECOCHIP_KERNELS_TRIAL_BATCH_H
+#define ECOCHIP_KERNELS_TRIAL_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecochip {
+
+/** One column per perturbable input; one row per trial. */
+struct TrialBatch
+{
+    /** Scale on every D0(p) table ordinate. */
+    std::vector<double> defectDensityScale;
+
+    /** Scale on every EPA(p) table ordinate. */
+    std::vector<double> epaScale;
+
+    /** Scale on the fab carbon intensity Cmfg,src. */
+    std::vector<double> fabIntensityScale;
+
+    /** Scale on the packaging carbon intensity. */
+    std::vector<double> packageIntensityScale;
+
+    /** Scale on the design-compute carbon intensity. */
+    std::vector<double> designIntensityScale;
+
+    /** Scale on the SP&R compute anchor (hours per Mgate). */
+    std::vector<double> sprHoursScale;
+
+    /**
+     * Absolute design iteration count Ndes as a double;
+     * 0.0 keeps the baseline count.
+     */
+    std::vector<double> designIterations;
+
+    /** Scale on the chiplet volume NMi. */
+    std::vector<double> chipletVolumeScale;
+
+    /** Scale on the product lifetime. */
+    std::vector<double> lifetimeScale;
+
+    /**
+     * Scale on the duty cycle TON; applied as
+     * min(1.0, base * scale), exactly like the scalar path.
+     */
+    std::vector<double> dutyCycleScale;
+
+    /**
+     * Non-zero when the trial re-interpolates the D0 table at the
+     * standard node anchors (the Monte-Carlo table rebuild). Zero
+     * trials read the untouched base table, which differs bitwise
+     * from a rebuilt table at scale 1.0 whenever the base table
+     * has non-standard knots.
+     */
+    std::vector<std::uint8_t> rebuildDefectDensity;
+
+    /** Same rebuild marker for the EPA table. */
+    std::vector<std::uint8_t> rebuildEpa;
+
+    /** Resize every column to @p n identity trials. */
+    void
+    resize(std::size_t n)
+    {
+        defectDensityScale.assign(n, 1.0);
+        epaScale.assign(n, 1.0);
+        fabIntensityScale.assign(n, 1.0);
+        packageIntensityScale.assign(n, 1.0);
+        designIntensityScale.assign(n, 1.0);
+        sprHoursScale.assign(n, 1.0);
+        designIterations.assign(n, 0.0);
+        chipletVolumeScale.assign(n, 1.0);
+        lifetimeScale.assign(n, 1.0);
+        dutyCycleScale.assign(n, 1.0);
+        rebuildDefectDensity.assign(n, 0);
+        rebuildEpa.assign(n, 0);
+    }
+
+    /** Trial count. */
+    std::size_t
+    size() const
+    {
+        return defectDensityScale.size();
+    }
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_KERNELS_TRIAL_BATCH_H

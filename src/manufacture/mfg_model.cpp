@@ -40,9 +40,12 @@ ManufacturingModel::dieMfg(double area_mm2, double node_nm) const
         result.cfpaKgPerCm2 * area_mm2 * units::kCm2PerMm2;
 
     result.diesPerWafer = wafer_.diesPerWafer(area_mm2);
-    requireConfig(result.diesPerWafer > 0,
-                  "die of " + std::to_string(area_mm2) +
-                      " mm^2 does not fit the wafer");
+    // Compose the (allocating) message only on failure; this runs
+    // once per die candidate in the sweep/Monte-Carlo hot loops.
+    if (result.diesPerWafer <= 0)
+        requireConfig(false,
+                      "die of " + std::to_string(area_mm2) +
+                          " mm^2 does not fit the wafer");
     if (includeWastage_) {
         result.wastedAreaMm2 = wafer_.wastedAreaPerDieMm2(area_mm2);
         result.wastedCo2Kg = tech_->cfpaSiKgPerCm2(node_nm) *

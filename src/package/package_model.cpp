@@ -339,9 +339,9 @@ PackageModel::evaluate(const SystemSpec &system) const
         for (const auto &chiplet : system.chiplets)
             if (chiplet.stackGroup == group)
                 tiers.push_back(&chiplet);
-        requireConfig(tiers.size() >= 2,
-                      "stack group \"" + group +
-                          "\" needs at least two tiers");
+        if (tiers.size() < 2)
+            requireConfig(false, "stack group \"" + group +
+                                     "\" needs at least two tiers");
         out.stackBondCo2Kg += stackBondCo2Kg(tiers, out);
     }
     out.packageCo2Kg += out.stackBondCo2Kg;

@@ -36,6 +36,13 @@
  * trial/parameter, so they evaluate on purpose-built estimators
  * instead of the shared cache.
  *
+ * The hot loops behind `sweep()`, `monteCarlo()`, and
+ * `sensitivity()` run through the data-oriented batch kernels in
+ * `src/kernels/` (structure-of-arrays trial columns, one
+ * precompiled evaluation plan per scenario) and stay bit-identical
+ * to the scalar `estimate()` path -- see docs/architecture.md,
+ * "Data-oriented evaluation".
+ *
  * @code
  *   auto session = ScenarioBuilder().scenario("ga102").build();
  *   auto point = session.estimate();

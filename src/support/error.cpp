@@ -10,7 +10,21 @@ requireConfig(bool condition, const std::string &message)
 }
 
 void
+requireConfig(bool condition, const char *message)
+{
+    if (!condition)
+        throw ConfigError(message);
+}
+
+void
 requireModel(bool condition, const std::string &message)
+{
+    if (!condition)
+        throw ModelError(message);
+}
+
+void
+requireModel(bool condition, const char *message)
 {
     if (!condition)
         throw ModelError(message);

@@ -56,12 +56,21 @@ class ModelError : public Error
 void requireConfig(bool condition, const std::string &message);
 
 /**
+ * Literal-message overload: hot loops validate on every call, so
+ * the success path must not construct a std::string.
+ */
+void requireConfig(bool condition, const char *message);
+
+/**
  * Throw a ModelError unless @p condition holds.
  *
  * @param condition Predicate that must be true if the model is sound.
  * @param message Human-readable description of the violated invariant.
  */
 void requireModel(bool condition, const std::string &message);
+
+/** Literal-message overload; see requireConfig(bool, const char*). */
+void requireModel(bool condition, const char *message);
 
 } // namespace ecochip
 

@@ -58,6 +58,24 @@ PiecewiseLinear::eval(double x) const
     return lo->second + t * (hi->second - lo->second);
 }
 
+PiecewiseLinear::Segment
+PiecewiseLinear::segment(double x) const
+{
+    requireConfig(!points_.empty(),
+                  "evaluating an empty interpolation table");
+    if (x <= points_.front().first)
+        return {points_.front().second, points_.front().second, 0.0};
+    if (x >= points_.back().first)
+        return {points_.back().second, points_.back().second, 0.0};
+
+    auto hi = std::lower_bound(
+        points_.begin(), points_.end(), x,
+        [](const auto &p, double v) { return p.first < v; });
+    auto lo = hi - 1;
+    const double t = (x - lo->first) / (hi->first - lo->first);
+    return {lo->second, hi->second, t};
+}
+
 double
 PiecewiseLinear::minX() const
 {

@@ -59,6 +59,28 @@ class PiecewiseLinear
      */
     double eval(double x) const;
 
+    /**
+     * The resolved segment for a query abscissa: eval(x) computes
+     * exactly yLo + t * (yHi - yLo) from these values. Batch
+     * evaluators hoist the segment out of per-trial loops so that
+     * scaled re-evaluations reproduce eval() bit for bit without
+     * re-running the binary search.
+     */
+    struct Segment
+    {
+        double yLo; ///< Ordinate of the lower knot (or clamp value).
+        double yHi; ///< Ordinate of the upper knot (or clamp value).
+        double t;   ///< Interpolation parameter; 0 when clamped.
+    };
+
+    /**
+     * Resolve the segment eval(x) would interpolate on.
+     *
+     * @param x Query abscissa.
+     * @return The clamped or interior segment at @p x.
+     */
+    Segment segment(double x) const;
+
     /** Number of sample points. */
     std::size_t size() const { return points_.size(); }
 

@@ -155,6 +155,20 @@ class TechDb
     /** Effective defect density of interposer BEOL layers. */
     double interposerDefectDensityPerCm2(double node_nm) const;
 
+    /**
+     * Derate factor applied to D0(p) by the coarse RDL layers;
+     * rdlDefectDensityPerCm2(p) == rdlDefectDerate() * D0(p). Batch
+     * evaluators hoist the factor so scaled D0 tables stay bit-
+     * identical to per-trial table rebuilds.
+     */
+    double rdlDefectDerate() const { return rdlDefectDerate_; }
+
+    /** Derate factor applied to D0(p) by interposer BEOL layers. */
+    double interposerDefectDerate() const
+    {
+        return interposerDefectDerate_;
+    }
+
     /** Nominal supply voltage Vdd(p) in volts. */
     double supplyVoltageV(double node_nm) const;
 

@@ -6,6 +6,7 @@
 #ifndef ECOCHIP_YIELD_YIELD_MODEL_H
 #define ECOCHIP_YIELD_YIELD_MODEL_H
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,62 @@ double seedsYield(double area_cm2, double d0_per_cm2);
  */
 double dieYield(YieldModelKind kind, double area_cm2,
                 double d0_per_cm2, double alpha);
+
+/**
+ * @{ @name Unchecked yield kernels
+ *
+ * Bit-identical to the checked functions above -- same expression
+ * trees, same special cases -- with the argument validation
+ * hoisted out. Batch evaluators validate inputs once per plan and
+ * then call these in per-trial hot loops.
+ */
+inline double
+negativeBinomialYieldFast(double area_cm2, double d0_per_cm2,
+                          double alpha)
+{
+    return std::pow(1.0 + area_cm2 * d0_per_cm2 / alpha, -alpha);
+}
+
+inline double
+poissonYieldFast(double area_cm2, double d0_per_cm2)
+{
+    return std::exp(-area_cm2 * d0_per_cm2);
+}
+
+inline double
+murphyYieldFast(double area_cm2, double d0_per_cm2)
+{
+    const double x = area_cm2 * d0_per_cm2;
+    if (x < 1e-12)
+        return 1.0;
+    const double term = (1.0 - std::exp(-x)) / x;
+    return term * term;
+}
+
+inline double
+seedsYieldFast(double area_cm2, double d0_per_cm2)
+{
+    return 1.0 / (1.0 + area_cm2 * d0_per_cm2);
+}
+
+inline double
+dieYieldFast(YieldModelKind kind, double area_cm2,
+             double d0_per_cm2, double alpha)
+{
+    switch (kind) {
+      case YieldModelKind::NegativeBinomial:
+        return negativeBinomialYieldFast(area_cm2, d0_per_cm2,
+                                         alpha);
+      case YieldModelKind::Poisson:
+        return poissonYieldFast(area_cm2, d0_per_cm2);
+      case YieldModelKind::Murphy:
+        return murphyYieldFast(area_cm2, d0_per_cm2);
+      case YieldModelKind::Seeds:
+        return seedsYieldFast(area_cm2, d0_per_cm2);
+    }
+    return negativeBinomialYieldFast(area_cm2, d0_per_cm2, alpha);
+}
+/** @} */
 
 /**
  * Poisson-limit yield of an assembly with @p connections independent
