@@ -13,6 +13,9 @@
  *   eco_chip --shard_worker sub_batch.json --json report.json
  *   eco_chip --coordinate requests.json --hosts hosts.json
  *            [--retries N] [--shard_timeout S]
+ *   eco_chip --serve --socket PATH [--cache_dir DIR]
+ *            [--cache_entries N] [--engine_threads N]
+ *   eco_chip --connect PATH (--batch FILE | --stats | --shutdown)
  *
  * Options:
  *   --design_dir DIR   design directory with architecture.json
@@ -48,8 +51,29 @@
  *   --shard_timeout S  straggler deadline in seconds: a shard
  *                      dispatch running longer is cancelled and
  *                      re-dispatched (default: no deadline)
+ *   --serve            run the analysis server: accept request
+ *                      lines over a Unix-domain socket and answer
+ *                      stream-event lines on a warm engine (see
+ *                      docs/serving.md)
+ *   --socket PATH      the Unix-domain socket --serve binds and
+ *                      --connect dials
+ *   --cache_dir DIR    with --serve: persist results in a
+ *                      content-addressed cache under DIR, so a
+ *                      repeated request answers without
+ *                      re-evaluating
+ *   --cache_entries N  with --cache_dir: keep at most N cached
+ *                      results (LRU eviction; default unbounded)
+ *   --connect PATH     client mode: submit a --batch file to the
+ *                      server on PATH (NDJSON events on stdout,
+ *                      summary on stderr), or send --stats /
+ *                      --shutdown
+ *   --stats            with --connect: print the server's
+ *                      counters (served/cache/contexts) and exit
+ *   --shutdown         with --connect: ask the server to drain
+ *                      gracefully and exit
  *   --engine_threads N engine worker threads for --batch /
- *                      per-process for --shard/--shard_worker
+ *                      per-process for --shard/--shard_worker /
+ *                      the --serve engine pool
  *                      (default: one per hardware thread;
  *                      results are bit-identical at any count)
  *   --scenarios FILE   load a user scenario catalog (JSON) into
@@ -85,6 +109,8 @@
 #include "io/host_manifest_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
+#include "server/analysis_server.h"
+#include "server/server_client.h"
 #include "session/analysis_session.h"
 #include "support/error.h"
 #include "support/table_printer.h"
@@ -104,8 +130,17 @@ struct CliOptions
     std::string scenariosPath;
     std::string coordinatePath;
     std::string hostsPath;
+    bool serve = false;
+    std::string socketPath;
+    std::string cacheDir;
+    std::string connectPath;
+    bool connectStats = false;
+    bool connectShutdown = false;
     bool listScenarios = false;
     bool stream = false;
+
+    /** Unset means an unbounded result cache. */
+    std::optional<int> cacheEntries;
 
     /** Unset means the default of 2 worker processes. */
     std::optional<int> shards;
@@ -132,7 +167,8 @@ printUsage(std::ostream &os)
     os << "usage: eco_chip (--design_dir DIR | --scenario NAME |"
           " --batch FILE |\n"
           "    --shard FILE --shards K | --shard_worker FILE |\n"
-          "    --coordinate FILE --hosts HOSTS.json)\n"
+          "    --coordinate FILE --hosts HOSTS.json |\n"
+          "    --serve --socket PATH | --connect PATH)\n"
           "    [--node_list 7,10,14] [--montecarlo N]"
           " [--threads T] [--cost]\n"
           "    [--engine_threads N] [--scenarios FILE]"
@@ -140,8 +176,10 @@ printUsage(std::ostream &os)
           "    [--markdown FILE] [--list_scenarios] [--stream]\n"
           "    [--shard_dir DIR] [--retries N]"
           " [--shard_timeout S]\n"
-          "see docs/cli.md and docs/distributed.md for the full"
-          " flag reference\n";
+          "    [--cache_dir DIR] [--cache_entries N]"
+          " [--stats] [--shutdown]\n"
+          "see docs/cli.md, docs/distributed.md, and"
+          " docs/serving.md for the full flag reference\n";
 }
 
 void
@@ -242,6 +280,21 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--shard_timeout") {
             opts.shardTimeout =
                 parsePositiveDouble(arg, next_value());
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--socket") {
+            opts.socketPath = next_value();
+        } else if (arg == "--cache_dir") {
+            opts.cacheDir = next_value();
+        } else if (arg == "--cache_entries") {
+            opts.cacheEntries =
+                parsePositiveInt(arg, next_value());
+        } else if (arg == "--connect") {
+            opts.connectPath = next_value();
+        } else if (arg == "--stats") {
+            opts.connectStats = true;
+        } else if (arg == "--shutdown") {
+            opts.connectShutdown = true;
         } else if (arg == "--engine_threads") {
             opts.engineThreads =
                 parsePositiveInt(arg, next_value());
@@ -290,18 +343,28 @@ parseArgs(int argc, char **argv)
     const bool batch_mode = !opts.batchPath.empty() ||
                             !opts.shardPath.empty() ||
                             !opts.shardWorkerPath.empty() ||
-                            !opts.coordinatePath.empty();
-    const int sources = (opts.designDir.empty() ? 0 : 1) +
-                        (opts.scenario.empty() ? 0 : 1) +
-                        (opts.batchPath.empty() ? 0 : 1) +
-                        (opts.shardPath.empty() ? 0 : 1) +
-                        (opts.shardWorkerPath.empty() ? 0 : 1) +
-                        (opts.coordinatePath.empty() ? 0 : 1);
+                            !opts.coordinatePath.empty() ||
+                            opts.serve ||
+                            !opts.connectPath.empty();
+    // --connect reuses --batch as its request source, so the
+    // pair counts as one source, not two.
+    const int sources =
+        (opts.designDir.empty() ? 0 : 1) +
+        (opts.scenario.empty() ? 0 : 1) +
+        (!opts.batchPath.empty() && opts.connectPath.empty()
+             ? 1
+             : 0) +
+        (opts.shardPath.empty() ? 0 : 1) +
+        (opts.shardWorkerPath.empty() ? 0 : 1) +
+        (opts.coordinatePath.empty() ? 0 : 1) +
+        (opts.serve ? 1 : 0) +
+        (opts.connectPath.empty() ? 0 : 1);
     requireConfig(sources == 1 ||
                       (sources == 0 && opts.listScenarios),
                   "exactly one of --design_dir / --scenario / "
                   "--batch / --shard / --shard_worker / "
-                  "--coordinate is required");
+                  "--coordinate / --serve / --connect is "
+                  "required");
     requireConfig(!batch_mode ||
                       (opts.nodeList.empty() &&
                        opts.monteCarloTrials == 0 &&
@@ -309,13 +372,47 @@ parseArgs(int argc, char **argv)
                   "batch modes take their analyses from the "
                   "request file; --node_list/--montecarlo/"
                   "--threads/--cost do not apply");
-    requireConfig(!opts.engineThreads || batch_mode,
-                  "--engine_threads sizes the batch engine's "
-                  "pool; it requires --batch, --shard, "
-                  "--shard_worker, or --coordinate");
-    requireConfig(!opts.stream || !opts.batchPath.empty(),
+    requireConfig(!opts.engineThreads ||
+                      (batch_mode && opts.connectPath.empty()),
+                  "--engine_threads sizes an engine pool; it "
+                  "requires --batch, --shard, --shard_worker, "
+                  "--coordinate, or --serve");
+    requireConfig(!opts.stream || (!opts.batchPath.empty() &&
+                                   opts.connectPath.empty()),
                   "--stream emits batch results as NDJSON; it "
-                  "requires --batch");
+                  "requires --batch (--connect always streams)");
+    requireConfig(!opts.serve || !opts.socketPath.empty(),
+                  "--serve listens on a Unix-domain socket; "
+                  "--socket PATH is required");
+    requireConfig(opts.socketPath.empty() || opts.serve,
+                  "--socket names the --serve listening path; "
+                  "it requires --serve");
+    requireConfig(opts.cacheDir.empty() || opts.serve,
+                  "--cache_dir places the server's result "
+                  "cache; it requires --serve");
+    requireConfig(!opts.cacheEntries || !opts.cacheDir.empty(),
+                  "--cache_entries bounds the result cache; it "
+                  "requires --cache_dir");
+    requireConfig(!opts.serve ||
+                      (!opts.jsonPath && !opts.markdownPath),
+                  "--serve answers over the socket; --json/"
+                  "--markdown do not apply");
+    requireConfig(opts.connectPath.empty() ||
+                      (!opts.batchPath.empty() ? 1 : 0) +
+                              (opts.connectStats ? 1 : 0) +
+                              (opts.connectShutdown ? 1 : 0) ==
+                          1,
+                  "--connect needs exactly one action: "
+                  "--batch FILE, --stats, or --shutdown");
+    requireConfig((!opts.connectStats &&
+                   !opts.connectShutdown) ||
+                      !opts.connectPath.empty(),
+                  "--stats/--shutdown are control verbs sent to "
+                  "a server; they require --connect");
+    requireConfig(opts.scenariosPath.empty() ||
+                      opts.connectPath.empty(),
+                  "--scenarios loads the serving catalog; pass "
+                  "it to --serve, not --connect");
     requireConfig(!opts.shards || !opts.shardPath.empty(),
                   "--shards sizes the worker-process fleet; it "
                   "requires --shard");
@@ -343,9 +440,10 @@ parseArgs(int argc, char **argv)
     requireConfig(!opts.markdownPath ||
                       (opts.shardPath.empty() &&
                        opts.shardWorkerPath.empty() &&
-                       opts.coordinatePath.empty()),
+                       opts.coordinatePath.empty() &&
+                       opts.connectPath.empty()),
                   "--markdown applies to --design_dir/--scenario/"
-                  "--batch runs, not shard modes");
+                  "--batch runs, not shard or server modes");
     requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
                   "--threads batches Monte-Carlo trials; it "
                   "requires --montecarlo");
@@ -538,6 +636,116 @@ runBatch(const CliOptions &opts, ScenarioRegistry registry)
 }
 
 /**
+ * Run the analysis server until a signal or a `shutdown` verb
+ * drains it. The server owns scenario resolution (builtin
+ * registry + optional --scenarios catalog), the engine pool, and
+ * the optional on-disk result cache.
+ */
+int
+runServe(const CliOptions &opts)
+{
+    ServerOptions options;
+    options.socketPath = opts.socketPath;
+    options.engineThreads = opts.engineThreads.value_or(
+        Parallelism::hardware().threads);
+    options.scenariosPath = opts.scenariosPath;
+    options.cacheDir = opts.cacheDir;
+    if (opts.cacheEntries)
+        options.cacheMaxEntries =
+            static_cast<std::size_t>(*opts.cacheEntries);
+    options.installSignalHandlers = true;
+    return runAnalysisServer(std::move(options));
+}
+
+/**
+ * Client mode: submit a batch file to a running server (NDJSON
+ * events echo to stdout as they arrive, completion order), or
+ * send the --stats / --shutdown control verb. With --json the
+ * events are reassembled into the same BatchReport document
+ * `--batch --json` writes -- byte-identical, so the two paths
+ * can be compared with `cmp`. Returns 1 when any served request
+ * failed.
+ */
+int
+runConnect(const CliOptions &opts)
+{
+    // Absorb the startup race of `--serve ... &` followed
+    // immediately by --connect: poll briefly until the daemon
+    // answers.
+    requireConfig(
+        ServerClient::waitForServer(opts.connectPath, 10.0),
+        "no analysis server answered on " + opts.connectPath);
+    ServerClient client(opts.connectPath);
+
+    if (opts.connectStats) {
+        std::cout << client.roundTrip(
+                         "{\"control\": \"stats\"}")
+                  << "\n";
+        return 0;
+    }
+    if (opts.connectShutdown) {
+        std::cout << client.roundTrip(
+                         "{\"control\": \"shutdown\"}")
+                  << "\n";
+        return 0;
+    }
+
+    const BatchFile batch = loadBatchFile(opts.batchPath);
+    requireConfig(!batch.scenarioCatalog,
+                  "this batch file names a scenario catalog, "
+                  "but catalogs are server-side state; start "
+                  "the server with --scenarios instead");
+
+    for (const auto &request : batch.requests)
+        client.sendLine(requestToJson(request).dump(false));
+
+    // One event line per request, completion order; echo each as
+    // it arrives and slot it by index for the report document.
+    std::vector<json::Value> events(batch.requests.size());
+    std::size_t succeeded = 0;
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        const std::string line = client.readLine();
+        std::cout << line << std::endl;
+        json::Value event = json::parse(line);
+        const auto index = static_cast<std::size_t>(
+            event.at("index").asInteger());
+        requireModel(index < events.size(),
+                     "server answered an out-of-range request "
+                     "index");
+        if (event.booleanOr("ok", false))
+            ++succeeded;
+        events[index] = std::move(event);
+    }
+
+    std::cerr << succeeded << "/" << batch.requests.size()
+              << " requests ok (served over "
+              << opts.connectPath << ")\n";
+
+    if (opts.jsonPath) {
+        // The BatchReport document `--batch --json` writes:
+        // strip the wire-only "index", order by request index.
+        json::Value doc = json::Value::makeObject();
+        doc.set("succeeded", static_cast<double>(succeeded));
+        doc.set("failed",
+                static_cast<double>(batch.requests.size() -
+                                    succeeded));
+        json::Value outcomes = json::Value::makeArray();
+        for (const auto &event : events) {
+            json::Value outcome = json::Value::makeObject();
+            for (const auto &[key, value] : event.members())
+                if (key != "index")
+                    outcome.set(key, value);
+            outcomes.append(std::move(outcome));
+        }
+        doc.set("outcomes", std::move(outcomes));
+        json::writeFile(doc, *opts.jsonPath);
+        std::cerr << "results written to " << *opts.jsonPath
+                  << "\n";
+    }
+    return succeeded == batch.requests.size() ? 0 : 1;
+}
+
+/**
  * Path of this binary, for re-exec'ing it as shard workers.
  * Prefers /proc/self/exe (immune to PATH and cwd changes) and
  * falls back to argv[0].
@@ -675,6 +883,14 @@ int
 run(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+
+    // Server modes manage their own registries, like the shard
+    // modes below.
+    if (opts.serve)
+        return runServe(opts);
+
+    if (!opts.connectPath.empty())
+        return runConnect(opts);
 
     // Shard modes manage their own registries (the worker loads
     // builtin + catalogs itself, once per process).

@@ -26,6 +26,19 @@
 #include "json/json.h"
 #include "session/analysis_session.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define ECOCHIP_BENCH_HAS_SERVER 1
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include "server/analysis_server.h"
+#include "server/server_client.h"
+#else
+#define ECOCHIP_BENCH_HAS_SERVER 0
+#endif
+
 using namespace ecochip;
 
 namespace {
@@ -319,6 +332,129 @@ BENCHMARK(BM_CoordinatedBatch)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+#if ECOCHIP_BENCH_HAS_SERVER
+
+/**
+ * A forked `--serve` daemon with a result cache, drained via the
+ * shutdown verb on destruction. Forked before the benchmark
+ * creates any threads of its own.
+ */
+struct BenchServer
+{
+    pid_t pid = -1;
+    std::string socket;
+    std::filesystem::path cacheDir;
+
+    BenchServer()
+    {
+        socket = "/tmp/eco_bench_" +
+                 std::to_string(getpid()) + ".sock";
+        cacheDir = std::filesystem::temp_directory_path() /
+                   "ecochip_bench_served_cache";
+        std::filesystem::remove_all(cacheDir);
+
+        ServerOptions options;
+        options.socketPath = socket;
+        options.engineThreads = 2;
+        options.cacheDir = cacheDir.string();
+        pid = fork();
+        if (pid == 0) {
+            try {
+                AnalysisServer server(std::move(options));
+                server.run();
+                _exit(0);
+            } catch (...) {
+                _exit(17);
+            }
+        }
+    }
+
+    bool ready() const
+    {
+        return pid > 0 &&
+               ServerClient::waitForServer(socket, 15.0);
+    }
+
+    ~BenchServer()
+    {
+        if (pid <= 0)
+            return;
+        try {
+            ServerClient(socket).shutdownServer();
+        } catch (...) {
+            kill(pid, SIGKILL);
+        }
+        int status = 0;
+        waitpid(pid, &status, 0);
+        std::filesystem::remove_all(cacheDir);
+    }
+};
+
+/** The request both served benchmarks measure: enough
+ *  Monte-Carlo work that an evaluation dwarfs a cache lookup. */
+std::string
+servedRequestLine(std::uint64_t seed)
+{
+    MonteCarloSpec mc;
+    mc.trials = 512;
+    mc.seed = seed;
+    const AnalysisRequest request{
+        ScenarioRef::scenario("ga102"), mc};
+    return requestToJson(request).dump(false);
+}
+
+void
+BM_ServedRequestCold(benchmark::State &state)
+{
+    // Round-trip latency of a served request that always misses
+    // the result cache: every iteration varies the Monte-Carlo
+    // seed, so the server pays a full evaluation each time. The
+    // cache-hit benchmark below answers the identical request
+    // from disk; the gap between the two is the serve-vs-compute
+    // win BENCH_pr7.json tracks.
+    BenchServer server;
+    if (!server.ready()) {
+        state.SkipWithError("analysis server did not start");
+        return;
+    }
+    ServerClient client(server.socket);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        client.sendLine(servedRequestLine(seed++));
+        benchmark::DoNotOptimize(client.readLine());
+    }
+}
+BENCHMARK(BM_ServedRequestCold)
+    ->Name("ServedRequestCold")
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void
+BM_ServedRequestCacheHit(benchmark::State &state)
+{
+    BenchServer server;
+    if (!server.ready()) {
+        state.SkipWithError("analysis server did not start");
+        return;
+    }
+    ServerClient client(server.socket);
+    // Warm the entry once; every measured round-trip is a
+    // content-addressed cache hit after that.
+    const std::string line = servedRequestLine(0);
+    client.sendLine(line);
+    client.readLine();
+    for (auto _ : state) {
+        client.sendLine(line);
+        benchmark::DoNotOptimize(client.readLine());
+    }
+}
+BENCHMARK(BM_ServedRequestCacheHit)
+    ->Name("ServedRequestCacheHit")
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+#endif // ECOCHIP_BENCH_HAS_SERVER
 
 void
 BM_Estimate3dStack(benchmark::State &state)

@@ -10,7 +10,8 @@
 #   ECO_CHIP_BINARY  substituted for `./build/eco_chip`
 #                    (default: ./build/eco_chip)
 #   DOC ...          markdown files to scan
-#                    (default: docs/cli.md docs/distributed.md)
+#                    (default: docs/cli.md docs/distributed.md
+#                     docs/serving.md)
 set -u
 
 APP="${1:-./build/eco_chip}"
@@ -20,7 +21,7 @@ fi
 if [ "$#" -ge 1 ]; then
     DOCS=("$@")
 else
-    DOCS=(docs/cli.md docs/distributed.md)
+    DOCS=(docs/cli.md docs/distributed.md docs/serving.md)
 fi
 
 if [ ! -x "$APP" ]; then

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# serve_equivalence gate: the BatchReport a client assembles from
+# served responses (--connect --json) must be byte-identical to
+# the single-process --batch report -- on a cold cache, and again
+# when every answer comes from the on-disk result cache.
+#
+# Usage: run_serve_cmp.sh APP BATCH_FILE WORKDIR
+set -euo pipefail
+
+APP=$1
+BATCH=$2
+WORKDIR=$3
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+# sun_path tops out around 108 bytes and build trees can exceed
+# it, so the socket lives in a short mktemp dir, not $WORKDIR.
+SOCK_DIR=$(mktemp -d /tmp/eco_serve.XXXXXX)
+SOCK="$SOCK_DIR/eco.sock"
+
+cleanup() {
+    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SOCK_DIR"
+}
+trap cleanup EXIT
+
+# Reference: the plain --batch report.
+"$APP" --batch "$BATCH" --json "$WORKDIR/batch.json" >/dev/null
+
+"$APP" --serve --socket "$SOCK" --cache_dir "$WORKDIR/cache" \
+    >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Cold: every request evaluates on the server's engine.
+"$APP" --connect "$SOCK" --batch "$BATCH" \
+    --json "$WORKDIR/served_cold.json" >/dev/null 2>/dev/null
+cmp "$WORKDIR/batch.json" "$WORKDIR/served_cold.json"
+
+# Warm: every request answers from the result cache.
+"$APP" --connect "$SOCK" --batch "$BATCH" \
+    --json "$WORKDIR/served_warm.json" >/dev/null 2>/dev/null
+cmp "$WORKDIR/batch.json" "$WORKDIR/served_warm.json"
+
+# The stats verb must show the cache actually answered round two.
+STATS=$("$APP" --connect "$SOCK" --stats)
+echo "stats: $STATS"
+echo "$STATS" | grep -q '"hits":[1-9]' || {
+    echo "expected cache hits in stats reply" >&2
+    exit 1
+}
+
+"$APP" --connect "$SOCK" --shutdown >/dev/null
+wait "$SERVER_PID"
+echo "serve_equivalence: cold and cache-hit reports are" \
+     "byte-identical to --batch"

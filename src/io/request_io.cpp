@@ -355,6 +355,22 @@ requestsToJson(const std::vector<AnalysisRequest> &requests)
     return arr;
 }
 
+std::string
+canonicalRequestText(const AnalysisRequest &request)
+{
+    AnalysisRequest normalized = request;
+    // Scheduling-only knob: trial batching cannot change a
+    // Monte-Carlo result (equal seeds are bit-identical at any
+    // thread count), so requests differing only in it must land
+    // on the same cache entry.
+    if (auto *mc = std::get_if<MonteCarloSpec>(&normalized.spec))
+        mc->threads = 1;
+    // requestToJson emits members in one fixed order, numbers in
+    // one fixed format, and omits defaulted optionals, so its
+    // compact dump is already canonical.
+    return requestToJson(normalized).dump(false);
+}
+
 BatchFile
 loadBatchFile(const std::string &path)
 {

@@ -61,6 +61,22 @@ requestsFromJson(const json::Value &doc,
 json::Value requestsToJson(
     const std::vector<AnalysisRequest> &requests);
 
+/**
+ * Canonical text of one request -- the single serialization that
+ * request hashing (the analysis server's content-addressed result
+ * cache, `server/result_cache.h`) routes through.
+ *
+ * Two requests that parse to the same `AnalysisRequest` always
+ * canonicalize to the same bytes, however their source JSON was
+ * spelled: member order is fixed by construction, numbers print
+ * through one fixed format, defaulted optional members are
+ * omitted, and scheduling-only knobs that cannot change the
+ * result (`MonteCarloSpec::threads` -- results are bit-identical
+ * at any thread count) are normalized away. Locked by the
+ * round-trip tests in `tests/test_server.cpp`.
+ */
+std::string canonicalRequestText(const AnalysisRequest &request);
+
 /** A parsed batch file. */
 struct BatchFile
 {

@@ -1,0 +1,747 @@
+#include "server/analysis_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "engine/analysis_engine.h"
+#include "io/batch_report_io.h"
+#include "io/request_io.h"
+#include "io/result_writer.h"
+#include "support/error.h"
+#include "support/sha256.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ECOCHIP_SERVER_HAS_SOCKETS 1
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define ECOCHIP_SERVER_HAS_SOCKETS 0
+#endif
+
+namespace ecochip {
+
+namespace {
+
+/**
+ * Versioned so a future change to the result schema or the
+ * evaluation models can invalidate every cached entry by bumping
+ * one string instead of asking operators to wipe cache
+ * directories.
+ */
+constexpr const char *kCacheSchemaVersion =
+    "ecochip-result-cache-v1";
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    requireConfig(static_cast<bool>(in),
+                  "cannot read catalog file: " + path);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+}
+
+std::string
+computeCatalogFingerprint(const ScenarioRegistry &registry,
+                          const std::string &scenarios_path)
+{
+    Sha256 digest;
+    digest.update(kCacheSchemaVersion);
+    for (const auto &name : registry.names()) {
+        digest.update("\n");
+        digest.update(name);
+    }
+    if (!scenarios_path.empty()) {
+        digest.update("\n--scenarios\n");
+        digest.update(fileBytes(scenarios_path));
+    }
+    return digest.hexDigest();
+}
+
+} // namespace
+
+#if ECOCHIP_SERVER_HAS_SOCKETS
+
+namespace {
+
+/** Wake-pipe write end the signal handlers poke; see run(). */
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void
+ecochipServerSignalHandler(int)
+{
+    const int fd = g_signal_wake_fd.load();
+    if (fd >= 0) {
+        const char byte = 'S';
+        // Best effort: a full pipe already guarantees a wakeup.
+        [[maybe_unused]] const auto n = write(fd, &byte, 1);
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/**
+ * The stream-event document of one outcome, assembled from
+ * pre-serialized parts so a cache hit (parsed stored result) and
+ * a fresh evaluation (resultToJson) travel through one code
+ * path -- member order matches `streamEventToJson` exactly.
+ */
+std::string
+eventLine(std::size_t index, const json::Value &request_echo,
+          bool ok, json::Value payload)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("index", static_cast<double>(index));
+    doc.set("request", request_echo);
+    doc.set("ok", ok);
+    doc.set(ok ? "result" : "error", std::move(payload));
+    return doc.dump(false);
+}
+
+/** Error event for a line that never became a request. */
+std::string
+errorLine(std::size_t index, const std::string &message)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("index", static_cast<double>(index));
+    doc.set("ok", false);
+    doc.set("error", message);
+    return doc.dump(false);
+}
+
+} // namespace
+
+struct AnalysisServer::Impl
+{
+    ServerOptions options;
+    std::string fingerprint;
+    std::optional<ResultCache> cache;
+    std::unique_ptr<AnalysisEngine> engine;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    bool boundSocket = false;
+
+    struct Connection
+    {
+        std::uint64_t id = 0;
+        std::string inbuf;
+        std::string outbuf;
+
+        /** Per-connection request counter (the `index` of every
+         *  response event, control verbs excluded). */
+        std::size_t nextIndex = 0;
+
+        /** Peer closed its write side; serve what was read. */
+        bool eof = false;
+    };
+    std::map<int, Connection> conns;
+    std::uint64_t nextConnId = 1;
+
+    struct PendingJob
+    {
+        int fd = -1;
+        std::uint64_t connId = 0;
+        std::size_t index = 0;
+        json::Value requestEcho;
+        std::string cacheKey;
+        std::future<AnalysisResult> future;
+    };
+    std::vector<PendingJob> jobs;
+
+    ServerStats stats;
+    std::atomic<bool> stopRequested{false};
+    bool stopping = false;
+
+    void closeConnection(int fd)
+    {
+        close(fd);
+        conns.erase(fd);
+    }
+
+    /** True when @p conn still has a response on the way. */
+    bool hasPendingJob(int fd, std::uint64_t id) const
+    {
+        for (const auto &job : jobs)
+            if (job.fd == fd && job.connId == id)
+                return true;
+        return false;
+    }
+
+    void handleLine(int fd, Connection &conn,
+                    const std::string &line);
+    void completeFinishedJobs();
+    void flushConnection(int fd, Connection &conn);
+};
+
+AnalysisServer::AnalysisServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->options = std::move(options);
+    ServerOptions &opts = impl_->options;
+
+    requireConfig(!opts.socketPath.empty(),
+                  "--serve needs a --socket path");
+    requireConfig(opts.engineThreads >= 1,
+                  "engine threads must be >= 1");
+
+    sockaddr_un addr{};
+    requireConfig(
+        opts.socketPath.size() < sizeof(addr.sun_path),
+        "socket path is too long for a Unix-domain socket: " +
+            opts.socketPath);
+
+    ScenarioRegistry registry = opts.registry;
+    if (!opts.scenariosPath.empty())
+        registry.loadFile(opts.scenariosPath);
+    impl_->fingerprint = computeCatalogFingerprint(
+        registry, opts.scenariosPath);
+
+    if (!opts.cacheDir.empty())
+        impl_->cache.emplace(ResultCacheOptions{
+            opts.cacheDir, opts.cacheMaxEntries});
+
+    EngineOptions engine_options;
+    engine_options.threads = opts.engineThreads;
+    engine_options.registry = std::move(registry);
+    impl_->engine = std::make_unique<AnalysisEngine>(
+        std::move(engine_options));
+
+    // A leftover socket file from a dead server must not block
+    // restarts, but a *live* server on the path is an operator
+    // error -- probe with a connect before replacing it.
+    if (std::filesystem::exists(opts.socketPath)) {
+        const int probe = socket(AF_UNIX, SOCK_STREAM, 0);
+        requireModel(probe >= 0, "socket() failed");
+        sockaddr_un probe_addr{};
+        probe_addr.sun_family = AF_UNIX;
+        std::strncpy(probe_addr.sun_path,
+                     opts.socketPath.c_str(),
+                     sizeof(probe_addr.sun_path) - 1);
+        const int connected = connect(
+            probe,
+            reinterpret_cast<const sockaddr *>(&probe_addr),
+            sizeof(probe_addr));
+        close(probe);
+        requireConfig(connected != 0,
+                      "a server is already listening on " +
+                          opts.socketPath);
+        std::error_code ec;
+        std::filesystem::remove(opts.socketPath, ec);
+    }
+
+    impl_->listenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+    requireModel(impl_->listenFd >= 0, "socket() failed");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (bind(impl_->listenFd,
+             reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+        const int err = errno;
+        close(impl_->listenFd);
+        impl_->listenFd = -1;
+        throw ConfigError("cannot bind " + opts.socketPath +
+                          ": " + std::strerror(err));
+    }
+    impl_->boundSocket = true;
+    if (listen(impl_->listenFd, 64) != 0) {
+        const int err = errno;
+        throw ConfigError("cannot listen on " +
+                          opts.socketPath + ": " +
+                          std::strerror(err));
+    }
+    setNonBlocking(impl_->listenFd);
+
+    int pipe_fds[2];
+    requireModel(pipe(pipe_fds) == 0, "pipe() failed");
+    impl_->wakeRead = pipe_fds[0];
+    impl_->wakeWrite = pipe_fds[1];
+    setNonBlocking(impl_->wakeRead);
+    setNonBlocking(impl_->wakeWrite);
+
+    if (opts.installSignalHandlers) {
+        g_signal_wake_fd.store(impl_->wakeWrite);
+        std::signal(SIGTERM, ecochipServerSignalHandler);
+        std::signal(SIGINT, ecochipServerSignalHandler);
+        // Writes go through send(MSG_NOSIGNAL), but ignore
+        // SIGPIPE anyway so no stray stdio write can kill the
+        // daemon when a client vanishes.
+        std::signal(SIGPIPE, SIG_IGN);
+    }
+}
+
+AnalysisServer::~AnalysisServer()
+{
+    if (!impl_)
+        return;
+    if (impl_->options.installSignalHandlers)
+        g_signal_wake_fd.store(-1);
+    for (const auto &[fd, conn] : impl_->conns)
+        close(fd);
+    if (impl_->listenFd >= 0)
+        close(impl_->listenFd);
+    if (impl_->wakeRead >= 0)
+        close(impl_->wakeRead);
+    if (impl_->wakeWrite >= 0)
+        close(impl_->wakeWrite);
+    if (impl_->boundSocket) {
+        std::error_code ec;
+        std::filesystem::remove(impl_->options.socketPath, ec);
+    }
+}
+
+const std::string &
+AnalysisServer::socketPath() const
+{
+    return impl_->options.socketPath;
+}
+
+const std::string &
+AnalysisServer::catalogFingerprint() const
+{
+    return impl_->fingerprint;
+}
+
+ServerStats
+AnalysisServer::stats() const
+{
+    ServerStats stats = impl_->stats;
+    if (impl_->cache)
+        stats.cache = impl_->cache->stats();
+    stats.contexts = impl_->engine->contextCount();
+    return stats;
+}
+
+void
+AnalysisServer::requestStop()
+{
+    impl_->stopRequested.store(true);
+    const char byte = 'Q';
+    [[maybe_unused]] const auto n =
+        write(impl_->wakeWrite, &byte, 1);
+}
+
+void
+AnalysisServer::Impl::handleLine(int fd, Connection &conn,
+                                 const std::string &line)
+{
+    if (line.empty())
+        return;
+
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const std::exception &e) {
+        ++stats.malformed;
+        conn.outbuf +=
+            errorLine(conn.nextIndex++, e.what()) + "\n";
+        return;
+    }
+
+    // Control verbs: answered inline, no request index consumed.
+    if (doc.isObject() && doc.contains("control")) {
+        std::string verb;
+        try {
+            verb = doc.at("control").asString();
+        } catch (const std::exception &) {
+            verb = "";
+        }
+        json::Value reply = json::Value::makeObject();
+        reply.set("control", verb);
+        if (verb == "stats") {
+            reply.set("served",
+                      static_cast<double>(stats.served));
+            reply.set("failed",
+                      static_cast<double>(stats.failed));
+            reply.set("malformed",
+                      static_cast<double>(stats.malformed));
+            reply.set("connections",
+                      static_cast<double>(stats.connections));
+            reply.set("contexts",
+                      static_cast<double>(
+                          engine->contextCount()));
+            reply.set("cache_enabled",
+                      static_cast<bool>(cache));
+            const ResultCacheStats cache_stats =
+                cache ? cache->stats() : ResultCacheStats{};
+            reply.set("hits",
+                      static_cast<double>(cache_stats.hits));
+            reply.set("misses",
+                      static_cast<double>(cache_stats.misses));
+            reply.set("evictions", static_cast<double>(
+                                       cache_stats.evictions));
+            reply.set("entries",
+                      static_cast<double>(cache_stats.entries));
+        } else if (verb == "shutdown") {
+            reply.set("draining", true);
+            stopRequested.store(true);
+        } else {
+            ++stats.malformed;
+            reply.set("error",
+                      "unknown control verb; known verbs: "
+                      "stats, shutdown");
+        }
+        conn.outbuf += reply.dump(false) + "\n";
+        return;
+    }
+
+    const std::size_t index = conn.nextIndex++;
+    AnalysisRequest request;
+    try {
+        request = requestFromJson(
+            doc, "request #" + std::to_string(index));
+    } catch (const std::exception &e) {
+        ++stats.malformed;
+        conn.outbuf += errorLine(index, e.what()) + "\n";
+        return;
+    }
+
+    const json::Value echo = requestToJson(request);
+    std::string key;
+    if (cache) {
+        key = resultCacheKey(request, fingerprint);
+        if (auto stored = cache->lookup(key)) {
+            ++stats.served;
+            conn.outbuf += eventLine(index, echo, true,
+                                     std::move(*stored)) +
+                           "\n";
+            return;
+        }
+    }
+
+    PendingJob job;
+    job.fd = fd;
+    job.connId = conn.id;
+    job.index = index;
+    job.requestEcho = echo;
+    job.cacheKey = std::move(key);
+    job.future = engine->submit(std::move(request));
+    jobs.push_back(std::move(job));
+}
+
+void
+AnalysisServer::Impl::completeFinishedJobs()
+{
+    for (std::size_t j = 0; j < jobs.size();) {
+        PendingJob &job = jobs[j];
+        if (job.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++j;
+            continue;
+        }
+
+        bool ok = true;
+        json::Value payload;
+        try {
+            const AnalysisResult result = job.future.get();
+            payload = resultToJson(result);
+        } catch (const std::exception &e) {
+            ok = false;
+            payload = json::Value(std::string(e.what()));
+        } catch (...) {
+            ok = false;
+            payload = json::Value("unknown error");
+        }
+
+        ++stats.served;
+        if (!ok)
+            ++stats.failed;
+        if (ok && cache && !job.cacheKey.empty())
+            cache->store(job.cacheKey, payload);
+
+        // Deliver only if the connection that asked is still the
+        // one on this fd (ids guard against fd reuse); a gone
+        // client's work still warmed the caches above.
+        const auto it = conns.find(job.fd);
+        if (it != conns.end() && it->second.id == job.connId)
+            it->second.outbuf +=
+                eventLine(job.index, job.requestEcho, ok,
+                          std::move(payload)) +
+                "\n";
+
+        jobs.erase(jobs.begin() +
+                   static_cast<std::ptrdiff_t>(j));
+    }
+}
+
+void
+AnalysisServer::Impl::flushConnection(int fd, Connection &conn)
+{
+    while (!conn.outbuf.empty()) {
+        const auto sent =
+            send(fd, conn.outbuf.data(), conn.outbuf.size(),
+                 MSG_NOSIGNAL);
+        if (sent > 0) {
+            conn.outbuf.erase(0,
+                              static_cast<std::size_t>(sent));
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN ||
+                         errno == EWOULDBLOCK))
+            return; // socket full; POLLOUT will retry
+        // Peer vanished: drop the connection. Its pending jobs
+        // finish and warm the cache; delivery is skipped by the
+        // id check in completeFinishedJobs.
+        closeConnection(fd);
+        return;
+    }
+}
+
+void
+AnalysisServer::run()
+{
+    Impl &impl = *impl_;
+
+    while (true) {
+        if (impl.stopRequested.load() && !impl.stopping) {
+            impl.stopping = true;
+            // Stop accepting; connected clients keep their
+            // in-flight answers, new connects fail fast.
+            if (impl.listenFd >= 0) {
+                close(impl.listenFd);
+                impl.listenFd = -1;
+            }
+        }
+
+        impl.completeFinishedJobs();
+
+        // Drain-time cleanup: a connection with nothing queued
+        // and nothing pending has been fully served.
+        std::vector<int> done;
+        for (auto &[fd, conn] : impl.conns) {
+            const bool drained =
+                conn.outbuf.empty() &&
+                !impl.hasPendingJob(fd, conn.id);
+            if (drained && (impl.stopping || conn.eof))
+                done.push_back(fd);
+        }
+        for (const int fd : done)
+            impl.closeConnection(fd);
+
+        if (impl.stopping && impl.jobs.empty() &&
+            impl.conns.empty())
+            break;
+
+        std::vector<pollfd> fds;
+        fds.push_back({impl.wakeRead, POLLIN, 0});
+        if (!impl.stopping && impl.listenFd >= 0)
+            fds.push_back({impl.listenFd, POLLIN, 0});
+        for (auto &[fd, conn] : impl.conns) {
+            short events = 0;
+            if (!impl.stopping && !conn.eof)
+                events |= POLLIN;
+            if (!conn.outbuf.empty())
+                events |= POLLOUT;
+            if (events != 0)
+                fds.push_back({fd, events, 0});
+        }
+
+        // Busy-ish 1 ms tick only while futures are in flight;
+        // otherwise sleep until a socket or the wake pipe stirs.
+        const int timeout_ms = impl.jobs.empty() ? -1 : 1;
+        const int ready =
+            poll(fds.data(),
+                 static_cast<nfds_t>(fds.size()), timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ModelError(std::string("poll() failed: ") +
+                             std::strerror(errno));
+        }
+
+        for (const pollfd &entry : fds) {
+            if (entry.revents == 0)
+                continue;
+
+            if (entry.fd == impl.wakeRead) {
+                char buf[64];
+                while (read(impl.wakeRead, buf, sizeof(buf)) >
+                       0) {
+                }
+                impl.stopRequested.store(true);
+                continue;
+            }
+
+            if (entry.fd == impl.listenFd) {
+                while (true) {
+                    const int conn_fd =
+                        accept(impl.listenFd, nullptr, nullptr);
+                    if (conn_fd < 0)
+                        break;
+                    setNonBlocking(conn_fd);
+                    Impl::Connection conn;
+                    conn.id = impl.nextConnId++;
+                    impl.conns.emplace(conn_fd,
+                                       std::move(conn));
+                    ++impl.stats.connections;
+                }
+                continue;
+            }
+
+            auto it = impl.conns.find(entry.fd);
+            if (it == impl.conns.end())
+                continue;
+            Impl::Connection &conn = it->second;
+
+            if (entry.revents & (POLLIN | POLLHUP | POLLERR)) {
+                char buf[65536];
+                while (true) {
+                    const auto got =
+                        read(entry.fd, buf, sizeof(buf));
+                    if (got > 0) {
+                        conn.inbuf.append(
+                            buf, static_cast<std::size_t>(got));
+                        continue;
+                    }
+                    // EOF and hard errors (ECONNRESET) both end
+                    // the read side; EAGAIN just means drained.
+                    if (got == 0 ||
+                        (errno != EAGAIN && errno != EWOULDBLOCK))
+                        conn.eof = true;
+                    break;
+                }
+                // Parse every complete line; partial tail waits
+                // for more bytes. Each line is isolated: a
+                // malformed one answers an error event and the
+                // loop moves on.
+                std::size_t start = 0;
+                while (true) {
+                    const std::size_t nl =
+                        conn.inbuf.find('\n', start);
+                    if (nl == std::string::npos)
+                        break;
+                    std::string line = conn.inbuf.substr(
+                        start, nl - start);
+                    if (!line.empty() && line.back() == '\r')
+                        line.pop_back();
+                    start = nl + 1;
+                    impl.handleLine(entry.fd, conn, line);
+                    // The line may have dropped the connection.
+                    if (impl.conns.find(entry.fd) ==
+                        impl.conns.end())
+                        break;
+                }
+                if (impl.conns.find(entry.fd) !=
+                    impl.conns.end())
+                    conn.inbuf.erase(0, start);
+                else
+                    continue;
+            }
+
+            if (!conn.outbuf.empty())
+                impl.flushConnection(entry.fd, conn);
+        }
+    }
+
+    if (impl.cache)
+        impl.cache->flushIndex();
+}
+
+int
+runAnalysisServer(ServerOptions options)
+{
+    AnalysisServer server(std::move(options));
+    std::cout << "serving on " << server.socketPath()
+              << std::endl;
+    server.run();
+    const ServerStats stats = server.stats();
+    std::cout << "drained: " << stats.served
+              << " request(s) served (" << stats.failed
+              << " failed, " << stats.malformed
+              << " malformed) across " << stats.connections
+              << " connection(s); cache " << stats.cache.hits
+              << " hit(s) / " << stats.cache.misses
+              << " miss(es) / " << stats.cache.evictions
+              << " eviction(s); " << stats.contexts
+              << " warm context(s)" << std::endl;
+    return 0;
+}
+
+#else // !ECOCHIP_SERVER_HAS_SOCKETS
+
+struct AnalysisServer::Impl
+{
+    ServerOptions options;
+    std::string fingerprint;
+};
+
+namespace {
+
+[[noreturn]] void
+throwNoSockets()
+{
+    throw ConfigError(
+        "the analysis server requires a POSIX platform "
+        "(Unix-domain sockets)");
+}
+
+} // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions)
+{
+    throwNoSockets();
+}
+
+AnalysisServer::~AnalysisServer() = default;
+
+void
+AnalysisServer::run()
+{
+    throwNoSockets();
+}
+
+void
+AnalysisServer::requestStop()
+{
+    throwNoSockets();
+}
+
+const std::string &
+AnalysisServer::socketPath() const
+{
+    throwNoSockets();
+}
+
+const std::string &
+AnalysisServer::catalogFingerprint() const
+{
+    throwNoSockets();
+}
+
+ServerStats
+AnalysisServer::stats() const
+{
+    throwNoSockets();
+}
+
+int
+runAnalysisServer(ServerOptions)
+{
+    throwNoSockets();
+}
+
+#endif // ECOCHIP_SERVER_HAS_SOCKETS
+
+} // namespace ecochip

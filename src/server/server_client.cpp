@@ -1,0 +1,230 @@
+#include "server/server_client.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ECOCHIP_CLIENT_HAS_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define ECOCHIP_CLIENT_HAS_SOCKETS 0
+#endif
+
+namespace ecochip {
+
+#if ECOCHIP_CLIENT_HAS_SOCKETS
+
+namespace {
+
+/** Blocking connect to a Unix-domain socket; -1 on failure. */
+int
+connectTo(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path))
+        return -1;
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+ServerClient::ServerClient(const std::string &socket_path)
+    : fd_(connectTo(socket_path))
+{
+    requireConfig(fd_ >= 0,
+                  "cannot connect to analysis server on " +
+                      socket_path);
+}
+
+ServerClient::~ServerClient()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+ServerClient::ServerClient(ServerClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inbuf_(std::move(other.inbuf_))
+{
+}
+
+ServerClient &
+ServerClient::operator=(ServerClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        inbuf_ = std::move(other.inbuf_);
+    }
+    return *this;
+}
+
+void
+ServerClient::sendLine(const std::string &line)
+{
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const auto n =
+            send(fd_, framed.data() + sent,
+                 framed.size() - sent, MSG_NOSIGNAL);
+        requireModel(n > 0,
+                     "analysis server connection lost while "
+                     "sending");
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+ServerClient::readLine()
+{
+    while (true) {
+        const std::size_t nl = inbuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = inbuf_.substr(0, nl);
+            inbuf_.erase(0, nl + 1);
+            return line;
+        }
+        char buf[65536];
+        const auto got = read(fd_, buf, sizeof(buf));
+        requireModel(got > 0,
+                     "analysis server closed the connection "
+                     "before answering");
+        inbuf_.append(buf, static_cast<std::size_t>(got));
+    }
+}
+
+std::string
+ServerClient::roundTrip(const std::string &line)
+{
+    sendLine(line);
+    return readLine();
+}
+
+json::Value
+ServerClient::stats()
+{
+    return json::parse(roundTrip("{\"control\": \"stats\"}"));
+}
+
+void
+ServerClient::shutdownServer()
+{
+    roundTrip("{\"control\": \"shutdown\"}");
+}
+
+bool
+ServerClient::waitForServer(const std::string &socket_path,
+                            double timeout_seconds)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    while (true) {
+        const int fd = connectTo(socket_path);
+        if (fd >= 0) {
+            close(fd);
+            return true;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+}
+
+#else // !ECOCHIP_CLIENT_HAS_SOCKETS
+
+namespace {
+
+[[noreturn]] void
+throwNoSockets()
+{
+    throw ConfigError(
+        "the analysis server client requires a POSIX platform "
+        "(Unix-domain sockets)");
+}
+
+} // namespace
+
+ServerClient::ServerClient(const std::string &)
+{
+    throwNoSockets();
+}
+
+ServerClient::~ServerClient() = default;
+
+ServerClient::ServerClient(ServerClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inbuf_(std::move(other.inbuf_))
+{
+}
+
+ServerClient &
+ServerClient::operator=(ServerClient &&other) noexcept
+{
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+    return *this;
+}
+
+void
+ServerClient::sendLine(const std::string &)
+{
+    throwNoSockets();
+}
+
+std::string
+ServerClient::readLine()
+{
+    throwNoSockets();
+}
+
+std::string
+ServerClient::roundTrip(const std::string &)
+{
+    throwNoSockets();
+}
+
+json::Value
+ServerClient::stats()
+{
+    throwNoSockets();
+}
+
+void
+ServerClient::shutdownServer()
+{
+    throwNoSockets();
+}
+
+bool
+ServerClient::waitForServer(const std::string &, double)
+{
+    return false;
+}
+
+#endif // ECOCHIP_CLIENT_HAS_SOCKETS
+
+} // namespace ecochip

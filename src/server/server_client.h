@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Line-oriented client of the analysis server
+ * (`server/analysis_server.h`): connect to the daemon's
+ * Unix-domain socket, write NDJSON request lines, read NDJSON
+ * response lines.
+ *
+ * This is the half the CLI's `--connect` mode and the server
+ * tests are built on. It is deliberately thin -- framing only, no
+ * request/response interpretation beyond the two control verbs --
+ * so the wire shapes stay owned by `io/batch_report_io.h` and
+ * `io/request_io.h`.
+ *
+ * Responses arrive in completion order, not submission order;
+ * callers match them back to requests via the `index` member of
+ * each event line (see `docs/serving.md`).
+ */
+
+#ifndef ECOCHIP_SERVER_SERVER_CLIENT_H
+#define ECOCHIP_SERVER_SERVER_CLIENT_H
+
+#include <string>
+
+#include "json/json.h"
+
+namespace ecochip {
+
+/** One connected NDJSON session with an analysis server. */
+class ServerClient
+{
+  public:
+    /**
+     * Connect to the server listening on @p socket_path.
+     * @throws ConfigError when nothing accepts the connection
+     *         (no daemon, stale socket, wrong path).
+     */
+    explicit ServerClient(const std::string &socket_path);
+
+    ~ServerClient();
+
+    ServerClient(ServerClient &&other) noexcept;
+    ServerClient &operator=(ServerClient &&other) noexcept;
+    ServerClient(const ServerClient &) = delete;
+    ServerClient &operator=(const ServerClient &) = delete;
+
+    /** Write @p line plus the terminating newline. */
+    void sendLine(const std::string &line);
+
+    /**
+     * The next response line (newline stripped), blocking until
+     * one arrives.
+     * @throws ModelError if the server closes the connection
+     *         first.
+     */
+    std::string readLine();
+
+    /** sendLine + readLine -- for control verbs and other
+     *  strictly request/reply exchanges. */
+    std::string roundTrip(const std::string &line);
+
+    /** The parsed reply of `{"control": "stats"}`. */
+    json::Value stats();
+
+    /** Send `{"control": "shutdown"}` and wait for the ack. */
+    void shutdownServer();
+
+    /**
+     * Poll @p socket_path until a connect succeeds or
+     * @p timeout_seconds elapse -- absorbs the startup race when
+     * the daemon was just forked. Returns whether a server
+     * answered.
+     */
+    static bool waitForServer(const std::string &socket_path,
+                              double timeout_seconds);
+
+  private:
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SERVER_SERVER_CLIENT_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Self-contained SHA-256 (FIPS 180-4), no external dependencies.
+ *
+ * The analysis server's persistent result cache
+ * (`server/result_cache.h`) is content-addressed: cache entries
+ * are named by the SHA-256 of the canonical request text plus the
+ * catalog fingerprint, so equal work always lands on the same
+ * on-disk object no matter which process computed it. A
+ * cryptographic digest keeps accidental collisions out of the
+ * question at any cache size; this is not used for security.
+ */
+
+#ifndef ECOCHIP_SUPPORT_SHA256_H
+#define ECOCHIP_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ecochip {
+
+/** Incremental SHA-256 digest. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p size bytes at @p data. */
+    void update(const void *data, std::size_t size);
+
+    /** Absorb a string's bytes. */
+    void update(const std::string &text)
+    {
+        update(text.data(), text.size());
+    }
+
+    /**
+     * Finish the digest and return it as 64 lowercase hex
+     * characters. The object must not be updated afterwards.
+     */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufferedBytes_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot digest of a string's bytes, as lowercase hex. */
+std::string sha256Hex(const std::string &text);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SUPPORT_SHA256_H
