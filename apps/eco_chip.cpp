@@ -9,6 +9,8 @@
  *   eco_chip --design_dir data/testcases/GA102 [options]
  *   eco_chip --scenario ga102 [options]
  *   eco_chip --batch requests.json [--engine_threads N] [--stream]
+ *   eco_chip --search spec.json [--json FILE] [--report FILE]
+ *            [--expand FILE] [--engine_threads N]
  *   eco_chip --shard requests.json --shards K [--json FILE]
  *   eco_chip --shard_worker sub_batch.json --json report.json
  *   eco_chip --coordinate requests.json --hosts hosts.json
@@ -27,6 +29,18 @@
  *                      per request, exit 1 if any request failed
  *   --stream           with --batch: emit one NDJSON line per
  *                      request on stdout, in completion order
+ *   --search FILE      run a design-space search spec: expand a
+ *                      generator template into scenario points
+ *                      and drive them through the engine with
+ *                      the spec's strategy (exhaustive / greedy /
+ *                      annealing -- see docs/search.md)
+ *   --report FILE      with --search: write the underlying
+ *                      BatchReport of the evaluated requests;
+ *                      for exhaustive search, byte-identical to
+ *                      --batch over the --expand file
+ *   --expand FILE      with --search: write the hand-expanded
+ *                      request list as a --batch file (every
+ *                      point of the space, odometer order)
  *   --shard FILE       split a batch across --shards worker
  *                      processes and merge their reports; the
  *                      merged BatchReport is byte-identical to
@@ -78,7 +92,9 @@
  *                      results are bit-identical at any count)
  *   --scenarios FILE   load a user scenario catalog (JSON) into
  *                      the registry before resolving names
- *   --list_scenarios   print the scenario catalog and exit
+ *   --list_scenarios   print the scenario catalog (and any
+ *                      loaded generator templates with their
+ *                      axis and point counts) and exit
  *   --node_list LIST   comma-separated nodes (e.g. "7,10,14") to
  *                      explore across all chiplets; prints the
  *                      CFP of every combination
@@ -109,6 +125,8 @@
 #include "io/host_manifest_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
+#include "io/search_io.h"
+#include "search/search_driver.h"
 #include "server/analysis_server.h"
 #include "server/server_client.h"
 #include "session/analysis_session.h"
@@ -124,6 +142,9 @@ struct CliOptions
     std::string designDir;
     std::string scenario;
     std::string batchPath;
+    std::string searchPath;
+    std::string searchReportPath;
+    std::string searchExpandPath;
     std::string shardPath;
     std::string shardWorkerPath;
     std::string shardDir;
@@ -166,6 +187,7 @@ printUsage(std::ostream &os)
 {
     os << "usage: eco_chip (--design_dir DIR | --scenario NAME |"
           " --batch FILE |\n"
+          "    --search FILE [--report FILE] [--expand FILE] |\n"
           "    --shard FILE --shards K | --shard_worker FILE |\n"
           "    --coordinate FILE --hosts HOSTS.json |\n"
           "    --serve --socket PATH | --connect PATH)\n"
@@ -178,8 +200,8 @@ printUsage(std::ostream &os)
           " [--shard_timeout S]\n"
           "    [--cache_dir DIR] [--cache_entries N]"
           " [--stats] [--shutdown]\n"
-          "see docs/cli.md, docs/distributed.md, and"
-          " docs/serving.md for the full flag reference\n";
+          "see docs/cli.md, docs/search.md, docs/distributed.md,"
+          " and docs/serving.md for the full flag reference\n";
 }
 
 void
@@ -190,6 +212,17 @@ printScenarios(std::ostream &os,
     for (const auto &scenario : registry.scenarios()) {
         os << "  " << scenario.name << "\n      "
            << scenario.description << "\n";
+    }
+    if (registry.generators().empty())
+        return;
+    os << "generator templates (points named "
+          "<generator>/<axis>=<value>/..., see docs/search.md):\n";
+    for (const auto &generator : registry.generators()) {
+        const ScenarioSpace space(generator);
+        os << "  " << generator.name << "/...\n      "
+           << generator.description << "\n      "
+           << generator.axes.size() << " axis(es), "
+           << space.size() << " points\n";
     }
 }
 
@@ -262,6 +295,12 @@ parseArgs(int argc, char **argv)
             opts.batchPath = next_value();
         } else if (arg == "--stream") {
             opts.stream = true;
+        } else if (arg == "--search") {
+            opts.searchPath = next_value();
+        } else if (arg == "--report") {
+            opts.searchReportPath = next_value();
+        } else if (arg == "--expand") {
+            opts.searchExpandPath = next_value();
         } else if (arg == "--shard") {
             opts.shardPath = next_value();
         } else if (arg == "--shards") {
@@ -341,6 +380,7 @@ parseArgs(int argc, char **argv)
         }
     }
     const bool batch_mode = !opts.batchPath.empty() ||
+                            !opts.searchPath.empty() ||
                             !opts.shardPath.empty() ||
                             !opts.shardWorkerPath.empty() ||
                             !opts.coordinatePath.empty() ||
@@ -354,6 +394,7 @@ parseArgs(int argc, char **argv)
         (!opts.batchPath.empty() && opts.connectPath.empty()
              ? 1
              : 0) +
+        (opts.searchPath.empty() ? 0 : 1) +
         (opts.shardPath.empty() ? 0 : 1) +
         (opts.shardWorkerPath.empty() ? 0 : 1) +
         (opts.coordinatePath.empty() ? 0 : 1) +
@@ -362,9 +403,17 @@ parseArgs(int argc, char **argv)
     requireConfig(sources == 1 ||
                       (sources == 0 && opts.listScenarios),
                   "exactly one of --design_dir / --scenario / "
-                  "--batch / --shard / --shard_worker / "
-                  "--coordinate / --serve / --connect is "
-                  "required");
+                  "--batch / --search / --shard / "
+                  "--shard_worker / --coordinate / --serve / "
+                  "--connect is required");
+    requireConfig(opts.searchReportPath.empty() ||
+                      !opts.searchPath.empty(),
+                  "--report writes a search's BatchReport; it "
+                  "requires --search");
+    requireConfig(opts.searchExpandPath.empty() ||
+                      !opts.searchPath.empty(),
+                  "--expand writes a search's hand-expanded "
+                  "request list; it requires --search");
     requireConfig(!batch_mode ||
                       (opts.nodeList.empty() &&
                        opts.monteCarloTrials == 0 &&
@@ -438,12 +487,14 @@ parseArgs(int argc, char **argv)
                   "--shard_worker writes its BatchReport to the "
                   "--json path; --json FILE is required");
     requireConfig(!opts.markdownPath ||
-                      (opts.shardPath.empty() &&
+                      (opts.searchPath.empty() &&
+                       opts.shardPath.empty() &&
                        opts.shardWorkerPath.empty() &&
                        opts.coordinatePath.empty() &&
                        opts.connectPath.empty()),
                   "--markdown applies to --design_dir/--scenario/"
-                  "--batch runs, not shard or server modes");
+                  "--batch runs, not search, shard, or server "
+                  "modes");
     requireConfig(opts.threads == 1 || opts.monteCarloTrials > 0,
                   "--threads batches Monte-Carlo trials; it "
                   "requires --montecarlo");
@@ -633,6 +684,104 @@ runBatch(const CliOptions &opts, ScenarioRegistry registry)
     }
 
     return report.allOk() ? 0 : 1;
+}
+
+/**
+ * Run a design-space search spec: expand the generator lazily,
+ * drive the strategy through the engine, and print the best
+ * point and the Pareto frontier. --json writes the SearchResult
+ * document, --report the underlying BatchReport (for exhaustive
+ * search, byte-identical to --batch over the --expand file), and
+ * --expand the hand-expanded request list as a --batch file.
+ * Returns 1 when any evaluated request failed.
+ */
+int
+runSearch(const CliOptions &opts, ScenarioRegistry registry)
+{
+    const SearchSpec spec =
+        loadSearchSpecFile(opts.searchPath);
+
+    if (!opts.searchExpandPath.empty()) {
+        // The hand-expanded --batch file: a catalog reference
+        // (absolute, so the file runs from any directory) plus
+        // every point of the space in odometer order.
+        ScenarioRegistry expanded = registry;
+        if (spec.catalog)
+            expanded.loadFile(*spec.catalog);
+        const ScenarioSpace space(
+            expanded.generator(spec.generator));
+        json::Value doc = json::Value::makeObject();
+        if (spec.catalog)
+            doc.set("scenarios",
+                    std::filesystem::absolute(*spec.catalog)
+                        .string());
+        doc.set("requests",
+                requestsToJson(
+                    SearchDriver::expand(spec, space)));
+        json::writeFile(doc, opts.searchExpandPath);
+        std::cout << "expanded request list written to "
+                  << opts.searchExpandPath << "\n";
+    }
+
+    EngineOptions engine_options;
+    engine_options.threads = opts.engineThreads.value_or(
+        Parallelism::hardware().threads);
+    engine_options.registry = std::move(registry);
+    SearchDriver driver(std::move(engine_options));
+    const SearchResult result = driver.run(spec);
+
+    const auto tracked = trackedMetrics(result.spec);
+    std::size_t feasible = 0;
+    for (const auto &point : result.evaluated)
+        if (point.feasible)
+            ++feasible;
+
+    std::cout << "search: generator \"" << spec.generator
+              << "\" (" << result.spaceSize << " points), "
+              << toString(spec.strategy.kind) << " strategy, "
+              << "seed " << spec.strategy.seed << "\n"
+              << "  evaluated " << result.evaluated.size()
+              << " point(s) (" << result.requests.size()
+              << " requests), " << feasible << " feasible\n";
+
+    auto print_point = [&](const EvaluatedPoint &point) {
+        std::cout << point.name << "\n      ";
+        for (std::size_t i = 0; i < tracked.size(); ++i) {
+            if (i)
+                std::cout << "  ";
+            std::cout << toString(tracked[i]) << "="
+                      << point.metrics[i];
+        }
+        std::cout << "\n";
+    };
+
+    if (result.best) {
+        std::cout << "  best (scalarized): ";
+        print_point(result.evaluated[*result.best]);
+    } else {
+        std::cout << "  best (scalarized): none feasible\n";
+    }
+
+    std::cout << "  Pareto frontier: " << result.frontier.size()
+              << " point(s)\n";
+    for (const std::size_t slot : result.frontier) {
+        std::cout << "    ";
+        print_point(result.evaluated[slot]);
+    }
+
+    if (opts.jsonPath) {
+        json::writeFile(searchResultToJson(result),
+                        *opts.jsonPath);
+        std::cout << "search result written to "
+                  << *opts.jsonPath << "\n";
+    }
+    if (!opts.searchReportPath.empty()) {
+        writeBatchReportFile(result.report,
+                             opts.searchReportPath);
+        std::cout << "batch report written to "
+                  << opts.searchReportPath << "\n";
+    }
+    return result.report.allOk() ? 0 : 1;
 }
 
 /**
@@ -918,6 +1067,9 @@ run(int argc, char **argv)
 
     if (!opts.batchPath.empty())
         return runBatch(opts, std::move(registry));
+
+    if (!opts.searchPath.empty())
+        return runSearch(opts, std::move(registry));
 
     ScenarioBuilder builder;
     builder.registry(std::move(registry));

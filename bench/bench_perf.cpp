@@ -24,6 +24,7 @@
 #include "floorplan/floorplan.h"
 #include "io/request_io.h"
 #include "json/json.h"
+#include "search/search_driver.h"
 #include "session/analysis_session.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -455,6 +456,99 @@ BENCHMARK(BM_ServedRequestCacheHit)
     ->UseRealTime();
 
 #endif // ECOCHIP_BENCH_HAS_SERVER
+
+/** A 54-point generator catalog for the search benchmarks. */
+json::Value
+searchBenchCatalog()
+{
+    return json::parse(R"({
+        "generators": [{
+            "name": "bench-space",
+            "architecture": {
+                "name": "FPGA-PCA",
+                "packaging": "rdl_fanout",
+                "chiplets": [
+                    {"name": "pe-array", "type": "logic",
+                     "node_nm": 7, "area_mm2": 140.0},
+                    {"name": "bram", "type": "memory",
+                     "node_nm": 10, "area_mm2": 90.0},
+                    {"name": "io-xcvr", "type": "io",
+                     "node_nm": 14, "area_mm2": 70.0,
+                     "reused": true}
+                ]
+            },
+            "operational": {
+                "lifetime_years": 3, "duty_cycle": 0.35,
+                "avg_power_w": 60.0,
+                "intensity_g_per_kwh": 700
+            },
+            "axes": [
+                {"axis": "node_nm", "name": "pe_node",
+                 "chiplet": "pe-array", "values": [5, 7, 10]},
+                {"axis": "chiplet_count", "name": "pe_split",
+                 "chiplet": "pe-array", "values": [1, 2, 4]},
+                {"axis": "packaging",
+                 "values": ["rdl_fanout", "silicon_bridge",
+                            "passive_interposer"]},
+                {"axis": "lifetime_years", "values": [3, 5]}
+            ]
+        }]
+    })");
+}
+
+void
+BM_SearchExpansion(benchmark::State &state)
+{
+    // Lazy-expansion throughput: derived names per second over
+    // the odometer (flat index -> per-axis indices -> name).
+    // This is the name-resolution cost every search strategy and
+    // every derived-name batch request pays per point.
+    ScenarioRegistry registry;
+    registry.loadJson(searchBenchCatalog(), "bench", ".");
+    const ScenarioSpace space(registry.generator("bench-space"));
+    for (auto _ : state) {
+        for (std::size_t flat = 0; flat < space.size(); ++flat)
+            benchmark::DoNotOptimize(space.nameAt(flat));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_SearchExpansion)
+    ->Name("SearchExpansion")
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SearchExhaustive(benchmark::State &state)
+{
+    // End-to-end exhaustive search of the 54-point space: space
+    // instantiation, engine evaluation, scalarization, and
+    // Pareto extraction, on a cold driver per iteration (the
+    // cost a DSE caller pays per `--search`). Items are design
+    // points per second.
+    SearchSpec spec;
+    spec.generator = "bench-space";
+    spec.objectives.push_back(
+        {SearchMetric::EmbodiedKg, false, 1.0});
+    const int threads = static_cast<int>(state.range(0));
+
+    for (auto _ : state) {
+        EngineOptions options;
+        options.threads = threads;
+        options.registry.loadJson(searchBenchCatalog(),
+                                  "bench", ".");
+        SearchDriver driver(std::move(options));
+        benchmark::DoNotOptimize(driver.run(spec));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 54);
+}
+BENCHMARK(BM_SearchExhaustive)
+    ->Name("SearchExhaustive")
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_Estimate3dStack(benchmark::State &state)

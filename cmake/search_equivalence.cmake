@@ -1,0 +1,50 @@
+# CTest script: the BatchReport an exhaustive `--search` records
+# (--report) must be byte-identical to the single-process
+# `--batch` run over the hand-expanded request list the same
+# search writes (--expand) -- the PR 8 acceptance gate, exercised
+# here at the CLI level; tests/test_search.cpp locks the same
+# property at the library level.
+#
+# Variables: APP (eco_chip binary), SPEC (search spec JSON),
+#            WORKDIR (scratch directory).
+
+if(NOT APP OR NOT SPEC OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DAPP=... -DSPEC=... -DWORKDIR=... -P search_equivalence.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(expanded_json "${WORKDIR}/expanded_requests.json")
+set(search_json "${WORKDIR}/search_report.json")
+set(batch_json "${WORKDIR}/batch_report.json")
+
+execute_process(
+    COMMAND "${APP}" --search "${SPEC}"
+            --expand "${expanded_json}"
+            --report "${search_json}"
+            --engine_threads 2
+    RESULT_VARIABLE search_rc
+    OUTPUT_QUIET)
+if(NOT search_rc EQUAL 0)
+    message(FATAL_ERROR "--search run failed (exit ${search_rc})")
+endif()
+
+execute_process(
+    COMMAND "${APP}" --batch "${expanded_json}"
+            --engine_threads 4 --json "${batch_json}"
+    RESULT_VARIABLE batch_rc
+    OUTPUT_QUIET)
+if(NOT batch_rc EQUAL 0)
+    message(FATAL_ERROR "--batch run failed (exit ${batch_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${search_json}" "${batch_json}"
+    RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+        "exhaustive search report differs from the hand-expanded "
+        "batch report:\n  ${search_json}\n  ${batch_json}")
+endif()
+
+message(STATUS "search/batch reports byte-identical")

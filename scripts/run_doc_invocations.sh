@@ -11,7 +11,7 @@
 #                    (default: ./build/eco_chip)
 #   DOC ...          markdown files to scan
 #                    (default: docs/cli.md docs/distributed.md
-#                     docs/serving.md)
+#                     docs/serving.md docs/search.md)
 set -u
 
 APP="${1:-./build/eco_chip}"
@@ -21,7 +21,7 @@ fi
 if [ "$#" -ge 1 ]; then
     DOCS=("$@")
 else
-    DOCS=(docs/cli.md docs/distributed.md docs/serving.md)
+    DOCS=(docs/cli.md docs/distributed.md docs/serving.md docs/search.md)
 fi
 
 if [ ! -x "$APP" ]; then

@@ -297,6 +297,83 @@ hbmAcceleratorOperating()
     return spec;
 }
 
+SystemSpec
+fpgaPcaAccelerator(const TechDb &tech, double pe_node_nm)
+{
+    SystemSpec system;
+    system.name = "FPGA-PCA";
+
+    // Systolic MAC/SVD PE array -- the scalable compute fabric of
+    // the MANOJAVAM accelerator, sized like a mid-range FPGA
+    // compute region.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "pe-array", DesignType::Logic, pe_node_nm, 140.0, tech));
+    // On-chip working-set buffers (the BRAM column equivalent):
+    // a commodity memory die one node behind the PE array.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "bram", DesignType::Memory, 10.0, 90.0, tech));
+    // Host-link transceivers and DDR PHYs on a mature analog
+    // node (the part of an FPGA that never scales).
+    system.chiplets.push_back(Chiplet::fromArea(
+        "io-xcvr", DesignType::Analog, 14.0, 70.0, tech));
+    return system;
+}
+
+OperatingSpec
+fpgaPcaOperating()
+{
+    // Accelerator card in a shared analytics cluster: rated-power
+    // path at a moderate duty cycle.
+    OperatingSpec spec;
+    spec.lifetimeYears = 3.0;
+    spec.dutyCycle = 0.35;
+    spec.useIntensityGPerKwh = 700.0;
+    spec.avgPowerW = 60.0;
+    return spec;
+}
+
+SystemSpec
+riscvManycore64(const TechDb &tech, double node_nm)
+{
+    SystemSpec system;
+    system.name = "RV64-MANYCORE";
+
+    // Four identical 16-core RISC-V cluster dies: one design
+    // effort, the twins reuse it (the SG2044's 64 cores split
+    // along its cluster boundaries).
+    const Chiplet cluster = Chiplet::fromArea(
+        "cluster0", DesignType::Logic, node_nm, 95.0, tech);
+    system.chiplets.push_back(cluster);
+    for (int i = 1; i < 4; ++i) {
+        Chiplet twin = cluster;
+        twin.name = "cluster" + std::to_string(i);
+        twin.reused = true;
+        system.chiplets.push_back(twin);
+    }
+
+    // DDR5/PCIe PHY ring on a mature node.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "io-hub", DesignType::Analog, 14.0, 140.0, tech));
+    // Shared system-level cache die.
+    system.chiplets.push_back(Chiplet::fromArea(
+        "msc", DesignType::Memory, 10.0, 110.0, tech));
+    return system;
+}
+
+OperatingSpec
+riscvManycore64Operating()
+{
+    // Always-on server SoC: multi-year life at a high duty
+    // cycle, so operation dominates embodied.
+    OperatingSpec spec;
+    spec.lifetimeYears = 5.0;
+    spec.dutyCycle = 0.60;
+    spec.avgFrequencyHz = 2.0e9;
+    spec.switchingActivity = 0.10;
+    spec.useIntensityGPerKwh = 700.0;
+    return spec;
+}
+
 namespace {
 
 /** Latency/power tables for the accelerator study (Yang et al.). */

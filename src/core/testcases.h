@@ -134,6 +134,42 @@ OperatingSpec hbmAcceleratorOperating();
 
 /** @} */
 
+/** @{ @name FPGA PCA accelerator (MANOJAVAM-style) */
+
+/**
+ * MANOJAVAM-class unified matrix-multiplication/SVD accelerator
+ * for principal component analysis, recast as a chiplet part: a
+ * systolic PE-array compute die at @p pe_node_nm, an on-chip
+ * buffer (BRAM-class) memory die, and a mature-node
+ * transceiver/IO die carrying the host link PHYs. The PE array is
+ * the die the search axes retarget and split -- scaling the
+ * accelerator is exactly a chiplet-count/node question.
+ */
+SystemSpec fpgaPcaAccelerator(const TechDb &tech,
+                              double pe_node_nm = 7.0);
+
+/** Accelerator-card operating spec (rated power, shared duty). */
+OperatingSpec fpgaPcaOperating();
+
+/** @} */
+
+/** @{ @name 64-core RISC-V manycore (Sophon-SG2044-class) */
+
+/**
+ * Sophon-SG2044-class 64-core RISC-V server SoC as a chiplet
+ * part: four identical 16-core cluster dies at @p node_nm (one
+ * design, the twins reused), a mature-node IO hub with the
+ * DDR/PCIe PHYs, and a shared memory-side cache die.
+ */
+SystemSpec riscvManycore64(const TechDb &tech,
+                           double node_nm = 7.0);
+
+/** Server operating spec for the manycore (multi-year, high
+ *  duty). */
+OperatingSpec riscvManycore64Operating();
+
+/** @} */
+
 /** @{ @name AR/VR 3D accelerator (Sec. VI, Fig. 13) */
 
 /** One sweep point of the accelerator study. */

@@ -1,0 +1,312 @@
+#include "io/search_io.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include "io/config_loader.h"
+#include "io/request_io.h"
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** Sanity caps, in the spirit of request_io's trial/thread caps:
+ *  fat-fingered values are rejected, not allowed to spawn absurd
+ *  work. */
+constexpr std::int64_t kMaxRestarts = 4096;
+constexpr std::int64_t kMaxSteps = 10'000'000;
+constexpr std::int64_t kMaxBatchSize = 65'536;
+
+StrategySpec
+strategyFromJson(const json::Value &doc,
+                 const std::string &context)
+{
+    rejectUnknownKeys(doc,
+                      {"kind", "seed", "restarts", "steps",
+                       "initial_temp", "cooling"},
+                      context);
+
+    StrategySpec spec;
+    spec.kind = strategyKindFromString(
+        doc.stringOr("kind", "exhaustive"), context);
+    if (doc.contains("seed")) {
+        const std::int64_t seed = doc.at("seed").asInteger();
+        requireConfig(seed >= 0,
+                      context + ": seed must be non-negative");
+        spec.seed = static_cast<std::uint64_t>(seed);
+    }
+    if (doc.contains("restarts")) {
+        const std::int64_t restarts =
+            doc.at("restarts").asInteger();
+        requireConfig(restarts >= 1 && restarts <= kMaxRestarts,
+                      context + ": restarts must be in [1, " +
+                          std::to_string(kMaxRestarts) + "]");
+        spec.restarts = static_cast<int>(restarts);
+    }
+    if (doc.contains("steps")) {
+        const std::int64_t steps = doc.at("steps").asInteger();
+        requireConfig(steps >= 0 && steps <= kMaxSteps,
+                      context + ": steps must be in [0, " +
+                          std::to_string(kMaxSteps) + "]");
+        spec.steps = static_cast<int>(steps);
+    }
+    spec.initialTemp =
+        doc.numberOr("initial_temp", spec.initialTemp);
+    requireConfig(spec.initialTemp >= 0.0,
+                  context + ": initial_temp must be >= 0");
+    spec.cooling = doc.numberOr("cooling", spec.cooling);
+    requireConfig(spec.cooling > 0.0 && spec.cooling <= 1.0,
+                  context + ": cooling must be in (0, 1]");
+    return spec;
+}
+
+json::Value
+strategyToJson(const StrategySpec &spec)
+{
+    // Every knob always, in one fixed order: the round trip is
+    // lossless whichever strategy is selected.
+    json::Value doc = json::Value::makeObject();
+    doc.set("kind", toString(spec.kind));
+    doc.set("seed", static_cast<double>(spec.seed));
+    doc.set("restarts", spec.restarts);
+    doc.set("steps", spec.steps);
+    doc.set("initial_temp", spec.initialTemp);
+    doc.set("cooling", spec.cooling);
+    return doc;
+}
+
+ObjectiveSpec
+objectiveFromJson(const json::Value &doc,
+                  const std::string &context)
+{
+    rejectUnknownKeys(doc, {"metric", "goal", "weight"},
+                      context);
+    ObjectiveSpec spec;
+    spec.metric = searchMetricFromString(
+        doc.at("metric").asString(), context);
+    const std::string goal = doc.stringOr("goal", "min");
+    requireConfig(goal == "min" || goal == "max",
+                  context +
+                      ": goal must be \"min\" or \"max\"");
+    spec.maximize = goal == "max";
+    spec.weight = doc.numberOr("weight", spec.weight);
+    requireConfig(spec.weight > 0.0,
+                  context + ": weight must be positive");
+    return spec;
+}
+
+ConstraintSpec
+constraintFromJson(const json::Value &doc,
+                   const std::string &context)
+{
+    rejectUnknownKeys(doc, {"metric", "min", "max"}, context);
+    ConstraintSpec spec;
+    spec.metric = searchMetricFromString(
+        doc.at("metric").asString(), context);
+    if (doc.contains("min"))
+        spec.min = doc.at("min").asNumber();
+    if (doc.contains("max"))
+        spec.max = doc.at("max").asNumber();
+    requireConfig(spec.min || spec.max,
+                  context +
+                      ": constraint needs a min or a max");
+    requireConfig(!spec.min || !spec.max ||
+                      *spec.min <= *spec.max,
+                  context + ": constraint min exceeds max");
+    return spec;
+}
+
+/** Metric values of one point as an ordered JSON object. */
+json::Value
+metricsToJson(const EvaluatedPoint &point,
+              const std::vector<SearchMetric> &tracked)
+{
+    json::Value doc = json::Value::makeObject();
+    for (std::size_t i = 0; i < tracked.size(); ++i)
+        doc.set(toString(tracked[i]), point.metrics[i]);
+    return doc;
+}
+
+} // namespace
+
+json::Value
+searchSpecToJson(const SearchSpec &spec)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("generator", spec.generator);
+    if (spec.catalog)
+        doc.set("scenarios", *spec.catalog);
+    doc.set("strategy", strategyToJson(spec.strategy));
+
+    json::Value objectives = json::Value::makeArray();
+    for (const auto &objective : spec.objectives) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("metric", toString(objective.metric));
+        entry.set("goal",
+                  objective.maximize ? "max" : "min");
+        entry.set("weight", objective.weight);
+        objectives.append(std::move(entry));
+    }
+    doc.set("objectives", std::move(objectives));
+
+    if (!spec.constraints.empty()) {
+        json::Value constraints = json::Value::makeArray();
+        for (const auto &constraint : spec.constraints) {
+            json::Value entry = json::Value::makeObject();
+            entry.set("metric", toString(constraint.metric));
+            if (constraint.min)
+                entry.set("min", *constraint.min);
+            if (constraint.max)
+                entry.set("max", *constraint.max);
+            constraints.append(std::move(entry));
+        }
+        doc.set("constraints", std::move(constraints));
+    }
+
+    doc.set("batch_size", spec.batchSize);
+    if (spec.costParams)
+        doc.set("cost_params",
+                costParamsToJson(*spec.costParams));
+    return doc;
+}
+
+SearchSpec
+searchSpecFromJson(const json::Value &doc,
+                   const std::string &context)
+{
+    rejectUnknownKeys(doc,
+                      {"generator", "scenarios", "strategy",
+                       "objectives", "constraints",
+                       "batch_size", "cost_params"},
+                      context);
+
+    SearchSpec spec;
+    spec.generator = doc.at("generator").asString();
+    requireConfig(!spec.generator.empty(),
+                  context + ": generator must not be empty");
+    if (doc.contains("scenarios"))
+        spec.catalog = doc.at("scenarios").asString();
+    if (doc.contains("strategy"))
+        spec.strategy = strategyFromJson(
+            doc.at("strategy"), context + ": strategy");
+
+    const auto &objectives = doc.at("objectives").asArray();
+    requireConfig(!objectives.empty(),
+                  context +
+                      ": needs at least one objective");
+    std::size_t index = 0;
+    for (const auto &entry : objectives) {
+        spec.objectives.push_back(objectiveFromJson(
+            entry, context + ": objective #" +
+                       std::to_string(index)));
+        ++index;
+    }
+
+    if (doc.contains("constraints")) {
+        index = 0;
+        for (const auto &entry :
+             doc.at("constraints").asArray()) {
+            spec.constraints.push_back(constraintFromJson(
+                entry, context + ": constraint #" +
+                           std::to_string(index)));
+            ++index;
+        }
+    }
+
+    if (doc.contains("batch_size")) {
+        const std::int64_t batch =
+            doc.at("batch_size").asInteger();
+        requireConfig(batch >= 1 && batch <= kMaxBatchSize,
+                      context +
+                          ": batch_size must be in [1, " +
+                          std::to_string(kMaxBatchSize) + "]");
+        spec.batchSize = static_cast<int>(batch);
+    }
+
+    if (doc.contains("cost_params"))
+        spec.costParams = costParamsFromJson(
+            doc.at("cost_params"),
+            context + ": cost_params");
+
+    return spec;
+}
+
+SearchSpec
+loadSearchSpecFile(const std::string &path)
+{
+    SearchSpec spec =
+        searchSpecFromJson(json::parseFile(path), path);
+    if (spec.catalog) {
+        // Catalog paths resolve relative to the spec file, so a
+        // searches/ directory ships as a self-contained unit
+        // (same rule as batch files).
+        const std::filesystem::path catalog(*spec.catalog);
+        if (!catalog.is_absolute())
+            spec.catalog = (std::filesystem::path(path)
+                                .parent_path() /
+                            catalog)
+                               .string();
+    }
+    return spec;
+}
+
+json::Value
+searchResultToJson(const SearchResult &result)
+{
+    const auto tracked = trackedMetrics(result.spec);
+
+    json::Value doc = json::Value::makeObject();
+    doc.set("generator", result.spec.generator);
+    doc.set("strategy", toString(result.spec.strategy.kind));
+    doc.set("seed",
+            static_cast<double>(result.spec.strategy.seed));
+    doc.set("space_size",
+            static_cast<double>(result.spaceSize));
+    doc.set("evaluations",
+            static_cast<double>(result.evaluated.size()));
+
+    if (result.best) {
+        const EvaluatedPoint &best =
+            result.evaluated[*result.best];
+        json::Value entry = json::Value::makeObject();
+        entry.set("scenario", best.name);
+        entry.set("score", best.score);
+        entry.set("metrics", metricsToJson(best, tracked));
+        doc.set("best", std::move(entry));
+    } else {
+        doc.set("best", json::Value());
+    }
+
+    json::Value frontier = json::Value::makeArray();
+    for (const std::size_t slot : result.frontier) {
+        const EvaluatedPoint &point = result.evaluated[slot];
+        json::Value entry = json::Value::makeObject();
+        entry.set("scenario", point.name);
+        entry.set("metrics", metricsToJson(point, tracked));
+        frontier.append(std::move(entry));
+    }
+    doc.set("frontier", std::move(frontier));
+
+    json::Value points = json::Value::makeArray();
+    for (const EvaluatedPoint &point : result.evaluated) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("scenario", point.name);
+        entry.set("ok", point.ok);
+        entry.set("feasible", point.feasible);
+        // +inf (infeasible/failed) has no JSON spelling; the
+        // feasible flag already says why the score is absent.
+        if (std::isfinite(point.score))
+            entry.set("score", point.score);
+        if (!point.ok)
+            entry.set("error", point.error);
+        else
+            entry.set("metrics",
+                      metricsToJson(point, tracked));
+        points.append(std::move(entry));
+    }
+    doc.set("points", std::move(points));
+    return doc;
+}
+
+} // namespace ecochip

@@ -250,7 +250,8 @@ escapeString(std::string &out, const std::string &s)
     out += '"';
 }
 
-/** Format a double the shortest way that round-trips. */
+} // namespace
+
 std::string
 formatNumber(double n)
 {
@@ -264,8 +265,6 @@ formatNumber(double n)
     std::snprintf(buf, sizeof(buf), "%.17g", n);
     return buf;
 }
-
-} // namespace
 
 void
 Value::dumpTo(std::string &out, bool pretty, int depth) const

@@ -183,6 +183,15 @@ class Value
 };
 
 /**
+ * Format a double exactly as the serializer prints JSON numbers:
+ * the shortest form that round-trips (no fraction for integral
+ * values, %.17g otherwise). The canonical number spelling shared
+ * by derived scenario names (`search/scenario_space.h`) and
+ * serialized documents.
+ */
+std::string formatNumber(double n);
+
+/**
  * Parse a JSON document.
  *
  * @param text Complete JSON text.

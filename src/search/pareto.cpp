@@ -1,0 +1,67 @@
+#include "search/pareto.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+/** True when @p a dominates @p b (minimization). */
+bool
+dominates(const std::vector<double> &a,
+          const std::vector<double> &b)
+{
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    if (points.empty())
+        return {};
+    for (const auto &point : points)
+        requireModel(point.objectives.size() ==
+                         points.front().objectives.size(),
+                     "pareto points disagree on objective "
+                     "arity");
+
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated;
+             ++j)
+            dominated = j != i &&
+                        dominates(points[j].objectives,
+                                  points[i].objectives);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+
+    // Deterministic, input-order-independent presentation:
+    // ascending objective vector, name-tied, index last (equal
+    // name + vector duplicates keep input order).
+    std::sort(frontier.begin(), frontier.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (points[a].objectives !=
+                      points[b].objectives)
+                      return points[a].objectives <
+                             points[b].objectives;
+                  if (points[a].name != points[b].name)
+                      return points[a].name < points[b].name;
+                  return a < b;
+              });
+    return frontier;
+}
+
+} // namespace ecochip

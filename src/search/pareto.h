@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multi-objective Pareto frontier extraction.
+ *
+ * The search driver scores every visited design point on several
+ * objectives at once (carbon vs. dollar cost vs. a performance
+ * proxy); the frontier is the set of points no other point beats
+ * on every objective simultaneously -- the trade-off curve the
+ * paper's carbon/cost discussions reason over.
+ */
+
+#ifndef ECOCHIP_SEARCH_PARETO_H
+#define ECOCHIP_SEARCH_PARETO_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecochip {
+
+/** One candidate for frontier extraction. */
+struct ParetoPoint
+{
+    /** Identity used for deterministic tie ordering. */
+    std::string name;
+
+    /**
+     * Objective vector, every component *minimized* (callers
+     * negate maximized objectives before building the point).
+     */
+    std::vector<double> objectives;
+};
+
+/**
+ * Indices of the non-dominated points of @p points.
+ *
+ * Point a dominates b when a is no worse on every objective and
+ * strictly better on at least one; points with equal objective
+ * vectors do not dominate each other, so duplicates all survive.
+ *
+ * The returned order is deterministic and independent of the
+ * input order: ascending by objective vector (lexicographic),
+ * ties broken by name, then by input index. All points must share
+ * one objective arity; throws ModelError otherwise.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SEARCH_PARETO_H

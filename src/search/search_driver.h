@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Design-space search driver: binds a `SearchSpec` to the batch
+ * engine and runs its strategy to completion.
+ *
+ * The driver is a thin conductor -- a generated space is just a
+ * big request batch, so searching composes with everything the
+ * engine already does: `--engine_threads` parallelism, scenario
+ * context dedup, the SoA kernels, and the `--serve` result cache
+ * all apply unchanged. Exhaustive search carries a bit-identity
+ * contract: its recorded `BatchReport` equals `--batch` over the
+ * hand-expanded request list (`expand()`) byte for byte, locked
+ * by the search_equivalence CTest.
+ */
+
+#ifndef ECOCHIP_SEARCH_SEARCH_DRIVER_H
+#define ECOCHIP_SEARCH_SEARCH_DRIVER_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/analysis_engine.h"
+#include "search/pareto.h"
+#include "search/search_strategy.h"
+
+namespace ecochip {
+
+/** Everything one search run produced. */
+struct SearchResult
+{
+    /** The spec that was run (catalog path already resolved). */
+    SearchSpec spec;
+
+    /** Total points of the generator's space. */
+    std::size_t spaceSize = 0;
+
+    /** Visited points, in first-evaluation order. */
+    std::vector<EvaluatedPoint> evaluated;
+
+    /**
+     * Indices into `evaluated` of the feasible, non-dominated
+     * points -- the Pareto frontier over the objective vector.
+     * Deterministic order (ascending objectives, name-tied).
+     */
+    std::vector<std::size_t> frontier;
+
+    /**
+     * Index into `evaluated` of the best scalarized point (lowest
+     * score; first-evaluated wins ties). Empty when no visited
+     * point was feasible.
+     */
+    std::optional<std::size_t> best;
+
+    /** Requests issued, in evaluation order. */
+    std::vector<AnalysisRequest> requests;
+
+    /**
+     * Outcomes of `requests`, same order -- for exhaustive
+     * search, byte-identical (through `writeBatchReportFile`) to
+     * `--batch` over `SearchDriver::expand`'s list.
+     */
+    BatchReport report;
+};
+
+/**
+ * Runs search specs against an engine configuration.
+ *
+ * Each `run()` builds a fresh `AnalysisEngine` whose registry is
+ * the driver's options registry extended with the spec's catalog
+ * (when given), so concurrent runs never share mutable state.
+ */
+class SearchDriver
+{
+  public:
+    explicit SearchDriver(EngineOptions options = {});
+
+    /**
+     * Execute @p spec to completion.
+     *
+     * @throws ConfigError when the spec is invalid (no
+     *         objectives, unknown generator, bad knobs).
+     */
+    SearchResult run(const SearchSpec &spec);
+
+    /**
+     * Hand-expand the spec's space into the exact request list
+     * exhaustive search evaluates: every point in odometer
+     * order, one estimate (plus one cost when a cost metric is
+     * tracked) per point. `--search --expand` writes this list
+     * as a `--batch` file; running it reproduces the exhaustive
+     * report byte for byte.
+     */
+    static std::vector<AnalysisRequest>
+    expand(const SearchSpec &spec, const ScenarioSpace &space);
+
+    /** Validate spec invariants shared by `run` and the CLI. */
+    static void validate(const SearchSpec &spec);
+
+  private:
+    EngineOptions options_;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SEARCH_SEARCH_DRIVER_H

@@ -1,0 +1,475 @@
+#include "search/search_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+namespace {
+
+constexpr double kInfeasible =
+    std::numeric_limits<double>::infinity();
+
+/**
+ * Portable PRNG helpers: std::mt19937_64's output sequence is
+ * fully specified by the standard, and these mappings avoid the
+ * implementation-defined std distributions -- a fixed seed must
+ * reproduce bit-identically across standard libraries.
+ */
+std::size_t
+uniformIndex(std::mt19937_64 &rng, std::size_t n)
+{
+    return n == 0 ? 0 : static_cast<std::size_t>(rng() % n);
+}
+
+double
+uniformDouble(std::mt19937_64 &rng)
+{
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/** Extract one metric from a point's analyses. */
+double
+metricValue(SearchMetric metric, const CarbonReport &report,
+            const CostBreakdown *cost)
+{
+    switch (metric) {
+    case SearchMetric::EmbodiedKg:
+        return report.embodiedCo2Kg();
+    case SearchMetric::TotalKg:
+        return report.totalCo2Kg();
+    case SearchMetric::MfgKg:
+        return report.mfgCo2Kg;
+    case SearchMetric::DesignKg:
+        return report.designCo2Kg;
+    case SearchMetric::OperationalKg:
+        return report.operation.co2Kg;
+    case SearchMetric::PackageKg:
+        return report.hi.totalCo2Kg();
+    case SearchMetric::CostUsd:
+        requireModel(cost != nullptr,
+                     "cost_usd metric without a cost analysis");
+        return cost->totalUsd();
+    case SearchMetric::AreaMm2: {
+        double area = 0.0;
+        for (const auto &chiplet : report.chiplets)
+            area += chiplet.areaMm2;
+        return area;
+    }
+    case SearchMetric::YieldMin: {
+        double lowest = 1.0;
+        for (const auto &chiplet : report.chiplets)
+            lowest = std::min(lowest, chiplet.yield);
+        return lowest;
+    }
+    case SearchMetric::PerfProxy: {
+        // 7nm-equivalent silicon area: each die's area scaled by
+        // (7 / node)^2, so a mm^2 of 7 nm logic counts as one
+        // unit and legacy-node silicon counts proportionally
+        // less -- a deliberately simple stand-in for delivered
+        // compute that rewards both more silicon and newer
+        // nodes.
+        double proxy = 0.0;
+        for (const auto &chiplet : report.chiplets)
+            proxy += chiplet.areaMm2 *
+                     (7.0 / chiplet.nodeNm) *
+                     (7.0 / chiplet.nodeNm);
+        return proxy;
+    }
+    }
+    throw ModelError("unhandled search metric");
+}
+
+class ExhaustiveStrategy : public SearchStrategy
+{
+  public:
+    void
+    run(SearchContext &ctx) override
+    {
+        const std::size_t total = ctx.space().size();
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::max(1, ctx.spec().batchSize));
+        // Odometer order in batch-size chunks: concatenating the
+        // chunks' request-ordered outcomes reproduces one big
+        // runBatch over the pre-expanded list byte for byte.
+        for (std::size_t start = 0; start < total;
+             start += chunk) {
+            std::vector<std::size_t> flats;
+            flats.reserve(std::min(chunk, total - start));
+            for (std::size_t flat = start;
+                 flat < std::min(start + chunk, total); ++flat)
+                flats.push_back(flat);
+            ctx.evaluate(flats);
+        }
+    }
+};
+
+class GreedyStrategy : public SearchStrategy
+{
+  public:
+    void
+    run(SearchContext &ctx) override
+    {
+        const ScenarioSpace &space = ctx.space();
+        std::mt19937_64 rng(ctx.spec().strategy.seed);
+        const int restarts =
+            std::max(1, ctx.spec().strategy.restarts);
+
+        for (int restart = 0; restart < restarts; ++restart) {
+            std::size_t current = ctx.evaluateOne(
+                uniformIndex(rng, space.size()));
+
+            for (;;) {
+                const std::size_t flat =
+                    ctx.points()[current].flat;
+                const double current_score =
+                    ctx.points()[current].score;
+                const auto indices = space.indicesAt(flat);
+
+                // +-1 neighbors along every axis, in axis order
+                // with -1 before +1 -- the deterministic visit
+                // order ties are resolved by.
+                std::vector<std::size_t> neighbors;
+                for (std::size_t a = 0; a < indices.size();
+                     ++a) {
+                    const std::size_t n =
+                        space.generator().axes[a].size();
+                    if (indices[a] > 0) {
+                        auto step = indices;
+                        --step[a];
+                        neighbors.push_back(
+                            space.flatIndex(step));
+                    }
+                    if (indices[a] + 1 < n) {
+                        auto step = indices;
+                        ++step[a];
+                        neighbors.push_back(
+                            space.flatIndex(step));
+                    }
+                }
+
+                const auto slots = ctx.evaluate(neighbors);
+                std::size_t best = current;
+                double best_score = current_score;
+                for (const std::size_t slot : slots) {
+                    // Strict improvement, first-wins on ties.
+                    if (ctx.points()[slot].score <
+                        best_score) {
+                        best = slot;
+                        best_score = ctx.points()[slot].score;
+                    }
+                }
+                if (best == current)
+                    break;
+                current = best;
+            }
+        }
+    }
+};
+
+class AnnealingStrategy : public SearchStrategy
+{
+  public:
+    void
+    run(SearchContext &ctx) override
+    {
+        const ScenarioSpace &space = ctx.space();
+        const StrategySpec &knobs = ctx.spec().strategy;
+        std::mt19937_64 rng(knobs.seed);
+
+        std::size_t current = ctx.evaluateOne(
+            uniformIndex(rng, space.size()));
+        double current_score = ctx.points()[current].score;
+
+        const int steps = std::max(0, knobs.steps);
+        for (int step = 0; step < steps; ++step) {
+            const double temperature =
+                knobs.initialTemp *
+                std::pow(knobs.cooling, step);
+
+            // Propose a +-1 move along a random axis, wrapping
+            // at the ends so every proposal stays in the space.
+            auto indices =
+                space.indicesAt(ctx.points()[current].flat);
+            const std::size_t axis =
+                uniformIndex(rng, indices.size());
+            const std::size_t n =
+                space.generator().axes[axis].size();
+            const bool up = (rng() & 1) != 0;
+            indices[axis] =
+                (indices[axis] + (up ? 1 : n - 1)) % n;
+
+            const std::size_t candidate =
+                ctx.evaluateOne(space.flatIndex(indices));
+            const double candidate_score =
+                ctx.points()[candidate].score;
+
+            // <= accepts sideways moves -- and, when both are
+            // infeasible (+inf), random-walks out instead of
+            // evaluating exp(inf - inf).
+            bool accept = candidate_score <= current_score;
+            if (!accept && temperature > 0.0) {
+                const double u = uniformDouble(rng);
+                accept = u < std::exp((current_score -
+                                       candidate_score) /
+                                      temperature);
+            }
+            if (accept) {
+                current = candidate;
+                current_score = candidate_score;
+            }
+        }
+    }
+};
+
+} // namespace
+
+const char *
+toString(SearchMetric metric)
+{
+    switch (metric) {
+    case SearchMetric::EmbodiedKg: return "embodied_kg";
+    case SearchMetric::TotalKg: return "total_kg";
+    case SearchMetric::MfgKg: return "mfg_kg";
+    case SearchMetric::DesignKg: return "design_kg";
+    case SearchMetric::OperationalKg: return "operational_kg";
+    case SearchMetric::PackageKg: return "package_kg";
+    case SearchMetric::CostUsd: return "cost_usd";
+    case SearchMetric::AreaMm2: return "area_mm2";
+    case SearchMetric::YieldMin: return "yield_min";
+    case SearchMetric::PerfProxy: return "perf_proxy";
+    }
+    return "unknown";
+}
+
+SearchMetric
+searchMetricFromString(const std::string &name,
+                       const std::string &context)
+{
+    if (name == "embodied_kg")
+        return SearchMetric::EmbodiedKg;
+    if (name == "total_kg")
+        return SearchMetric::TotalKg;
+    if (name == "mfg_kg")
+        return SearchMetric::MfgKg;
+    if (name == "design_kg")
+        return SearchMetric::DesignKg;
+    if (name == "operational_kg")
+        return SearchMetric::OperationalKg;
+    if (name == "package_kg")
+        return SearchMetric::PackageKg;
+    if (name == "cost_usd")
+        return SearchMetric::CostUsd;
+    if (name == "area_mm2")
+        return SearchMetric::AreaMm2;
+    if (name == "yield_min")
+        return SearchMetric::YieldMin;
+    if (name == "perf_proxy")
+        return SearchMetric::PerfProxy;
+    throw ConfigError(
+        context + ": unknown metric \"" + name +
+        "\" (expected embodied_kg, total_kg, mfg_kg, "
+        "design_kg, operational_kg, package_kg, cost_usd, "
+        "area_mm2, yield_min, or perf_proxy)");
+}
+
+const char *
+toString(StrategyKind kind)
+{
+    switch (kind) {
+    case StrategyKind::Exhaustive: return "exhaustive";
+    case StrategyKind::Greedy: return "greedy";
+    case StrategyKind::Annealing: return "annealing";
+    }
+    return "unknown";
+}
+
+StrategyKind
+strategyKindFromString(const std::string &name,
+                       const std::string &context)
+{
+    if (name == "exhaustive")
+        return StrategyKind::Exhaustive;
+    if (name == "greedy")
+        return StrategyKind::Greedy;
+    if (name == "annealing")
+        return StrategyKind::Annealing;
+    throw ConfigError(context + ": unknown strategy \"" + name +
+                      "\" (expected exhaustive, greedy, or "
+                      "annealing)");
+}
+
+std::vector<SearchMetric>
+trackedMetrics(const SearchSpec &spec)
+{
+    std::vector<SearchMetric> tracked;
+    auto track = [&](SearchMetric metric) {
+        if (std::find(tracked.begin(), tracked.end(),
+                      metric) == tracked.end())
+            tracked.push_back(metric);
+    };
+    for (const auto &objective : spec.objectives)
+        track(objective.metric);
+    for (const auto &constraint : spec.constraints)
+        track(constraint.metric);
+    return tracked;
+}
+
+SearchContext::SearchContext(const SearchSpec &spec,
+                             const ScenarioSpace &space,
+                             AnalysisEngine &engine)
+    : spec_(spec), space_(space), engine_(engine),
+      tracked_(trackedMetrics(spec))
+{
+    needsCost_ = std::find(tracked_.begin(), tracked_.end(),
+                           SearchMetric::CostUsd) !=
+                 tracked_.end();
+}
+
+std::vector<std::size_t>
+SearchContext::evaluate(const std::vector<std::size_t> &flats)
+{
+    // First occurrence of each unvisited point, in input order.
+    std::vector<std::size_t> fresh;
+    std::set<std::size_t> queued;
+    for (const std::size_t flat : flats) {
+        requireModel(flat < space_.size(),
+                     "search point out of range");
+        if (memo_.count(flat) || queued.count(flat))
+            continue;
+        queued.insert(flat);
+        fresh.push_back(flat);
+    }
+
+    if (!fresh.empty()) {
+        // One estimate (plus one cost, when a cost metric is
+        // tracked) per point -- the exact request sequence
+        // `SearchDriver::expand` emits, so the recorded
+        // outcomes replay a hand-expanded batch.
+        std::vector<AnalysisRequest> batch;
+        batch.reserve(fresh.size() * (needsCost_ ? 2 : 1));
+        for (const std::size_t flat : fresh) {
+            const std::string name = space_.nameAt(flat);
+            batch.push_back({ScenarioRef::scenario(name),
+                             EstimateSpec{}});
+            if (needsCost_) {
+                CostSpec cost;
+                if (spec_.costParams)
+                    cost.params = *spec_.costParams;
+                batch.push_back(
+                    {ScenarioRef::scenario(name), cost});
+            }
+        }
+
+        BatchReport report = engine_.runBatch(batch);
+        requireModel(report.outcomes.size() == batch.size(),
+                     "engine dropped search outcomes");
+
+        const std::size_t stride = needsCost_ ? 2 : 1;
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            const RequestOutcome &estimate =
+                report.outcomes[i * stride];
+            const RequestOutcome *cost =
+                needsCost_ ? &report.outcomes[i * stride + 1]
+                           : nullptr;
+
+            EvaluatedPoint point;
+            point.flat = fresh[i];
+            point.name = space_.nameAt(fresh[i]);
+            point.ok =
+                estimate.ok() && (!cost || cost->ok());
+
+            if (!point.ok) {
+                point.error = !estimate.ok() ? estimate.error
+                                             : cost->error;
+                point.feasible = false;
+                point.score = kInfeasible;
+            } else {
+                const CarbonReport &carbon =
+                    *estimate.result->report;
+                const CostBreakdown *dollars =
+                    cost ? &*cost->result->cost : nullptr;
+                point.metrics.reserve(tracked_.size());
+                for (const SearchMetric metric : tracked_)
+                    point.metrics.push_back(metricValue(
+                        metric, carbon, dollars));
+
+                point.feasible = true;
+                for (const auto &constraint :
+                     spec_.constraints) {
+                    const auto slot = std::find(
+                        tracked_.begin(), tracked_.end(),
+                        constraint.metric);
+                    const double value =
+                        point.metrics[static_cast<std::size_t>(
+                            slot - tracked_.begin())];
+                    if ((constraint.min &&
+                         value < *constraint.min) ||
+                        (constraint.max &&
+                         value > *constraint.max))
+                        point.feasible = false;
+                }
+
+                if (point.feasible) {
+                    point.score = 0.0;
+                    for (const auto &objective :
+                         spec_.objectives) {
+                        const auto slot = std::find(
+                            tracked_.begin(), tracked_.end(),
+                            objective.metric);
+                        const double value = point.metrics
+                            [static_cast<std::size_t>(
+                                slot - tracked_.begin())];
+                        point.score +=
+                            objective.weight *
+                            (objective.maximize ? -value
+                                                : value);
+                    }
+                } else {
+                    point.score = kInfeasible;
+                }
+            }
+
+            memo_[fresh[i]] = points_.size();
+            points_.push_back(std::move(point));
+        }
+
+        requests_.insert(requests_.end(), batch.begin(),
+                         batch.end());
+        for (auto &outcome : report.outcomes)
+            outcomes_.push_back(std::move(outcome));
+    }
+
+    std::vector<std::size_t> slots;
+    slots.reserve(flats.size());
+    for (const std::size_t flat : flats)
+        slots.push_back(memo_.at(flat));
+    return slots;
+}
+
+std::size_t
+SearchContext::evaluateOne(std::size_t flat)
+{
+    return evaluate({flat}).front();
+}
+
+std::unique_ptr<SearchStrategy>
+makeStrategy(const StrategySpec &spec)
+{
+    switch (spec.kind) {
+    case StrategyKind::Exhaustive:
+        return std::make_unique<ExhaustiveStrategy>();
+    case StrategyKind::Greedy:
+        return std::make_unique<GreedyStrategy>();
+    case StrategyKind::Annealing:
+        return std::make_unique<AnnealingStrategy>();
+    }
+    throw ModelError("unhandled strategy kind");
+}
+
+} // namespace ecochip

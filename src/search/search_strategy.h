@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Design-space search specs and strategies.
+ *
+ * A `SearchSpec` names a scenario-space generator plus how to
+ * search it: a strategy (exhaustive enumeration, greedy
+ * hill-climb, or simulated annealing -- all behind one
+ * `SearchStrategy` interface), the objectives to optimize
+ * (scalarized for the climbers, kept as a vector for Pareto
+ * frontier extraction), and constraint predicates that gate
+ * feasibility (cost <= X, area <= Y, ...).
+ *
+ * Every strategy is deterministic: the climbers draw all
+ * randomness from one seeded, portable PRNG and evaluate points
+ * through the request-ordered batch engine, so a fixed seed is
+ * bit-reproducible at any `--engine_threads` count. Specs
+ * round-trip through JSON in `io/search_io.h`; the driver wiring
+ * them to an `AnalysisEngine` lives in `search_driver.h`.
+ */
+
+#ifndef ECOCHIP_SEARCH_SEARCH_STRATEGY_H
+#define ECOCHIP_SEARCH_SEARCH_STRATEGY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "engine/analysis_engine.h"
+#include "search/scenario_space.h"
+
+namespace ecochip {
+
+/**
+ * The figures of merit a search can optimize or constrain. Carbon
+ * metrics read the point's estimate report; `CostUsd` adds a cost
+ * analysis per point; the last two derive from the per-chiplet
+ * detail.
+ */
+enum class SearchMetric
+{
+    EmbodiedKg,     ///< Cemb (kg CO2)
+    TotalKg,        ///< Ctot = Cemb + lifetime Cop (kg CO2)
+    MfgKg,          ///< Cmfg (kg CO2)
+    DesignKg,       ///< amortized Cdes (kg CO2)
+    OperationalKg,  ///< lifetime Cop (kg CO2)
+    PackageKg,      ///< CHI packaging + bonding (kg CO2)
+    CostUsd,        ///< dollar cost per part (totalUsd)
+    AreaMm2,        ///< total silicon area (sum of dies, mm^2)
+    YieldMin,       ///< worst per-die yield (higher is better)
+    PerfProxy,      ///< 7nm-equivalent silicon area (see below)
+};
+
+/** Config spelling of a metric ("embodied_kg", ...). */
+const char *toString(SearchMetric metric);
+
+/** Parse a metric from its config spelling. */
+SearchMetric searchMetricFromString(const std::string &name,
+                                    const std::string &context);
+
+/** One optimized figure of merit. */
+struct ObjectiveSpec
+{
+    SearchMetric metric = SearchMetric::EmbodiedKg;
+
+    /** Maximize instead of minimize ("goal": "max"). */
+    bool maximize = false;
+
+    /** Scalarization weight (> 0). */
+    double weight = 1.0;
+
+    bool operator==(const ObjectiveSpec &) const = default;
+};
+
+/** One feasibility predicate (inclusive bounds). */
+struct ConstraintSpec
+{
+    SearchMetric metric = SearchMetric::CostUsd;
+    std::optional<double> min;
+    std::optional<double> max;
+
+    bool operator==(const ConstraintSpec &) const = default;
+};
+
+/** Search algorithm selector. */
+enum class StrategyKind
+{
+    Exhaustive, ///< enumerate the whole space in odometer order
+    Greedy,     ///< seeded multi-restart hill-climb
+    Annealing,  ///< seeded simulated annealing
+};
+
+/** Config spelling of a strategy kind. */
+const char *toString(StrategyKind kind);
+
+/** Parse a strategy kind from its config spelling. */
+StrategyKind strategyKindFromString(const std::string &name,
+                                    const std::string &context);
+
+/** Strategy selection plus its tuning knobs. */
+struct StrategySpec
+{
+    StrategyKind kind = StrategyKind::Exhaustive;
+
+    /** PRNG seed (greedy / annealing). Equal seeds give equal
+     *  searches at any engine thread count. */
+    std::uint64_t seed = 42;
+
+    /** Greedy: independent restarts from random points. */
+    int restarts = 4;
+
+    /** Annealing: proposal steps. */
+    int steps = 200;
+
+    /** Annealing: initial temperature (score units). */
+    double initialTemp = 1.0;
+
+    /** Annealing: geometric cooling factor in (0, 1]. */
+    double cooling = 0.95;
+
+    bool operator==(const StrategySpec &) const = default;
+};
+
+/** A complete search specification (`--search SPEC.json`). */
+struct SearchSpec
+{
+    /** Generator template to search (registry key). */
+    std::string generator;
+
+    /**
+     * Scenario catalog declaring the generator; resolved
+     * relative to the spec file by `loadSearchSpecFile`. Empty =
+     * the generator is already in the driver's registry.
+     */
+    std::optional<std::string> catalog;
+
+    StrategySpec strategy;
+
+    /** Optimized metrics (>= 1). */
+    std::vector<ObjectiveSpec> objectives;
+
+    /** Feasibility predicates (may be empty). */
+    std::vector<ConstraintSpec> constraints;
+
+    /**
+     * Points evaluated per engine batch during exhaustive
+     * enumeration -- a scheduling knob only; results are
+     * batch-size-independent.
+     */
+    int batchSize = 64;
+
+    /** Cost knobs for `cost_usd` evaluations. */
+    std::optional<CostParams> costParams;
+
+    bool operator==(const SearchSpec &) const = default;
+};
+
+/**
+ * The metrics a spec actually evaluates: objectives then
+ * constraints, first occurrence wins. Every `EvaluatedPoint`
+ * carries one value per entry, in this order.
+ */
+std::vector<SearchMetric>
+trackedMetrics(const SearchSpec &spec);
+
+/** One visited design point. */
+struct EvaluatedPoint
+{
+    /** Flat index in the scenario space. */
+    std::size_t flat = 0;
+
+    /** Derived scenario name. */
+    std::string name;
+
+    /** True when every analysis of the point succeeded. */
+    bool ok = false;
+
+    /** First analysis error when !ok. */
+    std::string error;
+
+    /** Metric values, parallel to `trackedMetrics` (empty when
+     *  !ok). */
+    std::vector<double> metrics;
+
+    /** True when ok and every constraint holds. */
+    bool feasible = false;
+
+    /**
+     * Scalarized objective (sum of weight * value, maximized
+     * metrics negated); +inf when infeasible or failed, so the
+     * climbers never walk into an infeasible region by score.
+     */
+    double score = 0.0;
+};
+
+/**
+ * Shared evaluation state of one search run: memoizes visited
+ * points by flat index, pumps new points through the engine in
+ * request order, and records the exact requests/outcomes so the
+ * driver can emit a `BatchReport` equal to a hand-expanded
+ * `--batch` over the same points.
+ */
+class SearchContext
+{
+  public:
+    /**
+     * @param spec Search specification (validated by the
+     *        driver).
+     * @param space The generator's scenario space.
+     * @param engine Engine whose registry resolves the space's
+     *        derived names.
+     */
+    SearchContext(const SearchSpec &spec,
+                  const ScenarioSpace &space,
+                  AnalysisEngine &engine);
+
+    const SearchSpec &spec() const { return spec_; }
+    const ScenarioSpace &space() const { return space_; }
+
+    /**
+     * Evaluate flat indices as one engine batch (already-visited
+     * ones are served from the memo and not re-run). Returns one
+     * index into `points()` per input, in input order.
+     */
+    std::vector<std::size_t>
+    evaluate(const std::vector<std::size_t> &flats);
+
+    /** Single-point convenience over `evaluate`. */
+    std::size_t evaluateOne(std::size_t flat);
+
+    /** Visited points, in first-evaluation order. */
+    const std::vector<EvaluatedPoint> &points() const
+    {
+        return points_;
+    }
+
+    /** Requests issued, in evaluation order. */
+    const std::vector<AnalysisRequest> &requests() const
+    {
+        return requests_;
+    }
+
+    /** Outcomes of `requests()`, same order. */
+    const std::vector<RequestOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+  private:
+    const SearchSpec &spec_;
+    const ScenarioSpace &space_;
+    AnalysisEngine &engine_;
+    std::vector<SearchMetric> tracked_;
+    bool needsCost_ = false;
+
+    std::vector<EvaluatedPoint> points_;
+    std::vector<AnalysisRequest> requests_;
+    std::vector<RequestOutcome> outcomes_;
+
+    /** flat index -> slot in points_. */
+    std::map<std::size_t, std::size_t> memo_;
+};
+
+/** One search algorithm; stateless between runs. */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Visit points of @p ctx's space until done. */
+    virtual void run(SearchContext &ctx) = 0;
+};
+
+/** Build the strategy selected by @p spec. */
+std::unique_ptr<SearchStrategy>
+makeStrategy(const StrategySpec &spec);
+
+} // namespace ecochip
+
+#endif // ECOCHIP_SEARCH_SEARCH_STRATEGY_H

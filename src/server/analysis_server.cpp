@@ -65,6 +65,12 @@ computeCatalogFingerprint(const ScenarioRegistry &registry,
         digest.update("\n");
         digest.update(name);
     }
+    // Generator templates resolve derived scenario names, so a
+    // changed generator set must invalidate cached results too.
+    for (const auto &generator : registry.generators()) {
+        digest.update("\ngenerator ");
+        digest.update(generator.name);
+    }
     if (!scenarios_path.empty()) {
         digest.update("\n--scenarios\n");
         digest.update(fileBytes(scenarios_path));

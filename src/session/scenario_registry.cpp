@@ -120,6 +120,34 @@ makeBuiltin()
          }});
 
     registry.add(
+        {"fpga-pca",
+         "MANOJAVAM-class FPGA PCA accelerator: PE array + "
+         "BRAM + transceiver dies, RDL fanout",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::fpgaPcaAccelerator(tech);
+             bundle.config.package.arch =
+                 PackagingArch::RdlFanout;
+             bundle.config.operating =
+                 testcases::fpgaPcaOperating();
+             return bundle;
+         }});
+
+    registry.add(
+        {"riscv-manycore64",
+         "Sophon-SG2044-class 64-core RISC-V manycore: 4 "
+         "cluster dies + IO hub + cache, silicon bridges",
+         [](const TechDb &tech) {
+             DesignBundle bundle;
+             bundle.system = testcases::riscvManycore64(tech);
+             bundle.config.package.arch =
+                 PackagingArch::SiliconBridge;
+             bundle.config.operating =
+                 testcases::riscvManycore64Operating();
+             return bundle;
+         }});
+
+    registry.add(
         {"arvr-2k",
          "AR/VR neural accelerator, 2K MACs with 4 stacked SRAM "
          "tiers (3D)",
@@ -174,7 +202,23 @@ ScenarioRegistry::loadJson(const json::Value &doc,
                            const std::string &context,
                            const std::string &base_dir)
 {
-    rejectUnknownKeys(doc, {"scenarios"}, context);
+    rejectUnknownKeys(doc, {"scenarios", "generators"}, context);
+    requireConfig(doc.contains("scenarios") ||
+                      doc.contains("generators"),
+                  context +
+                      ": catalog has no scenarios or generators");
+
+    if (doc.contains("generators")) {
+        const auto &entries = doc.at("generators").asArray();
+        requireConfig(!entries.empty(),
+                      context + ": empty generators array");
+        for (const auto &entry : entries)
+            addGenerator(
+                generatorFromJson(entry, context, base_dir));
+    }
+
+    if (!doc.contains("scenarios"))
+        return;
     const auto &entries = doc.at("scenarios").asArray();
     requireConfig(!entries.empty(),
                   context + ": catalog has no scenarios");
@@ -263,11 +307,55 @@ ScenarioRegistry::loadJson(const json::Value &doc,
     }
 }
 
+void
+ScenarioRegistry::addGenerator(GeneratorTemplate generator)
+{
+    requireConfig(!generator.name.empty(),
+                  "generator needs a name");
+    requireConfig(generator.name.find('/') ==
+                      std::string::npos,
+                  "generator name \"" + generator.name +
+                      "\" must not contain '/'");
+    requireConfig(!contains(generator.name),
+                  "generator \"" + generator.name +
+                      "\" collides with a registered scenario");
+    for (const auto &other : generators_)
+        requireConfig(other.name != generator.name,
+                      "generator \"" + generator.name +
+                          "\" already registered");
+    // Validates axis sizes and the point-count ceiling.
+    const ScenarioSpace validated(generator);
+    (void)validated;
+    generators_.push_back(std::move(generator));
+}
+
+const GeneratorTemplate &
+ScenarioRegistry::generator(const std::string &name) const
+{
+    for (const auto &generator : generators_)
+        if (generator.name == name)
+            return generator;
+
+    std::string available;
+    for (const auto &generator : generators_) {
+        if (!available.empty())
+            available += ", ";
+        available += generator.name;
+    }
+    throw ConfigError("unknown generator \"" + name +
+                      "\" (loaded: " +
+                      (available.empty() ? "none" : available) +
+                      ")");
+}
+
 bool
 ScenarioRegistry::contains(const std::string &name) const
 {
     for (const auto &scenario : scenarios_)
         if (scenario.name == name)
+            return true;
+    for (const auto &generator : generators_)
+        if (ScenarioSpace(generator).parseName(name))
             return true;
     return false;
 }
@@ -285,14 +373,33 @@ ScenarioRegistry::get(const std::string &name) const
             available += ", ";
         available += scenario.name;
     }
-    throw ConfigError("unknown scenario \"" + name +
-                      "\" (available: " + available + ")");
+    std::string message = "unknown scenario \"" + name +
+                          "\" (available: " + available + ")";
+    if (!generators_.empty()) {
+        message += " (generator templates: ";
+        bool first = true;
+        for (const auto &generator : generators_) {
+            if (!first)
+                message += ", ";
+            first = false;
+            message += generator.name + "/...";
+        }
+        message += ")";
+    }
+    throw ConfigError(message);
 }
 
 DesignBundle
 ScenarioRegistry::instantiate(const std::string &name,
                               const TechDb &tech) const
 {
+    // Derived generator point names resolve lazily -- the space
+    // is never materialized into Scenario entries.
+    for (const auto &generator : generators_) {
+        const ScenarioSpace space(generator);
+        if (const auto indices = space.parseName(name))
+            return space.instantiate(*indices, tech);
+    }
     return get(name).make(tech);
 }
 

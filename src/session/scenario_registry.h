@@ -19,6 +19,7 @@
 
 #include "io/config_loader.h"
 #include "json/json.h"
+#include "search/scenario_space.h"
 #include "tech/tech_db.h"
 
 namespace ecochip {
@@ -90,6 +91,12 @@ class ScenarioRegistry
      * (resolved relative to the catalog file). Unknown keys are
      * rejected with the file and key named.
      *
+     * A catalog may also carry a top-level `generators` array of
+     * scenario-space templates (`generatorFromJson` schema); the
+     * registry then resolves their derived point names
+     * (`<generator>/<axis>=<value>/...`) in `contains()` /
+     * `instantiate()` without ever materializing the space.
+     *
      * @param path Path to the catalog JSON.
      * @throws ConfigError on malformed catalogs or duplicate
      *         names.
@@ -101,18 +108,49 @@ class ScenarioRegistry
                   const std::string &context,
                   const std::string &base_dir = ".");
 
-    /** True when @p name is registered. */
+    /**
+     * Register a scenario-space generator template. Its derived
+     * point names become resolvable; the template itself is
+     * listed via `generators()`.
+     */
+    void addGenerator(GeneratorTemplate generator);
+
+    /** Loaded generator templates, in registration order. */
+    const std::vector<GeneratorTemplate> &generators() const
+    {
+        return generators_;
+    }
+
+    /**
+     * Lookup a generator template by name.
+     *
+     * @throws ConfigError listing the loaded generator names when
+     *         @p name is unknown.
+     */
+    const GeneratorTemplate &
+    generator(const std::string &name) const;
+
+    /**
+     * True when @p name is a registered scenario or a point of a
+     * loaded generator's space.
+     */
     bool contains(const std::string &name) const;
 
     /**
-     * Lookup by name.
+     * Lookup an explicitly registered scenario by name. Derived
+     * generator points are not materialized as Scenario entries;
+     * resolve those through `instantiate()`.
      *
      * @throws ConfigError listing the available names when @p name
      *         is unknown.
      */
     const Scenario &get(const std::string &name) const;
 
-    /** Instantiate a scenario against @p tech. */
+    /**
+     * Instantiate a scenario against @p tech. Accepts registered
+     * scenario names and derived generator point names
+     * (`<generator>/<axis>=<value>/...`).
+     */
     DesignBundle instantiate(const std::string &name,
                              const TechDb &tech) const;
 
@@ -127,6 +165,7 @@ class ScenarioRegistry
 
   private:
     std::vector<Scenario> scenarios_;
+    std::vector<GeneratorTemplate> generators_;
 };
 
 } // namespace ecochip

@@ -1,0 +1,675 @@
+/**
+ * @file
+ * Tests for the generative scenario spaces and the design-space
+ * search driver (src/search/): odometer expansion and derived
+ * names, the axis transforms, registry resolution of derived
+ * names, Pareto frontier properties, the exhaustive ==
+ * hand-expanded-batch identity, climber seed determinism across
+ * engine thread counts, and the search_io wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "engine/analysis_engine.h"
+#include "io/batch_report_io.h"
+#include "io/search_io.h"
+#include "json/json.h"
+#include "search/pareto.h"
+#include "search/scenario_space.h"
+#include "search/search_driver.h"
+#include "session/scenario_registry.h"
+#include "support/error.h"
+
+namespace ecochip {
+namespace {
+
+/** what() of a ConfigError thrown by @p fn ("" = no throw). */
+template <typename Fn>
+std::string
+configErrorOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const ConfigError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+/** A 3-die accelerator catalog with one generator over
+ *  (node x split x packaging x lifetime). */
+json::Value
+pcaCatalog()
+{
+    return json::parse(R"({
+        "generators": [{
+            "name": "pca",
+            "description": "PE node/split space",
+            "architecture": {
+                "name": "FPGA-PCA",
+                "packaging": "rdl_fanout",
+                "chiplets": [
+                    {"name": "pe-array", "type": "logic",
+                     "node_nm": 7, "area_mm2": 140.0},
+                    {"name": "bram", "type": "memory",
+                     "node_nm": 10, "area_mm2": 90.0},
+                    {"name": "io-xcvr", "type": "io",
+                     "node_nm": 14, "area_mm2": 70.0,
+                     "reused": true}
+                ]
+            },
+            "operational": {
+                "lifetime_years": 3, "duty_cycle": 0.35,
+                "avg_power_w": 60.0,
+                "intensity_g_per_kwh": 700
+            },
+            "axes": [
+                {"axis": "node_nm", "name": "pe_node",
+                 "chiplet": "pe-array", "values": [5, 7]},
+                {"axis": "chiplet_count", "name": "pe_split",
+                 "chiplet": "pe-array", "values": [1, 4]},
+                {"axis": "packaging",
+                 "values": ["rdl_fanout", "silicon_bridge"]},
+                {"axis": "lifetime_years", "values": [2, 4]}
+            ]
+        }]
+    })");
+}
+
+/** A stacked-memory catalog exercising the stack_count axis. */
+json::Value
+hbmCatalog()
+{
+    return json::parse(R"({
+        "generators": [{
+            "name": "hbm-space",
+            "architecture": {
+                "name": "HBM-HOST",
+                "packaging": "passive_interposer",
+                "chiplets": [
+                    {"name": "compute", "type": "logic",
+                     "node_nm": 7, "area_mm2": 150.0},
+                    {"name": "hbm0-dram0", "type": "memory",
+                     "node_nm": 10, "area_mm2": 60.0,
+                     "reused": true, "stack_group": "hbm0"},
+                    {"name": "hbm0-dram1", "type": "memory",
+                     "node_nm": 10, "area_mm2": 60.0,
+                     "reused": true, "stack_group": "hbm0"}
+                ]
+            },
+            "axes": [
+                {"axis": "stack_count", "name": "towers",
+                 "group": "hbm", "values": [0, 1, 3]}
+            ]
+        }]
+    })");
+}
+
+ScenarioSpace
+pcaSpace()
+{
+    ScenarioRegistry registry;
+    registry.loadJson(pcaCatalog(), "catalog.json", ".");
+    return ScenarioSpace(registry.generator("pca"));
+}
+
+class ScenarioSpaceTest : public ::testing::Test
+{
+  protected:
+    ScenarioSpace space_ = pcaSpace();
+    TechDb tech_;
+};
+
+TEST_F(ScenarioSpaceTest, ExpansionSizeAndOdometerOrder)
+{
+    EXPECT_EQ(space_.axisCount(), 4u);
+    EXPECT_EQ(space_.size(), 16u); // 2 * 2 * 2 * 2
+
+    // Last axis varies fastest.
+    EXPECT_EQ(space_.nameAt(0),
+              "pca/pe_node=5/pe_split=1/packaging=rdl_fanout/"
+              "lifetime_years=2");
+    EXPECT_EQ(space_.nameAt(1),
+              "pca/pe_node=5/pe_split=1/packaging=rdl_fanout/"
+              "lifetime_years=4");
+    EXPECT_EQ(space_.nameAt(space_.size() - 1),
+              "pca/pe_node=7/pe_split=4/"
+              "packaging=silicon_bridge/lifetime_years=4");
+}
+
+TEST_F(ScenarioSpaceTest, FlatIndexRoundTrip)
+{
+    for (std::size_t flat = 0; flat < space_.size(); ++flat) {
+        const auto indices = space_.indicesAt(flat);
+        ASSERT_EQ(indices.size(), space_.axisCount());
+        EXPECT_EQ(space_.flatIndex(indices), flat);
+        EXPECT_EQ(space_.nameAt(indices), space_.nameAt(flat));
+    }
+}
+
+TEST_F(ScenarioSpaceTest, ParseNameRoundTripAndStrictness)
+{
+    for (std::size_t flat = 0; flat < space_.size(); ++flat) {
+        const auto parsed = space_.parseName(space_.nameAt(flat));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, space_.indicesAt(flat));
+    }
+
+    // Only the exact nameAt spelling resolves.
+    EXPECT_FALSE(space_.parseName("other/pe_node=5"));
+    EXPECT_FALSE(space_.parseName("pca"));
+    EXPECT_FALSE(space_.parseName("pca/pe_node=5"));
+    EXPECT_FALSE(space_.parseName(
+        "pca/pe_split=1/pe_node=5/packaging=rdl_fanout/"
+        "lifetime_years=2")); // reordered axes
+    EXPECT_FALSE(space_.parseName(
+        "pca/pe_node=5.0/pe_split=1/packaging=rdl_fanout/"
+        "lifetime_years=2")); // non-canonical number spelling
+    EXPECT_FALSE(space_.parseName(
+        "pca/pe_node=6/pe_split=1/packaging=rdl_fanout/"
+        "lifetime_years=2")); // value not a declared candidate
+    EXPECT_FALSE(space_.parseName(
+        space_.nameAt(0) + "/extra=1"));
+}
+
+TEST_F(ScenarioSpaceTest, NodeAxisRetargetsKeepingContent)
+{
+    // pe_node=5 vs pe_node=7, other axes at index 0.
+    const DesignBundle at5 =
+        space_.instantiate({0, 0, 0, 0}, tech_);
+    const DesignBundle at7 =
+        space_.instantiate({1, 0, 0, 0}, tech_);
+
+    const auto find = [](const DesignBundle &b,
+                         const std::string &name) {
+        const auto it = std::find_if(
+            b.system.chiplets.begin(), b.system.chiplets.end(),
+            [&](const Chiplet &c) { return c.name == name; });
+        EXPECT_NE(it, b.system.chiplets.end());
+        return *it;
+    };
+
+    const Chiplet pe5 = find(at5, "pe-array");
+    const Chiplet pe7 = find(at7, "pe-array");
+    EXPECT_DOUBLE_EQ(pe5.nodeNm, 5.0);
+    EXPECT_DOUBLE_EQ(pe7.nodeNm, 7.0);
+    // Retarget keeps transistor content; area re-derives.
+    EXPECT_DOUBLE_EQ(pe5.transistorsMtr, pe7.transistorsMtr);
+    EXPECT_LT(pe5.areaMm2(tech_), pe7.areaMm2(tech_));
+    // Untargeted chiplets are untouched.
+    EXPECT_DOUBLE_EQ(find(at5, "bram").nodeNm, 10.0);
+    EXPECT_DOUBLE_EQ(find(at5, "io-xcvr").nodeNm, 14.0);
+
+    // The system is stamped with the derived point name.
+    EXPECT_EQ(at5.system.name, space_.nameAt({0, 0, 0, 0}));
+}
+
+TEST_F(ScenarioSpaceTest, ChipletSplitMakesReusedTwins)
+{
+    const DesignBundle whole =
+        space_.instantiate({1, 0, 0, 0}, tech_); // pe_split=1
+    const DesignBundle split =
+        space_.instantiate({1, 1, 0, 0}, tech_); // pe_split=4
+
+    EXPECT_EQ(whole.system.chiplets.size(), 3u);
+    ASSERT_EQ(split.system.chiplets.size(), 6u);
+
+    double total = 0.0;
+    int reused = 0;
+    for (int s = 0; s < 4; ++s) {
+        const Chiplet &slice =
+            split.system.chiplets[static_cast<std::size_t>(s)];
+        EXPECT_EQ(slice.name,
+                  "pe-array" + std::to_string(s));
+        total += slice.transistorsMtr;
+        reused += slice.reused ? 1 : 0;
+    }
+    // Content divided evenly; twins after the first reused.
+    EXPECT_NEAR(total,
+                whole.system.chiplets[0].transistorsMtr, 1e-9);
+    EXPECT_EQ(reused, 3);
+    // Packaging axis landed too.
+    EXPECT_EQ(split.config.package.arch,
+              PackagingArch::RdlFanout);
+}
+
+TEST(StackAxisTest, ReplicationAndTrimRenameTowers)
+{
+    ScenarioRegistry registry;
+    registry.loadJson(hbmCatalog(), "catalog.json", ".");
+    const ScenarioSpace space(registry.generator("hbm-space"));
+    const TechDb tech;
+    ASSERT_EQ(space.size(), 3u);
+
+    // towers=0: the family is trimmed away.
+    const DesignBundle none = space.instantiate({0}, tech);
+    EXPECT_EQ(none.system.chiplets.size(), 1u);
+    EXPECT_EQ(none.system.chiplets[0].name, "compute");
+
+    // towers=1: exactly the exemplar tower.
+    const DesignBundle one = space.instantiate({1}, tech);
+    EXPECT_EQ(one.system.chiplets.size(), 3u);
+
+    // towers=3: clones renamed into their tower group.
+    const DesignBundle three = space.instantiate({2}, tech);
+    ASSERT_EQ(three.system.chiplets.size(), 7u);
+    std::vector<std::string> names;
+    for (const auto &chiplet : three.system.chiplets)
+        names.push_back(chiplet.name);
+    for (const char *expected :
+         {"hbm1-dram0", "hbm1-dram1", "hbm2-dram0",
+          "hbm2-dram1"})
+        EXPECT_NE(std::find(names.begin(), names.end(),
+                            expected),
+                  names.end())
+            << expected;
+    for (const auto &chiplet : three.system.chiplets) {
+        if (chiplet.stackGroup == "hbm2") {
+            EXPECT_TRUE(chiplet.reused);
+        }
+    }
+}
+
+TEST(ScenarioRegistryGeneratorTest, ResolvesDerivedNames)
+{
+    ScenarioRegistry registry;
+    registry.loadJson(pcaCatalog(), "catalog.json", ".");
+    const ScenarioSpace space(registry.generator("pca"));
+    const TechDb tech;
+
+    const std::string name = space.nameAt(std::size_t{5});
+    EXPECT_TRUE(registry.contains(name));
+    EXPECT_FALSE(registry.contains("pca/pe_node=6"));
+
+    const DesignBundle bundle = registry.instantiate(name, tech);
+    EXPECT_EQ(bundle.system.name, name);
+
+    // Plain-name lookup failures advertise the templates.
+    const std::string message = configErrorOf(
+        [&] { (void)registry.get("nope"); });
+    EXPECT_NE(message.find("generator templates: pca/..."),
+              std::string::npos)
+        << message;
+    const std::string unknown = configErrorOf(
+        [&] { (void)registry.generator("nope"); });
+    EXPECT_NE(unknown.find("unknown generator \"nope\""),
+              std::string::npos)
+        << unknown;
+}
+
+TEST(ScenarioRegistryGeneratorTest,
+     AxisValidationNamesGeneratorAndAxis)
+{
+    const auto load = [](const char *axes_json) {
+        json::Value doc = json::parse(std::string(R"({
+            "generators": [{
+                "name": "g",
+                "architecture": {
+                    "name": "sys",
+                    "chiplets": [{"name": "die",
+                                  "type": "logic",
+                                  "node_nm": 7,
+                                  "area_mm2": 50.0}]
+                },
+                "axes": )") + axes_json + "}]}");
+        ScenarioRegistry registry;
+        registry.loadJson(doc, "cat.json", ".");
+    };
+
+    // Empty axis: file, generator, and axis all named.
+    const std::string empty = configErrorOf([&] {
+        load(R"([{"axis": "node_nm", "values": []}])");
+    });
+    EXPECT_NE(empty.find("cat.json"), std::string::npos)
+        << empty;
+    EXPECT_NE(empty.find("generator \"g\""), std::string::npos)
+        << empty;
+    EXPECT_NE(empty.find("axis \"node_nm\""), std::string::npos)
+        << empty;
+    EXPECT_NE(
+        empty.find("empty axis (needs at least one value)"),
+        std::string::npos)
+        << empty;
+
+    // Duplicate value, spelled canonically in the message.
+    const std::string dup = configErrorOf([&] {
+        load(R"([{"axis": "node_nm", "values": [7, 7.0]}])");
+    });
+    EXPECT_NE(dup.find("generator \"g\""), std::string::npos)
+        << dup;
+    EXPECT_NE(dup.find("duplicate axis value \"7\""),
+              std::string::npos)
+        << dup;
+
+    // Unknown packaging spelling is caught at load time.
+    const std::string pkg = configErrorOf([&] {
+        load(R"([{"axis": "packaging", "values": ["bogus"]}])");
+    });
+    EXPECT_NE(
+        pkg.find("unknown packaging architecture \"bogus\""),
+        std::string::npos)
+        << pkg;
+}
+
+// ------------------------------------------------------- pareto
+
+TEST(ParetoTest, NoDominatedSurvivorAndFullCoverage)
+{
+    const std::vector<ParetoPoint> points = {
+        {"a", {1.0, 9.0}}, {"b", {2.0, 8.0}},
+        {"c", {3.0, 7.0}}, {"d", {3.0, 8.0}}, // dominated by c
+        {"e", {9.0, 1.0}}, {"f", {9.0, 9.0}}, // dominated
+        {"g", {0.5, 9.5}},
+    };
+    const auto frontier = paretoFrontier(points);
+
+    const auto dominates = [&](const ParetoPoint &p,
+                               const ParetoPoint &q) {
+        bool better = false;
+        for (std::size_t k = 0; k < p.objectives.size(); ++k) {
+            if (p.objectives[k] > q.objectives[k])
+                return false;
+            if (p.objectives[k] < q.objectives[k])
+                better = true;
+        }
+        return better;
+    };
+
+    // No survivor is dominated by any input point...
+    for (const std::size_t slot : frontier)
+        for (const auto &other : points)
+            EXPECT_FALSE(dominates(other, points[slot]));
+    // ...and every non-survivor is dominated by some survivor.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (std::find(frontier.begin(), frontier.end(), i) !=
+            frontier.end())
+            continue;
+        bool covered = false;
+        for (const std::size_t slot : frontier)
+            covered |= dominates(points[slot], points[i]);
+        EXPECT_TRUE(covered) << points[i].name;
+    }
+    EXPECT_EQ(frontier.size(), 5u);
+}
+
+TEST(ParetoTest, PermutationInvariance)
+{
+    const std::vector<ParetoPoint> points = {
+        {"a", {1.0, 9.0}}, {"b", {2.0, 8.0}},
+        {"c", {3.0, 7.0}}, {"d", {3.0, 8.0}},
+        {"e", {9.0, 1.0}}, {"f", {9.0, 9.0}},
+    };
+    std::vector<ParetoPoint> shuffled = {
+        points[4], points[1], points[5],
+        points[0], points[3], points[2]};
+
+    const auto names = [](const std::vector<ParetoPoint> &in,
+                          const std::vector<std::size_t> &sel) {
+        std::vector<std::string> out;
+        for (const std::size_t slot : sel)
+            out.push_back(in[slot].name);
+        return out;
+    };
+    // Same survivors in the same (sorted) output order, however
+    // the input was permuted.
+    EXPECT_EQ(names(points, paretoFrontier(points)),
+              names(shuffled, paretoFrontier(shuffled)));
+}
+
+TEST(ParetoTest, DeterministicTieOrdering)
+{
+    // Equal objective vectors: both survive, name-ordered.
+    const std::vector<ParetoPoint> points = {
+        {"zeta", {1.0, 1.0}},
+        {"alpha", {1.0, 1.0}},
+        {"mid", {0.5, 2.0}},
+    };
+    const auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 3u);
+    // Sorted by objectives first, then name.
+    EXPECT_EQ(points[frontier[0]].name, "mid");
+    EXPECT_EQ(points[frontier[1]].name, "alpha");
+    EXPECT_EQ(points[frontier[2]].name, "zeta");
+
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+// ------------------------------------------------------- driver
+
+SearchSpec
+pcaSearchSpec(StrategyKind kind)
+{
+    SearchSpec spec;
+    spec.generator = "pca";
+    spec.strategy.kind = kind;
+    spec.strategy.seed = 7;
+    spec.strategy.restarts = 3;
+    spec.strategy.steps = 40;
+    spec.batchSize = 5; // deliberately not a divisor of 16
+    spec.objectives.push_back(
+        {SearchMetric::EmbodiedKg, false, 1.0});
+    spec.constraints.push_back(
+        {SearchMetric::CostUsd, std::nullopt, 1000.0});
+    return spec;
+}
+
+SearchDriver
+pcaDriver(int threads)
+{
+    EngineOptions options;
+    options.threads = threads;
+    options.registry.loadJson(pcaCatalog(), "catalog.json",
+                              ".");
+    return SearchDriver(std::move(options));
+}
+
+TEST(SearchDriverTest, ExhaustiveMatchesHandExpandedBatch)
+{
+    const SearchSpec spec =
+        pcaSearchSpec(StrategyKind::Exhaustive);
+
+    SearchDriver driver = pcaDriver(4);
+    const SearchResult result = driver.run(spec);
+
+    // The same registry, engine config, and request list by
+    // hand.
+    EngineOptions options;
+    options.threads = 4;
+    options.registry.loadJson(pcaCatalog(), "catalog.json",
+                              ".");
+    const ScenarioSpace space(
+        options.registry.generator("pca"));
+    const auto requests = SearchDriver::expand(spec, space);
+    AnalysisEngine engine(std::move(options));
+    const BatchReport by_hand = engine.runBatch(requests);
+
+    // Byte-identity through the report serializer -- the
+    // search_equivalence CTest locks the same property through
+    // files and `cmp`.
+    EXPECT_EQ(batchReportToJson(result.report).dump(true),
+              batchReportToJson(by_hand).dump(true));
+
+    // Exhaustive covers the whole space in odometer order.
+    ASSERT_EQ(result.evaluated.size(), space.size());
+    for (std::size_t flat = 0; flat < space.size(); ++flat)
+        EXPECT_EQ(result.evaluated[flat].flat, flat);
+    EXPECT_EQ(result.spaceSize, space.size());
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.evaluated[*result.best].feasible);
+    EXPECT_FALSE(result.frontier.empty());
+}
+
+TEST(SearchDriverTest, ClimbersAreSeedDeterministicAcrossThreads)
+{
+    for (const StrategyKind kind :
+         {StrategyKind::Greedy, StrategyKind::Annealing}) {
+        const SearchSpec spec = pcaSearchSpec(kind);
+        std::vector<std::string> dumps;
+        for (const int threads : {1, 4, 8}) {
+            SearchDriver driver = pcaDriver(threads);
+            dumps.push_back(
+                searchResultToJson(driver.run(spec))
+                    .dump(true));
+        }
+        EXPECT_EQ(dumps[0], dumps[1]) << toString(kind);
+        EXPECT_EQ(dumps[0], dumps[2]) << toString(kind);
+    }
+}
+
+TEST(SearchDriverTest, ConstraintsGateFeasibilityAndBest)
+{
+    SearchSpec spec = pcaSearchSpec(StrategyKind::Exhaustive);
+    // Tight area cap: split points (4 small dies ~ same silicon)
+    // stay, but nothing is pruned by cost; pick a bound between
+    // the observed extremes so both classes exist.
+    spec.constraints.clear();
+    spec.constraints.push_back(
+        {SearchMetric::AreaMm2, std::nullopt, 280.0});
+
+    SearchDriver driver = pcaDriver(2);
+    const SearchResult result = driver.run(spec);
+
+    std::size_t feasible = 0;
+    for (const auto &point : result.evaluated) {
+        EXPECT_TRUE(point.ok);
+        if (point.feasible) {
+            ++feasible;
+            EXPECT_TRUE(std::isfinite(point.score));
+        } else {
+            EXPECT_TRUE(std::isinf(point.score));
+        }
+    }
+    ASSERT_GT(feasible, 0u);
+    ASSERT_LT(feasible, result.evaluated.size());
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_TRUE(result.evaluated[*result.best].feasible);
+    // The frontier only admits feasible points.
+    for (const std::size_t slot : result.frontier)
+        EXPECT_TRUE(result.evaluated[slot].feasible);
+}
+
+TEST(SearchDriverTest, ValidateRejectsBrokenSpecs)
+{
+    const SearchSpec good =
+        pcaSearchSpec(StrategyKind::Exhaustive);
+    EXPECT_NO_THROW(SearchDriver::validate(good));
+
+    SearchSpec spec = good;
+    spec.objectives.clear();
+    EXPECT_THROW(SearchDriver::validate(spec), ConfigError);
+
+    spec = good;
+    spec.objectives[0].weight = 0.0;
+    EXPECT_THROW(SearchDriver::validate(spec), ConfigError);
+
+    spec = good;
+    spec.batchSize = 0;
+    EXPECT_THROW(SearchDriver::validate(spec), ConfigError);
+
+    spec = good;
+    spec.strategy.restarts = 0;
+    EXPECT_THROW(SearchDriver::validate(spec), ConfigError);
+
+    spec = good;
+    spec.constraints.push_back(
+        {SearchMetric::AreaMm2, 10.0, 5.0}); // min > max
+    EXPECT_THROW(SearchDriver::validate(spec), ConfigError);
+
+    spec = good;
+    spec.generator = "unknown-generator";
+    SearchDriver driver = pcaDriver(1);
+    EXPECT_THROW((void)driver.run(spec), ConfigError);
+}
+
+// ----------------------------------------------------- wire fmt
+
+TEST(SearchIoTest, SpecRoundTripsLosslessly)
+{
+    SearchSpec spec;
+    spec.generator = "pca";
+    spec.catalog = "catalog.json";
+    spec.strategy.kind = StrategyKind::Annealing;
+    spec.strategy.seed = 99;
+    spec.strategy.restarts = 2;
+    spec.strategy.steps = 17;
+    spec.strategy.initialTemp = 2.5;
+    spec.strategy.cooling = 0.9;
+    spec.objectives.push_back(
+        {SearchMetric::TotalKg, false, 1.0});
+    spec.objectives.push_back(
+        {SearchMetric::PerfProxy, true, 0.25});
+    spec.constraints.push_back(
+        {SearchMetric::CostUsd, 10.0, 500.0});
+    spec.batchSize = 32;
+
+    const SearchSpec back = searchSpecFromJson(
+        searchSpecToJson(spec), "round.json");
+    EXPECT_EQ(back, spec);
+}
+
+TEST(SearchIoTest, RejectsUnknownKeysNamingFileAndKey)
+{
+    json::Value doc = searchSpecToJson(
+        pcaSearchSpec(StrategyKind::Exhaustive));
+    doc.set("bogus_knob", 1.0);
+    const std::string message = configErrorOf([&] {
+        (void)searchSpecFromJson(doc, "spec.json");
+    });
+    EXPECT_NE(message.find("spec.json"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("bogus_knob"), std::string::npos)
+        << message;
+
+    // Unknown metric spellings list the accepted ones.
+    const json::Value bad = json::parse(R"({
+        "generator": "pca",
+        "objectives": [{"metric": "carbon"}]
+    })");
+    const std::string metric = configErrorOf([&] {
+        (void)searchSpecFromJson(bad, "spec.json");
+    });
+    EXPECT_NE(metric.find("embodied_kg"), std::string::npos)
+        << metric;
+}
+
+TEST(SearchIoTest, ResultDocumentOmitsNonFiniteScores)
+{
+    SearchSpec spec = pcaSearchSpec(StrategyKind::Exhaustive);
+    spec.constraints.clear();
+    spec.constraints.push_back(
+        {SearchMetric::AreaMm2, std::nullopt, 280.0});
+
+    SearchDriver driver = pcaDriver(2);
+    const json::Value doc =
+        searchResultToJson(driver.run(spec));
+
+    EXPECT_EQ(doc.at("generator").asString(), "pca");
+    EXPECT_EQ(doc.at("strategy").asString(), "exhaustive");
+    EXPECT_EQ(static_cast<std::size_t>(
+                  doc.at("space_size").asInteger()),
+              std::size_t{16});
+    EXPECT_TRUE(doc.contains("best"));
+    EXPECT_TRUE(doc.contains("frontier"));
+
+    bool saw_infeasible = false;
+    for (const auto &point : doc.at("points").asArray()) {
+        if (point.at("feasible").asBoolean()) {
+            EXPECT_TRUE(point.contains("score"));
+        } else {
+            saw_infeasible = true;
+            EXPECT_FALSE(point.contains("score"));
+        }
+        // The document (and so the whole result) stays
+        // parseable JSON even with infeasible points.
+        EXPECT_NO_THROW(json::parse(point.dump(false)));
+    }
+    EXPECT_TRUE(saw_infeasible);
+}
+
+} // namespace
+} // namespace ecochip

@@ -122,8 +122,14 @@ class ResultCacheTest : public ::testing::Test
   protected:
     void SetUp() override
     {
+        // Unique per test case: ctest runs each case as its own
+        // process, so a shared directory would let one SetUp's
+        // remove_all race another case's store/lookup under -j.
         dir_ = std::filesystem::path(::testing::TempDir()) /
-               "ecochip_result_cache";
+               (std::string("ecochip_result_cache_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
         std::filesystem::remove_all(dir_);
     }
 
