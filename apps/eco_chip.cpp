@@ -14,7 +14,8 @@
  *   eco_chip --shard requests.json --shards K [--json FILE]
  *   eco_chip --shard_worker sub_batch.json --json report.json
  *   eco_chip --coordinate requests.json --hosts hosts.json
- *            [--retries N] [--shard_timeout S]
+ *            [--retries N] [--shard_timeout S] [--chunk_size N]
+ *            [--progress] [--resume] [--abort_after_failures N]
  *   eco_chip --serve --socket PATH [--cache_dir DIR]
  *            [--cache_entries N] [--engine_threads N]
  *   eco_chip --connect PATH (--batch FILE | --stats | --shutdown)
@@ -53,10 +54,12 @@
  *   --shard_worker F   run one sub-batch and write its
  *                      BatchReport JSON to the --json path
  *                      (what --shard fork/execs per shard)
- *   --coordinate FILE  dispatch a batch's shards onto the hosts
- *                      of a --hosts manifest (local or command
- *                      transports), retry failures/stragglers,
- *                      and merge; byte-identical to --batch
+ *   --coordinate FILE  pull-dispatch a batch's work chunks onto
+ *                      the hosts of a --hosts manifest (local or
+ *                      command transports), tail each worker's
+ *                      NDJSON event stream, retry failures and
+ *                      stragglers, and merge incrementally;
+ *                      byte-identical to --batch
  *   --hosts FILE       hosts.json manifest for --coordinate
  *                      (host name, slots, optional command
  *                      template -- see docs/distributed.md)
@@ -65,6 +68,21 @@
  *   --shard_timeout S  straggler deadline in seconds: a shard
  *                      dispatch running longer is cancelled and
  *                      re-dispatched (default: no deadline)
+ *   --chunk_size N     with --coordinate: target requests per
+ *                      work chunk (whole scenario bindings;
+ *                      default: ~3 chunks per host slot)
+ *   --progress         with --coordinate: live per-host
+ *                      in-flight/done counters and requests/s
+ *                      on stderr as events arrive
+ *   --resume           with --coordinate --shard_dir: replay the
+ *                      outcome journal of a killed run and only
+ *                      dispatch the requests it never finished
+ *   --abort_after_failures N
+ *                      with --coordinate: once N requests have
+ *                      failed, cancel undispatched chunks; the
+ *                      never-run requests report synthetic
+ *                      "aborted" errors (and stay out of the
+ *                      journal, so --resume can finish them)
  *   --serve            run the analysis server: accept request
  *                      lines over a Unix-domain socket and answer
  *                      stream-event lines on a warm engine (see
@@ -122,6 +140,7 @@
 #include "engine/shard_coordinator.h"
 #include "engine/shard_runner.h"
 #include "io/batch_report_io.h"
+#include "io/event_journal_io.h"
 #include "io/host_manifest_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
@@ -172,6 +191,18 @@ struct CliOptions
     /** Unset means no straggler deadline. */
     std::optional<double> shardTimeout;
 
+    /** Unset means the coordinator's automatic chunk target. */
+    std::optional<int> chunkSize;
+
+    /** Live coordinator progress on stderr. */
+    bool progress = false;
+
+    /** Replay a previous run's outcome journal. */
+    bool resume = false;
+
+    /** Unset means no early-abort policy. */
+    std::optional<int> abortAfterFailures;
+
     /** Unset means one worker per hardware thread. */
     std::optional<int> engineThreads;
     std::vector<double> nodeList;
@@ -198,6 +229,8 @@ printUsage(std::ostream &os)
           "    [--markdown FILE] [--list_scenarios] [--stream]\n"
           "    [--shard_dir DIR] [--retries N]"
           " [--shard_timeout S]\n"
+          "    [--chunk_size N] [--progress] [--resume]"
+          " [--abort_after_failures N]\n"
           "    [--cache_dir DIR] [--cache_entries N]"
           " [--stats] [--shutdown]\n"
           "see docs/cli.md, docs/search.md, docs/distributed.md,"
@@ -319,6 +352,15 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--shard_timeout") {
             opts.shardTimeout =
                 parsePositiveDouble(arg, next_value());
+        } else if (arg == "--chunk_size") {
+            opts.chunkSize = parsePositiveInt(arg, next_value());
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--abort_after_failures") {
+            opts.abortAfterFailures =
+                parsePositiveInt(arg, next_value());
         } else if (arg == "--serve") {
             opts.serve = true;
         } else if (arg == "--socket") {
@@ -482,6 +524,15 @@ parseArgs(int argc, char **argv)
                       !opts.coordinatePath.empty(),
                   "--retries/--shard_timeout tune the shard "
                   "coordinator; they require --coordinate");
+    requireConfig((!opts.chunkSize && !opts.progress &&
+                   !opts.resume && !opts.abortAfterFailures) ||
+                      !opts.coordinatePath.empty(),
+                  "--chunk_size/--progress/--resume/"
+                  "--abort_after_failures tune the dynamic "
+                  "coordinator; they require --coordinate");
+    requireConfig(!opts.resume || !opts.shardDir.empty(),
+                  "--resume replays the outcome journal of a "
+                  "previous run; it requires --shard_dir");
     requireConfig(opts.shardWorkerPath.empty() ||
                       opts.jsonPath.has_value(),
                   "--shard_worker writes its BatchReport to the "
@@ -980,11 +1031,12 @@ runShard(const CliOptions &opts, const char *argv0)
 }
 
 /**
- * Coordinate a batch across the hosts of a manifest: dispatch
- * each shard through its host's transport, retry failures and
- * cancelled stragglers on other hosts, merge, and print the
- * same per-request status lines as --batch. Returns 1 when any
- * request failed.
+ * Coordinate a batch across the hosts of a manifest: hosts pull
+ * binding-cohesive work chunks from the shared queue, stream
+ * outcome events back, and the coordinator merges incrementally,
+ * retrying failures and cancelled stragglers on other hosts.
+ * Prints the same per-request status lines as --batch. Returns 1
+ * when any request failed.
  */
 int
 runCoordinate(const CliOptions &opts, const char *argv0)
@@ -1000,25 +1052,61 @@ runCoordinate(const CliOptions &opts, const char *argv0)
     run.shardDir = opts.shardDir;
     run.workerExe = selfExecutable(argv0);
     run.scenariosPath = opts.scenariosPath;
+    run.chunkTargetRequests = opts.chunkSize.value_or(0);
+    run.resume = opts.resume;
+    run.abortAfterFailedRequests =
+        opts.abortAfterFailures
+            ? static_cast<std::size_t>(*opts.abortAfterFailures)
+            : 0;
+    if (opts.progress)
+        run.onProgress = [](const CoordinatorProgress &p) {
+            std::cerr << "progress: " << p.requestsDone << "/"
+                      << p.requestsTotal << " requests ("
+                      << p.requestsFailed << " failed), "
+                      << p.chunksDone << "/" << p.chunksTotal
+                      << " chunks done, " << p.chunksInFlight
+                      << " in flight";
+            for (const auto &host : p.hosts)
+                std::cerr << " | " << host.name << ": "
+                          << host.inFlightChunks << " running, "
+                          << host.doneChunks << " chunks / "
+                          << host.doneRequests << " requests "
+                          << "done";
+            std::cerr << " | "
+                      << static_cast<long>(
+                             p.requestsPerSecond * 10.0) /
+                             10.0
+                      << " req/s\n";
+        };
 
     const CoordinatedRunResult result =
-        runCoordinatedBatch(run);
+        runDynamicCoordinatedBatch(run);
 
     const auto &outcomes =
         result.mergedReport.at("outcomes").asArray();
     std::cout << "coordinate: " << outcomes.size()
               << " requests across " << run.hosts.hosts.size()
               << " host(s) / " << run.hosts.totalSlots()
-              << " slot(s), " << result.shardsUsed
-              << " shard(s), " << result.threadsPerWorker
+              << " slot(s), " << result.chunksPlanned
+              << " chunk(s), " << result.threadsPerWorker
               << " engine thread(s) each\n";
+    if (result.resumedOutcomes > 0)
+        std::cout << "resumed " << result.resumedOutcomes
+                  << " journaled outcome(s); they were not "
+                  << "re-run\n";
     printMergedOutcomes(outcomes);
     std::cout << result.succeeded << "/" << outcomes.size()
               << " requests ok, " << result.redispatches
               << " re-dispatch(es)\n";
+    if (result.aborted)
+        std::cout << "aborted early after "
+                  << *opts.abortAfterFailures
+                  << " failed request(s); re-run with --resume "
+                  << "to finish the remaining requests\n";
     if (!opts.shardDir.empty())
         std::cout << "shard scratch files kept in "
-                  << opts.shardDir << "\n";
+                  << opts.shardDir << " (outcome journal: "
+                  << result.journalPath << ")\n";
 
     if (opts.jsonPath) {
         json::writeFile(result.mergedReport, *opts.jsonPath);
@@ -1044,11 +1132,14 @@ run(int argc, char **argv)
     // Shard modes manage their own registries (the worker loads
     // builtin + catalogs itself, once per process).
     if (!opts.shardWorkerPath.empty())
+        // Always stream: the event file beside the report is
+        // what a dynamic coordinator tails, and harmless
+        // otherwise.
         return runShardWorker(
             opts.shardWorkerPath, *opts.jsonPath,
             opts.engineThreads.value_or(
                 Parallelism::hardware().threads),
-            opts.scenariosPath);
+            opts.scenariosPath, eventsPathFor(*opts.jsonPath));
 
     if (!opts.shardPath.empty())
         return runShard(opts, argv[0]);

@@ -8,8 +8,12 @@
  * DSE loops.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -331,6 +335,214 @@ BENCHMARK(BM_CoordinatedBatch)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_DynamicCoordinatedBatch(benchmark::State &state)
+{
+    // The pull-queue scheduler over the same mix and the same
+    // N one-slot local hosts as CoordinatedBatch: measures what
+    // chunked dispatch, event tailing, journaling, and
+    // incremental merge cost next to the static plan-and-wait
+    // loop.
+    const int host_count = static_cast<int>(state.range(0));
+    const auto requests = engineBatchRequests();
+
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        "ecochip_bench_dyn_coordinated";
+    std::filesystem::create_directories(dir);
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    CoordinatorOptions options;
+    options.batchPath = batch_path;
+    for (int h = 0; h < host_count; ++h)
+        options.hosts.hosts.push_back(
+            {"local-" + std::to_string(h), 1, ""});
+    options.engineThreadsPerWorker = 2;
+
+    for (auto _ : state) {
+        const CoordinatedRunResult result =
+            runDynamicCoordinatedBatch(options);
+        if (!result.allOk()) {
+            state.SkipWithError("dynamic coordinated batch "
+                                "failed");
+            break;
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_DynamicCoordinatedBatch)
+    ->Name("DynamicCoordinatedBatch")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * A local-process host whose completions are withheld for a
+ * per-request tax after the worker actually finishes -- a
+ * straggler host whose throughput, not just latency, lags the
+ * fleet. The children still run in parallel, so the benchmark
+ * measures scheduling, not serialized compute.
+ */
+class SlowLocalTransport : public LocalProcessTransport
+{
+  public:
+    explicit SlowLocalTransport(double per_request_seconds)
+        : perRequestSeconds_(per_request_seconds)
+    {
+    }
+
+    void start(const ShardDispatch &dispatch) override
+    {
+        const double tax =
+            perRequestSeconds_ *
+            static_cast<double>(
+                loadBatchFile(dispatch.subBatchPath)
+                    .requests.size());
+        notBefore_[dispatch.shard] =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(tax));
+        LocalProcessTransport::start(dispatch);
+    }
+
+    std::optional<int> poll(std::size_t shard) override
+    {
+        if (exited_.count(shard) == 0) {
+            const auto code = LocalProcessTransport::poll(shard);
+            if (!code)
+                return std::nullopt;
+            exited_[shard] = *code;
+        }
+        if (std::chrono::steady_clock::now() <
+            notBefore_[shard])
+            return std::nullopt;
+        const int code = exited_[shard];
+        exited_.erase(shard);
+        return code;
+    }
+
+  private:
+    double perRequestSeconds_;
+    std::map<std::size_t,
+             std::chrono::steady_clock::time_point>
+        notBefore_;
+    std::map<std::size_t, int> exited_;
+};
+
+/** fast + slow one-slot hosts over @p batch_path; the slow host
+ *  pays @p per_request_seconds per dispatched request. */
+CoordinatorOptions
+skewedHostOptions(const std::string &batch_path,
+                  double per_request_seconds)
+{
+    CoordinatorOptions options;
+    options.batchPath = batch_path;
+    options.hosts.hosts.push_back({"fast", 1, ""});
+    options.hosts.hosts.push_back({"slow", 1, ""});
+    options.engineThreadsPerWorker = 2;
+    options.transportFactory =
+        [per_request_seconds](const HostSpec &host)
+        -> std::shared_ptr<ShardTransport> {
+        if (host.name == "slow")
+            return std::make_shared<SlowLocalTransport>(
+                per_request_seconds);
+        return std::make_shared<LocalProcessTransport>();
+    };
+    return options;
+}
+
+constexpr double kSkewPerRequestSeconds = 0.03;
+
+void
+BM_StaticSkewedHosts(benchmark::State &state)
+{
+    // The straggler problem the pull queue exists to fix: the
+    // static planner deals ~half the batch to the slow host up
+    // front and the run ends only when that half drains through
+    // the 30 ms/request host.
+    const auto requests = engineBatchRequests();
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        "ecochip_bench_skew_static";
+    std::filesystem::create_directories(dir);
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    CoordinatorOptions options =
+        skewedHostOptions(batch_path, kSkewPerRequestSeconds);
+    for (auto _ : state) {
+        const CoordinatedRunResult result =
+            runCoordinatedBatch(options);
+        if (!result.allOk()) {
+            state.SkipWithError("skewed static run failed");
+            break;
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StaticSkewedHosts)
+    ->Name("StaticSkewedHosts")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_DynamicSkewedHosts(benchmark::State &state)
+{
+    // Same fleet, pull queue: the slow host only ever holds one
+    // small chunk, the fast host steals the rest of the queue,
+    // and the wall clock tracks the fast host's throughput
+    // instead of the straggler's.
+    const auto requests = engineBatchRequests();
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        "ecochip_bench_skew_dynamic";
+    std::filesystem::create_directories(dir);
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    CoordinatorOptions options =
+        skewedHostOptions(batch_path, kSkewPerRequestSeconds);
+    options.chunkTargetRequests = 1;
+    for (auto _ : state) {
+        const CoordinatedRunResult result =
+            runDynamicCoordinatedBatch(options);
+        if (!result.allOk()) {
+            state.SkipWithError("skewed dynamic run failed");
+            break;
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(requests.size()));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_DynamicSkewedHosts)
+    ->Name("DynamicSkewedHosts")
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+#
+# Checkpoint/resume gate for the dynamic coordinator: start a
+# coordination whose in-flight chunks hang, SIGKILL the
+# coordinator mid-run (after at least one chunk's outcomes hit
+# the journal), then re-run with --resume and require the
+# finished report to be byte-identical to the single-process
+# --batch report.
+#
+# Usage: run_coordinate_resume.sh ECO_CHIP BATCH.json WORKDIR
+
+set -eu
+
+APP="$1"
+BATCH="$2"
+WORK="$3"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$APP" --batch "$BATCH" --json "$WORK/ref.json" > /dev/null
+
+# chunk_000 completes normally; while the hang marker exists,
+# every other chunk sleeps forever -- the in-flight work the test
+# SIGKILLs the coordinator under. The orphaned sleepers exit
+# without ever writing a report or an event, like a worker lost
+# to a dead machine.
+cat > "$WORK/worker.sh" <<WORKER
+#!/bin/sh
+if [ -e "$WORK/hang" ] && [ "\$(basename "\$1")" != "chunk_000.json" ]; then
+    sleep 600
+    exit 3
+fi
+exec "$APP" --shard_worker "\$1" --json "\$2" --engine_threads "\$3"
+WORKER
+chmod +x "$WORK/worker.sh"
+
+cat > "$WORK/hosts.json" <<HOSTS
+{
+    "hosts": [
+        {
+            "name": "localhost",
+            "slots": 2,
+            "command": "sh $WORK/worker.sh {sub_batch} {report} {threads}"
+        }
+    ]
+}
+HOSTS
+
+: > "$WORK/hang"
+# Logs to files, not pipes: the orphaned sleepers inherit the
+# coordinator's stdio, and an inherited pipe would keep the test
+# runner waiting on EOF long after the test is done.
+"$APP" --coordinate "$BATCH" --hosts "$WORK/hosts.json" \
+    --shard_dir "$WORK/coord" --chunk_size 2 \
+    --json "$WORK/killed.json" > "$WORK/killed.log" 2>&1 &
+COORD=$!
+
+# Wait until the journal holds at least one complete line (the
+# trailing byte is a newline), then kill the coordinator with a
+# signal it cannot catch.
+JOURNAL="$WORK/coord/journal.ndjson"
+for _ in $(seq 1 600); do
+    if [ -s "$JOURNAL" ] && [ -z "$(tail -c 1 "$JOURNAL")" ]; then
+        break
+    fi
+    sleep 0.05
+done
+if ! [ -s "$JOURNAL" ]; then
+    echo "FAIL: no outcome ever reached the journal" >&2
+    kill -9 "$COORD" 2>/dev/null || true
+    exit 1
+fi
+kill -9 "$COORD" 2>/dev/null || true
+wait "$COORD" 2>/dev/null || true
+
+rm -f "$WORK/hang"
+"$APP" --coordinate "$BATCH" --hosts "$WORK/hosts.json" \
+    --shard_dir "$WORK/coord" --chunk_size 2 --resume \
+    --json "$WORK/resumed.json" > "$WORK/resumed.log"
+
+if ! grep -q "^resumed " "$WORK/resumed.log"; then
+    echo "FAIL: the resumed run replayed no journaled outcomes" >&2
+    cat "$WORK/resumed.log" >&2
+    exit 1
+fi
+
+# Best effort: reap the orphaned sleeper workers.
+pkill -9 -f "$WORK/worker.sh" 2> /dev/null || true
+
+cmp "$WORK/ref.json" "$WORK/resumed.json"
+echo "resume OK: finished report is byte-identical to --batch"

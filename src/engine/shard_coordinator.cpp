@@ -5,6 +5,7 @@
 #include <chrono>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <utility>
@@ -12,6 +13,8 @@
 #include "engine/analysis_engine.h"
 #include "engine/shard_planner.h"
 #include "engine/shard_runner.h"
+#include "engine/work_queue.h"
+#include "io/event_journal_io.h"
 #include "io/request_io.h"
 #include "support/error.h"
 
@@ -196,7 +199,8 @@ LocalProcessTransport::start(const ShardDispatch &dispatch)
     pids_[dispatch.shard] = spawnChild(argv, [dispatch] {
         return runShardWorker(
             dispatch.subBatchPath, dispatch.reportPath,
-            dispatch.engineThreads, dispatch.scenariosPath);
+            dispatch.engineThreads, dispatch.scenariosPath,
+            dispatch.eventsPath);
     });
 #endif
 }
@@ -274,6 +278,10 @@ CommandTransport::commandFor(const ShardDispatch &dispatch) const
         {"worker", shellQuote(dispatch.workerExe)},
         {"sub_batch", shellQuote(dispatch.subBatchPath)},
         {"report", shellQuote(dispatch.reportPath)},
+        {"events",
+         shellQuote(dispatch.eventsPath.empty()
+                        ? eventsPathFor(dispatch.reportPath)
+                        : dispatch.eventsPath)},
         {"threads", std::to_string(dispatch.engineThreads)},
         {"scenarios_args",
          dispatch.scenariosPath.empty()
@@ -312,16 +320,37 @@ CommandTransport::cancel(std::size_t shard)
 // ---------------------------------------------- TestTransport
 
 void
+TestTransport::injectFault(std::size_t shard,
+                           TransportFault fault)
+{
+    schedule_[shard].push_back(fault);
+}
+
+void
 TestTransport::injectHangs(std::size_t shard, std::size_t count)
 {
-    hangs_[shard] += count;
+    TransportFault fault;
+    fault.kind = TransportFault::Kind::Hang;
+    for (std::size_t i = 0; i < count; ++i)
+        injectFault(shard, fault);
 }
 
 void
 TestTransport::injectFailures(std::size_t shard,
                               std::size_t count)
 {
-    failures_[shard] += count;
+    TransportFault fault;
+    fault.kind = TransportFault::Kind::Fail;
+    for (std::size_t i = 0; i < count; ++i)
+        injectFault(shard, fault);
+}
+
+void
+TestTransport::setSpeed(double seconds,
+                        double per_request_seconds)
+{
+    delaySeconds_ = seconds;
+    perRequestDelaySeconds_ = per_request_seconds;
 }
 
 void
@@ -330,47 +359,110 @@ TestTransport::start(const ShardDispatch &dispatch)
     history_.push_back(dispatch);
     const std::size_t nth = dispatches_[dispatch.shard]++;
 
-    const std::size_t hangs = hangs_.count(dispatch.shard)
-                                  ? hangs_[dispatch.shard]
-                                  : 0;
-    if (nth < hangs) {
-        state_[dispatch.shard] = std::nullopt; // hung
+    LiveDispatch live;
+    live.dispatch = dispatch;
+
+    std::optional<TransportFault> fault;
+    const auto it = schedule_.find(dispatch.shard);
+    if (it != schedule_.end() && nth < it->second.size())
+        fault = it->second[nth];
+
+    if (fault && fault->kind == TransportFault::Kind::Hang) {
+        live.hung = true;
+        live_[dispatch.shard] = std::move(live);
         return;
     }
-    const std::size_t failures =
-        failures_.count(dispatch.shard)
-            ? failures_[dispatch.shard]
-            : 0;
-    if (nth < hangs + failures) {
-        state_[dispatch.shard] = 134; // died, no report
+    if (fault && fault->kind == TransportFault::Kind::Fail) {
+        live.exitCode = fault->exitCode; // died, no report
+        live_[dispatch.shard] = std::move(live);
         return;
     }
-    // Healthy dispatch: run the worker in-process, synchronously.
-    state_[dispatch.shard] = runShardWorker(
-        dispatch.subBatchPath, dispatch.reportPath,
-        dispatch.engineThreads, dispatch.scenariosPath);
+
+    // Healthy (or slow / kill-mid-stream) dispatch: the worker
+    // runs in-process at the first poll past the readiness
+    // point, so an uneven-speed host is modeled as completions
+    // that simply take longer to surface.
+    double delay = delaySeconds_;
+    if (perRequestDelaySeconds_ > 0.0)
+        delay += perRequestDelaySeconds_ *
+                 static_cast<double>(
+                     loadBatchFile(dispatch.subBatchPath)
+                         .requests.size());
+    if (fault && fault->kind == TransportFault::Kind::Slow)
+        delay += fault->delaySeconds;
+    if (fault &&
+        fault->kind == TransportFault::Kind::KillMidStream)
+        live.truncateEvents = fault->eventLines;
+    live.readyAt =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(delay));
+    live_[dispatch.shard] = std::move(live);
 }
 
 std::optional<int>
 TestTransport::poll(std::size_t shard)
 {
-    const auto it = state_.find(shard);
-    requireModel(it != state_.end(),
+    const auto it = live_.find(shard);
+    requireModel(it != live_.end(),
                  "poll() on a shard with no live dispatch");
-    if (!it->second.has_value())
+    LiveDispatch &live = it->second;
+    if (live.hung)
         return std::nullopt; // hung until cancelled
-    const int code = *it->second;
-    state_.erase(it);
-    return code;
+    if (live.exitCode) {
+        const int code = *live.exitCode;
+        live_.erase(it);
+        return code;
+    }
+    if (std::chrono::steady_clock::now() < live.readyAt)
+        return std::nullopt; // still "running"
+
+    const ShardDispatch dispatch = live.dispatch;
+    const auto truncate = live.truncateEvents;
+    live_.erase(it);
+
+    const std::string events_path =
+        dispatch.eventsPath.empty()
+            ? eventsPathFor(dispatch.reportPath)
+            : dispatch.eventsPath;
+    if (!truncate)
+        return runShardWorker(
+            dispatch.subBatchPath, dispatch.reportPath,
+            dispatch.engineThreads, dispatch.scenariosPath,
+            events_path);
+
+    // Kill-mid-stream: run the worker against scratch paths,
+    // deliver only its first N event lines, and report a
+    // SIGKILL exit -- no report file, a partial stream.
+    const std::string scratch_report =
+        dispatch.reportPath + ".killtmp";
+    const std::string scratch_events = events_path + ".killtmp";
+    runShardWorker(dispatch.subBatchPath, scratch_report,
+                   dispatch.engineThreads,
+                   dispatch.scenariosPath, scratch_events);
+    {
+        std::ifstream in(scratch_events);
+        std::ofstream out(events_path,
+                          std::ios::out | std::ios::trunc);
+        std::string line;
+        for (std::size_t n = 0;
+             n < *truncate && std::getline(in, line); ++n)
+            out << line << '\n';
+    }
+    std::error_code ec;
+    std::filesystem::remove(scratch_report, ec);
+    std::filesystem::remove(scratch_events, ec);
+    return 128 + 9; // SIGKILLed worker
 }
 
 void
 TestTransport::cancel(std::size_t shard)
 {
-    const auto it = state_.find(shard);
-    requireModel(it != state_.end(),
+    const auto it = live_.find(shard);
+    requireModel(it != live_.end(),
                  "cancel() on a shard with no live dispatch");
-    state_.erase(it);
+    live_.erase(it);
     ++cancelled_;
 }
 
@@ -445,6 +537,16 @@ runCoordinatedBatch(const CoordinatorOptions &options)
         result.shardFiles = writeShardFiles(batch, plan, dir);
         for (const auto &shard_file : result.shardFiles)
             result.reportFiles.push_back(shard_file + ".report");
+
+        // A reused shard_dir may hold the outcome journal of an
+        // earlier dynamic run; a fresh static run invalidates it,
+        // so unlink it exactly like stale shard reports -- a
+        // later --resume must never replay outcomes that do not
+        // belong to this directory's current contents.
+        std::error_code stale_journal_ec;
+        std::filesystem::remove(
+            std::filesystem::path(dir) / coordinatorJournalName(),
+            stale_journal_ec);
 
         struct ShardState
         {
@@ -585,6 +687,8 @@ runCoordinatedBatch(const CoordinatorOptions &options)
                             : result.reportFiles[shard] +
                                   ".retry" +
                                   std::to_string(st.attempts);
+                    dispatch.eventsPath =
+                        eventsPathFor(dispatch.reportPath);
                     dispatch.engineThreads = worker_threads;
                     dispatch.scenariosPath = options.scenariosPath;
                     dispatch.workerExe = options.workerExe;
@@ -594,6 +698,8 @@ runCoordinatedBatch(const CoordinatorOptions &options)
                     // dispatch's output.
                     std::error_code ec;
                     std::filesystem::remove(dispatch.reportPath,
+                                            ec);
+                    std::filesystem::remove(dispatch.eventsPath,
                                             ec);
 
                     ++st.attempts;
@@ -706,6 +812,607 @@ runCoordinatedBatch(const CoordinatorOptions &options)
         std::filesystem::remove_all(dir, ec);
         result.shardFiles.clear();
         result.reportFiles.clear();
+    }
+    return result;
+}
+
+CoordinatedRunResult
+runDynamicCoordinatedBatch(const CoordinatorOptions &options)
+{
+    const auto &hosts = options.hosts.hosts;
+    requireConfig(!hosts.empty(),
+                  "host manifest names no hosts");
+    requireConfig(options.retries >= 0,
+                  "--retries must be >= 0");
+    requireConfig(options.shardTimeoutSeconds >= 0.0,
+                  "--shard_timeout must be positive "
+                  "(0 disables the deadline)");
+    requireConfig(options.engineThreadsPerWorker >= 0,
+                  "engine threads per worker must be >= 1 "
+                  "(or 0 for automatic)");
+    requireConfig(options.chunkTargetRequests >= 0,
+                  "--chunk_size must be positive "
+                  "(or 0 for automatic)");
+    requireConfig(!options.resume || !options.shardDir.empty(),
+                  "--resume replays the outcome journal of a "
+                  "previous run; it requires --shard_dir");
+
+    const BatchFile batch = loadBatchFile(options.batchPath);
+    const std::size_t total = batch.requests.size();
+
+    const bool temporary = options.shardDir.empty();
+    const std::string dir =
+        temporary
+            ? (std::filesystem::temp_directory_path() /
+               ("ecochip_coordinate_" +
+                std::to_string(
+#if ECOCHIP_COORD_HAS_FORK
+                    static_cast<long>(getpid())
+#else
+                    0L
+#endif
+                        )))
+                  .string()
+            : options.shardDir;
+
+    std::vector<std::shared_ptr<ShardTransport>> transports;
+    transports.reserve(hosts.size());
+    for (const auto &host : hosts)
+        transports.push_back(options.transportFactory
+                                 ? options.transportFactory(host)
+                                 : defaultTransport(host));
+
+    CoordinatedRunResult result;
+    try {
+        std::filesystem::create_directories(dir);
+        const std::string journal_path =
+            (std::filesystem::path(dir) /
+             coordinatorJournalName())
+                .string();
+
+        IncrementalMerger merger(total);
+        std::size_t resumed = 0;
+        if (options.resume) {
+            for (const auto &entry :
+                 replayEventJournal(journal_path)) {
+                requireConfig(
+                    entry.index < total,
+                    journal_path + ": journaled index " +
+                        std::to_string(entry.index) +
+                        " is out of range for this batch (" +
+                        std::to_string(total) +
+                        " requests); the journal belongs to a "
+                        "different batch -- remove it or run "
+                        "without --resume");
+                const std::string expected =
+                    requestToJson(batch.requests[entry.index])
+                        .dump(false);
+                requireConfig(
+                    entry.outcome.isObject() &&
+                        entry.outcome.contains("request") &&
+                        entry.outcome.at("request")
+                                .dump(false) == expected,
+                    journal_path +
+                        ": the journaled outcome for index " +
+                        std::to_string(entry.index) +
+                        " does not answer this batch's request "
+                        "at that index; the journal belongs to "
+                        "a different batch -- remove it or run "
+                        "without --resume");
+                if (merger.add(entry.index, entry.outcome))
+                    ++resumed;
+            }
+        } else {
+            // Fresh run: a stale journal from a previous run in
+            // a reused shard_dir must not leak into this run's
+            // checkpoint (the same hygiene as stale shard
+            // reports).
+            std::error_code stale_ec;
+            std::filesystem::remove(journal_path, stale_ec);
+        }
+
+        EventJournalWriter journal;
+        journal.open(journal_path, options.resume);
+
+        const auto remaining = merger.missingIndices();
+        ChunkPlan plan;
+        if (!remaining.empty()) {
+            const int slots =
+                std::max(1, options.hosts.totalSlots());
+            // Auto target: ~3 chunks per slot, so fast hosts
+            // keep pulling while a straggler grinds on one.
+            const int target =
+                options.chunkTargetRequests > 0
+                    ? options.chunkTargetRequests
+                    : static_cast<int>(std::max<std::size_t>(
+                          1, (remaining.size() +
+                              3 * static_cast<std::size_t>(
+                                      slots) -
+                              1) /
+                                 (3 * static_cast<std::size_t>(
+                                          slots))));
+            plan = planChunksOver(batch.requests, remaining,
+                                  target);
+        }
+        const std::size_t chunk_count = plan.chunkCount();
+
+        // Concurrency = min(slots, chunks): divide the machine
+        // between the workers that can actually run at once.
+        const int concurrent = std::max(
+            1, std::min(options.hosts.totalSlots(),
+                        static_cast<int>(chunk_count)));
+        const int worker_threads =
+            options.engineThreadsPerWorker > 0
+                ? options.engineThreadsPerWorker
+                : std::max(1, Parallelism::hardware().threads /
+                                  concurrent);
+
+        result.shardsUsed = chunk_count;
+        result.chunksPlanned = chunk_count;
+        result.resumedOutcomes = resumed;
+        result.threadsPerWorker = worker_threads;
+        result.journalPath = journal_path;
+        result.shardFiles = writeChunkFiles(batch, plan, dir);
+        for (const auto &chunk_file : result.shardFiles)
+            result.reportFiles.push_back(chunk_file + ".report");
+
+        struct ChunkState
+        {
+            std::size_t attempts = 0;
+            std::set<std::size_t> excludedHosts;
+            bool inFlight = false;
+            bool done = false;
+            /** Abort policy: never (re-)dispatched. */
+            bool abandoned = false;
+            std::size_t host = 0;
+            std::chrono::steady_clock::time_point started;
+            std::string currentReport;
+
+            /** Tail over the live dispatch's event file. */
+            NdjsonTailReader events;
+
+            /** This chunk's outcomes merged so far (across all
+             *  of its attempts). */
+            std::size_t deliveredRequests = 0;
+        };
+        std::vector<ChunkState> states(chunk_count);
+        std::vector<int> free_slots;
+        for (const auto &host : hosts)
+            free_slots.push_back(host.slots);
+        std::deque<std::size_t> ready;
+        for (std::size_t c = 0; c < chunk_count; ++c)
+            ready.push_back(c);
+        std::size_t completed = 0;
+        std::size_t abandoned = 0;
+        bool aborted = false;
+
+        std::vector<CoordinatorProgress::Host> host_progress;
+        for (const auto &host : hosts) {
+            CoordinatorProgress::Host row;
+            row.name = host.name;
+            host_progress.push_back(std::move(row));
+        }
+
+        const auto run_start = std::chrono::steady_clock::now();
+        auto last_emit = run_start - std::chrono::hours(1);
+        std::size_t fresh_delivered = 0;
+
+        const auto emit_progress = [&](bool force) {
+            if (!options.onProgress)
+                return;
+            const auto now = std::chrono::steady_clock::now();
+            if (!force &&
+                std::chrono::duration<double>(now - last_emit)
+                        .count() < 0.05)
+                return;
+            last_emit = now;
+            CoordinatorProgress snapshot;
+            snapshot.hosts = host_progress;
+            snapshot.chunksTotal = chunk_count;
+            snapshot.chunksDone = completed;
+            for (const auto &st : states)
+                if (st.inFlight)
+                    ++snapshot.chunksInFlight;
+            snapshot.requestsTotal = total;
+            snapshot.requestsDone = merger.doneCount();
+            snapshot.requestsFailed = merger.failedCount();
+            snapshot.resumedOutcomes = resumed;
+            snapshot.elapsedSeconds =
+                std::chrono::duration<double>(now - run_start)
+                    .count();
+            snapshot.requestsPerSecond =
+                snapshot.elapsedSeconds > 0.0
+                    ? static_cast<double>(fresh_delivered) /
+                          snapshot.elapsedSeconds
+                    : 0.0;
+            snapshot.aborted = aborted;
+            options.onProgress(snapshot);
+        };
+
+        const auto record_attempt =
+            [&](std::size_t chunk, bool ok,
+                const std::string &reason) {
+                const ChunkState &st = states[chunk];
+                result.attempts.push_back(
+                    {chunk, st.attempts - 1,
+                     hosts[st.host].name, ok, reason});
+            };
+
+        // First delivery of a chunk-local outcome: journal it,
+        // merge it, count it. Duplicates (a retried chunk
+        // re-streaming what its failed attempt already
+        // delivered) are dropped -- results are deterministic,
+        // so the first copy is the only copy needed.
+        const auto deliver = [&](std::size_t chunk,
+                                 std::size_t local,
+                                 const json::Value &outcome) {
+            requireConfig(
+                local < plan.chunks[chunk].size(),
+                "chunk #" + std::to_string(chunk) +
+                    " delivered an event for index " +
+                    std::to_string(local) + " but holds only " +
+                    std::to_string(plan.chunks[chunk].size()) +
+                    " requests");
+            const std::size_t original =
+                plan.chunks[chunk][local];
+            if (merger.filled(original))
+                return;
+            journal.append(original, outcome);
+            merger.add(original, outcome);
+            ChunkState &st = states[chunk];
+            ++st.deliveredRequests;
+            ++host_progress[st.host].doneRequests;
+            ++fresh_delivered;
+        };
+
+        /** Consume the new complete event lines of a chunk's
+         *  live dispatch; true when anything arrived. */
+        const auto drain_events = [&](std::size_t chunk) {
+            bool any = false;
+            ChunkState &st = states[chunk];
+            for (const auto &line : st.events.poll()) {
+                json::Value event;
+                try {
+                    event = json::parse(line);
+                } catch (const std::exception &) {
+                    throw ConfigError(
+                        st.events.path() +
+                        ": malformed worker event line");
+                }
+                const JournalEntry entry = splitEventDocument(
+                    event, st.events.path());
+                deliver(chunk, entry.index, entry.outcome);
+                any = true;
+            }
+            return any;
+        };
+
+        // Threshold met: stop feeding the queue. Undispatched
+        // chunks are cancelled outright; in-flight ones drain.
+        const auto maybe_abort = [&]() {
+            if (aborted ||
+                options.abortAfterFailedRequests == 0 ||
+                merger.failedCount() <
+                    options.abortAfterFailedRequests)
+                return;
+            aborted = true;
+            while (!ready.empty()) {
+                states[ready.front()].abandoned = true;
+                ++abandoned;
+                ready.pop_front();
+            }
+        };
+
+        const auto handle_failure = [&](std::size_t chunk,
+                                        const std::string
+                                            &reason) {
+            ChunkState &st = states[chunk];
+            st.inFlight = false;
+            ++free_slots[st.host];
+            record_attempt(chunk, false, reason);
+            if (aborted) {
+                // The run is already winding down; spending
+                // retries on a doomed merge helps nobody.
+                st.abandoned = true;
+                ++abandoned;
+                return;
+            }
+            if (static_cast<int>(st.attempts) >
+                options.retries) {
+                std::string history;
+                for (const auto &attempt : result.attempts)
+                    if (attempt.shard == chunk)
+                        history += "\n  attempt #" +
+                                   std::to_string(
+                                       attempt.attempt) +
+                                   " on host '" + attempt.host +
+                                   "': " + attempt.reason;
+                throw Error(
+                    "chunk #" + std::to_string(chunk) + " (" +
+                    result.shardFiles[chunk] +
+                    ") has no retries left after " +
+                    std::to_string(st.attempts) +
+                    " attempt(s); dispatch history:" + history);
+            }
+            st.excludedHosts.insert(st.host);
+            ++result.redispatches;
+            ready.push_back(chunk);
+        };
+
+        const auto cancel_in_flight = [&]() {
+            for (std::size_t chunk = 0; chunk < states.size();
+                 ++chunk)
+                if (states[chunk].inFlight)
+                    try {
+                        transports[states[chunk].host]->cancel(
+                            chunk);
+                    } catch (...) {
+                        // Best effort; keep the original error.
+                    }
+        };
+
+        try {
+            std::chrono::milliseconds idle_sleep{1};
+            constexpr std::chrono::milliseconds max_idle_sleep{
+                50};
+            maybe_abort(); // resumed failures may already trip it
+            while (completed + abandoned < chunk_count) {
+                // Pull: every free slot takes the next queued
+                // chunk it has not failed on (same host
+                // preference rules as the static scheduler).
+                for (std::size_t n = ready.size(); n > 0; --n) {
+                    const std::size_t chunk = ready.front();
+                    ready.pop_front();
+                    ChunkState &st = states[chunk];
+                    bool any_unexcluded = false;
+                    for (std::size_t h = 0; h < hosts.size();
+                         ++h)
+                        if (st.excludedHosts.count(h) == 0)
+                            any_unexcluded = true;
+                    std::optional<std::size_t> chosen;
+                    for (std::size_t h = 0; h < hosts.size();
+                         ++h) {
+                        if (free_slots[h] <= 0)
+                            continue;
+                        if (any_unexcluded &&
+                            st.excludedHosts.count(h) != 0)
+                            continue;
+                        chosen = h;
+                        break;
+                    }
+                    if (!chosen) {
+                        ready.push_back(chunk); // wait for a slot
+                        continue;
+                    }
+
+                    ShardDispatch dispatch;
+                    dispatch.shard = chunk;
+                    dispatch.attempt = st.attempts;
+                    dispatch.host = hosts[*chosen].name;
+                    dispatch.subBatchPath =
+                        result.shardFiles[chunk];
+                    // Per-attempt report/event paths, for the
+                    // same orphaned-straggler reason as the
+                    // static scheduler.
+                    dispatch.reportPath =
+                        st.attempts == 0
+                            ? result.reportFiles[chunk]
+                            : result.reportFiles[chunk] +
+                                  ".retry" +
+                                  std::to_string(st.attempts);
+                    dispatch.eventsPath =
+                        eventsPathFor(dispatch.reportPath);
+                    dispatch.engineThreads = worker_threads;
+                    dispatch.scenariosPath =
+                        options.scenariosPath;
+                    dispatch.workerExe = options.workerExe;
+
+                    // Stale outputs (previous run, reused
+                    // shard_dir) must never merge as this
+                    // dispatch's.
+                    std::error_code ec;
+                    std::filesystem::remove(dispatch.reportPath,
+                                            ec);
+                    std::filesystem::remove(dispatch.eventsPath,
+                                            ec);
+
+                    ++st.attempts;
+                    st.host = *chosen;
+                    st.currentReport = dispatch.reportPath;
+                    st.events.reset(dispatch.eventsPath);
+                    st.started =
+                        std::chrono::steady_clock::now();
+                    st.inFlight = true;
+                    --free_slots[*chosen];
+                    ++host_progress[*chosen].inFlightChunks;
+                    transports[*chosen]->start(dispatch);
+                    emit_progress(false);
+                }
+
+                // Poll: tail event streams, collect completions,
+                // cancel stragglers.
+                bool progressed = false;
+                for (std::size_t chunk = 0;
+                     chunk < states.size(); ++chunk) {
+                    ChunkState &st = states[chunk];
+                    if (!st.inFlight)
+                        continue;
+                    if (drain_events(chunk))
+                        progressed = true;
+                    const auto code =
+                        transports[st.host]->poll(chunk);
+                    if (code) {
+                        progressed = true;
+                        drain_events(chunk); // final lines
+                        const bool exit_ok =
+                            *code == 0 || *code == 1;
+                        const std::size_t chunk_size =
+                            plan.chunks[chunk].size();
+                        if (exit_ok &&
+                            st.deliveredRequests < chunk_size &&
+                            std::filesystem::exists(
+                                st.currentReport)) {
+                            // A worker that streams no events (a
+                            // custom command template) still
+                            // merges -- from its report file.
+                            try {
+                                const json::Value report =
+                                    json::parseFile(
+                                        st.currentReport);
+                                if (report.isObject() &&
+                                    report.contains(
+                                        "outcomes") &&
+                                    report.at("outcomes")
+                                            .asArray()
+                                            .size() ==
+                                        chunk_size) {
+                                    const auto &outcomes =
+                                        report.at("outcomes")
+                                            .asArray();
+                                    for (std::size_t j = 0;
+                                         j < outcomes.size();
+                                         ++j)
+                                        deliver(chunk, j,
+                                                outcomes[j]);
+                                }
+                            } catch (const std::exception &) {
+                                // Unusable report: the
+                                // incomplete-delivery failure
+                                // path below handles it.
+                            }
+                        }
+                        if (exit_ok &&
+                            st.deliveredRequests ==
+                                chunk_size) {
+                            st.inFlight = false;
+                            st.done = true;
+                            ++free_slots[st.host];
+                            --host_progress[st.host]
+                                  .inFlightChunks;
+                            ++host_progress[st.host].doneChunks;
+                            ++completed;
+                            result.reportFiles[chunk] =
+                                st.currentReport;
+                            record_attempt(chunk, true,
+                                           *code == 0
+                                               ? "ok"
+                                               : "requests "
+                                                 "failed");
+                        } else if (exit_ok) {
+                            --host_progress[st.host]
+                                  .inFlightChunks;
+                            handle_failure(
+                                chunk,
+                                "exited " +
+                                    std::to_string(*code) +
+                                    " but delivered only " +
+                                    std::to_string(
+                                        st.deliveredRequests) +
+                                    " of " +
+                                    std::to_string(chunk_size) +
+                                    " outcomes");
+                        } else {
+                            --host_progress[st.host]
+                                  .inFlightChunks;
+                            handle_failure(
+                                chunk,
+                                "died with exit code " +
+                                    std::to_string(*code) +
+                                    " before completing its "
+                                    "chunk");
+                        }
+                        maybe_abort();
+                        emit_progress(false);
+                    } else if (options.shardTimeoutSeconds >
+                               0.0) {
+                        const double elapsed =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::
+                                    now() -
+                                st.started)
+                                .count();
+                        if (elapsed >
+                            options.shardTimeoutSeconds) {
+                            progressed = true;
+                            // Salvage whatever the straggler
+                            // already streamed before killing
+                            // it -- those outcomes are done and
+                            // journaled; the retry's duplicates
+                            // will be dropped.
+                            drain_events(chunk);
+                            transports[st.host]->cancel(chunk);
+                            --host_progress[st.host]
+                                  .inFlightChunks;
+                            handle_failure(
+                                chunk,
+                                "missed the " +
+                                    std::to_string(
+                                        options
+                                            .shardTimeoutSeconds) +
+                                    " s deadline (straggler "
+                                    "cancelled)");
+                            maybe_abort();
+                            emit_progress(false);
+                        }
+                    }
+                }
+
+                if (progressed) {
+                    idle_sleep = std::chrono::milliseconds{1};
+                } else if (completed + abandoned <
+                           chunk_count) {
+                    std::this_thread::sleep_for(idle_sleep);
+                    idle_sleep =
+                        std::min(idle_sleep * 2,
+                                 max_idle_sleep);
+                }
+            }
+        } catch (...) {
+            cancel_in_flight();
+            throw;
+        }
+
+        // An aborted run reports the requests it never ran as
+        // synthetic failures -- visible in the report, absent
+        // from the journal, so --resume can still finish them.
+        if (aborted)
+            for (std::size_t index : merger.missingIndices()) {
+                json::Value outcome = json::Value::makeObject();
+                outcome.set("request",
+                            requestToJson(
+                                batch.requests[index]));
+                outcome.set("ok", false);
+                outcome.set(
+                    "error",
+                    "aborted: the early-abort policy stopped "
+                    "dispatching after " +
+                        std::to_string(
+                            options.abortAfterFailedRequests) +
+                        " failed request(s)");
+                merger.add(index, std::move(outcome));
+            }
+
+        result.aborted = aborted;
+        result.mergedReport = merger.report();
+        result.succeeded = static_cast<std::size_t>(
+            result.mergedReport.at("succeeded").asInteger());
+        result.failed = static_cast<std::size_t>(
+            result.mergedReport.at("failed").asInteger());
+        emit_progress(true); // final snapshot
+    } catch (...) {
+        if (temporary) {
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec);
+        }
+        throw;
+    }
+
+    if (temporary) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        result.shardFiles.clear();
+        result.reportFiles.clear();
+        result.journalPath.clear();
     }
     return result;
 }

@@ -20,18 +20,30 @@
  *  - `TestTransport` injects faults (failed or hanging
  *    dispatches) and records the dispatch history, for tests.
  *
- * The scheduler is a single-threaded event loop (so the
- * fork-only library mode stays safe to use): shards are dealt
- * onto free host slots in manifest order, stragglers are
- * detected against a configurable per-shard deadline and
- * cancelled, and a failed or timed-out shard is re-dispatched --
- * bounded by `CoordinatorOptions::retries` -- preferring hosts
- * it has not failed on yet. The per-shard reports merge through
- * `mergeShardReports`, so the coordinated `BatchReport` stays
+ * Two schedulers share those transports, both single-threaded
+ * event loops (so the fork-only library mode stays safe to
+ * use):
+ *
+ *  - `runCoordinatedBatch` executes a *static* plan: one shard
+ *    per manifest slot, dealt up front, merged from the
+ *    per-shard report files once every shard finished.
+ *  - `runDynamicCoordinatedBatch` (the `--coordinate` CLI path)
+ *    executes a *pull queue*: the batch splits into many more
+ *    binding-cohesive chunks than slots (`engine/work_queue.h`),
+ *    each free slot pulls the next chunk, workers stream
+ *    outcomes back as NDJSON events the coordinator tails and
+ *    merges incrementally, every first-delivered outcome is
+ *    journaled for `--resume`, and `--progress` /
+ *    early-abort policies consume the live stream.
+ *
+ * Both detect stragglers against a configurable deadline,
+ * cancel and re-dispatch them -- bounded by
+ * `CoordinatorOptions::retries` -- preferring hosts the work
+ * has not failed on yet, and both keep the merged `BatchReport`
  * byte-identical to the single-process `--batch` run no matter
  * how many hosts, failures, or re-dispatches were involved
  * (locked by `tests/test_engine.cpp` and the
- * `coordinate_equivalence` CTest).
+ * `coordinate_equivalence` / `coordinate_resume` CTests).
  *
  * CLI: `eco_chip --coordinate FILE --hosts HOSTS.json`
  * (`docs/cli.md`); operator guide: `docs/distributed.md`.
@@ -40,7 +52,9 @@
 #ifndef ECOCHIP_ENGINE_SHARD_COORDINATOR_H
 #define ECOCHIP_ENGINE_SHARD_COORDINATOR_H
 
+#include <chrono>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -70,6 +84,15 @@ struct ShardDispatch
 
     /** Where the worker must leave its `BatchReport` JSON. */
     std::string reportPath;
+
+    /**
+     * Where the worker streams its NDJSON outcome events
+     * (`eventsPathFor(reportPath)` by convention -- see
+     * `io/event_journal_io.h`). The dynamic coordinator tails
+     * this file to merge outcomes while the dispatch is still
+     * running; the static coordinator ignores it.
+     */
+    std::string eventsPath;
 
     /** Engine threads the worker should run with. */
     int engineThreads = 1;
@@ -163,23 +186,71 @@ class CommandTransport : public ShardTransport
 };
 
 /**
+ * One scheduled fault of a `TestTransport`: what the nth
+ * dispatch of a shard/chunk does instead of (or around) running
+ * the worker.
+ */
+struct TransportFault
+{
+    enum class Kind
+    {
+        /** Never completes; polls nullopt until cancelled. */
+        Hang,
+        /** Reports `exitCode` without writing report/events. */
+        Fail,
+        /** Runs the worker, but completion is delayed by
+         *  `delaySeconds` (a slow host / straggler). */
+        Slow,
+        /** Kill-mid-stream: the worker's first `eventLines`
+         *  event lines reach the events file, no report is
+         *  written, and the dispatch reports exit 137 -- a
+         *  worker SIGKILLed partway through its chunk. */
+        KillMidStream,
+    };
+
+    Kind kind = Kind::Fail;
+
+    /** Exit code a `Fail` dispatch reports. */
+    int exitCode = 134;
+
+    /** Completion delay of a `Slow` dispatch, seconds. */
+    double delaySeconds = 0.0;
+
+    /** Event lines a `KillMidStream` dispatch delivers before
+     *  dying. */
+    std::size_t eventLines = 0;
+};
+
+/**
  * Fault-injecting transport for tests: runs dispatches
- * in-process through `runShardWorker` (no fork), except that
- * each shard's first `injectHangs` dispatches hang until
- * cancelled and its next `injectFailures` dispatches report exit
- * code 134 without writing a report. Every dispatch (including
- * injected ones) is recorded in `history()`.
+ * in-process through `runShardWorker` (no fork). Each
+ * shard/chunk has a fault schedule: its nth dispatch consumes
+ * the nth scheduled `TransportFault` (in injection order);
+ * dispatches beyond the schedule run healthy. Every dispatch
+ * (including injected ones) is recorded in `history()` -- the
+ * dispatch-order trace the fault-matrix tests assert against.
  */
 class TestTransport : public ShardTransport
 {
   public:
-    /** The first @p count dispatches of @p shard hang until the
-     *  coordinator cancels them. */
+    /** Append @p fault to @p shard's schedule. */
+    void injectFault(std::size_t shard, TransportFault fault);
+
+    /** Append @p count hangs to @p shard's schedule: each hangs
+     *  until the coordinator cancels it. */
     void injectHangs(std::size_t shard, std::size_t count);
 
-    /** The next @p count dispatches of @p shard (after any
-     *  injected hangs) fail without writing a report. */
+    /** Append @p count failures to @p shard's schedule: each
+     *  fails (exit 134) without writing a report. */
     void injectFailures(std::size_t shard, std::size_t count);
+
+    /**
+     * Delay every healthy completion on this transport by
+     * @p seconds plus @p per_request_seconds per sub-batch
+     * request -- an uneven-speed host whose throughput, not just
+     * latency, lags the rest of the fleet.
+     */
+    void setSpeed(double seconds, double per_request_seconds);
 
     void start(const ShardDispatch &dispatch) override;
     std::optional<int> poll(std::size_t shard) override;
@@ -196,13 +267,73 @@ class TestTransport : public ShardTransport
     std::size_t cancelled() const { return cancelled_; }
 
   private:
-    std::map<std::size_t, std::size_t> hangs_;
-    std::map<std::size_t, std::size_t> failures_;
+    struct LiveDispatch
+    {
+        ShardDispatch dispatch;
+
+        /** Hung dispatches poll nullopt until cancelled. */
+        bool hung = false;
+
+        /** Exit code decided at start (injected failures);
+         *  unset = run the worker at the first ripe poll. */
+        std::optional<int> exitCode;
+
+        /** Worker runs at the first poll past this point. */
+        std::chrono::steady_clock::time_point readyAt;
+
+        /** Kill-mid-stream: deliver only this many event
+         *  lines, no report. */
+        std::optional<std::size_t> truncateEvents;
+    };
+
+    std::map<std::size_t, std::deque<TransportFault>> schedule_;
     std::map<std::size_t, std::size_t> dispatches_;
-    /** Live dispatch state: value = exit code, nullopt = hung. */
-    std::map<std::size_t, std::optional<int>> state_;
+    std::map<std::size_t, LiveDispatch> live_;
     std::vector<ShardDispatch> history_;
     std::size_t cancelled_ = 0;
+    double delaySeconds_ = 0.0;
+    double perRequestDelaySeconds_ = 0.0;
+};
+
+/**
+ * A progress snapshot of a dynamic coordinated run, delivered
+ * through `CoordinatorOptions::onProgress` (the `--progress`
+ * consumer).
+ */
+struct CoordinatorProgress
+{
+    /** Per-host counters, manifest order. */
+    struct Host
+    {
+        std::string name;
+        std::size_t inFlightChunks = 0;
+        std::size_t doneChunks = 0;
+        std::size_t doneRequests = 0;
+    };
+    std::vector<Host> hosts;
+
+    std::size_t chunksTotal = 0;
+    std::size_t chunksDone = 0;
+    std::size_t chunksInFlight = 0;
+
+    std::size_t requestsTotal = 0;
+
+    /** Outcomes merged so far, journal-replayed ones included. */
+    std::size_t requestsDone = 0;
+    std::size_t requestsFailed = 0;
+
+    /** Outcomes replayed from the journal before dispatching. */
+    std::size_t resumedOutcomes = 0;
+
+    /** Seconds since the run started. */
+    double elapsedSeconds = 0.0;
+
+    /** Freshly-delivered outcomes per second (resumed outcomes
+     *  excluded). */
+    double requestsPerSecond = 0.0;
+
+    /** True once the early-abort policy stopped dispatching. */
+    bool aborted = false;
 };
 
 /** How `runCoordinatedBatch` schedules a batch onto hosts. */
@@ -256,6 +387,42 @@ struct CoordinatorOptions
     std::function<std::shared_ptr<ShardTransport>(
         const HostSpec &)>
         transportFactory;
+
+    // ---- dynamic scheduling (runDynamicCoordinatedBatch) ----
+
+    /**
+     * Target requests per work chunk (`--chunk_size`). 0 sizes
+     * automatically: about three chunks per manifest slot, so
+     * fast hosts keep pulling while a straggler grinds. Chunks
+     * stay binding-cohesive either way (`planChunks`).
+     */
+    int chunkTargetRequests = 0;
+
+    /**
+     * Resume from the shard directory's outcome journal
+     * (`--resume`): journaled outcomes are replayed (never
+     * re-run) and chunks are planned over the remainder.
+     * Requires a non-temporary `shardDir`.
+     */
+    bool resume = false;
+
+    /**
+     * Early-abort policy (`--abort_after_failures`): once this
+     * many requests have *failed* (not merely slow), stop
+     * dispatching, cancel the undispatched chunks, and let the
+     * in-flight ones drain. Unrun requests get synthetic
+     * `"aborted"` failure outcomes in the merged report but are
+     * not journaled, so a later `--resume` can still finish the
+     * batch. 0 disables the policy.
+     */
+    std::size_t abortAfterFailedRequests = 0;
+
+    /**
+     * Progress consumer: invoked from the scheduling loop with
+     * throttled snapshots (plus one final snapshot). Must not
+     * throw.
+     */
+    std::function<void(const CoordinatorProgress &)> onProgress;
 };
 
 /** One row of a coordinated run's dispatch history. */
@@ -304,6 +471,22 @@ struct CoordinatedRunResult
     /** Per-shard report files (ditto). */
     std::vector<std::string> reportFiles;
 
+    // ---- dynamic-run extras (runDynamicCoordinatedBatch) ----
+
+    /** Work chunks planned (dynamic runs; 0 when the journal
+     *  already answered every request). */
+    std::size_t chunksPlanned = 0;
+
+    /** Outcomes replayed from the journal (`resume`). */
+    std::size_t resumedOutcomes = 0;
+
+    /** True when the early-abort policy cut the run short. */
+    bool aborted = false;
+
+    /** Outcome journal path (empty when the scratch directory
+     *  was temporary and has been removed). */
+    std::string journalPath;
+
     /** True when every request of every shard succeeded. */
     bool allOk() const { return failed == 0; }
 };
@@ -320,6 +503,35 @@ struct CoordinatedRunResult
  */
 CoordinatedRunResult
 runCoordinatedBatch(const CoordinatorOptions &options);
+
+/**
+ * Dynamically schedule @p options.batchPath across the
+ * manifest's hosts: free slots *pull* binding-cohesive work
+ * chunks (`engine/work_queue.h`) from a shared queue, workers
+ * stream outcomes back as NDJSON events, and the merge happens
+ * incrementally as events arrive -- so a slow host only ever
+ * delays the chunks it actually holds. Every first-delivered
+ * outcome is journaled (`journal.ndjson` in the shard
+ * directory); `options.resume` replays the journal so a killed
+ * coordination continues without re-running finished requests.
+ *
+ * The merged report stays byte-identical to the single-process
+ * `--batch` run at any host count, chunk size, failure pattern,
+ * or resume point -- unless the early-abort policy fires, in
+ * which case the never-dispatched requests carry synthetic
+ * `"aborted"` failure outcomes instead.
+ *
+ * Failure semantics (retries, host exclusion, straggler
+ * deadline, exit-code contract) match `runCoordinatedBatch`,
+ * applied per chunk; outcomes a failed attempt already streamed
+ * are kept, and the retry's duplicates are ignored.
+ *
+ * @throws ConfigError on invalid options, malformed files, or a
+ *         journal that does not match the batch.
+ * @throws Error when a chunk exhausts its retries.
+ */
+CoordinatedRunResult
+runDynamicCoordinatedBatch(const CoordinatorOptions &options);
 
 } // namespace ecochip
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <set>
 
 #include "support/error.h"
 
@@ -72,6 +73,32 @@ writeShardFiles(const BatchFile &batch, const ShardPlan &plan,
                       std::to_string(plan.requestCount()) +
                       " requests but the batch has " +
                       std::to_string(batch.requests.size()));
+    return writeSubBatchFiles(batch, plan.shards, directory,
+                              "shard");
+}
+
+std::vector<std::string>
+writeSubBatchFiles(const BatchFile &batch,
+                   const std::vector<std::vector<std::size_t>>
+                       &groups,
+                   const std::string &directory,
+                   const std::string &prefix)
+{
+    std::set<std::size_t> seen;
+    for (const auto &group : groups)
+        for (std::size_t index : group) {
+            requireConfig(index < batch.requests.size(),
+                          "sub-batch index " +
+                              std::to_string(index) +
+                              " is out of range (batch has " +
+                              std::to_string(
+                                  batch.requests.size()) +
+                              " requests)");
+            requireConfig(seen.insert(index).second,
+                          "sub-batch index " +
+                              std::to_string(index) +
+                              " appears in more than one group");
+        }
     std::filesystem::create_directories(directory);
 
     // The catalog path was resolved against the original batch
@@ -84,19 +111,20 @@ writeShardFiles(const BatchFile &batch, const ShardPlan &plan,
                       .string();
 
     std::vector<std::string> paths;
-    paths.reserve(plan.shardCount());
-    for (std::size_t s = 0; s < plan.shardCount(); ++s) {
+    paths.reserve(groups.size());
+    for (std::size_t s = 0; s < groups.size(); ++s) {
         json::Value doc = json::Value::makeObject();
         if (!catalog.empty())
             doc.set("scenarios", catalog);
         json::Value requests = json::Value::makeArray();
-        for (std::size_t index : plan.shards[s])
+        for (std::size_t index : groups[s])
             requests.append(
                 requestToJson(batch.requests[index]));
         doc.set("requests", std::move(requests));
 
         char name[32];
-        std::snprintf(name, sizeof(name), "shard_%03zu.json", s);
+        std::snprintf(name, sizeof(name), "%s_%03zu.json",
+                      prefix.c_str(), s);
         const std::string path =
             (std::filesystem::path(directory) / name).string();
         json::writeFile(doc, path);

@@ -81,6 +81,23 @@ writeShardFiles(const BatchFile &batch, const ShardPlan &plan,
                 const std::string &directory);
 
 /**
+ * The generic writer behind `writeShardFiles` (and the work
+ * queue's `writeChunkFiles`): one sub-batch file per index group
+ * in @p groups, named `<prefix>_000.json`, `<prefix>_001.json`,
+ * ... The groups may cover a subset of the batch (a resumed run
+ * re-plans only the unfinished requests), but every index must
+ * be in range and appear at most once.
+ *
+ * @return The sub-batch file paths, in group order.
+ */
+std::vector<std::string>
+writeSubBatchFiles(const BatchFile &batch,
+                   const std::vector<std::vector<std::size_t>>
+                       &groups,
+                   const std::string &directory,
+                   const std::string &prefix);
+
+/**
  * Merge per-shard `BatchReport` JSON documents back into one.
  *
  * @param plan The plan the shards were produced from.

@@ -1,5 +1,6 @@
 #include "engine/shard_runner.h"
 
+#include <fstream>
 #include <string>
 #include <utility>
 
@@ -21,7 +22,8 @@ int
 runShardWorker(const std::string &sub_batch_path,
                const std::string &report_path,
                int engine_threads,
-               const std::string &scenarios_path)
+               const std::string &scenarios_path,
+               const std::string &events_path)
 {
     const BatchFile batch = loadBatchFile(sub_batch_path);
 
@@ -36,7 +38,33 @@ runShardWorker(const std::string &sub_batch_path,
     options.registry = std::move(registry);
     AnalysisEngine engine(std::move(options));
 
-    const BatchReport report = engine.runBatch(batch.requests);
+    BatchReport report;
+    if (events_path.empty()) {
+        report = engine.runBatch(batch.requests);
+    } else {
+        // Stream each outcome the moment it completes, flushed
+        // per line so a tailing coordinator only ever reads
+        // whole lines; then assemble the report by index --
+        // `runBatch` does exactly this internally, so the
+        // written report stays bit-identical to the
+        // non-streaming path.
+        std::ofstream events(events_path,
+                             std::ios::out | std::ios::trunc);
+        requireConfig(events.good(),
+                      "cannot open the worker event stream for "
+                      "writing: " +
+                          events_path);
+        report.outcomes.resize(batch.requests.size());
+        engine.runStream(
+            batch.requests,
+            [&](std::size_t index,
+                const RequestOutcome &outcome) {
+                events << streamEventLine(index, outcome)
+                       << '\n';
+                events.flush();
+                report.outcomes[index] = outcome;
+            });
+    }
     writeBatchReportFile(report, report_path);
     return report.allOk() ? 0 : 1;
 }

@@ -61,13 +61,20 @@ namespace ecochip {
  * `AnalysisEngine`, and write the `BatchReport` JSON to
  * @p report_path.
  *
- * @param sub_batch_path Sub-batch file (`writeShardFiles`
- *        output, or any batch file).
+ * @param sub_batch_path Sub-batch file (`writeShardFiles` /
+ *        `writeChunkFiles` output, or any batch file).
  * @param report_path Destination for the `BatchReport` JSON.
  * @param engine_threads Worker threads for this shard's engine
  *        (results are bit-identical at any count).
  * @param scenarios_path Optional extra scenario catalog to load
  *        before the sub-batch's own.
+ * @param events_path When non-empty, stream one NDJSON event
+ *        line per outcome (sub-batch-local `index`, completion
+ *        order, flushed per line) to this path while the batch
+ *        runs -- what the dynamic coordinator tails for its
+ *        incremental merge (`io/event_journal_io.h`). The final
+ *        report is still written; events are a live preview of
+ *        it, never a replacement.
  * @return 0 when every request succeeded, 1 when any failed (the
  *         report is written either way) -- the worker process
  *         exit convention.
@@ -75,7 +82,8 @@ namespace ecochip {
 int runShardWorker(const std::string &sub_batch_path,
                    const std::string &report_path,
                    int engine_threads,
-                   const std::string &scenarios_path = "");
+                   const std::string &scenarios_path = "",
+                   const std::string &events_path = "");
 
 /** How `runShardedBatch` splits and runs a batch. */
 struct ShardedRunOptions

@@ -1,0 +1,147 @@
+#include "io/event_journal_io.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace ecochip {
+
+std::string
+eventsPathFor(const std::string &report_path)
+{
+    return report_path + ".events";
+}
+
+std::string
+coordinatorJournalName()
+{
+    return "journal.ndjson";
+}
+
+JournalEntry
+splitEventDocument(const json::Value &event,
+                   const std::string &context)
+{
+    requireConfig(event.isObject() && event.contains("index"),
+                  context +
+                      ": not a stream event (expected an object "
+                      "with an \"index\" member)");
+    const auto index = event.at("index").asInteger();
+    requireConfig(index >= 0,
+                  context + ": negative event index " +
+                      std::to_string(index));
+
+    JournalEntry entry;
+    entry.index = static_cast<std::size_t>(index);
+    entry.outcome = json::Value::makeObject();
+    for (const auto &member : event.members())
+        if (member.first != "index")
+            entry.outcome.set(member.first, member.second);
+    return entry;
+}
+
+void
+EventJournalWriter::open(const std::string &path, bool append)
+{
+    path_ = path;
+    out_.open(path, append ? (std::ios::out | std::ios::app)
+                           : (std::ios::out | std::ios::trunc));
+    requireConfig(out_.good(),
+                  "cannot open the outcome journal for writing: " +
+                      path);
+}
+
+void
+EventJournalWriter::append(std::size_t index,
+                           const json::Value &outcome)
+{
+    requireModel(out_.is_open(),
+                 "append() on an unopened outcome journal");
+    json::Value line = json::Value::makeObject();
+    line.set("index", static_cast<double>(index));
+    for (const auto &member : outcome.members())
+        line.set(member.first, member.second);
+    out_ << line.dump(false) << '\n';
+    out_.flush();
+}
+
+std::vector<JournalEntry>
+replayEventJournal(const std::string &path)
+{
+    std::vector<JournalEntry> entries;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return entries; // no journal yet: nothing to replay
+
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::string line = text.substr(
+            pos, terminated ? nl - pos : std::string::npos);
+        pos = terminated ? nl + 1 : text.size();
+        ++line_no;
+        if (line.empty())
+            continue;
+        json::Value event;
+        try {
+            event = json::parse(line);
+        } catch (const std::exception &) {
+            // Only the final, unterminated line may be garbage --
+            // that is the line a SIGKILL cut mid-append.
+            if (!terminated)
+                break;
+            throw ConfigError(
+                path + ": malformed journal line " +
+                std::to_string(line_no) +
+                " (only a truncated final line is tolerated); "
+                "remove the journal or run without --resume");
+        }
+        entries.push_back(splitEventDocument(
+            event, path + ": line " + std::to_string(line_no)));
+    }
+    return entries;
+}
+
+void
+NdjsonTailReader::reset(std::string path)
+{
+    path_ = std::move(path);
+    offset_ = 0;
+}
+
+std::vector<std::string>
+NdjsonTailReader::poll()
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return lines;
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    if (end < 0 ||
+        static_cast<std::size_t>(end) <= offset_)
+        return lines;
+    in.seekg(static_cast<std::streamoff>(offset_));
+    std::string chunk(static_cast<std::size_t>(end) - offset_,
+                      '\0');
+    in.read(chunk.data(),
+            static_cast<std::streamsize>(chunk.size()));
+    chunk.resize(static_cast<std::size_t>(in.gcount()));
+
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t nl = chunk.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        lines.push_back(chunk.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    offset_ += pos; // unterminated tail re-reads next poll
+    return lines;
+}
+
+} // namespace ecochip

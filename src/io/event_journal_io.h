@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The coordinator's on-disk event formats: per-dispatch NDJSON
+ * event files and the checkpoint/resume outcome journal.
+ *
+ * Both formats are built from the stream-event lines of
+ * `io/batch_report_io.h` -- one compact JSON object per line,
+ * `{"index": N, "request": ..., "ok": ..., "result"|"error":
+ * ...}` -- and differ only in what `index` means:
+ *
+ *  - **Worker event files** (`<report>.events`, written by
+ *    `runShardWorker` next to its report): `index` is the
+ *    request's position *within the sub-batch*, emitted in
+ *    completion order and flushed per line, so the dynamic
+ *    coordinator (`engine/shard_coordinator.h`) can tail the
+ *    file and merge outcomes while the worker is still running.
+ *
+ *  - **The outcome journal** (`journal.ndjson` in the
+ *    coordinator's shard directory): `index` is the request's
+ *    *original batch* position. The coordinator appends one line
+ *    per first-delivered outcome; `--resume` replays the journal
+ *    so a killed coordination continues without re-running
+ *    finished requests. A SIGKILL can truncate the final line
+ *    mid-write, so the reader tolerates (and drops) a trailing
+ *    partial line -- any other malformed line is an error.
+ *
+ * Field-by-field reference: `docs/file_formats.md`.
+ */
+
+#ifndef ECOCHIP_IO_EVENT_JOURNAL_IO_H
+#define ECOCHIP_IO_EVENT_JOURNAL_IO_H
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace ecochip {
+
+/** Event-file path convention for a worker report path. */
+std::string eventsPathFor(const std::string &report_path);
+
+/** File name of the outcome journal inside a shard directory. */
+std::string coordinatorJournalName();
+
+/**
+ * One replayed journal line: the outcome document (without the
+ * `index` member, insertion order preserved) and the original
+ * batch index it belongs to.
+ */
+struct JournalEntry
+{
+    std::size_t index = 0;
+    json::Value outcome;
+};
+
+/**
+ * Split @p event (a parsed stream-event line) into its index and
+ * its outcome document -- the event without the `index` member,
+ * member order preserved, so reassembled outcomes stay
+ * byte-identical to the worker's own report.
+ *
+ * @throws ConfigError when @p event is not an object with a
+ *         non-negative integer `index`.
+ */
+JournalEntry splitEventDocument(const json::Value &event,
+                                const std::string &context);
+
+/**
+ * Append-only writer for the outcome journal. Each appended
+ * outcome becomes one compact line, flushed immediately, so the
+ * journal survives a SIGKILL of the coordinator with at most the
+ * final line truncated.
+ */
+class EventJournalWriter
+{
+  public:
+    /**
+     * Open @p path for writing; @p append keeps existing lines
+     * (the resume path), otherwise the file is truncated.
+     * @throws ConfigError when the file cannot be opened.
+     */
+    void open(const std::string &path, bool append);
+
+    /** Append `{"index": index, ...outcome}` as one line. */
+    void append(std::size_t index, const json::Value &outcome);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+};
+
+/**
+ * Replay the journal at @p path. A missing file replays as
+ * empty. A trailing line without `\n` that fails to parse is
+ * dropped (the coordinator was killed mid-append); any other
+ * malformed line throws `ConfigError` naming @p path.
+ */
+std::vector<JournalEntry>
+replayEventJournal(const std::string &path);
+
+/**
+ * Incremental reader over a growing NDJSON file: each `poll`
+ * returns the complete (newline-terminated) lines appended since
+ * the last call, never a partially-written line. A missing file
+ * polls as empty, so tailing may start before the worker's first
+ * write.
+ */
+class NdjsonTailReader
+{
+  public:
+    NdjsonTailReader() = default;
+    explicit NdjsonTailReader(std::string path)
+        : path_(std::move(path))
+    {
+    }
+
+    /** Point the reader at @p path and rewind to the start. */
+    void reset(std::string path);
+
+    /** New complete lines since the previous poll. */
+    std::vector<std::string> poll();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::size_t offset_ = 0;
+};
+
+} // namespace ecochip
+
+#endif // ECOCHIP_IO_EVENT_JOURNAL_IO_H

@@ -14,8 +14,8 @@ const std::set<std::string> &
 allowedPlaceholders()
 {
     static const std::set<std::string> names = {
-        "host",    "worker", "sub_batch",
-        "report",  "threads", "scenarios_args"};
+        "host",   "worker",  "sub_batch",      "report",
+        "events", "threads", "scenarios_args"};
     return names;
 }
 

@@ -56,7 +56,12 @@ struct HostSpec
      * local process transport runs the shard on the
      * coordinating machine instead. Placeholders (validated at
      * load time): `{host}`, `{worker}`, `{sub_batch}`,
-     * `{report}`, `{threads}`, `{scenarios_args}`.
+     * `{report}`, `{events}`, `{threads}`,
+     * `{scenarios_args}`. `{events}` is the per-dispatch NDJSON
+     * event-file path the dynamic coordinator tails (workers
+     * invoked as `eco_chip --shard_worker` derive it from the
+     * report path on their own, so most templates never need
+     * it).
      */
     std::string command;
 

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <random>
 #include <set>
 #include <sstream>
 
@@ -23,7 +24,9 @@
 #include "engine/shard_planner.h"
 #include "engine/shard_runner.h"
 #include "engine/thread_pool.h"
+#include "engine/work_queue.h"
 #include "io/batch_report_io.h"
+#include "io/event_journal_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
 #include "support/error.h"
@@ -1193,6 +1196,542 @@ TEST(Coordinator, CommandTransportExpandsItsTemplate)
         quoted.find("--scenarios '/tmp/it'\\''s/catalog.json'"),
         std::string::npos)
         << quoted;
+}
+
+// ------------------------------------------------ work queue
+
+TEST(WorkQueue, PlanChunksIsBindingCohesive)
+{
+    // Property: at any chunk target, each scenario binding's
+    // requests land in exactly one chunk (so per-worker
+    // EvaluationContext dedup survives the cut), every index
+    // appears exactly once, and indices ascend within a chunk.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    const auto &requests = batch.requests;
+
+    for (int target : {1, 2, 3, 5, 8, 100}) {
+        const ChunkPlan plan = planChunks(requests, target);
+        EXPECT_EQ(plan.requestCount(), requests.size())
+            << "target " << target;
+        std::map<std::string, std::size_t> home;
+        std::set<std::size_t> all;
+        for (std::size_t c = 0; c < plan.chunkCount(); ++c) {
+            ASSERT_FALSE(plan.chunks[c].empty());
+            EXPECT_TRUE(std::is_sorted(plan.chunks[c].begin(),
+                                       plan.chunks[c].end()));
+            for (std::size_t index : plan.chunks[c]) {
+                EXPECT_TRUE(all.insert(index).second)
+                    << "duplicate index " << index;
+                const std::string key =
+                    requests[index].scenario.label();
+                const auto it = home.find(key);
+                if (it == home.end())
+                    home.emplace(key, c);
+                else
+                    EXPECT_EQ(it->second, c)
+                        << "binding " << key
+                        << " straddles chunks at target "
+                        << target;
+            }
+        }
+        EXPECT_EQ(all.size(), requests.size());
+    }
+
+    // A binding bigger than the target still travels whole, as
+    // its own chunk.
+    std::vector<AnalysisRequest> skewed = {
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("ga102"), CostSpec{}},
+        {ScenarioRef::scenario("ga102"), SensitivitySpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+    };
+    const ChunkPlan oversized = planChunks(skewed, 1);
+    ASSERT_EQ(oversized.chunkCount(), 2u);
+    EXPECT_EQ(oversized.chunks[0],
+              (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(oversized.chunks[1],
+              (std::vector<std::size_t>{3}));
+
+    // Subset planning covers exactly the given indices.
+    const ChunkPlan partial =
+        planChunksOver(requests, {3, 7, 11}, 2);
+    std::set<std::size_t> covered;
+    for (const auto &chunk : partial.chunks)
+        covered.insert(chunk.begin(), chunk.end());
+    EXPECT_EQ(covered, (std::set<std::size_t>{3, 7, 11}));
+
+    EXPECT_THROW(planChunks({}, 2), ConfigError);
+    EXPECT_THROW(planChunks(requests, 0), ConfigError);
+    EXPECT_THROW(planChunksOver(requests, {0, 0}, 2),
+                 ConfigError);
+    EXPECT_THROW(
+        planChunksOver(requests, {requests.size()}, 2),
+        ConfigError);
+}
+
+TEST(WorkQueue, IncrementalMergerIsPermutationInvariant)
+{
+    // Outcomes merged in any arrival order produce the exact
+    // bytes of the batch report -- the property that makes
+    // streaming merge safe under work stealing.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    AnalysisEngine engine(4);
+    const BatchReport report = engine.runBatch(batch.requests);
+    const std::string expected =
+        batchReportToJson(report).dump(true);
+
+    std::vector<json::Value> outcomes;
+    for (const auto &outcome : report.outcomes)
+        outcomes.push_back(outcomeToJson(outcome));
+
+    std::vector<std::size_t> order(outcomes.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::mt19937 rng(20260808);
+    for (int round = 0; round < 8; ++round) {
+        std::shuffle(order.begin(), order.end(), rng);
+        IncrementalMerger merger(outcomes.size());
+        for (std::size_t index : order) {
+            EXPECT_FALSE(merger.complete());
+            EXPECT_TRUE(merger.add(index, outcomes[index]));
+            EXPECT_FALSE(merger.add(index, outcomes[index]))
+                << "duplicate delivery must be dropped";
+        }
+        EXPECT_TRUE(merger.complete());
+        EXPECT_EQ(merger.report().dump(true), expected)
+            << "round " << round;
+    }
+
+    // Partial merges report what is missing, and refuse to
+    // produce a report.
+    IncrementalMerger partial(outcomes.size());
+    partial.add(2, outcomes[2]);
+    partial.add(5, outcomes[5]);
+    EXPECT_EQ(partial.doneCount(), 2u);
+    const auto missing = partial.missingIndices();
+    EXPECT_EQ(missing.size(), outcomes.size() - 2);
+    EXPECT_EQ(std::count(missing.begin(), missing.end(), 2u),
+              0);
+    EXPECT_THROW(partial.report(), ModelError);
+}
+
+// ------------------------------------------------ dynamic coordinator
+
+/** Fault shapes of the dynamic-coordinator test matrix. */
+enum class MatrixFault
+{
+    FailOnce,
+    HangThenCancel,
+    KillMidStream,
+    UnevenSpeed,
+};
+
+TEST(DynamicCoordinator, FaultMatrixMergesByteIdentical)
+{
+    // The acceptance gate: {1,2,4} hosts x {fail-once,
+    // hang-then-cancel, kill-mid-stream, uneven-speed} x
+    // {fresh, resume-from-journal} -- every cell's dynamically
+    // merged report is byte-identical to the single-process
+    // batch run.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    std::string single;
+    std::vector<std::string> journal_lines;
+    {
+        // Scoped so the engine's pool threads are joined before
+        // coordinating; the first 5 outcomes double as the
+        // resume journal of a "killed" earlier run.
+        AnalysisEngine engine(4);
+        const BatchReport report =
+            engine.runBatch(batch.requests);
+        single = batchReportToJson(report).dump(true);
+        for (std::size_t i = 0; i < 5; ++i)
+            journal_lines.push_back(
+                streamEventLine(i, report.outcomes[i]));
+    }
+
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_dyn_matrix";
+
+    for (std::size_t hosts : {1u, 2u, 4u}) {
+        for (MatrixFault fault :
+             {MatrixFault::FailOnce, MatrixFault::HangThenCancel,
+              MatrixFault::KillMidStream,
+              MatrixFault::UnevenSpeed}) {
+            for (bool resume : {false, true}) {
+                std::filesystem::remove_all(dir);
+                std::filesystem::create_directories(dir);
+                if (resume) {
+                    std::ofstream journal(
+                        (dir / coordinatorJournalName())
+                            .string());
+                    for (const auto &line : journal_lines)
+                        journal << line << '\n';
+                }
+
+                CoordinatorOptions options;
+                options.batchPath = shippedBatchPath();
+                options.hosts = localHosts(hosts);
+                options.engineThreadsPerWorker = 2;
+                options.shardDir = dir.string();
+                options.resume = resume;
+                options.chunkTargetRequests = 2;
+                options.retries = 2;
+
+                std::vector<std::shared_ptr<TestTransport>>
+                    transports;
+                options.transportFactory =
+                    [&](const HostSpec &) {
+                        auto transport =
+                            std::make_shared<TestTransport>();
+                        if (transports.empty()) {
+                            // Host 0 carries the fault.
+                            switch (fault) {
+                            case MatrixFault::FailOnce:
+                                transport->injectFailures(0, 1);
+                                break;
+                            case MatrixFault::HangThenCancel:
+                                transport->injectHangs(0, 1);
+                                break;
+                            case MatrixFault::KillMidStream: {
+                                TransportFault kill;
+                                kill.kind = TransportFault::
+                                    Kind::KillMidStream;
+                                kill.eventLines = 1;
+                                transport->injectFault(0, kill);
+                                break;
+                            }
+                            case MatrixFault::UnevenSpeed:
+                                transport->setSpeed(0.01,
+                                                    0.005);
+                                break;
+                            }
+                        }
+                        transports.push_back(transport);
+                        return transport;
+                    };
+                if (fault == MatrixFault::HangThenCancel) {
+                    options.retries = 1;
+                    options.shardTimeoutSeconds = 0.2;
+                }
+
+                const std::string cell =
+                    std::to_string(hosts) + " hosts, fault " +
+                    std::to_string(static_cast<int>(fault)) +
+                    (resume ? ", resumed" : ", fresh");
+                const CoordinatedRunResult result =
+                    runDynamicCoordinatedBatch(options);
+                EXPECT_TRUE(result.allOk()) << cell;
+                EXPECT_EQ(result.resumedOutcomes,
+                          resume ? 5u : 0u)
+                    << cell;
+                EXPECT_EQ(result.mergedReport.dump(true),
+                          single)
+                    << cell;
+                // The journal now holds every outcome, so a
+                // second resume dispatches nothing at all.
+                CoordinatorOptions replay = options;
+                replay.resume = true;
+                replay.transportFactory =
+                    [](const HostSpec &) {
+                        auto transport =
+                            std::make_shared<TestTransport>();
+                        // Any dispatch would fail the run.
+                        transport->injectFailures(0, 100);
+                        return std::shared_ptr<ShardTransport>(
+                            transport);
+                    };
+                replay.retries = 0;
+                const CoordinatedRunResult replayed =
+                    runDynamicCoordinatedBatch(replay);
+                EXPECT_EQ(replayed.resumedOutcomes,
+                          batch.requests.size())
+                    << cell;
+                EXPECT_EQ(replayed.chunksPlanned, 0u) << cell;
+                EXPECT_EQ(replayed.mergedReport.dump(true),
+                          single)
+                    << cell;
+            }
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCoordinator, ResumeNeverRerunsJournaledRequests)
+{
+    // Resumed indices must stay out of every dispatched chunk:
+    // the whole point of the journal is that finished work is
+    // never re-run.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    std::vector<std::string> journal_lines;
+    {
+        AnalysisEngine engine(4);
+        const BatchReport report =
+            engine.runBatch(batch.requests);
+        for (std::size_t i = 0; i < 5; ++i)
+            journal_lines.push_back(
+                streamEventLine(i, report.outcomes[i]));
+    }
+
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_dyn_resume";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream journal(
+            (dir / coordinatorJournalName()).string());
+        for (const auto &line : journal_lines)
+            journal << line << '\n';
+    }
+
+    auto transport = std::make_shared<TestTransport>();
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 2, transport);
+    options.shardDir = dir.string();
+    options.resume = true;
+    options.chunkTargetRequests = 1;
+
+    const CoordinatedRunResult result =
+        runDynamicCoordinatedBatch(options);
+    EXPECT_EQ(result.resumedOutcomes, 5u);
+    EXPECT_TRUE(result.allOk());
+
+    // Every dispatched sub-batch holds only never-journaled
+    // requests; across all dispatches they cover exactly the
+    // remaining 8.
+    std::size_t dispatched_requests = 0;
+    for (const auto &dispatch : transport->history()) {
+        const BatchFile chunk =
+            loadBatchFile(dispatch.subBatchPath);
+        dispatched_requests += chunk.requests.size();
+        for (const auto &request : chunk.requests)
+            for (std::size_t i = 0; i < 5; ++i)
+                EXPECT_FALSE(request == batch.requests[i])
+                    << "journaled request " << i
+                    << " was re-dispatched";
+    }
+    EXPECT_EQ(dispatched_requests, batch.requests.size() - 5);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCoordinator, StaleJournalIsUnlinkedOnFreshRun)
+{
+    // A reused --shard_dir with a stale (even corrupt) journal
+    // must not poison a fresh run -- the same hygiene as stale
+    // shard reports. Regression: the static scheduler must scrub
+    // it too, so a later --resume cannot replay outcomes of a
+    // long-gone batch.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_stale_journal";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto journal_path = dir / coordinatorJournalName();
+
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    std::string single;
+    {
+        AnalysisEngine engine(4);
+        single =
+            batchReportToJson(engine.runBatch(batch.requests))
+                .dump(true);
+    }
+
+    {
+        std::ofstream stale(journal_path.string());
+        stale << "this is not even json\n";
+    }
+    CoordinatorOptions options;
+    options.batchPath = shippedBatchPath();
+    options.hosts = localHosts(2);
+    options.engineThreadsPerWorker = 2;
+    options.shardDir = dir.string();
+    const CoordinatedRunResult result =
+        runDynamicCoordinatedBatch(options);
+    EXPECT_EQ(result.mergedReport.dump(true), single);
+    // The journal was rewritten from scratch: it now replays
+    // cleanly and covers the whole batch.
+    EXPECT_EQ(replayEventJournal(journal_path.string()).size(),
+              batch.requests.size());
+
+    // The static scheduler scrubs it the same way.
+    {
+        std::ofstream stale(journal_path.string());
+        stale << "this is not even json\n";
+    }
+    const CoordinatedRunResult static_result =
+        runCoordinatedBatch(options);
+    EXPECT_EQ(static_result.mergedReport.dump(true), single);
+    EXPECT_FALSE(std::filesystem::exists(journal_path));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCoordinator, ResumeRejectsJournalFromDifferentBatch)
+{
+    // A journal whose recorded request disagrees with the batch
+    // at that index is another batch's checkpoint; replaying it
+    // would splice wrong results into the report.
+    const BatchFile batch = loadBatchFile(shippedBatchPath());
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_wrong_journal";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        AnalysisEngine engine(2);
+        const BatchReport report =
+            engine.runBatch({batch.requests[1]});
+        std::ofstream journal(
+            (dir / coordinatorJournalName()).string());
+        // Request 1's outcome journaled at index 0: mismatch.
+        journal << streamEventLine(0, report.outcomes[0])
+                << '\n';
+    }
+
+    CoordinatorOptions options;
+    options.batchPath = shippedBatchPath();
+    options.hosts = localHosts(1);
+    options.engineThreadsPerWorker = 2;
+    options.shardDir = dir.string();
+    options.resume = true;
+    try {
+        runDynamicCoordinatedBatch(options);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("different batch"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove_all(dir);
+
+    // And --resume without a shard dir is a config error: a
+    // temp dir never has a journal to replay.
+    CoordinatorOptions no_dir;
+    no_dir.batchPath = shippedBatchPath();
+    no_dir.hosts = localHosts(1);
+    no_dir.resume = true;
+    EXPECT_THROW(runDynamicCoordinatedBatch(no_dir),
+                 ConfigError);
+}
+
+TEST(DynamicCoordinator, EarlyAbortCancelsUndispatchedChunks)
+{
+    // abort_after_failures=1 with single-request chunks on one
+    // slot: the first chunk fails, every undispatched chunk is
+    // cancelled, and the never-run requests report synthetic
+    // "aborted" errors -- which stay out of the journal, so a
+    // --resume completes them to the exact --batch bytes.
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "ecochip_dyn_abort";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::vector<AnalysisRequest> requests = {
+        {ScenarioRef::scenario("no-such-scenario"),
+         EstimateSpec{}},
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}},
+        {ScenarioRef::scenario("emr"), EstimateSpec{}},
+        {ScenarioRef::scenario("a15"), EstimateSpec{}},
+    };
+    const std::string batch_path =
+        (dir / "batch.json").string();
+    json::Value doc = json::Value::makeObject();
+    doc.set("requests", requestsToJson(requests));
+    json::writeFile(doc, batch_path);
+
+    std::string single;
+    {
+        AnalysisEngine engine(2);
+        single = batchReportToJson(engine.runBatch(requests))
+                     .dump(true);
+    }
+
+    auto transport = std::make_shared<TestTransport>();
+    CoordinatorOptions options =
+        testTransportOptions(batch_path, 1, transport);
+    options.shardDir = (dir / "shards").string();
+    options.chunkTargetRequests = 1;
+    options.abortAfterFailedRequests = 1;
+
+    const CoordinatedRunResult result =
+        runDynamicCoordinatedBatch(options);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_EQ(result.chunksPlanned, 4u);
+    EXPECT_LT(transport->history().size(), 4u)
+        << "abort must leave chunks undispatched";
+    const auto &outcomes =
+        result.mergedReport.at("outcomes").asArray();
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_FALSE(outcomes[0].at("ok").asBoolean());
+    std::size_t aborted_outcomes = 0;
+    for (const auto &outcome : outcomes)
+        if (outcome.stringOr("error", "").rfind("aborted:",
+                                                0) == 0)
+            ++aborted_outcomes;
+    EXPECT_GE(aborted_outcomes, 1u);
+
+    // Synthetic outcomes were not journaled: only genuinely
+    // finished requests replay.
+    const auto journaled = replayEventJournal(
+        (std::filesystem::path(options.shardDir) /
+         coordinatorJournalName())
+            .string());
+    EXPECT_EQ(journaled.size(), 4u - aborted_outcomes);
+
+    // Resume (without the abort policy) finishes the batch to
+    // the exact single-process bytes.
+    CoordinatorOptions finish = options;
+    finish.abortAfterFailedRequests = 0;
+    finish.resume = true;
+    const CoordinatedRunResult finished =
+        runDynamicCoordinatedBatch(finish);
+    EXPECT_FALSE(finished.aborted);
+    EXPECT_EQ(finished.mergedReport.dump(true), single);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCoordinator, ProgressReportsPerHostCounters)
+{
+    // The --progress consumer: the final snapshot accounts for
+    // every request and chunk, per host, with a sane rate.
+    auto transport = std::make_shared<TestTransport>();
+    CoordinatorOptions options = testTransportOptions(
+        shippedBatchPath(), 2, transport);
+    options.chunkTargetRequests = 3;
+    std::vector<CoordinatorProgress> snapshots;
+    options.onProgress =
+        [&](const CoordinatorProgress &progress) {
+            snapshots.push_back(progress);
+        };
+
+    const CoordinatedRunResult result =
+        runDynamicCoordinatedBatch(options);
+    EXPECT_TRUE(result.allOk());
+    ASSERT_FALSE(snapshots.empty());
+    const CoordinatorProgress &last = snapshots.back();
+    EXPECT_EQ(last.requestsTotal, 13u);
+    EXPECT_EQ(last.requestsDone, 13u);
+    EXPECT_EQ(last.requestsFailed, 0u);
+    EXPECT_EQ(last.chunksTotal, result.chunksPlanned);
+    EXPECT_EQ(last.chunksDone, result.chunksPlanned);
+    EXPECT_EQ(last.chunksInFlight, 0u);
+    EXPECT_FALSE(last.aborted);
+    EXPECT_GE(last.requestsPerSecond, 0.0);
+    ASSERT_EQ(last.hosts.size(), 2u);
+    std::size_t chunks_by_host = 0;
+    std::size_t requests_by_host = 0;
+    for (const auto &host : last.hosts) {
+        EXPECT_EQ(host.inFlightChunks, 0u);
+        chunks_by_host += host.doneChunks;
+        requests_by_host += host.doneRequests;
+    }
+    EXPECT_EQ(chunks_by_host, result.chunksPlanned);
+    EXPECT_EQ(requests_by_host, 13u);
 }
 
 // ------------------------------------------------ thread pool
