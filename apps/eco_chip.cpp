@@ -145,6 +145,7 @@
 #include "io/request_io.h"
 #include "io/result_writer.h"
 #include "io/search_io.h"
+#include "json/ondemand.h"
 #include "search/search_driver.h"
 #include "server/analysis_server.h"
 #include "server/server_client.h"
@@ -988,6 +989,23 @@ printMergedOutcomes(const std::vector<json::Value> &outcomes)
 }
 
 /**
+ * Write the merged report pretty-printed to @p path -- the same
+ * bytes `json::writeFile(mergedReport, path)` produces, but
+ * transcoded straight from the compact merge text (one scan, no
+ * DOM).
+ */
+void
+writeMergedReportFile(const std::string &report_text,
+                      const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    requireConfig(static_cast<bool>(out),
+                  "cannot write JSON file: " + path);
+    out << json::ondemand::reserialize(report_text, true)
+        << '\n';
+}
+
+/**
  * Coordinate a sharded batch: fork/exec one `--shard_worker`
  * process per shard, merge the reports, and print the same
  * per-request status lines as --batch. Returns 1 when any
@@ -1023,7 +1041,8 @@ runShard(const CliOptions &opts, const char *argv0)
                   << opts.shardDir << "\n";
 
     if (opts.jsonPath) {
-        json::writeFile(result.mergedReport, *opts.jsonPath);
+        writeMergedReportFile(result.mergedReportText,
+                              *opts.jsonPath);
         std::cout << "merged report written to "
                   << *opts.jsonPath << "\n";
     }
@@ -1109,7 +1128,8 @@ runCoordinate(const CliOptions &opts, const char *argv0)
                   << result.journalPath << ")\n";
 
     if (opts.jsonPath) {
-        json::writeFile(result.mergedReport, *opts.jsonPath);
+        writeMergedReportFile(result.mergedReportText,
+                              *opts.jsonPath);
         std::cout << "merged report written to "
                   << *opts.jsonPath << "\n";
     }

@@ -26,8 +26,11 @@
 #include "engine/shard_coordinator.h"
 #include "engine/shard_runner.h"
 #include "floorplan/floorplan.h"
+#include "io/batch_report_io.h"
 #include "io/request_io.h"
 #include "json/json.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "search/search_driver.h"
 #include "session/analysis_session.h"
 
@@ -778,6 +781,144 @@ BM_Estimate3dStack(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Estimate3dStack);
+
+// ------------------------------------------- JSON wire path
+
+/**
+ * A 10k-outcome BatchReport: three real outcomes (two verbs plus
+ * one failure, so every serializer branch stays hot) replicated
+ * to batch scale. Built once; the benchmarks below measure the
+ * wire path, not the engine.
+ */
+const BatchReport &
+wireBenchReport()
+{
+    static const BatchReport report = [] {
+        std::vector<AnalysisRequest> requests;
+        requests.push_back(
+            {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+        requests.push_back(
+            {ScenarioRef::scenario("no-such-scenario"),
+             EstimateSpec{}});
+        SweepSpec sweep;
+        sweep.nodesNm = {7.0, 10.0};
+        requests.push_back(
+            {ScenarioRef::scenario("emr"), sweep});
+        AnalysisEngine engine(2);
+        const BatchReport seed = engine.runBatch(requests);
+
+        BatchReport big;
+        big.outcomes.reserve(10000);
+        for (std::size_t i = 0; i < 10000; ++i)
+            big.outcomes.push_back(
+                seed.outcomes[i % seed.outcomes.size()]);
+        return big;
+    }();
+    return report;
+}
+
+/** The report's compact wire bytes, shared by the parse side. */
+const std::string &
+wireBenchText()
+{
+    static const std::string text =
+        batchReportText(wireBenchReport(), false);
+    return text;
+}
+
+void
+BM_JsonSerializeReportDom(benchmark::State &state)
+{
+    // Baseline: materialize the report DOM, then dump it -- the
+    // pre-wire-path cost of every --json write and merge.
+    const BatchReport &report = wireBenchReport();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const std::string text =
+            batchReportToJson(report).dump(false);
+        bytes = text.size();
+        benchmark::DoNotOptimize(text);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_JsonSerializeReportDom)
+    ->Name("JsonSerializeReport10kDom")
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_JsonSerializeReportWire(benchmark::State &state)
+{
+    // The streaming writer path: identical bytes, no DOM.
+    const BatchReport &report = wireBenchReport();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const std::string text =
+            batchReportText(report, false);
+        bytes = text.size();
+        benchmark::DoNotOptimize(text);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_JsonSerializeReportWire)
+    ->Name("JsonSerializeReport10kWire")
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_JsonParseReportDom(benchmark::State &state)
+{
+    // Baseline: full DOM parse of the report, the way the merge
+    // path consumed shard reports before the scanner existed.
+    const std::string &text = wireBenchText();
+    for (auto _ : state) {
+        const json::Value doc = json::parse(text);
+        benchmark::DoNotOptimize(
+            doc.at("outcomes").asArray().size());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseReportDom)
+    ->Name("JsonParseReport10kDom")
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_JsonParseReportWire(benchmark::State &state)
+{
+    // The on-demand scan the shard merge runs: validate the
+    // document, walk to "outcomes", and yield each outcome as a
+    // raw span -- no DOM, no copies.
+    const std::string &text = wireBenchText();
+    for (auto _ : state) {
+        json::ondemand::Scanner scanner(text);
+        std::string key;
+        std::size_t outcomes = 0;
+        scanner.beginObject();
+        while (scanner.nextMember(key)) {
+            if (key != "outcomes") {
+                scanner.rawValue();
+                continue;
+            }
+            scanner.beginArray();
+            while (scanner.nextElement()) {
+                benchmark::DoNotOptimize(scanner.rawValue());
+                ++outcomes;
+            }
+        }
+        scanner.expectEnd();
+        benchmark::DoNotOptimize(outcomes);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseReportWire)
+    ->Name("JsonParseReport10kWire")
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -16,6 +17,8 @@
 #include "engine/work_queue.h"
 #include "io/event_journal_io.h"
 #include "io/request_io.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -790,11 +793,23 @@ runCoordinatedBatch(const CoordinatorOptions &options)
             throw;
         }
 
-        std::vector<json::Value> reports;
+        // Merge straight from the report bytes: the on-demand
+        // scanner scatters outcome spans, no per-shard DOM.
+        std::vector<std::string> reports;
         reports.reserve(plan.shardCount());
-        for (const auto &report_file : result.reportFiles)
-            reports.push_back(json::parseFile(report_file));
-        result.mergedReport = mergeShardReports(plan, reports);
+        for (const auto &report_file : result.reportFiles) {
+            std::ifstream in(report_file, std::ios::binary);
+            requireConfig(static_cast<bool>(in),
+                          "cannot open JSON file: " +
+                              report_file);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            reports.push_back(buf.str());
+        }
+        result.mergedReportText =
+            mergeShardReportTexts(plan, reports, false);
+        result.mergedReport =
+            json::parse(result.mergedReportText);
         result.succeeded = static_cast<std::size_t>(
             result.mergedReport.at("succeeded").asInteger());
         result.failed = static_cast<std::size_t>(
@@ -873,8 +888,8 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
         IncrementalMerger merger(total);
         std::size_t resumed = 0;
         if (options.resume) {
-            for (const auto &entry :
-                 replayEventJournal(journal_path)) {
+            for (auto &entry :
+                 replayEventJournalText(journal_path)) {
                 requireConfig(
                     entry.index < total,
                     journal_path + ": journaled index " +
@@ -884,14 +899,19 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
                         " requests); the journal belongs to a "
                         "different batch -- remove it or run "
                         "without --resume");
+                // The journaled outcome is canonical compact
+                // text, so its "request" span compares directly
+                // against the canonical request serialization --
+                // no DOM on either side.
+                json::StreamWriter expected_writer;
+                appendRequest(expected_writer,
+                              batch.requests[entry.index]);
                 const std::string expected =
-                    requestToJson(batch.requests[entry.index])
-                        .dump(false);
+                    expected_writer.take();
+                const auto echoed = json::ondemand::findMember(
+                    entry.outcome, "request");
                 requireConfig(
-                    entry.outcome.isObject() &&
-                        entry.outcome.contains("request") &&
-                        entry.outcome.at("request")
-                                .dump(false) == expected,
+                    echoed && *echoed == expected,
                     journal_path +
                         ": the journaled outcome for index " +
                         std::to_string(entry.index) +
@@ -899,7 +919,8 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
                         "at that index; the journal belongs to "
                         "a different batch -- remove it or run "
                         "without --resume");
-                if (merger.add(entry.index, entry.outcome))
+                if (merger.add(entry.index,
+                               std::move(entry.outcome)))
                     ++resumed;
             }
         } else {
@@ -1045,7 +1066,7 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
         // so the first copy is the only copy needed.
         const auto deliver = [&](std::size_t chunk,
                                  std::size_t local,
-                                 const json::Value &outcome) {
+                                 std::string outcome_text) {
             requireConfig(
                 local < plan.chunks[chunk].size(),
                 "chunk #" + std::to_string(chunk) +
@@ -1057,8 +1078,9 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
                 plan.chunks[chunk][local];
             if (merger.filled(original))
                 return;
-            journal.append(original, outcome);
-            merger.add(original, outcome);
+            journal.append(original,
+                           std::string_view(outcome_text));
+            merger.add(original, std::move(outcome_text));
             ChunkState &st = states[chunk];
             ++st.deliveredRequests;
             ++host_progress[st.host].doneRequests;
@@ -1071,16 +1093,15 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
             bool any = false;
             ChunkState &st = states[chunk];
             for (const auto &line : st.events.poll()) {
-                json::Value event;
                 try {
-                    event = json::parse(line);
+                    json::ondemand::validate(line);
                 } catch (const std::exception &) {
                     throw ConfigError(
                         st.events.path() +
                         ": malformed worker event line");
                 }
-                const JournalEntry entry = splitEventDocument(
-                    event, st.events.path());
+                const JournalEntryText entry = splitEventLine(
+                    line, st.events.path());
                 deliver(chunk, entry.index, entry.outcome);
                 any = true;
             }
@@ -1254,27 +1275,52 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
                                 st.currentReport)) {
                             // A worker that streams no events (a
                             // custom command template) still
-                            // merges -- from its report file.
+                            // merges -- from its report file,
+                            // scanned without a DOM.
                             try {
-                                const json::Value report =
-                                    json::parseFile(
-                                        st.currentReport);
-                                if (report.isObject() &&
-                                    report.contains(
-                                        "outcomes") &&
-                                    report.at("outcomes")
-                                            .asArray()
-                                            .size() ==
-                                        chunk_size) {
-                                    const auto &outcomes =
-                                        report.at("outcomes")
-                                            .asArray();
+                                std::ifstream in(
+                                    st.currentReport,
+                                    std::ios::binary);
+                                std::ostringstream buf;
+                                buf << in.rdbuf();
+                                const std::string text =
+                                    buf.str();
+                                json::ondemand::Scanner scanner(
+                                    text);
+                                scanner.beginObject();
+                                std::string key;
+                                std::vector<std::string>
+                                    outcomes;
+                                bool has_outcomes = false;
+                                while (scanner.nextMember(key)) {
+                                    if (key != "outcomes") {
+                                        scanner.rawValue();
+                                        continue;
+                                    }
+                                    has_outcomes = true;
+                                    scanner.beginArray();
+                                    json::StreamWriter writer;
+                                    while (
+                                        scanner.nextElement()) {
+                                        json::ondemand::
+                                            reserializeValue(
+                                                scanner,
+                                                writer);
+                                        outcomes.push_back(
+                                            writer.take());
+                                    }
+                                }
+                                scanner.expectEnd();
+                                if (has_outcomes &&
+                                    outcomes.size() ==
+                                        chunk_size)
                                     for (std::size_t j = 0;
                                          j < outcomes.size();
                                          ++j)
                                         deliver(chunk, j,
-                                                outcomes[j]);
-                                }
+                                                std::move(
+                                                    outcomes
+                                                        [j]));
                             } catch (const std::exception &) {
                                 // Unusable report: the
                                 // incomplete-delivery failure
@@ -1377,23 +1423,27 @@ runDynamicCoordinatedBatch(const CoordinatorOptions &options)
         // from the journal, so --resume can still finish them.
         if (aborted)
             for (std::size_t index : merger.missingIndices()) {
-                json::Value outcome = json::Value::makeObject();
-                outcome.set("request",
-                            requestToJson(
-                                batch.requests[index]));
-                outcome.set("ok", false);
-                outcome.set(
-                    "error",
+                json::StreamWriter writer;
+                writer.beginObject();
+                writer.key("request");
+                appendRequest(writer, batch.requests[index]);
+                writer.key("ok");
+                writer.boolean(false);
+                writer.key("error");
+                writer.string(
                     "aborted: the early-abort policy stopped "
                     "dispatching after " +
-                        std::to_string(
-                            options.abortAfterFailedRequests) +
-                        " failed request(s)");
-                merger.add(index, std::move(outcome));
+                    std::to_string(
+                        options.abortAfterFailedRequests) +
+                    " failed request(s)");
+                writer.endObject();
+                merger.add(index, writer.take());
             }
 
         result.aborted = aborted;
-        result.mergedReport = merger.report();
+        result.mergedReportText = merger.reportText(false);
+        result.mergedReport =
+            json::parse(result.mergedReportText);
         result.succeeded = static_cast<std::size_t>(
             result.mergedReport.at("succeeded").asInteger());
         result.failed = static_cast<std::size_t>(

@@ -447,6 +447,12 @@ struct CoordinatedRunResult
      *  byte-identical to the single-process `--batch` run. */
     json::Value mergedReport;
 
+    /** The same report as canonical compact text -- exactly
+     *  `mergedReport.dump(false)`, produced on the scan-and-splice
+     *  merge path without a DOM. Consumers that only re-serialize
+     *  (`--json` output) should use this. */
+    std::string mergedReportText;
+
     /** Shards actually planned (<= manifest slots). */
     std::size_t shardsUsed = 0;
 

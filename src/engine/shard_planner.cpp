@@ -5,7 +5,11 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "engine/work_queue.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -133,50 +137,81 @@ writeSubBatchFiles(const BatchFile &batch,
     return paths;
 }
 
-json::Value
-mergeShardReports(const ShardPlan &plan,
-                  const std::vector<json::Value> &shard_reports)
+std::string
+mergeShardReportTexts(const ShardPlan &plan,
+                      const std::vector<std::string>
+                          &shard_report_texts,
+                      bool pretty)
 {
-    requireConfig(shard_reports.size() == plan.shardCount(),
+    requireConfig(shard_report_texts.size() == plan.shardCount(),
                   "expected " +
                       std::to_string(plan.shardCount()) +
                       " shard reports, got " +
-                      std::to_string(shard_reports.size()));
+                      std::to_string(shard_report_texts.size()));
 
     // Scatter each shard's outcomes back to their original batch
-    // indices.
-    std::vector<json::Value> merged(plan.requestCount());
-    std::size_t succeeded = 0;
+    // indices -- canonical compact spans, no DOM anywhere.
+    IncrementalMerger merger(plan.requestCount());
     for (std::size_t s = 0; s < plan.shardCount(); ++s) {
         const std::string context =
             "shard report #" + std::to_string(s);
-        const json::Value &report = shard_reports[s];
-        requireConfig(report.isObject() &&
-                          report.contains("outcomes"),
+        json::ondemand::Scanner scanner(shard_report_texts[s]);
+        requireConfig(scanner.peekType() == json::Type::Object,
                       context +
                           ": not a BatchReport document "
                           "(missing \"outcomes\")");
-        const auto &outcomes = report.at("outcomes").asArray();
+        scanner.beginObject();
+        std::string key;
+        bool has_outcomes = false;
+        std::vector<std::string> outcomes;
+        while (scanner.nextMember(key)) {
+            if (key != "outcomes") {
+                scanner.rawValue(); // validate and skip
+                continue;
+            }
+            has_outcomes = true;
+            // Same complaint as the DOM path's asArray().
+            if (scanner.peekType() != json::Type::Array)
+                throw ConfigError(
+                    std::string("JSON type mismatch: expected "
+                                "array, got ") +
+                    json::typeName(scanner.peekType()));
+            scanner.beginArray();
+            json::StreamWriter writer;
+            while (scanner.nextElement()) {
+                json::ondemand::reserializeValue(scanner,
+                                                 writer);
+                outcomes.push_back(writer.take());
+            }
+        }
+        scanner.expectEnd();
+        requireConfig(has_outcomes,
+                      context +
+                          ": not a BatchReport document "
+                          "(missing \"outcomes\")");
         requireConfig(outcomes.size() == plan.shards[s].size(),
                       context + ": has " +
                           std::to_string(outcomes.size()) +
                           " outcomes but the plan assigned " +
                           std::to_string(plan.shards[s].size()) +
                           " requests");
-        for (std::size_t j = 0; j < outcomes.size(); ++j) {
-            if (outcomes[j].booleanOr("ok", false))
-                ++succeeded;
-            merged[plan.shards[s][j]] = outcomes[j];
-        }
+        for (std::size_t j = 0; j < outcomes.size(); ++j)
+            merger.add(plan.shards[s][j],
+                       std::move(outcomes[j]));
     }
+    return merger.reportText(pretty);
+}
 
-    json::Value doc = json::Value::makeObject();
-    doc.set("succeeded", static_cast<double>(succeeded));
-    doc.set("failed",
-            static_cast<double>(merged.size() - succeeded));
-    doc.set("outcomes",
-            json::Value::makeArray(std::move(merged)));
-    return doc;
+json::Value
+mergeShardReports(const ShardPlan &plan,
+                  const std::vector<json::Value> &shard_reports)
+{
+    std::vector<std::string> texts;
+    texts.reserve(shard_reports.size());
+    for (const auto &report : shard_reports)
+        texts.push_back(report.dump(false));
+    return json::parse(
+        mergeShardReportTexts(plan, texts, false));
 }
 
 } // namespace ecochip

@@ -113,6 +113,25 @@ json::Value
 mergeShardReports(const ShardPlan &plan,
                   const std::vector<json::Value> &shard_reports);
 
+/**
+ * Scan-and-splice twin of `mergeShardReports` -- the primary
+ * merge path. Each shard report is scanned with the on-demand
+ * parser (no DOM), its outcome spans are canonicalized and
+ * scattered to their original batch indices, and the merged
+ * document is emitted through the streaming writer: exactly the
+ * bytes of `mergeShardReports(...).dump(pretty)`.
+ *
+ * @param shard_report_texts One `BatchReport` JSON document per
+ *        shard (any spacing / number spelling), in plan order.
+ * @throws ConfigError when a shard report is malformed or its
+ *         outcome count disagrees with the plan.
+ */
+std::string
+mergeShardReportTexts(const ShardPlan &plan,
+                      const std::vector<std::string>
+                          &shard_report_texts,
+                      bool pretty);
+
 } // namespace ecochip
 
 #endif // ECOCHIP_ENGINE_SHARD_PLANNER_H

@@ -109,6 +109,8 @@ runShardedBatch(const ShardedRunOptions &options)
 
     ShardedRunResult result;
     result.mergedReport = std::move(coordinated.mergedReport);
+    result.mergedReportText =
+        std::move(coordinated.mergedReportText);
     result.shardsUsed = coordinated.shardsUsed;
     result.threadsPerWorker = coordinated.threadsPerWorker;
     result.succeeded = coordinated.succeeded;

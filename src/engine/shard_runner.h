@@ -128,6 +128,10 @@ struct ShardedRunResult
     /** Merged `BatchReport` document, original request order. */
     json::Value mergedReport;
 
+    /** The same report as canonical compact text -- exactly
+     *  `mergedReport.dump(false)`, produced without a DOM. */
+    std::string mergedReportText;
+
     /** Shards actually run (<= requested). */
     std::size_t shardsUsed = 0;
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "engine/shard_planner.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -109,7 +111,8 @@ IncrementalMerger::IncrementalMerger(std::size_t total_requests)
 }
 
 bool
-IncrementalMerger::add(std::size_t index, json::Value outcome)
+IncrementalMerger::add(std::size_t index,
+                       std::string outcome_text)
 {
     requireConfig(index < slots_.size(),
                   "outcome index " + std::to_string(index) +
@@ -120,11 +123,24 @@ IncrementalMerger::add(std::size_t index, json::Value outcome)
     if (slot.filled)
         return false; // a retried chunk re-delivered it
     slot.filled = true;
-    slot.outcome = std::move(outcome);
+    slot.outcome = std::move(outcome_text);
+    // Same fallback as Value::booleanOr: a non-object outcome
+    // simply has no "ok" member and counts as failed.
+    slot.ok = !slot.outcome.empty() &&
+              slot.outcome.front() == '{' &&
+              json::ondemand::booleanField(slot.outcome, "ok",
+                                           false);
     ++done_;
-    if (!slot.outcome.booleanOr("ok", false))
+    if (!slot.ok)
         ++failed_;
     return true;
+}
+
+bool
+IncrementalMerger::add(std::size_t index,
+                       const json::Value &outcome)
+{
+    return add(index, outcome.dump(false));
 }
 
 bool
@@ -143,27 +159,42 @@ IncrementalMerger::missingIndices() const
     return missing;
 }
 
-json::Value
-IncrementalMerger::report() const
+std::string
+IncrementalMerger::reportText(bool pretty) const
 {
     requireModel(complete(),
                  "report() on an incomplete merge (" +
                      std::to_string(done_) + " of " +
                      std::to_string(slots_.size()) +
                      " outcomes)");
-    std::size_t succeeded = 0;
-    json::Value outcomes = json::Value::makeArray();
+    const std::size_t succeeded = slots_.size() - failed_;
+    json::StreamWriter writer(pretty);
+    writer.beginObject();
+    writer.key("succeeded");
+    writer.number(static_cast<double>(succeeded));
+    writer.key("failed");
+    writer.number(static_cast<double>(failed_));
+    writer.key("outcomes");
+    writer.beginArray();
     for (const auto &slot : slots_) {
-        if (slot.outcome.booleanOr("ok", false))
-            ++succeeded;
-        outcomes.append(slot.outcome);
+        if (!pretty) {
+            // Slots are canonical compact text: splice verbatim.
+            writer.raw(slot.outcome);
+        } else {
+            json::ondemand::Scanner scanner(slot.outcome);
+            json::ondemand::reserializeValue(scanner, writer);
+            scanner.expectEnd();
+        }
     }
-    json::Value doc = json::Value::makeObject();
-    doc.set("succeeded", static_cast<double>(succeeded));
-    doc.set("failed", static_cast<double>(slots_.size() -
-                                          succeeded));
-    doc.set("outcomes", std::move(outcomes));
-    return doc;
+    writer.endArray();
+    writer.endObject();
+    return writer.take();
+}
+
+json::Value
+IncrementalMerger::report() const
+{
+    return json::parse(reportText(false));
 }
 
 } // namespace ecochip

@@ -106,10 +106,11 @@ writeChunkFiles(const BatchFile &batch, const ChunkPlan &plan,
  * their original batch index as they stream in; the first add
  * per index wins and later duplicates -- a retried chunk
  * re-delivering outcomes its failed attempt already streamed --
- * are ignored. `report()` assembles the standard `BatchReport`
- * document (`{"succeeded", "failed", "outcomes"}`), which
- * depends only on which outcomes were added, never on their
- * arrival order.
+ * are ignored. Outcomes are held as canonical compact text
+ * spans, never as `json::Value` trees: the hot path scatters
+ * scanner output straight into slots and `reportText()` splices
+ * the merged document back out, which depends only on which
+ * outcomes were added, never on their arrival order.
  */
 class IncrementalMerger
 {
@@ -118,12 +119,18 @@ class IncrementalMerger
     explicit IncrementalMerger(std::size_t total_requests);
 
     /**
-     * Record @p outcome as request @p index's result.
+     * Record @p outcome_text (one canonical compact outcome
+     * document -- `splitEventLine` and the streaming serializers
+     * produce exactly that) as request @p index's result.
      * @return True when this was the first outcome for
      *         @p index, false for a duplicate (ignored).
      * @throws ConfigError when @p index is out of range.
      */
-    bool add(std::size_t index, json::Value outcome);
+    bool add(std::size_t index, std::string outcome_text);
+
+    /** DOM convenience: canonicalizes and delegates to the
+     *  text overload. */
+    bool add(std::size_t index, const json::Value &outcome);
 
     /** True when @p index already has an outcome. */
     bool filled(std::size_t index) const;
@@ -141,6 +148,15 @@ class IncrementalMerger
     std::vector<std::size_t> missingIndices() const;
 
     /**
+     * The merged `BatchReport` document as text, compact or
+     * pretty -- exactly the bytes of the single-process report
+     * over the same outcomes, assembled by splicing the stored
+     * spans (no DOM). All indices must be filled
+     * (`requireModel`).
+     */
+    std::string reportText(bool pretty) const;
+
+    /**
      * The merged `BatchReport` document. All indices must be
      * filled (`requireModel`); byte-identical to the
      * single-process report over the same outcomes.
@@ -151,7 +167,8 @@ class IncrementalMerger
     struct Slot
     {
         bool filled = false;
-        json::Value outcome;
+        bool ok = false;
+        std::string outcome; // canonical compact text
     };
     std::vector<Slot> slots_;
     std::size_t done_ = 0;

@@ -1,61 +1,117 @@
 #include "io/batch_report_io.h"
 
+#include <fstream>
+
 #include "io/request_io.h"
 #include "io/result_writer.h"
+#include "support/error.h"
 
 namespace ecochip {
+
+/*
+ * appendOutcome / appendStreamEvent / batchReportText are the
+ * primary serializers on the wire path; the *ToJson variants
+ * parse their output so the DOM view cannot drift from the bytes
+ * workers actually write.
+ */
+
+namespace {
+
+/** The members shared by outcome documents and stream events. */
+void
+appendOutcomeMembers(json::StreamWriter &writer,
+                     const RequestOutcome &outcome)
+{
+    writer.key("request");
+    appendRequest(writer, outcome.request);
+    writer.key("ok");
+    writer.boolean(outcome.ok());
+    if (outcome.ok()) {
+        writer.key("result");
+        appendResult(writer, *outcome.result);
+    } else {
+        writer.key("error");
+        writer.string(outcome.error);
+    }
+}
+
+} // namespace
+
+void
+appendOutcome(json::StreamWriter &writer,
+              const RequestOutcome &outcome)
+{
+    writer.beginObject();
+    appendOutcomeMembers(writer, outcome);
+    writer.endObject();
+}
 
 json::Value
 outcomeToJson(const RequestOutcome &outcome)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("request", requestToJson(outcome.request));
-    doc.set("ok", outcome.ok());
-    if (outcome.ok())
-        doc.set("result", resultToJson(*outcome.result));
-    else
-        doc.set("error", outcome.error);
-    return doc;
+    json::StreamWriter writer;
+    appendOutcome(writer, outcome);
+    return json::parse(writer.take());
+}
+
+void
+appendStreamEvent(json::StreamWriter &writer, std::size_t index,
+                  const RequestOutcome &outcome)
+{
+    writer.beginObject();
+    writer.key("index");
+    writer.number(static_cast<double>(index));
+    appendOutcomeMembers(writer, outcome);
+    writer.endObject();
+}
+
+std::string
+batchReportText(const BatchReport &report, bool pretty)
+{
+    json::StreamWriter writer(pretty);
+    writer.beginObject();
+    writer.key("succeeded");
+    writer.number(static_cast<double>(report.succeeded()));
+    writer.key("failed");
+    writer.number(static_cast<double>(report.failed()));
+    writer.key("outcomes");
+    writer.beginArray();
+    for (const auto &outcome : report.outcomes)
+        appendOutcome(writer, outcome);
+    writer.endArray();
+    writer.endObject();
+    return writer.take();
 }
 
 json::Value
 batchReportToJson(const BatchReport &report)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("succeeded",
-            static_cast<double>(report.succeeded()));
-    doc.set("failed", static_cast<double>(report.failed()));
-    json::Value outcomes = json::Value::makeArray();
-    for (const auto &outcome : report.outcomes)
-        outcomes.append(outcomeToJson(outcome));
-    doc.set("outcomes", std::move(outcomes));
-    return doc;
+    return json::parse(batchReportText(report, false));
 }
 
 void
 writeBatchReportFile(const BatchReport &report,
                      const std::string &path)
 {
-    json::writeFile(batchReportToJson(report), path);
+    std::ofstream out(path, std::ios::binary);
+    requireConfig(static_cast<bool>(out),
+                  "cannot write JSON file: " + path);
+    out << batchReportText(report, true) << '\n';
 }
 
 json::Value
 streamEventToJson(std::size_t index,
                   const RequestOutcome &outcome)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("index", static_cast<double>(index));
-    const json::Value body = outcomeToJson(outcome);
-    for (const auto &member : body.members())
-        doc.set(member.first, member.second);
-    return doc;
+    return json::parse(streamEventLine(index, outcome));
 }
 
 std::string
-streamEventLine(std::size_t index,
-                const RequestOutcome &outcome)
+streamEventLine(std::size_t index, const RequestOutcome &outcome)
 {
-    return streamEventToJson(index, outcome).dump(false);
+    json::StreamWriter writer;
+    appendStreamEvent(writer, index, outcome);
+    return writer.take();
 }
 
 } // namespace ecochip

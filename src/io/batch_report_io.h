@@ -30,8 +30,17 @@
 
 #include "engine/analysis_engine.h"
 #include "json/json.h"
+#include "json/stream_writer.h"
 
 namespace ecochip {
+
+/**
+ * Emit one outcome through the streaming writer -- the primary
+ * outcome serializer (shard workers and the server stream every
+ * completion through it, no DOM). `outcomeToJson` wraps it.
+ */
+void appendOutcome(json::StreamWriter &writer,
+                   const RequestOutcome &outcome);
 
 /**
  * Serialize one outcome:
@@ -39,6 +48,22 @@ namespace ecochip {
  * `{"request": ..., "ok": false, "error": "..."}` on failure.
  */
 json::Value outcomeToJson(const RequestOutcome &outcome);
+
+/**
+ * Emit one NDJSON stream event -- the outcome document with the
+ * request's batch `index` prepended -- through the writer.
+ */
+void appendStreamEvent(json::StreamWriter &writer,
+                       std::size_t index,
+                       const RequestOutcome &outcome);
+
+/**
+ * The whole report as one document, compact or pretty -- exactly
+ * the bytes of `batchReportToJson(report).dump(pretty)`, emitted
+ * with no intermediate DOM.
+ */
+std::string batchReportText(const BatchReport &report,
+                            bool pretty);
 
 /**
  * Serialize a whole report:

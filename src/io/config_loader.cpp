@@ -422,48 +422,81 @@ loadDesignDirectory(const std::string &dir, const TechDb &tech)
         (root / "operationalC.json").string());
 }
 
+void
+appendReport(json::StreamWriter &writer,
+             const CarbonReport &report)
+{
+    writer.beginObject();
+    writer.key("mfg_co2_kg");
+    writer.number(report.mfgCo2Kg);
+    writer.key("design_co2_kg");
+    writer.number(report.designCo2Kg);
+    writer.key("nre_co2_kg");
+    writer.number(report.nreCo2Kg);
+
+    writer.key("hi");
+    writer.beginObject();
+    writer.key("package_co2_kg");
+    writer.number(report.hi.packageCo2Kg);
+    writer.key("routing_co2_kg");
+    writer.number(report.hi.routingCo2Kg);
+    writer.key("package_area_mm2");
+    writer.number(report.hi.packageAreaMm2);
+    writer.key("whitespace_area_mm2");
+    writer.number(report.hi.whitespaceAreaMm2);
+    writer.key("package_yield");
+    writer.number(report.hi.packageYield);
+    writer.key("bridge_count");
+    writer.number(report.hi.bridgeCount);
+    writer.key("bond_count");
+    writer.number(report.hi.bondCount);
+    writer.key("noc_power_w");
+    writer.number(report.hi.nocPowerW);
+    writer.endObject();
+
+    writer.key("operational");
+    writer.beginObject();
+    writer.key("avg_power_w");
+    writer.number(report.operation.avgPowerW);
+    writer.key("lifetime_energy_kwh");
+    writer.number(report.operation.lifetimeEnergyKwh);
+    writer.key("co2_kg");
+    writer.number(report.operation.co2Kg);
+    writer.endObject();
+
+    writer.key("embodied_co2_kg");
+    writer.number(report.embodiedCo2Kg());
+    writer.key("total_co2_kg");
+    writer.number(report.totalCo2Kg());
+
+    writer.key("chiplets");
+    writer.beginArray();
+    for (const auto &cr : report.chiplets) {
+        writer.beginObject();
+        writer.key("name");
+        writer.string(cr.name);
+        writer.key("node_nm");
+        writer.number(cr.nodeNm);
+        writer.key("area_mm2");
+        writer.number(cr.areaMm2);
+        writer.key("yield");
+        writer.number(cr.yield);
+        writer.key("mfg_co2_kg");
+        writer.number(cr.mfgCo2Kg);
+        writer.key("design_co2_kg");
+        writer.number(cr.designCo2Kg);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+}
+
 json::Value
 reportToJson(const CarbonReport &report)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("mfg_co2_kg", report.mfgCo2Kg);
-    doc.set("design_co2_kg", report.designCo2Kg);
-    doc.set("nre_co2_kg", report.nreCo2Kg);
-
-    json::Value hi = json::Value::makeObject();
-    hi.set("package_co2_kg", report.hi.packageCo2Kg);
-    hi.set("routing_co2_kg", report.hi.routingCo2Kg);
-    hi.set("package_area_mm2", report.hi.packageAreaMm2);
-    hi.set("whitespace_area_mm2", report.hi.whitespaceAreaMm2);
-    hi.set("package_yield", report.hi.packageYield);
-    hi.set("bridge_count", report.hi.bridgeCount);
-    hi.set("bond_count", report.hi.bondCount);
-    hi.set("noc_power_w", report.hi.nocPowerW);
-    doc.set("hi", std::move(hi));
-
-    json::Value op = json::Value::makeObject();
-    op.set("avg_power_w", report.operation.avgPowerW);
-    op.set("lifetime_energy_kwh",
-           report.operation.lifetimeEnergyKwh);
-    op.set("co2_kg", report.operation.co2Kg);
-    doc.set("operational", std::move(op));
-
-    doc.set("embodied_co2_kg", report.embodiedCo2Kg());
-    doc.set("total_co2_kg", report.totalCo2Kg());
-
-    json::Value chiplets = json::Value::makeArray();
-    for (const auto &cr : report.chiplets) {
-        json::Value entry = json::Value::makeObject();
-        entry.set("name", cr.name);
-        entry.set("node_nm", cr.nodeNm);
-        entry.set("area_mm2", cr.areaMm2);
-        entry.set("yield", cr.yield);
-        entry.set("mfg_co2_kg", cr.mfgCo2Kg);
-        entry.set("design_co2_kg", cr.designCo2Kg);
-        chiplets.append(std::move(entry));
-    }
-    doc.set("chiplets", std::move(chiplets));
-    return doc;
+    json::StreamWriter writer;
+    appendReport(writer, report);
+    return json::parse(writer.take());
 }
 
 std::vector<double>

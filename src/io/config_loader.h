@@ -17,6 +17,7 @@
 
 #include "core/ecochip.h"
 #include "json/json.h"
+#include "json/stream_writer.h"
 
 namespace ecochip {
 
@@ -138,6 +139,14 @@ DesignBundle designBundleFromJson(
  */
 DesignBundle loadDesignDirectory(const std::string &dir,
                                  const TechDb &tech);
+
+/**
+ * Emit a CarbonReport through the streaming writer -- the primary
+ * report serializer; `reportToJson` wraps it, so the DOM and
+ * streaming paths cannot drift.
+ */
+void appendReport(json::StreamWriter &writer,
+                  const CarbonReport &report);
 
 /** Serialize a CarbonReport (for tool output / regression files). */
 json::Value reportToJson(const CarbonReport &report);

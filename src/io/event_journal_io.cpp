@@ -1,7 +1,10 @@
 #include "io/event_journal_io.h"
 
+#include <cmath>
 #include <utility>
 
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -40,6 +43,52 @@ splitEventDocument(const json::Value &event,
     return entry;
 }
 
+JournalEntryText
+splitEventLine(std::string_view line, const std::string &context)
+{
+    json::ondemand::Scanner scanner(line);
+    if (scanner.peekType() != json::Type::Object)
+        throw ConfigError(
+            context +
+            ": not a stream event (expected an object "
+            "with an \"index\" member)");
+
+    json::StreamWriter writer;
+    writer.beginObject();
+    scanner.beginObject();
+    std::string key;
+    bool has_index = false;
+    std::size_t index = 0;
+    while (scanner.nextMember(key)) {
+        if (key == "index") {
+            const double n = scanner.number();
+            // Same integral tolerance (and message) as the DOM
+            // path's Value::asInteger.
+            const double rounded = std::round(n);
+            requireConfig(std::abs(n - rounded) < 1e-9,
+                          "JSON number is not an integer: " +
+                              std::to_string(n));
+            const auto idx =
+                static_cast<std::int64_t>(rounded);
+            requireConfig(idx >= 0,
+                          context + ": negative event index " +
+                              std::to_string(idx));
+            index = static_cast<std::size_t>(idx);
+            has_index = true;
+        } else {
+            writer.key(key);
+            json::ondemand::reserializeValue(scanner, writer);
+        }
+    }
+    scanner.expectEnd();
+    writer.endObject();
+    requireConfig(has_index,
+                  context +
+                      ": not a stream event (expected an object "
+                      "with an \"index\" member)");
+    return JournalEntryText{index, writer.take()};
+}
+
 void
 EventJournalWriter::open(const std::string &path, bool append)
 {
@@ -55,20 +104,33 @@ void
 EventJournalWriter::append(std::size_t index,
                            const json::Value &outcome)
 {
+    const std::string text = outcome.dump(false);
+    append(index, std::string_view(text));
+}
+
+void
+EventJournalWriter::append(std::size_t index,
+                           std::string_view outcome_text)
+{
     requireModel(out_.is_open(),
                  "append() on an unopened outcome journal");
-    json::Value line = json::Value::makeObject();
-    line.set("index", static_cast<double>(index));
-    for (const auto &member : outcome.members())
-        line.set(member.first, member.second);
-    out_ << line.dump(false) << '\n';
+    requireModel(outcome_text.size() >= 2 &&
+                     outcome_text.front() == '{' &&
+                     outcome_text.back() == '}',
+                 "append() needs a compact JSON object outcome");
+    out_ << "{\"index\":" << index;
+    const std::string_view inner =
+        outcome_text.substr(1, outcome_text.size() - 2);
+    if (!inner.empty())
+        out_ << ',' << inner;
+    out_ << "}\n";
     out_.flush();
 }
 
-std::vector<JournalEntry>
-replayEventJournal(const std::string &path)
+std::vector<JournalEntryText>
+replayEventJournalText(const std::string &path)
 {
-    std::vector<JournalEntry> entries;
+    std::vector<JournalEntryText> entries;
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return entries; // no journal yet: nothing to replay
@@ -80,15 +142,16 @@ replayEventJournal(const std::string &path)
     while (pos < text.size()) {
         const std::size_t nl = text.find('\n', pos);
         const bool terminated = nl != std::string::npos;
-        const std::string line = text.substr(
-            pos, terminated ? nl - pos : std::string::npos);
+        const std::string_view line =
+            std::string_view(text).substr(
+                pos, terminated ? nl - pos
+                                : std::string_view::npos);
         pos = terminated ? nl + 1 : text.size();
         ++line_no;
         if (line.empty())
             continue;
-        json::Value event;
         try {
-            event = json::parse(line);
+            json::ondemand::validate(line);
         } catch (const std::exception &) {
             // Only the final, unterminated line may be garbage --
             // that is the line a SIGKILL cut mid-append.
@@ -100,9 +163,19 @@ replayEventJournal(const std::string &path)
                 " (only a truncated final line is tolerated); "
                 "remove the journal or run without --resume");
         }
-        entries.push_back(splitEventDocument(
-            event, path + ": line " + std::to_string(line_no)));
+        entries.push_back(splitEventLine(
+            line, path + ": line " + std::to_string(line_no)));
     }
+    return entries;
+}
+
+std::vector<JournalEntry>
+replayEventJournal(const std::string &path)
+{
+    std::vector<JournalEntry> entries;
+    for (auto &entry : replayEventJournalText(path))
+        entries.push_back(JournalEntry{
+            entry.index, json::parse(entry.outcome)});
     return entries;
 }
 

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "json/json.h"
@@ -69,6 +70,30 @@ JournalEntry splitEventDocument(const json::Value &event,
                                 const std::string &context);
 
 /**
+ * Text twin of `JournalEntry`: the outcome as canonical compact
+ * JSON (exactly `parse(line-minus-index).dump(false)` bytes)
+ * instead of a DOM -- what the hot merge path consumes.
+ */
+struct JournalEntryText
+{
+    std::size_t index = 0;
+    std::string outcome;
+};
+
+/**
+ * Split one stream-event line with the on-demand scanner: no
+ * `json::Value` is materialized. The returned outcome document is
+ * canonicalized member-by-member, so reassembled reports stay
+ * byte-identical to the single-process run even when the worker's
+ * line carried non-canonical spacing or number spellings.
+ *
+ * @throws ConfigError when @p line is malformed JSON or is not an
+ *         object with a non-negative integer `index`.
+ */
+JournalEntryText splitEventLine(std::string_view line,
+                                const std::string &context);
+
+/**
  * Append-only writer for the outcome journal. Each appended
  * outcome becomes one compact line, flushed immediately, so the
  * journal survives a SIGKILL of the coordinator with at most the
@@ -87,6 +112,14 @@ class EventJournalWriter
     /** Append `{"index": index, ...outcome}` as one line. */
     void append(std::size_t index, const json::Value &outcome);
 
+    /**
+     * Text-splice overload -- the hot path. @p outcome_text must
+     * be one compact JSON object (a canonical outcome document);
+     * the index member is spliced in front of its members without
+     * parsing anything.
+     */
+    void append(std::size_t index, std::string_view outcome_text);
+
     const std::string &path() const { return path_; }
 
   private:
@@ -102,6 +135,14 @@ class EventJournalWriter
  */
 std::vector<JournalEntry>
 replayEventJournal(const std::string &path);
+
+/**
+ * Scan-only twin of `replayEventJournal`: outcomes come back as
+ * canonical compact text spans, never as a DOM -- what `--resume`
+ * feeds straight into the incremental merger.
+ */
+std::vector<JournalEntryText>
+replayEventJournalText(const std::string &path);
 
 /**
  * Incremental reader over a growing NDJSON file: each `poll`

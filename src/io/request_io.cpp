@@ -7,25 +7,66 @@
 
 namespace ecochip {
 
+namespace {
+
+/*
+ * The append* emitters below are the single source of truth for
+ * the request wire format; every *ToJson sibling parses their
+ * output, so the DOM and streaming serializations cannot drift.
+ */
+
+void
+appendCostParams(json::StreamWriter &writer,
+                 const CostParams &params)
+{
+    writer.beginObject();
+    writer.key("substrate_cost_per_cm2_usd");
+    writer.number(params.substrateCostPerCm2Usd);
+    writer.key("rdl_layer_cost_per_cm2_usd");
+    writer.number(params.rdlLayerCostPerCm2Usd);
+    writer.key("bridge_cost_usd");
+    writer.number(params.bridgeCostUsd);
+    writer.key("interposer_layer_cost_per_cm2_usd");
+    writer.number(params.interposerLayerCostPerCm2Usd);
+    writer.key("attach_cost_per_chiplet_usd");
+    writer.number(params.attachCostPerChipletUsd);
+    writer.key("cost_per_bond_usd");
+    writer.number(params.costPerBondUsd);
+    writer.key("test_cost_per_chiplet_usd");
+    writer.number(params.testCostPerChipletUsd);
+    writer.key("volume");
+    writer.number(params.volume);
+    writer.key("include_nre");
+    writer.boolean(params.includeNre);
+    writer.endObject();
+}
+
+void
+appendUncertaintyBands(json::StreamWriter &writer,
+                       const UncertaintyBands &bands)
+{
+    writer.beginObject();
+    writer.key("defect_density");
+    writer.number(bands.defectDensity);
+    writer.key("epa");
+    writer.number(bands.epa);
+    writer.key("intensity");
+    writer.number(bands.intensity);
+    writer.key("design_time");
+    writer.number(bands.designTime);
+    writer.key("duty_cycle");
+    writer.number(bands.dutyCycle);
+    writer.endObject();
+}
+
+} // namespace
+
 json::Value
 costParamsToJson(const CostParams &params)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("substrate_cost_per_cm2_usd",
-            params.substrateCostPerCm2Usd);
-    doc.set("rdl_layer_cost_per_cm2_usd",
-            params.rdlLayerCostPerCm2Usd);
-    doc.set("bridge_cost_usd", params.bridgeCostUsd);
-    doc.set("interposer_layer_cost_per_cm2_usd",
-            params.interposerLayerCostPerCm2Usd);
-    doc.set("attach_cost_per_chiplet_usd",
-            params.attachCostPerChipletUsd);
-    doc.set("cost_per_bond_usd", params.costPerBondUsd);
-    doc.set("test_cost_per_chiplet_usd",
-            params.testCostPerChipletUsd);
-    doc.set("volume", params.volume);
-    doc.set("include_nre", params.includeNre);
-    return doc;
+    json::StreamWriter writer;
+    appendCostParams(writer, params);
+    return json::parse(writer.take());
 }
 
 CostParams
@@ -72,13 +113,9 @@ costParamsFromJson(const json::Value &doc,
 json::Value
 uncertaintyBandsToJson(const UncertaintyBands &bands)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("defect_density", bands.defectDensity);
-    doc.set("epa", bands.epa);
-    doc.set("intensity", bands.intensity);
-    doc.set("design_time", bands.designTime);
-    doc.set("duty_cycle", bands.dutyCycle);
-    return doc;
+    json::StreamWriter writer;
+    appendUncertaintyBands(writer, bands);
+    return json::parse(writer.take());
 }
 
 UncertaintyBands
@@ -108,13 +145,14 @@ namespace {
 constexpr std::int64_t kMaxTrials = 100'000'000;
 constexpr std::int64_t kMaxThreads = 4096;
 
-json::Value
-nodesToJson(const std::vector<double> &nodes)
+void
+appendNodes(json::StreamWriter &writer,
+            const std::vector<double> &nodes)
 {
-    json::Value arr = json::Value::makeArray();
+    writer.beginArray();
     for (double node : nodes)
-        arr.append(json::Value(node));
-    return arr;
+        writer.number(node);
+    writer.endArray();
 }
 
 std::vector<double>
@@ -132,30 +170,36 @@ nodesFromJson(const json::Value &arr, const std::string &context)
 
 } // namespace
 
-json::Value
-requestToJson(const AnalysisRequest &request)
+void
+appendRequest(json::StreamWriter &writer,
+              const AnalysisRequest &request)
 {
-    json::Value doc = json::Value::makeObject();
-    if (request.scenario.kind == ScenarioRef::Kind::Registry)
-        doc.set("scenario", request.scenario.value);
-    else
-        doc.set("design_dir", request.scenario.value);
-    doc.set("analysis", toString(request.kind()));
+    writer.beginObject();
+    if (request.scenario.kind == ScenarioRef::Kind::Registry) {
+        writer.key("scenario");
+        writer.string(request.scenario.value);
+    } else {
+        writer.key("design_dir");
+        writer.string(request.scenario.value);
+    }
+    writer.key("analysis");
+    writer.string(toString(request.kind()));
 
     std::visit(
         [&](const auto &spec) {
             using Spec = std::decay_t<decltype(spec)>;
             if constexpr (std::is_same_v<Spec, SweepSpec>) {
-                if (!spec.nodesNm.empty())
-                    doc.set("nodes_nm",
-                            nodesToJson(spec.nodesNm));
+                if (!spec.nodesNm.empty()) {
+                    writer.key("nodes_nm");
+                    appendNodes(writer, spec.nodesNm);
+                }
                 if (!spec.nodesPerChiplet.empty()) {
-                    json::Value lists = json::Value::makeArray();
+                    writer.key("nodes_per_chiplet");
+                    writer.beginArray();
                     for (const auto &nodes :
                          spec.nodesPerChiplet)
-                        lists.append(nodesToJson(nodes));
-                    doc.set("nodes_per_chiplet",
-                            std::move(lists));
+                        appendNodes(writer, nodes);
+                    writer.endArray();
                 }
             } else if constexpr (std::is_same_v<
                                      Spec, MonteCarloSpec>) {
@@ -169,26 +213,40 @@ requestToJson(const AnalysisRequest &request)
                         std::to_string(spec.seed) +
                         " exceeds 2^53 and cannot round-trip "
                         "through JSON");
-                doc.set("trials", spec.trials);
-                doc.set("seed",
-                        static_cast<double>(spec.seed));
-                doc.set("threads", spec.threads);
-                if (!(spec.bands == UncertaintyBands()))
-                    doc.set("bands",
-                            uncertaintyBandsToJson(spec.bands));
+                writer.key("trials");
+                writer.number(spec.trials);
+                writer.key("seed");
+                writer.number(static_cast<double>(spec.seed));
+                writer.key("threads");
+                writer.number(spec.threads);
+                if (!(spec.bands == UncertaintyBands())) {
+                    writer.key("bands");
+                    appendUncertaintyBands(writer, spec.bands);
+                }
             } else if constexpr (std::is_same_v<
                                      Spec, SensitivitySpec>) {
-                doc.set("metric", toString(spec.metric));
-                doc.set("delta", spec.delta);
+                writer.key("metric");
+                writer.string(toString(spec.metric));
+                writer.key("delta");
+                writer.number(spec.delta);
             } else if constexpr (std::is_same_v<Spec,
                                                 CostSpec>) {
-                if (!(spec.params == CostParams()))
-                    doc.set("params",
-                            costParamsToJson(spec.params));
+                if (!(spec.params == CostParams())) {
+                    writer.key("params");
+                    appendCostParams(writer, spec.params);
+                }
             }
         },
         request.spec);
-    return doc;
+    writer.endObject();
+}
+
+json::Value
+requestToJson(const AnalysisRequest &request)
+{
+    json::StreamWriter writer;
+    appendRequest(writer, request);
+    return json::parse(writer.take());
 }
 
 AnalysisRequest
@@ -365,10 +423,12 @@ canonicalRequestText(const AnalysisRequest &request)
     // on the same cache entry.
     if (auto *mc = std::get_if<MonteCarloSpec>(&normalized.spec))
         mc->threads = 1;
-    // requestToJson emits members in one fixed order, numbers in
+    // appendRequest emits members in one fixed order, numbers in
     // one fixed format, and omits defaulted optionals, so its
-    // compact dump is already canonical.
-    return requestToJson(normalized).dump(false);
+    // compact output is already canonical -- no DOM needed.
+    json::StreamWriter writer;
+    appendRequest(writer, normalized);
+    return writer.take();
 }
 
 BatchFile

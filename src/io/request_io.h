@@ -30,9 +30,18 @@
 #include <vector>
 
 #include "json/json.h"
+#include "json/stream_writer.h"
 #include "session/analysis_request.h"
 
 namespace ecochip {
+
+/**
+ * Emit one request document through the streaming writer -- the
+ * primary request serializer; `requestToJson` is a DOM wrapper
+ * over it, so the two cannot drift.
+ */
+void appendRequest(json::StreamWriter &writer,
+                   const AnalysisRequest &request);
 
 /** Serialize one request to its JSON document. */
 json::Value requestToJson(const AnalysisRequest &request);

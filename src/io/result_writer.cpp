@@ -15,127 +15,191 @@ num(double value, int precision = 3)
     return TablePrinter::formatNumber(value, precision);
 }
 
-json::Value
-explorationPointToJson(const ExplorationPoint &point)
+/*
+ * The append* emitters are the single source of truth for the
+ * result wire format; resultToJson/sampleStatsToJson parse their
+ * output, so the DOM and streaming serializations cannot drift.
+ */
+
+void
+appendExplorationPoint(json::StreamWriter &writer,
+                       const ExplorationPoint &point)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("label", point.label());
-    json::Value nodes = json::Value::makeArray();
+    writer.beginObject();
+    writer.key("label");
+    writer.string(point.label());
+    writer.key("nodes_nm");
+    writer.beginArray();
     for (double node : point.nodesNm)
-        nodes.append(json::Value(node));
-    doc.set("nodes_nm", std::move(nodes));
-    doc.set("mfg_co2_kg", point.report.mfgCo2Kg);
-    doc.set("hi_co2_kg", point.report.hi.totalCo2Kg());
-    doc.set("design_co2_kg", point.report.designCo2Kg);
-    doc.set("embodied_co2_kg", point.report.embodiedCo2Kg());
-    doc.set("operational_co2_kg", point.report.operation.co2Kg);
-    doc.set("total_co2_kg", point.report.totalCo2Kg());
-    return doc;
+        writer.number(node);
+    writer.endArray();
+    writer.key("mfg_co2_kg");
+    writer.number(point.report.mfgCo2Kg);
+    writer.key("hi_co2_kg");
+    writer.number(point.report.hi.totalCo2Kg());
+    writer.key("design_co2_kg");
+    writer.number(point.report.designCo2Kg);
+    writer.key("embodied_co2_kg");
+    writer.number(point.report.embodiedCo2Kg());
+    writer.key("operational_co2_kg");
+    writer.number(point.report.operation.co2Kg);
+    writer.key("total_co2_kg");
+    writer.number(point.report.totalCo2Kg());
+    writer.endObject();
 }
 
-json::Value
-sensitivityRowToJson(const SensitivityResult &row)
+void
+appendSensitivityRow(json::StreamWriter &writer,
+                     const SensitivityResult &row)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("name", row.name);
-    doc.set("low", row.lowValue);
-    doc.set("base", row.baseValue);
-    doc.set("high", row.highValue);
-    doc.set("elasticity", row.elasticity);
-    return doc;
+    writer.beginObject();
+    writer.key("name");
+    writer.string(row.name);
+    writer.key("low");
+    writer.number(row.lowValue);
+    writer.key("base");
+    writer.number(row.baseValue);
+    writer.key("high");
+    writer.number(row.highValue);
+    writer.key("elasticity");
+    writer.number(row.elasticity);
+    writer.endObject();
 }
 
-json::Value
-costToJson(const CostBreakdown &cost)
+void
+appendCost(json::StreamWriter &writer, const CostBreakdown &cost)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("die_usd", cost.dieUsd);
-    doc.set("package_usd", cost.packageUsd);
-    doc.set("assembly_usd", cost.assemblyUsd);
-    doc.set("nre_usd", cost.nreUsd);
-    doc.set("total_usd", cost.totalUsd());
-    return doc;
+    writer.beginObject();
+    writer.key("die_usd");
+    writer.number(cost.dieUsd);
+    writer.key("package_usd");
+    writer.number(cost.packageUsd);
+    writer.key("assembly_usd");
+    writer.number(cost.assemblyUsd);
+    writer.key("nre_usd");
+    writer.number(cost.nreUsd);
+    writer.key("total_usd");
+    writer.number(cost.totalUsd());
+    writer.endObject();
 }
 
 } // namespace
 
+void
+appendSampleStats(json::StreamWriter &writer,
+                  const SampleStats &stats)
+{
+    writer.beginObject();
+    writer.key("count");
+    writer.number(static_cast<double>(stats.count()));
+    writer.key("mean");
+    writer.number(stats.mean());
+    writer.key("stddev");
+    writer.number(stats.stddev());
+    writer.key("min");
+    writer.number(stats.min());
+    writer.key("p5");
+    writer.number(stats.percentile(5.0));
+    writer.key("p50");
+    writer.number(stats.percentile(50.0));
+    writer.key("p95");
+    writer.number(stats.percentile(95.0));
+    writer.key("max");
+    writer.number(stats.max());
+    writer.endObject();
+}
+
 json::Value
 sampleStatsToJson(const SampleStats &stats)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("count", static_cast<double>(stats.count()));
-    doc.set("mean", stats.mean());
-    doc.set("stddev", stats.stddev());
-    doc.set("min", stats.min());
-    doc.set("p5", stats.percentile(5.0));
-    doc.set("p50", stats.percentile(50.0));
-    doc.set("p95", stats.percentile(95.0));
-    doc.set("max", stats.max());
-    return doc;
+    json::StreamWriter writer;
+    appendSampleStats(writer, stats);
+    return json::parse(writer.take());
+}
+
+void
+appendResult(json::StreamWriter &writer,
+             const AnalysisResult &result)
+{
+    writer.beginObject();
+    writer.key("kind");
+    writer.string(toString(result.kind));
+    writer.key("scenario");
+    writer.string(result.scenario);
+    writer.key("detail");
+    writer.string(result.detail);
+
+    switch (result.kind) {
+      case AnalysisKind::Estimate:
+        if (result.report) {
+            writer.key("report");
+            appendReport(writer, *result.report);
+        }
+        break;
+      case AnalysisKind::Sweep:
+        writer.key("sweep");
+        writer.beginArray();
+        for (const auto &point : result.points)
+            appendExplorationPoint(writer, point);
+        writer.endArray();
+        if (!result.points.empty()) {
+            writer.key("best_embodied");
+            writer.string(TechSpaceExplorer::bestByEmbodied(
+                              result.points)
+                              .label());
+            writer.key("best_total");
+            writer.string(
+                TechSpaceExplorer::bestByTotal(result.points)
+                    .label());
+        }
+        break;
+      case AnalysisKind::MonteCarlo:
+        if (result.uncertainty) {
+            writer.key("uncertainty");
+            writer.beginObject();
+            writer.key("trials");
+            writer.number(static_cast<double>(result.trials));
+            writer.key("seed");
+            writer.number(static_cast<double>(result.seed));
+            writer.key("embodied");
+            appendSampleStats(writer,
+                              result.uncertainty->embodied);
+            writer.key("operational");
+            appendSampleStats(writer,
+                              result.uncertainty->operational);
+            writer.key("total");
+            appendSampleStats(writer, result.uncertainty->total);
+            writer.endObject();
+        }
+        break;
+      case AnalysisKind::Sensitivity:
+        writer.key("sensitivity");
+        writer.beginObject();
+        writer.key("metric");
+        writer.string(toString(result.metric));
+        writer.key("rows");
+        writer.beginArray();
+        for (const auto &row : result.sensitivity)
+            appendSensitivityRow(writer, row);
+        writer.endArray();
+        writer.endObject();
+        break;
+      case AnalysisKind::Cost:
+        if (result.cost) {
+            writer.key("cost");
+            appendCost(writer, *result.cost);
+        }
+        break;
+    }
+    writer.endObject();
 }
 
 json::Value
 resultToJson(const AnalysisResult &result)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("kind", toString(result.kind));
-    doc.set("scenario", result.scenario);
-    doc.set("detail", result.detail);
-
-    switch (result.kind) {
-      case AnalysisKind::Estimate:
-        if (result.report)
-            doc.set("report", reportToJson(*result.report));
-        break;
-      case AnalysisKind::Sweep: {
-        json::Value points = json::Value::makeArray();
-        for (const auto &point : result.points)
-            points.append(explorationPointToJson(point));
-        doc.set("sweep", std::move(points));
-        if (!result.points.empty()) {
-            doc.set("best_embodied",
-                    TechSpaceExplorer::bestByEmbodied(
-                        result.points)
-                        .label());
-            doc.set("best_total",
-                    TechSpaceExplorer::bestByTotal(result.points)
-                        .label());
-        }
-        break;
-      }
-      case AnalysisKind::MonteCarlo:
-        if (result.uncertainty) {
-            json::Value bands = json::Value::makeObject();
-            bands.set("trials",
-                      static_cast<double>(result.trials));
-            bands.set("seed",
-                      static_cast<double>(result.seed));
-            bands.set("embodied", sampleStatsToJson(
-                                      result.uncertainty->embodied));
-            bands.set("operational",
-                      sampleStatsToJson(
-                          result.uncertainty->operational));
-            bands.set("total", sampleStatsToJson(
-                                   result.uncertainty->total));
-            doc.set("uncertainty", std::move(bands));
-        }
-        break;
-      case AnalysisKind::Sensitivity: {
-        json::Value rows = json::Value::makeArray();
-        for (const auto &row : result.sensitivity)
-            rows.append(sensitivityRowToJson(row));
-        json::Value payload = json::Value::makeObject();
-        payload.set("metric", toString(result.metric));
-        payload.set("rows", std::move(rows));
-        doc.set("sensitivity", std::move(payload));
-        break;
-      }
-      case AnalysisKind::Cost:
-        if (result.cost)
-            doc.set("cost", costToJson(*result.cost));
-        break;
-    }
-    return doc;
+    json::StreamWriter writer;
+    appendResult(writer, result);
+    return json::parse(writer.take());
 }
 
 namespace {

@@ -12,9 +12,19 @@
 #include <string>
 
 #include "json/json.h"
+#include "json/stream_writer.h"
 #include "session/analysis_result.h"
 
 namespace ecochip {
+
+/**
+ * Emit any analysis result through the streaming writer -- the
+ * primary result serializer on the wire path (worker outcome
+ * streams, server responses). `resultToJson` is a DOM wrapper
+ * over it, so the two cannot drift.
+ */
+void appendResult(json::StreamWriter &writer,
+                  const AnalysisResult &result);
 
 /**
  * Serialize any analysis result to JSON.
@@ -24,6 +34,10 @@ namespace ecochip {
  * kind (`report`, `sweep`, `uncertainty`, `sensitivity`, `cost`).
  */
 json::Value resultToJson(const AnalysisResult &result);
+
+/** Emit the distribution summary of one sampled metric. */
+void appendSampleStats(json::StreamWriter &writer,
+                       const SampleStats &stats);
 
 /** Distribution summary of one sampled metric. */
 json::Value sampleStatsToJson(const SampleStats &stats);

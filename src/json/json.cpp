@@ -1,8 +1,12 @@
 #include "json/json.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -221,15 +225,20 @@ Value::operator==(const Value &other) const
     return false;
 }
 
-namespace {
-
-/** Escape a string per JSON rules. */
 void
-escapeString(std::string &out, const std::string &s)
+escapeStringTo(std::string &out, std::string_view s)
 {
     out += '"';
-    for (char c : s) {
-        switch (c) {
+    // Copy maximal runs of chars that need no escaping in one
+    // append; only '"', '\\', and controls < 0x20 break a run.
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const unsigned char c =
+            static_cast<unsigned char>(s[i]);
+        if (c != '"' && c != '\\' && c >= 0x20)
+            continue;
+        out.append(s.data() + run, i - run);
+        switch (s[i]) {
           case '"': out += "\\\""; break;
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
@@ -237,33 +246,83 @@ escapeString(std::string &out, const std::string &s)
           case '\r': out += "\\r"; break;
           case '\b': out += "\\b"; break;
           case '\f': out += "\\f"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
+          default: {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          }
         }
+        run = i + 1;
     }
+    out.append(s.data() + run, s.size() - run);
     out += '"';
 }
-
-} // namespace
 
 std::string
 formatNumber(double n)
 {
     if (n == std::floor(n) && std::abs(n) < 1e15) {
-        // Integral: print without fraction.
+        // Integral: print without fraction. Covers -0.0 too,
+        // which %.0f spells "-0" and strtod reads back as -0.0.
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.0f", n);
         return buf;
     }
+    // Shortest round-trip: the spelling is the first precision in
+    // {15, 16, 17} whose %g output reads back exactly. Probing
+    // all three costs a snprintf+strtod per step, so let
+    // std::to_chars (shortest-round-trip by construction) reveal
+    // how many significant digits the value needs and emit once.
+    char shortest[40];
+    const auto conv = std::to_chars(
+        shortest, shortest + sizeof(shortest), n);
+    int digits = 0;
+    bool seen_nonzero = false;
+    bool positional = true; // no '.'/exponent: integer spelling
+    for (const char *p = shortest; p != conv.ptr; ++p) {
+        if (*p == 'e' || *p == '.') {
+            positional = false;
+            continue;
+        }
+        if (*p < '0' || *p > '9')
+            continue;
+        if (*p == '0' && !seen_nonzero)
+            continue; // leading zeros are not significant
+        seen_nonzero = true;
+        ++digits;
+    }
+    if (positional) // trailing zeros of an integer are positional
+        for (const char *p = conv.ptr - 1;
+             p != shortest && *p == '0'; --p)
+            --digits;
+    const int precision = std::clamp(digits, 15, 17);
+
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, n);
+    if (std::strtod(buf, nullptr) == n)
+        return buf;
+    // Unreachable in principle; keep the probing loop as the
+    // safety net so a platform quirk degrades to slow, not wrong.
+    for (int p = 15; p <= 17; ++p) {
+        std::snprintf(buf, sizeof(buf), "%.*g", p, n);
+        if (std::strtod(buf, nullptr) == n)
+            break;
+    }
     return buf;
+}
+
+double
+numberFromToken(std::string_view token, bool *out_of_range)
+{
+    // strtod needs NUL termination; tokens are short except in
+    // adversarial input, where the copy is the least of it.
+    const std::string buf(token);
+    errno = 0;
+    const double value = std::strtod(buf.c_str(), nullptr);
+    if (out_of_range)
+        *out_of_range = errno == ERANGE &&
+                        (value == HUGE_VAL || value == -HUGE_VAL);
+    return value;
 }
 
 void
@@ -287,7 +346,7 @@ Value::dumpTo(std::string &out, bool pretty, int depth) const
         out += formatNumber(number_);
         break;
       case Type::String:
-        escapeString(out, string_);
+        escapeStringTo(out, string_);
         break;
       case Type::Array:
         if (array_.empty()) {
@@ -315,7 +374,7 @@ Value::dumpTo(std::string &out, bool pretty, int depth) const
         out += nl;
         for (std::size_t i = 0; i < object_.size(); ++i) {
             out += indent;
-            escapeString(out, object_[i].first);
+            escapeStringTo(out, object_[i].first);
             out += colon;
             object_[i].second.dumpTo(out, pretty, depth + 1);
             if (i + 1 < object_.size())
@@ -589,7 +648,15 @@ class Parser
                        static_cast<unsigned char>(text_[pos_])))
                 ++pos_;
         }
-        return Value(std::stod(text_.substr(start, pos_ - start)));
+        bool out_of_range = false;
+        const double value = numberFromToken(
+            std::string_view(text_).substr(start, pos_ - start),
+            &out_of_range);
+        if (out_of_range) {
+            pos_ = start;
+            fail("number out of range");
+        }
+        return Value(value);
     }
 
     Value

@@ -19,6 +19,7 @@
 #include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -184,12 +185,34 @@ class Value
 
 /**
  * Format a double exactly as the serializer prints JSON numbers:
- * the shortest form that round-trips (no fraction for integral
- * values, %.17g otherwise). The canonical number spelling shared
- * by derived scenario names (`search/scenario_space.h`) and
- * serialized documents.
+ * no fraction for integral values below 1e15, otherwise the
+ * shortest `%g` spelling (15, 16, or 17 significant digits) that
+ * parses back to the identical bits. The canonical number
+ * spelling shared by derived scenario names
+ * (`search/scenario_space.h`), serialized documents, and the
+ * streaming writer (`json/stream_writer.h`).
  */
 std::string formatNumber(double n);
+
+/**
+ * Append the JSON string literal for @p s (including the
+ * surrounding quotes) to @p out. One escaping routine backs both
+ * the DOM serializer and `StreamWriter`, so the two paths cannot
+ * disagree on control characters or quoting.
+ */
+void escapeStringTo(std::string &out, std::string_view s);
+
+/**
+ * Decode a lexically valid JSON number token to a double.
+ *
+ * Shared by the DOM parser and the on-demand scanner so both
+ * agree bit-for-bit on every input. Underflow quietly returns the
+ * nearest representable value (a denormal or zero); overflow sets
+ * @p out_of_range (when non-null) and the caller reports it with
+ * its own position context.
+ */
+double numberFromToken(std::string_view token,
+                       bool *out_of_range = nullptr);
 
 /**
  * Parse a JSON document.

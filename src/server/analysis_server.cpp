@@ -16,6 +16,7 @@
 #include "io/batch_report_io.h"
 #include "io/request_io.h"
 #include "io/result_writer.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 #include "support/sha256.h"
 
@@ -107,32 +108,51 @@ setNonBlocking(int fd)
 }
 
 /**
- * The stream-event document of one outcome, assembled from
- * pre-serialized parts so a cache hit (parsed stored result) and
- * a fresh evaluation (resultToJson) travel through one code
- * path -- member order matches `streamEventToJson` exactly.
+ * The stream-event document of one outcome, spliced from
+ * pre-serialized compact parts through the streaming writer so a
+ * cache hit (stored result text) and a fresh evaluation
+ * (appendResult) travel through one code path with no DOM --
+ * member order matches `streamEventToJson` exactly. On success
+ * @p payload is raw result JSON; on failure it is the error
+ * message (emitted as a JSON string).
  */
 std::string
-eventLine(std::size_t index, const json::Value &request_echo,
-          bool ok, json::Value payload)
+eventLine(std::size_t index, std::string_view request_echo,
+          bool ok, std::string_view payload)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("index", static_cast<double>(index));
-    doc.set("request", request_echo);
-    doc.set("ok", ok);
-    doc.set(ok ? "result" : "error", std::move(payload));
-    return doc.dump(false);
+    json::StreamWriter writer;
+    writer.beginObject();
+    writer.key("index");
+    writer.number(static_cast<double>(index));
+    writer.key("request");
+    writer.raw(request_echo);
+    writer.key("ok");
+    writer.boolean(ok);
+    if (ok) {
+        writer.key("result");
+        writer.raw(payload);
+    } else {
+        writer.key("error");
+        writer.string(payload);
+    }
+    writer.endObject();
+    return writer.take();
 }
 
 /** Error event for a line that never became a request. */
 std::string
 errorLine(std::size_t index, const std::string &message)
 {
-    json::Value doc = json::Value::makeObject();
-    doc.set("index", static_cast<double>(index));
-    doc.set("ok", false);
-    doc.set("error", message);
-    return doc.dump(false);
+    json::StreamWriter writer;
+    writer.beginObject();
+    writer.key("index");
+    writer.number(static_cast<double>(index));
+    writer.key("ok");
+    writer.boolean(false);
+    writer.key("error");
+    writer.string(message);
+    writer.endObject();
+    return writer.take();
 }
 
 } // namespace
@@ -170,7 +190,7 @@ struct AnalysisServer::Impl
         int fd = -1;
         std::uint64_t connId = 0;
         std::size_t index = 0;
-        json::Value requestEcho;
+        std::string requestEchoText;
         std::string cacheKey;
         std::future<AnalysisResult> future;
     };
@@ -424,15 +444,16 @@ AnalysisServer::Impl::handleLine(int fd, Connection &conn,
         return;
     }
 
-    const json::Value echo = requestToJson(request);
+    json::StreamWriter echo_writer;
+    appendRequest(echo_writer, request);
+    const std::string echo = echo_writer.take();
     std::string key;
     if (cache) {
         key = resultCacheKey(request, fingerprint);
-        if (auto stored = cache->lookup(key)) {
+        if (auto stored = cache->lookupText(key)) {
             ++stats.served;
-            conn.outbuf += eventLine(index, echo, true,
-                                     std::move(*stored)) +
-                           "\n";
+            conn.outbuf +=
+                eventLine(index, echo, true, *stored) + "\n";
             return;
         }
     }
@@ -441,7 +462,7 @@ AnalysisServer::Impl::handleLine(int fd, Connection &conn,
     job.fd = fd;
     job.connId = conn.id;
     job.index = index;
-    job.requestEcho = echo;
+    job.requestEchoText = echo;
     job.cacheKey = std::move(key);
     job.future = engine->submit(std::move(request));
     jobs.push_back(std::move(job));
@@ -459,23 +480,25 @@ AnalysisServer::Impl::completeFinishedJobs()
         }
 
         bool ok = true;
-        json::Value payload;
+        std::string payload;
         try {
             const AnalysisResult result = job.future.get();
-            payload = resultToJson(result);
+            json::StreamWriter writer;
+            appendResult(writer, result);
+            payload = writer.take();
         } catch (const std::exception &e) {
             ok = false;
-            payload = json::Value(std::string(e.what()));
+            payload = e.what();
         } catch (...) {
             ok = false;
-            payload = json::Value("unknown error");
+            payload = "unknown error";
         }
 
         ++stats.served;
         if (!ok)
             ++stats.failed;
         if (ok && cache && !job.cacheKey.empty())
-            cache->store(job.cacheKey, payload);
+            cache->storeText(job.cacheKey, payload);
 
         // Deliver only if the connection that asked is still the
         // one on this fd (ids guard against fd reuse); a gone
@@ -483,8 +506,8 @@ AnalysisServer::Impl::completeFinishedJobs()
         const auto it = conns.find(job.fd);
         if (it != conns.end() && it->second.id == job.connId)
             it->second.outbuf +=
-                eventLine(job.index, job.requestEcho, ok,
-                          std::move(payload)) +
+                eventLine(job.index, job.requestEchoText, ok,
+                          payload) +
                 "\n";
 
         jobs.erase(jobs.begin() +

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/request_io.h"
+#include "json/ondemand.h"
 #include "support/error.h"
 #include "support/sha256.h"
 
@@ -132,13 +133,30 @@ ResultCache::loadIndex()
 std::optional<json::Value>
 ResultCache::lookup(const std::string &key)
 {
+    if (auto text = lookupText(key))
+        return json::parse(*text);
+    return std::nullopt;
+}
+
+std::optional<std::string>
+ResultCache::lookupText(const std::string &key)
+{
     const auto it = lastUse_.find(key);
     if (it == lastUse_.end()) {
         ++stats_.misses;
         return std::nullopt;
     }
     try {
-        json::Value result = json::parseFile(objectPath(key));
+        std::ifstream in(objectPath(key), std::ios::binary);
+        requireConfig(static_cast<bool>(in),
+                      "cannot open JSON file: " +
+                          objectPath(key));
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        // One scan validates the object and canonicalizes it --
+        // no DOM on the warm path.
+        std::string result =
+            json::ondemand::reserialize(bytes.str(), false);
         it->second = tick_++;
         ++stats_.hits;
         return result;
@@ -157,6 +175,13 @@ void
 ResultCache::store(const std::string &key,
                    const json::Value &result)
 {
+    storeText(key, result.dump(false));
+}
+
+void
+ResultCache::storeText(const std::string &key,
+                       std::string_view result_text)
+{
     const fs::path path = objectPath(key);
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
@@ -169,7 +194,7 @@ ResultCache::store(const std::string &key,
         requireModel(static_cast<bool>(out),
                      "cannot write cache object " +
                          tmp.string());
-        out << result.dump(false) << "\n";
+        out << result_text << "\n";
     }
     fs::rename(tmp, path);
 

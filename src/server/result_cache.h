@@ -38,6 +38,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "json/json.h"
 #include "session/analysis_request.h"
@@ -101,12 +102,30 @@ class ResultCache
     std::optional<json::Value> lookup(const std::string &key);
 
     /**
+     * Text twin of `lookup` -- the warm path. The stored object
+     * is validated and canonicalized by the on-demand scanner
+     * (never parsed into a DOM) and returned as compact JSON,
+     * byte-identical to `lookup(key)->dump(false)`. Same
+     * hit/miss/evict-on-corruption accounting.
+     */
+    std::optional<std::string>
+    lookupText(const std::string &key);
+
+    /**
      * Store @p result under @p key (compact JSON, written
      * atomically), then evict least-recently-used entries down
      * to `maxEntries`.
      */
     void store(const std::string &key,
                const json::Value &result);
+
+    /**
+     * Text twin of `store`: @p result_text must be one compact
+     * JSON result document (the streaming serializers produce
+     * exactly that); it is written as-is, no DOM round trip.
+     */
+    void storeText(const std::string &key,
+                   std::string_view result_text);
 
     /** Write the LRU index to `<dir>/index.json`. */
     void flushIndex();

@@ -9,7 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/analysis_engine.h"
+#include "io/batch_report_io.h"
 #include "io/config_loader.h"
+#include "io/event_journal_io.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 namespace ecochip {
@@ -344,6 +349,107 @@ TEST(ReportJson, CarriesAllSections)
     EXPECT_TRUE(doc.at("operational").contains("co2_kg"));
     // Serialized report parses back.
     EXPECT_NO_THROW(json::parse(doc.dump(true)));
+}
+
+// ----------------------------------------------- wire identity
+
+/** A small batch with success and failure outcomes -- the two
+ *  shapes every wire serializer must handle. */
+BatchReport
+sampleBatchReport()
+{
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(
+        {ScenarioRef::scenario("ga102"), EstimateSpec{}});
+    requests.push_back({ScenarioRef::scenario("no-such-scenario"),
+                        EstimateSpec{}});
+    SweepSpec sweep;
+    sweep.nodesNm = {7.0, 10.0};
+    requests.push_back({ScenarioRef::scenario("emr"), sweep});
+    AnalysisEngine engine(2);
+    return engine.runBatch(requests);
+}
+
+TEST(WireIdentity, WriterEmittersMatchDomDumpsByteForByte)
+{
+    const BatchReport report = sampleBatchReport();
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    ASSERT_EQ(report.failed(), 1u);
+
+    // Whole-report text equals the DOM dump in both modes.
+    EXPECT_EQ(batchReportText(report, false),
+              batchReportToJson(report).dump(false));
+    EXPECT_EQ(batchReportText(report, true),
+              batchReportToJson(report).dump(true));
+
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const RequestOutcome &outcome = report.outcomes[i];
+        json::StreamWriter writer;
+        appendOutcome(writer, outcome);
+        EXPECT_EQ(writer.take(),
+                  outcomeToJson(outcome).dump(false))
+            << i;
+
+        json::StreamWriter event_writer;
+        appendStreamEvent(event_writer, i, outcome);
+        const std::string line = event_writer.take();
+        EXPECT_EQ(line,
+                  streamEventToJson(i, outcome).dump(false))
+            << i;
+        EXPECT_EQ(streamEventLine(i, outcome), line) << i;
+    }
+}
+
+TEST(WireIdentity, JournalRoundTripPreservesCanonicalBytes)
+{
+    const BatchReport report = sampleBatchReport();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ecochip_wire_identity_journal.ndjson")
+            .string();
+    std::filesystem::remove(path);
+
+    EventJournalWriter journal;
+    journal.open(path, false);
+    // Interleave the text hot path with the DOM convenience
+    // overload; the journal bytes must not care which was used.
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        if (i % 2 == 0) {
+            json::StreamWriter writer;
+            appendOutcome(writer, report.outcomes[i]);
+            const std::string text = writer.take();
+            journal.append(i, std::string_view(text));
+        } else {
+            journal.append(i,
+                           outcomeToJson(report.outcomes[i]));
+        }
+    }
+
+    const auto entries = replayEventJournalText(path);
+    ASSERT_EQ(entries.size(), report.outcomes.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].index, i);
+        // Replay yields canonical compact text: the exact bytes
+        // of the DOM serializer, spliceable without a reparse.
+        EXPECT_EQ(entries[i].outcome,
+                  outcomeToJson(report.outcomes[i]).dump(false))
+            << i;
+        EXPECT_NO_THROW(
+            json::ondemand::validate(entries[i].outcome));
+    }
+
+    // splitEventLine agrees with the replay on every line.
+    std::ifstream in(path);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+        const auto entry = splitEventLine(line, path);
+        EXPECT_EQ(entry.index, entries[n].index);
+        EXPECT_EQ(entry.outcome, entries[n].outcome);
+        ++n;
+    }
+    EXPECT_EQ(n, entries.size());
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -1,14 +1,19 @@
 /**
  * @file
- * Unit tests for the JSON parser and serializer.
+ * Unit tests for the JSON parser and serializer, the streaming
+ * writer (`json/stream_writer.h`), and the forward-only on-demand
+ * scanner (`json/ondemand.h`).
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "json/json.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
 #include "support/error.h"
 
 namespace ecochip::json {
@@ -193,6 +198,324 @@ TEST(JsonValue, Equality)
     EXPECT_EQ(parse("[1,2]"), parse("[1, 2]"));
     EXPECT_FALSE(parse("[1,2]") == parse("[2,1]"));
     EXPECT_FALSE(Value(1.0) == Value("1"));
+}
+
+// ---------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------
+
+TEST(StreamWriter, MatchesDumpForScalars)
+{
+    StreamWriter writer;
+    writer.null();
+    EXPECT_EQ(writer.take(), "null");
+    writer.boolean(true);
+    EXPECT_EQ(writer.take(), "true");
+    writer.number(42.0);
+    EXPECT_EQ(writer.take(), "42");
+    writer.string("a\"b");
+    EXPECT_EQ(writer.take(), R"("a\"b")");
+}
+
+TEST(StreamWriter, MatchesDumpForContainers)
+{
+    const Value doc = parse(
+        R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":[],"f":{}})");
+    StreamWriter compact;
+    appendValue(compact, doc);
+    EXPECT_EQ(compact.take(), doc.dump(false));
+    StreamWriter pretty(true);
+    appendValue(pretty, doc);
+    EXPECT_EQ(pretty.take(), doc.dump(true));
+}
+
+TEST(StreamWriter, EmptyContainersMatchDump)
+{
+    StreamWriter pretty(true);
+    pretty.beginObject();
+    pretty.key("a");
+    pretty.beginArray();
+    pretty.endArray();
+    pretty.key("b");
+    pretty.beginObject();
+    pretty.endObject();
+    pretty.endObject();
+    EXPECT_EQ(pretty.take(),
+              parse(R"({"a":[],"b":{}})").dump(true));
+}
+
+TEST(StreamWriter, TakeResetsForReuse)
+{
+    StreamWriter writer;
+    writer.beginArray();
+    writer.number(1);
+    writer.endArray();
+    EXPECT_EQ(writer.take(), "[1]");
+    writer.beginObject();
+    writer.key("k");
+    writer.string("v");
+    writer.endObject();
+    EXPECT_EQ(writer.take(), R"({"k":"v"})");
+}
+
+TEST(StreamWriter, RawSplicesVerbatim)
+{
+    StreamWriter writer;
+    writer.beginObject();
+    writer.key("payload");
+    writer.raw(R"([1,{"x":true}])");
+    writer.endObject();
+    EXPECT_EQ(writer.take(), R"({"payload":[1,{"x":true}]})");
+}
+
+TEST(StreamWriter, ScopeViolationsThrow)
+{
+    {
+        StreamWriter writer;
+        EXPECT_THROW(writer.endObject(), ModelError);
+    }
+    {
+        StreamWriter writer;
+        writer.beginArray();
+        EXPECT_THROW(writer.key("k"), ModelError);
+    }
+    {
+        StreamWriter writer;
+        writer.beginObject();
+        EXPECT_THROW(writer.number(1), ModelError);
+    }
+    {
+        StreamWriter writer;
+        writer.beginArray();
+        EXPECT_THROW(writer.take(), ModelError);
+    }
+}
+
+// The wire-path escaping contract: `json::dump` and the streaming
+// writer agree byte-for-byte on every control character below
+// 0x20 -- golden spellings, one per character.
+TEST(StreamWriter, ControlCharacterEscapesMatchDumpGolden)
+{
+    const char *golden[32] = {
+        "\\u0000", "\\u0001", "\\u0002", "\\u0003", "\\u0004",
+        "\\u0005", "\\u0006", "\\u0007", "\\b",     "\\t",
+        "\\n",     "\\u000b", "\\f",     "\\r",     "\\u000e",
+        "\\u000f", "\\u0010", "\\u0011", "\\u0012", "\\u0013",
+        "\\u0014", "\\u0015", "\\u0016", "\\u0017", "\\u0018",
+        "\\u0019", "\\u001a", "\\u001b", "\\u001c", "\\u001d",
+        "\\u001e", "\\u001f"};
+    for (int c = 0; c < 32; ++c) {
+        const std::string raw(1, static_cast<char>(c));
+        const std::string expected =
+            "\"" + std::string(golden[c]) + "\"";
+        EXPECT_EQ(Value(raw).dump(false), expected)
+            << "dump of control char " << c;
+        StreamWriter writer;
+        writer.string(raw);
+        EXPECT_EQ(writer.take(), expected)
+            << "writer output for control char " << c;
+        // And the escape parses back to the original byte --
+        // through both parsers.
+        EXPECT_EQ(parse(expected).asString(), raw);
+        ondemand::Scanner scanner(expected);
+        EXPECT_EQ(scanner.string(), raw);
+    }
+}
+
+// ---------------------------------------------------------------
+// On-demand scanner
+// ---------------------------------------------------------------
+
+TEST(Ondemand, ScansScalars)
+{
+    {
+        ondemand::Scanner s("true");
+        EXPECT_TRUE(s.boolean());
+    }
+    {
+        ondemand::Scanner s("-3.25");
+        EXPECT_DOUBLE_EQ(s.number(), -3.25);
+    }
+    {
+        ondemand::Scanner s(R"("a\nb")");
+        EXPECT_EQ(s.string(), "a\nb");
+    }
+    {
+        ondemand::Scanner s(" null ");
+        s.null();
+        s.expectEnd();
+    }
+}
+
+TEST(Ondemand, IteratesObjectsAndArrays)
+{
+    ondemand::Scanner s(
+        R"({"name":"soc","areas":[10.5,20],"ok":true})");
+    s.beginObject();
+    std::string key;
+    ASSERT_TRUE(s.nextMember(key));
+    EXPECT_EQ(key, "name");
+    EXPECT_EQ(s.string(), "soc");
+    ASSERT_TRUE(s.nextMember(key));
+    EXPECT_EQ(key, "areas");
+    s.beginArray();
+    ASSERT_TRUE(s.nextElement());
+    EXPECT_DOUBLE_EQ(s.number(), 10.5);
+    ASSERT_TRUE(s.nextElement());
+    EXPECT_DOUBLE_EQ(s.number(), 20.0);
+    EXPECT_FALSE(s.nextElement());
+    ASSERT_TRUE(s.nextMember(key));
+    EXPECT_EQ(key, "ok");
+    EXPECT_TRUE(s.boolean());
+    EXPECT_FALSE(s.nextMember(key));
+    s.expectEnd();
+}
+
+TEST(Ondemand, RawValueYieldsSpans)
+{
+    ondemand::Scanner s(R"([ {"a": 1} , [2, 3] , "x" ])");
+    s.beginArray();
+    ASSERT_TRUE(s.nextElement());
+    EXPECT_EQ(s.rawValue(), R"({"a": 1})");
+    ASSERT_TRUE(s.nextElement());
+    EXPECT_EQ(s.rawValue(), "[2, 3]");
+    ASSERT_TRUE(s.nextElement());
+    EXPECT_EQ(s.rawValue(), "\"x\"");
+    EXPECT_FALSE(s.nextElement());
+    s.expectEnd();
+}
+
+TEST(Ondemand, FindMemberSeeksWithoutMaterializing)
+{
+    const std::string doc =
+        R"({"request":{"kind":"estimate"},"ok":false,"error":"boom"})";
+    const auto request = ondemand::findMember(doc, "request");
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(*request, R"({"kind":"estimate"})");
+    EXPECT_FALSE(
+        ondemand::findMember(doc, "missing").has_value());
+    EXPECT_FALSE(ondemand::booleanField(doc, "ok", true));
+    EXPECT_TRUE(ondemand::booleanField(doc, "absent", true));
+    // Type mismatch carries the same message as booleanOr.
+    try {
+        ondemand::booleanField(doc, "error", false);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("expected boolean, got string"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Ondemand, ReserializeMatchesParseDump)
+{
+    const std::string text =
+        "{\n  // comment\n  \"a\": [1, 2.50, \"x\\u0041\"],\n"
+        "  \"b\": {\"c\": true, \"d\": null}\n}";
+    const Value doc = parse(text);
+    EXPECT_EQ(ondemand::reserialize(text, false),
+              doc.dump(false));
+    EXPECT_EQ(ondemand::reserialize(text, true), doc.dump(true));
+}
+
+TEST(Ondemand, RejectsDuplicateKeysLikeDom)
+{
+    EXPECT_THROW(ondemand::validate(R"({"a":1,"a":2})"),
+                 ConfigError);
+    EXPECT_THROW(parse(R"({"a":1,"a":2})"), ConfigError);
+}
+
+// Malformed-input matrix: every case rejects with a
+// position-bearing error from BOTH parsers, and the scanner
+// never reads past the buffer (the ASan CI job runs this file).
+TEST(Ondemand, MalformedInputMatrixRejectsWithPositions)
+{
+    const char *cases[] = {
+        "",                     // empty document
+        "   ",                  // only whitespace
+        "// comment only",      // comment, no value
+        "{",                    // truncated object
+        "[1, 2",                // truncated array
+        "{\"a\": 1",            // object cut mid-member
+        "{\"a\"",               // object cut before colon
+        "{\"a\": }",            // missing value
+        "[1, ]",                // trailing comma
+        "{\"a\": 1,}",          // trailing comma in object
+        "[1} ",                 // mismatched brackets
+        "{\"a\": 1]",           // mismatched brackets
+        "\"unterminated",       // unterminated string
+        "\"bad \\x escape\"",   // unknown escape
+        "\"\\u12\"",            // short \u escape
+        "\"\\u12zz\"",          // non-hex \u escape
+        "\"raw \x01 control\"", // raw control char in string
+        "tru",                  // truncated keyword
+        "nul",                  // truncated keyword
+        "+1",                   // leading plus
+        "1.",                   // digitless fraction
+        ".5",                   // digitless integer part
+        "1e",                   // digitless exponent
+        "1e+",                  // digitless signed exponent
+        "1.2.3",                // overlong number
+        "0x10",                 // hex is not JSON
+        "1e999",                // out-of-range magnitude
+        "-1e999",               // out-of-range magnitude
+        "{} extra",             // trailing garbage
+        "[1] [2]",              // two documents
+    };
+    for (const char *text : cases) {
+        // DOM parser rejects...
+        std::string dom_error;
+        try {
+            parse(text);
+        } catch (const ConfigError &e) {
+            dom_error = e.what();
+        }
+        ASSERT_FALSE(dom_error.empty())
+            << "DOM accepted: " << text;
+        // ...the scanner rejects with the identical message...
+        std::string scan_error;
+        try {
+            ondemand::validate(text);
+        } catch (const ConfigError &e) {
+            scan_error = e.what();
+        }
+        ASSERT_FALSE(scan_error.empty())
+            << "scanner accepted: " << text;
+        EXPECT_EQ(scan_error, dom_error) << "input: " << text;
+        // ...and the message carries a position.
+        EXPECT_NE(scan_error.find("line "), std::string::npos)
+            << scan_error;
+        EXPECT_NE(scan_error.find("column "), std::string::npos)
+            << scan_error;
+    }
+}
+
+TEST(Ondemand, NeverReadsPastAnUnterminatedBuffer)
+{
+    // A document sliced at every prefix length must either parse
+    // (never happens for proper prefixes of this doc) or throw --
+    // ASan verifies no read walks off the end of the heap
+    // allocation backing the string_view.
+    const std::string doc =
+        R"({"a": [1, 2.5e3, "x\u0041\n"], "b": {"c": true}})";
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+        const std::string prefix = doc.substr(0, len);
+        EXPECT_THROW(ondemand::validate(prefix), ConfigError)
+            << "prefix length " << len;
+    }
+    ondemand::validate(doc);
+}
+
+TEST(Ondemand, NumberRangeChecksMatchDom)
+{
+    // Overflow: both parsers reject positionally.
+    EXPECT_THROW(parse("1e999"), ConfigError);
+    EXPECT_THROW(ondemand::validate("1e999"), ConfigError);
+    // Quiet underflow: both parsers accept (denormal or zero).
+    EXPECT_DOUBLE_EQ(parse("1e-999").asNumber(), 0.0);
+    ondemand::Scanner s("1e-999");
+    EXPECT_DOUBLE_EQ(s.number(), 0.0);
 }
 
 } // namespace

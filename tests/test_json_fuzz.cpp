@@ -1,20 +1,59 @@
 /**
  * @file
- * Randomized JSON round-trip property tests: structurally random
- * documents generated with the deterministic RNG must survive
- * dump -> parse -> dump unchanged, in both compact and pretty
- * form.
+ * Randomized JSON property tests, two layers deep:
+ *
+ *  - **DOM round-trip fuzz**: structurally random documents
+ *    generated with the deterministic RNG must survive
+ *    dump -> parse -> dump unchanged, compact and pretty.
+ *
+ *  - **Differential fuzz** of the wire path: random JSON *text*
+ *    (random whitespace, `//` comments, escapes, exotic numbers,
+ *    multi-byte UTF-8) is fed to the DOM parser and the on-demand
+ *    scanner; the two must agree byte-for-byte on every accepted
+ *    document and reject the same mutated/truncated inputs. The
+ *    streaming writer is held to `dump` byte-identity on every
+ *    generated value.
+ *
+ * Every failure message carries the deterministic seed (and the
+ * offending document), so any reported case replays exactly.
+ * `ECOCHIP_FUZZ_CASES` scales the per-seed case count (default
+ * keeps the default ctest run fast; CI's sanitizer job raises it).
  */
 
+#include <cfloat>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "json/json.h"
+#include "json/ondemand.h"
+#include "json/stream_writer.h"
+#include "support/error.h"
 #include "support/rng.h"
+
+#ifndef ECOCHIP_DATA_DIR
+#define ECOCHIP_DATA_DIR ""
+#endif
 
 namespace ecochip::json {
 namespace {
+
+/** Per-seed case count; override with ECOCHIP_FUZZ_CASES. */
+int
+casesPerSeed(int fallback)
+{
+    if (const char *env = std::getenv("ECOCHIP_FUZZ_CASES")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return fallback;
+}
 
 /** Generate a random JSON value with bounded depth. */
 Value
@@ -69,34 +108,403 @@ randomValue(Rng &rng, int depth)
     }
 }
 
+// ---------------------------------------------------------------
+// Random JSON *text* generation -- exercises the surface syntax
+// (whitespace, comments, escape spellings, number spellings) that
+// Value-based generation can never produce.
+// ---------------------------------------------------------------
+
+/** Random run of legal inter-token whitespace, sometimes with a
+ *  `//` line comment (the parser's documented tolerance). */
+void
+appendWhitespace(Rng &rng, std::string &out)
+{
+    static const char *kGaps[] = {"", " ", "  ", "\n", "\t",
+                                  " \n  ", "\r\n"};
+    out += kGaps[rng.next() % 7];
+    if (rng.next() % 8 == 0)
+        out += "// c o m m e n t\n";
+}
+
+/** Random JSON number token, exotic spellings included. */
+void
+appendNumberText(Rng &rng, std::string &out)
+{
+    switch (rng.next() % 8) {
+      case 0: out += std::to_string(rng.next() % 1000); break;
+      case 1:
+        out += "-" + std::to_string(rng.next() % 1000);
+        break;
+      case 2:
+        out += std::to_string(rng.next() % 100) + "." +
+               std::to_string(rng.next() % 100000);
+        break;
+      case 3:
+        out += std::to_string(rng.next() % 10) + "e" +
+               (rng.next() % 2 ? "" : "-") +
+               std::to_string(rng.next() % 300);
+        break;
+      case 4:
+        out += std::to_string(rng.next() % 10) + "." +
+               std::to_string(rng.next() % 1000) + "E+" +
+               std::to_string(rng.next() % 30);
+        break;
+      case 5: out += "0"; break;
+      case 6:
+        // Leading zeros: a documented tolerance of this parser.
+        out += "00" + std::to_string(rng.next() % 100);
+        break;
+      default:
+        out += "-0." + std::to_string(rng.next() % 1000);
+        break;
+    }
+}
+
+/** Random string token: escapes, \uXXXX, raw multi-byte UTF-8. */
+void
+appendStringText(Rng &rng, std::string &out)
+{
+    out += '"';
+    const std::uint64_t len = rng.next() % 10;
+    for (std::uint64_t i = 0; i < len; ++i) {
+        switch (rng.next() % 8) {
+          case 0: out += static_cast<char>(
+                      'a' + rng.next() % 26);
+                  break;
+          case 1: out += "\\n"; break;
+          case 2: out += "\\\""; break;
+          case 3: out += "\\\\"; break;
+          case 4: out += "\\/"; break;
+          case 5: {
+            // BMP \u escape, avoiding the unsupported surrogate
+            // range D800-DFFF.
+            char buf[8];
+            std::uint64_t cp = rng.next() % 0xFFFF;
+            if (cp >= 0xD800 && cp <= 0xDFFF)
+                cp -= 0x3000;
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(cp));
+            out += buf;
+            break;
+          }
+          case 6: out += "\xc3\xa9"; break;      // é (2-byte)
+          default: out += "\xe2\x82\xac"; break; // € (3-byte)
+        }
+    }
+    out += '"';
+}
+
+/** Random syntactically valid JSON value text. */
+void
+appendValueText(Rng &rng, std::string &out, int depth)
+{
+    appendWhitespace(rng, out);
+    const std::uint64_t pick = rng.next() % (depth <= 0 ? 4 : 6);
+    switch (pick) {
+      case 0: out += "null"; break;
+      case 1: out += rng.next() % 2 ? "true" : "false"; break;
+      case 2: appendNumberText(rng, out); break;
+      case 3: appendStringText(rng, out); break;
+      case 4: {
+        out += '[';
+        const std::uint64_t len = rng.next() % 4;
+        for (std::uint64_t i = 0; i < len; ++i) {
+            if (i)
+                out += ',';
+            appendValueText(rng, out, depth - 1);
+        }
+        appendWhitespace(rng, out);
+        out += ']';
+        break;
+      }
+      default: {
+        out += '{';
+        const std::uint64_t len = rng.next() % 4;
+        for (std::uint64_t i = 0; i < len; ++i) {
+            if (i)
+                out += ',';
+            appendWhitespace(rng, out);
+            out += "\"m" + std::to_string(i) + "\"";
+            appendWhitespace(rng, out);
+            out += ':';
+            appendValueText(rng, out, depth - 1);
+        }
+        appendWhitespace(rng, out);
+        out += '}';
+        break;
+      }
+    }
+    appendWhitespace(rng, out);
+}
+
+std::string
+randomDocumentText(Rng &rng)
+{
+    std::string out;
+    appendValueText(rng, out, 4);
+    return out;
+}
+
 class JsonFuzzTest : public ::testing::TestWithParam<int>
 {};
 
 TEST_P(JsonFuzzTest, CompactRoundTripIsIdentity)
 {
-    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
-    for (int i = 0; i < 50; ++i) {
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 7919 + 13;
+    Rng rng(seed);
+    for (int i = 0; i < casesPerSeed(50); ++i) {
         const Value original = randomValue(rng, 4);
         const std::string text = original.dump(false);
         const Value reparsed = parse(text);
-        ASSERT_EQ(reparsed, original) << text;
+        ASSERT_EQ(reparsed, original)
+            << "seed " << seed << ": " << text;
         // Idempotent: a second trip produces identical text.
-        ASSERT_EQ(reparsed.dump(false), text);
+        ASSERT_EQ(reparsed.dump(false), text)
+            << "seed " << seed;
     }
 }
 
 TEST_P(JsonFuzzTest, PrettyRoundTripIsIdentity)
 {
-    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
-    for (int i = 0; i < 50; ++i) {
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 104729 + 7;
+    Rng rng(seed);
+    for (int i = 0; i < casesPerSeed(50); ++i) {
         const Value original = randomValue(rng, 4);
         const Value reparsed = parse(original.dump(true));
-        ASSERT_EQ(reparsed, original);
+        ASSERT_EQ(reparsed, original) << "seed " << seed;
+    }
+}
+
+// The streaming writer is byte-identical to `dump` on every
+// random document, compact and pretty.
+TEST_P(JsonFuzzTest, WriterMatchesDumpOnRandomValues)
+{
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 31337 + 3;
+    Rng rng(seed);
+    for (int i = 0; i < casesPerSeed(50); ++i) {
+        const Value original = randomValue(rng, 4);
+        StreamWriter compact;
+        appendValue(compact, original);
+        ASSERT_EQ(compact.take(), original.dump(false))
+            << "seed " << seed;
+        StreamWriter pretty(true);
+        appendValue(pretty, original);
+        ASSERT_EQ(pretty.take(), original.dump(true))
+            << "seed " << seed;
+    }
+}
+
+// Differential core: on random *text*, the on-demand scanner's
+// canonicalization equals parse + dump, byte for byte, in both
+// output modes.
+TEST_P(JsonFuzzTest, OndemandAgreesWithDomOnRandomText)
+{
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 65537 + 101;
+    Rng rng(seed);
+    for (int i = 0; i < casesPerSeed(50); ++i) {
+        const std::string text = randomDocumentText(rng);
+        Value dom;
+        std::string dom_error;
+        try {
+            dom = parse(text);
+        } catch (const ConfigError &e) {
+            dom_error = e.what();
+        }
+        if (!dom_error.empty()) {
+            // The generator should only emit valid documents;
+            // surface the seed if that invariant ever breaks.
+            FAIL() << "seed " << seed
+                   << " generated an unparseable document: "
+                   << dom_error << "\n"
+                   << text;
+        }
+        ASSERT_EQ(ondemand::reserialize(text, false),
+                  dom.dump(false))
+            << "seed " << seed << ": " << text;
+        ASSERT_EQ(ondemand::reserialize(text, true),
+                  dom.dump(true))
+            << "seed " << seed << ": " << text;
+    }
+}
+
+// Mutation agreement: truncate or corrupt random valid text; the
+// two parsers must agree on accept vs reject -- and when they
+// reject, on the exact error message (position included).
+TEST_P(JsonFuzzTest, OndemandAgreesWithDomOnMutatedText)
+{
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 999983 + 29;
+    Rng rng(seed);
+    for (int i = 0; i < casesPerSeed(50); ++i) {
+        std::string text = randomDocumentText(rng);
+        switch (rng.next() % 3) {
+          case 0: // truncate
+            text = text.substr(0, rng.next() %
+                                      (text.size() + 1));
+            break;
+          case 1: { // flip one byte to a random printable
+            if (!text.empty())
+                text[rng.next() % text.size()] =
+                    static_cast<char>(' ' + rng.next() % 95);
+            break;
+          }
+          default: // append garbage
+            text += static_cast<char>(' ' + rng.next() % 95);
+            break;
+        }
+
+        std::string dom_error = "(accepted)";
+        std::string dom_dump;
+        try {
+            dom_dump = parse(text).dump(false);
+        } catch (const ConfigError &e) {
+            dom_error = e.what();
+        }
+        std::string scan_error = "(accepted)";
+        std::string scan_dump;
+        try {
+            scan_dump = ondemand::reserialize(text, false);
+        } catch (const ConfigError &e) {
+            scan_error = e.what();
+        }
+        ASSERT_EQ(scan_error, dom_error)
+            << "seed " << seed << ": " << text;
+        ASSERT_EQ(scan_dump, dom_dump)
+            << "seed " << seed << ": " << text;
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
                          ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------
+// Number round-tripping property tests
+// ---------------------------------------------------------------
+
+/** Bitwise equality -- distinguishes -0.0 from 0.0 and survives
+ *  exact denormal comparison. */
+std::uint64_t
+bits(double x)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+}
+
+void
+expectNumberRoundTrips(double x, const std::string &where)
+{
+    const std::string text = formatNumber(x);
+    // The writer and dump agree on the spelling.
+    StreamWriter writer;
+    writer.number(x);
+    EXPECT_EQ(writer.take(), text) << where;
+    EXPECT_EQ(Value(x).dump(false), text) << where;
+    // parse(write(x)) == x, bitwise, through both parsers.
+    EXPECT_EQ(bits(parse(text).asNumber()), bits(x))
+        << where << ": " << text;
+    ondemand::Scanner scanner(text);
+    EXPECT_EQ(bits(scanner.number()), bits(x))
+        << where << ": " << text;
+}
+
+TEST(JsonNumbers, CornerValuesRoundTripBitwise)
+{
+    const double corpus[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        0.35,
+        1.0 / 3.0,
+        2.0 / 3.0,
+        1e-5,
+        -1e-5,
+        3.14159265358979323846,
+        6.02214076e23,
+        1e15,          // integral fast-path boundary
+        1e15 - 1.0,
+        -1e15,
+        9007199254740991.0,  // 2^53 - 1
+        9007199254740993.0,  // first non-representable odd
+        DBL_MAX,
+        -DBL_MAX,
+        DBL_MIN,             // smallest normal
+        -DBL_MIN,
+        5e-324,              // smallest denormal
+        -5e-324,
+        2.2250738585072011e-308, // near-denormal boundary
+        1.7976931348623157e308,
+        4.9406564584124654e-324,
+        123456789.123456789,
+        0.42187500000000006,
+    };
+    for (double x : corpus)
+        expectNumberRoundTrips(
+            x, "corner value " + std::to_string(x));
+}
+
+TEST(JsonNumbers, RandomDoublesRoundTripBitwise)
+{
+    Rng rng(0xC0FFEE);
+    for (int i = 0; i < casesPerSeed(500); ++i) {
+        // Random finite bit patterns cover the full exponent
+        // range, denormals included.
+        std::uint64_t u = rng.next();
+        double x;
+        std::memcpy(&x, &u, sizeof x);
+        if (!std::isfinite(x))
+            continue; // JSON has no NaN/Inf spelling
+        expectNumberRoundTrips(x, "random double #" +
+                                      std::to_string(i));
+    }
+}
+
+// Every number appearing in the shipped data/ tree round-trips:
+// the values the paper pipeline actually runs on.
+void
+collectNumbers(const Value &value, std::vector<double> &out)
+{
+    if (value.isNumber()) {
+        out.push_back(value.asNumber());
+        return;
+    }
+    if (value.isArray())
+        for (const auto &element : value.asArray())
+            collectNumbers(element, out);
+    if (value.isObject())
+        for (const auto &member : value.members())
+            collectNumbers(member.second, out);
+}
+
+TEST(JsonNumbers, EveryDataTreeValueRoundTripsBitwise)
+{
+    const std::string root = ECOCHIP_DATA_DIR;
+    if (root.empty() || !std::filesystem::exists(root))
+        GTEST_SKIP() << "data directory unavailable";
+    std::size_t files = 0;
+    std::vector<double> numbers;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".json")
+            continue;
+        ++files;
+        collectNumbers(parseFile(entry.path().string()),
+                       numbers);
+    }
+    ASSERT_GT(files, 0u) << "no JSON files under " << root;
+    ASSERT_GT(numbers.size(), 0u);
+    for (std::size_t i = 0; i < numbers.size(); ++i)
+        expectNumberRoundTrips(numbers[i],
+                               "data value #" +
+                                   std::to_string(i));
+}
 
 } // namespace
 } // namespace ecochip::json
